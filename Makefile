@@ -1,0 +1,25 @@
+# Convenience targets; everything also works as plain pytest invocations.
+
+.PHONY: install test bench bench-only experiments examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/
+
+bench-only:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.experiments run all
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex =="; python $$ex || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results build *.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,99 @@
+"""Experiment P1 — **Propositions 1/2**: Combine-and-Broadcast cost.
+
+Measures T_CB (from the latest join, as Prop. 2 defines T_synch) across
+machine sizes and capacities, against the paper's explicit upper bound
+``3 (L+o) log p / log(1 + ceil(L/G))`` and the Prop. 1 lower bound.
+"""
+
+import operator
+
+import pytest
+
+from repro.core.cb import measure_cb
+from repro.models.cost import cb_time_lower, cb_time_upper
+from repro.models.params import LogPParams
+from repro.util.tables import render_table
+
+GRID = [
+    LogPParams(p=p, L=L, o=1, G=G)
+    for p in (8, 32, 128, 512)
+    for (L, G) in ((8, 8), (8, 4), (8, 2), (16, 2))  # capacities 1, 2, 4, 8
+]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = []
+    for params in GRID:
+        m = measure_cb(params, [1] * params.p, operator.add, op_cost=0)
+        assert m.result.results == [params.p] * params.p
+        assert m.result.stall_free
+        out.append((params, m))
+    return out
+
+
+def test_cb_report(sweep, publish, benchmark):
+    benchmark.pedantic(
+        lambda: measure_cb(LogPParams(p=128, L=8, o=1, G=2), [1] * 128, operator.add),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for params, m in sweep:
+        upper = cb_time_upper(params)
+        lower = cb_time_lower(params)
+        rows.append(
+            (
+                params.p,
+                params.L,
+                params.G,
+                params.capacity,
+                m.t_cb,
+                f"{lower:.0f}",
+                f"{upper:.0f}",
+                f"{m.t_cb / upper:.2f}" if upper else "-",
+            )
+        )
+    publish(
+        "cb_synchronization",
+        render_table(
+            ["p", "L", "G", "ceil(L/G)", "T_CB meas", "Prop1 lower", "3(L+o)logp/log(1+C)", "meas/upper"],
+            rows,
+            title="Combine-and-Broadcast: measured vs paper bounds (o=1)",
+        ),
+    )
+
+
+def test_within_constant_of_bounds(sweep):
+    for params, m in sweep:
+        assert m.t_cb <= 2.2 * cb_time_upper(params), params
+        assert m.t_cb >= 0.4 * cb_time_lower(params), params
+
+
+def test_logarithmic_scaling_in_p(sweep):
+    """Equal multiplicative steps in p add roughly equal time."""
+    by_cfg = {}
+    for params, m in sweep:
+        by_cfg.setdefault((params.L, params.G), {})[params.p] = m.t_cb
+    for cfg, times in by_cfg.items():
+        d1 = times[32] - times[8]
+        d2 = times[128] - times[32]
+        d3 = times[512] - times[128]
+        assert d3 <= 2.0 * max(d1, 1), cfg
+        assert d2 <= 2.0 * max(d1, 1), cfg
+
+
+def test_capacity_speeds_synchronization(sweep):
+    """Prop 1's log(1 + ceil(L/G)) denominator: higher capacity, faster CB."""
+    at_p = {
+        params.capacity: m.t_cb for params, m in sweep if params.p == 512 and params.L == 8
+    }
+    assert at_p[4] <= at_p[2] <= at_p[1]
+
+
+def test_staggered_joins_measured_from_last(publish):
+    params = LogPParams(p=64, L=8, o=1, G=2)
+    joins = [(i * 17) % 300 for i in range(params.p)]
+    m = measure_cb(params, [1] * params.p, operator.add, joins=joins, op_cost=0)
+    assert m.latest_join == max(joins)
+    assert m.t_cb <= 2.2 * cb_time_upper(params)

@@ -1,0 +1,50 @@
+"""Simulator performance: events/second of the three engines.
+
+Not a paper experiment — housekeeping numbers so regressions in the
+simulators themselves are visible.  Reported via pytest-benchmark.
+"""
+
+import pytest
+
+from repro.bsp.machine import BSPMachine
+from repro.logp import LogPMachine
+from repro.models.params import BSPParams, LogPParams
+from repro.networks import Hypercube
+from repro.networks.routing_sim import route_h_relation
+from repro.programs import logp_alltoall_program, bsp_radix_sort_program
+
+
+def test_logp_engine_throughput(benchmark):
+    """p=64 all-to-all: ~4k messages through the event engine."""
+    params = LogPParams(p=64, L=16, o=1, G=2)
+
+    def run():
+        res = LogPMachine(params).run(logp_alltoall_program())
+        assert res.total_messages == 64 * 63
+        return res
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_bsp_engine_throughput(benchmark):
+    """p=16 radix sort: a few thousand messages across ~10 supersteps."""
+    params = BSPParams(p=16, g=2, l=16)
+    prog = bsp_radix_sort_program(keys_per_proc=32, key_bits=16, seed=1)
+
+    def run():
+        out = BSPMachine(params).run(prog)
+        flat = [k for block in out.results for k in block]
+        assert flat == sorted(flat)
+        return out
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_packet_router_throughput(benchmark):
+    """1024-node hypercube, 8-relation: ~8k packets, ~10 hops each."""
+    topo = Hypercube(1024)
+
+    def run():
+        return route_h_relation(topo, 8, seed=0)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

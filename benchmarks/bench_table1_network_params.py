@@ -1,0 +1,147 @@
+"""Experiment T1 — regenerate **Table 1** of the paper.
+
+For every topology row, route balanced h-relations on the packet
+simulator at two machine sizes, fit ``T(h) = gamma h + delta``, and
+check the *growth* of the fitted parameters against the table's
+asymptotic forms (constants depend on our store-and-forward substrate;
+the paper's claim is the asymptotic class).
+"""
+
+import math
+
+import pytest
+
+from repro.models.cost import TABLE1
+from repro.networks.params import TOPOLOGY_BUILDERS, measure_network_params
+from repro.networks.routing_sim import route_h_relation
+from repro.util.tables import render_table
+
+SIZES = (16, 64)
+HS = (1, 2, 4, 8)
+SEEDS = (0, 1)
+
+
+def _measure(name, p):
+    topo, config = TOPOLOGY_BUILDERS[name](p)
+    return measure_network_params(
+        topo, table_name=name, hs=HS, seeds=SEEDS, config=config
+    )
+
+
+@pytest.fixture(scope="module")
+def survey():
+    return {
+        name: {p: _measure(name, p) for p in SIZES} for name in TOPOLOGY_BUILDERS
+    }
+
+
+def test_table1_report(survey, publish, benchmark):
+    benchmark.pedantic(
+        lambda: _measure("hypercube (single-port)", 16), rounds=1, iterations=1
+    )
+    rows = []
+    for name, by_p in survey.items():
+        costs = TABLE1[name]
+        for p, meas in by_p.items():
+            th_g, th_d = meas.theory()
+            rows.append(
+                (
+                    name,
+                    meas.p,
+                    f"{meas.gamma:.2f}",
+                    f"{th_g:.1f} ~ {costs.gamma_expr}",
+                    f"{meas.delta:.2f}",
+                    f"{th_d:.1f} ~ {costs.delta_expr}",
+                    f"{meas.r2:.3f}",
+                )
+            )
+    publish(
+        "table1_network_params",
+        render_table(
+            ["topology", "p", "gamma fit", "gamma Table 1", "delta fit", "delta Table 1", "R^2"],
+            rows,
+            title="Table 1 reproduction: fitted T(h) = gamma h + delta per topology",
+        ),
+    )
+
+
+def test_gamma_growth_classes(survey):
+    """gamma growth from p=16 to p=64 must follow the Table 1 class:
+    sqrt growth for array/mesh-of-trees, flat for multi-port hypercube,
+    log growth for the log p rows."""
+
+    def growth(name):
+        g16 = max(survey[name][16].gamma, 0.3)
+        g64 = max(survey[name][64].gamma, 0.3)
+        return g64 / g16
+
+    # sqrt(p): x4 in p -> x2 in gamma (allow wide tolerance)
+    assert 1.4 <= growth("d-dim array") <= 3.0
+    assert 1.3 <= growth("mesh-of-trees") <= 3.2
+    # Theta(1): flat-ish
+    assert growth("hypercube (multi-port)") <= 1.6
+    # Theta(log p): between flat and sqrt
+    assert 1.0 <= growth("hypercube (single-port)") <= 2.2
+    assert 1.0 <= growth("butterfly") <= 2.6
+    assert 1.0 <= growth("shuffle-exchange") <= 2.6
+
+
+def test_delta_tracks_diameter(survey):
+    for name, by_p in survey.items():
+        for p, meas in by_p.items():
+            assert meas.delta <= 4.0 * meas.diameter + 4.0
+
+
+def test_fit_quality(survey):
+    for name, by_p in survey.items():
+        for meas in by_p.values():
+            assert meas.r2 >= 0.75, f"{name}: poor affine fit (r2={meas.r2})"
+
+
+def test_d3_array_dimension_dependence(publish):
+    """Table 1's array row is parameterized by d: for d=3,
+    gamma = delta = Theta(p^{1/3}).  Octupling p (side 4 -> 8) must double
+    gamma, unlike the d=2 quadrupling."""
+    from repro.networks.array_nd import ArrayND
+    from repro.networks.routing_sim import RoutingConfig
+
+    rows = []
+    gammas = {}
+    for side in (4, 8):
+        topo = ArrayND((side, side, side))
+        meas = measure_network_params(
+            topo,
+            table_name="d-dim array",
+            hs=HS,
+            seeds=SEEDS,
+            config=RoutingConfig(priority="farthest"),
+        )
+        gammas[side] = max(meas.gamma, 0.3)
+        rows.append((side**3, f"{meas.gamma:.2f}", f"{float(side):.1f}", f"{meas.delta:.2f}"))
+    publish(
+        "table1_d3_array",
+        render_table(
+            ["p", "gamma fit", "p^(1/3)", "delta fit"],
+            rows,
+            title="Table 1, d=3 array: gamma tracks p^(1/3) (x2 per x8 in p)",
+        ),
+    )
+    assert 1.3 <= gammas[8] / gammas[4] <= 3.2
+
+
+def test_bench_hypercube_routing_kernel(benchmark):
+    topo, config = TOPOLOGY_BUILDERS["hypercube (single-port)"](64)
+    benchmark.pedantic(
+        lambda: route_h_relation(topo, 8, seed=0, config=config),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_bench_mesh_of_trees_routing_kernel(benchmark):
+    topo, config = TOPOLOGY_BUILDERS["mesh-of-trees"](64)
+    benchmark.pedantic(
+        lambda: route_h_relation(topo, 8, seed=0, config=config),
+        rounds=3,
+        iterations=1,
+    )

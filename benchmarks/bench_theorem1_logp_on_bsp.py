@@ -1,0 +1,92 @@
+"""Experiment TH1 — **Theorem 1**: stall-free LogP on BSP.
+
+Regenerates the theorem's quantitative content: across a grid of BSP
+machines (scaling g/G and l/L), the measured slowdown of the cycle
+simulation tracks ``O(1 + g/G + l/L)`` and per-cycle h-relations stay
+within the capacity ``ceil(L/G)``.
+"""
+
+import pytest
+
+from repro.core.logp_on_bsp import simulate_logp_on_bsp
+from repro.models.params import BSPParams, LogPParams
+from repro.programs import (
+    logp_alltoall_program,
+    logp_ring_program,
+    logp_sum_program,
+)
+from repro.util.tables import render_table
+
+LOGP = LogPParams(p=16, L=8, o=1, G=2)
+SCALES = [(1, 1), (4, 1), (1, 4), (4, 4), (8, 8)]
+KERNELS = {
+    "ring": logp_ring_program,
+    "sum": logp_sum_program,
+    "alltoall": logp_alltoall_program,
+}
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    for kname, factory in KERNELS.items():
+        for gs, ls in SCALES:
+            bsp = BSPParams(p=LOGP.p, g=LOGP.G * gs, l=LOGP.L * ls)
+            rep = simulate_logp_on_bsp(LOGP, factory(), bsp_params=bsp)
+            assert rep.outputs_match
+            out[(kname, gs, ls)] = rep
+    return out
+
+
+def test_theorem1_report(sweep, publish, benchmark):
+    benchmark.pedantic(
+        lambda: simulate_logp_on_bsp(LOGP, logp_sum_program()), rounds=1, iterations=1
+    )
+    rows = []
+    for (kname, gs, ls), rep in sweep.items():
+        rows.append(
+            (
+                kname,
+                f"g={LOGP.G * gs}",
+                f"l={LOGP.L * ls}",
+                rep.windows,
+                rep.max_window_h,
+                LOGP.capacity,
+                f"{rep.slowdown:.2f}",
+                f"{rep.predicted_slowdown:.2f}",
+            )
+        )
+    publish(
+        "theorem1_logp_on_bsp",
+        render_table(
+            ["kernel", "BSP g", "BSP l", "cycles", "max h", "ceil(L/G)", "slowdown", "O(1+g/G+l/L)"],
+            rows,
+            title=f"Theorem 1: LogP(p={LOGP.p}, L={LOGP.L}, o={LOGP.o}, G={LOGP.G}) simulated on BSP",
+        ),
+    )
+
+
+def test_slowdown_below_prediction(sweep):
+    for key, rep in sweep.items():
+        assert rep.slowdown <= rep.predicted_slowdown * 1.05, key
+
+
+def test_capacity_bound_holds(sweep):
+    for key, rep in sweep.items():
+        assert rep.max_window_h <= LOGP.capacity, key
+
+
+def test_matched_machine_constant_slowdown(sweep):
+    """On the matched machine the slowdown is a small constant (<= the
+    predicted 1 + g/G + l/L = 5 here)."""
+    for kname in KERNELS:
+        rep = sweep[(kname, 1, 1)]
+        assert rep.slowdown <= 5.0
+
+
+def test_slowdown_monotone_in_g_and_l(sweep):
+    for kname in KERNELS:
+        base = sweep[(kname, 1, 1)].slowdown
+        assert sweep[(kname, 4, 1)].slowdown >= base
+        assert sweep[(kname, 1, 4)].slowdown >= base
+        assert sweep[(kname, 8, 8)].slowdown >= sweep[(kname, 4, 4)].slowdown

@@ -1,0 +1,34 @@
+"""Benchmark-harness plumbing.
+
+Every bench regenerates one of the paper's quantitative artifacts (see
+the experiment index in DESIGN.md), prints it as a table, and appends it
+to ``benchmarks/results/<name>.txt`` so the numbers survive the run.
+pytest-benchmark wraps a representative kernel of each experiment so the
+suite also tracks wall-clock performance of the simulators themselves.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def publish(results_dir, capsys):
+    """Print a table and persist it under benchmarks/results/."""
+
+    def _publish(name: str, text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{text}")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _publish

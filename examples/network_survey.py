@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Table 1 in miniature: measure (gamma, delta) on real packet routing.
+
+For each topology of the paper's Table 1, routes balanced h-relations on
+the synchronous store-and-forward simulator, fits ``T(h) = gamma h +
+delta``, and prints the measured values next to the table's asymptotic
+forms.  Growth across ``p`` (not absolute constants) is the claim.
+
+Run:  python examples/network_survey.py  [--size 64]
+"""
+
+import argparse
+
+from repro.models.cost import TABLE1
+from repro.networks.params import TOPOLOGY_BUILDERS, measure_network_params
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--size", type=int, default=64, help="target processor count")
+    args = ap.parse_args()
+
+    rows = []
+    for name, builder in TOPOLOGY_BUILDERS.items():
+        topo, config = builder(args.size)
+        meas = measure_network_params(
+            topo, table_name=name, hs=(1, 2, 4, 8), seeds=(0, 1), config=config
+        )
+        th_gamma, th_delta = meas.theory()
+        costs = TABLE1[name]
+        rows.append(
+            (
+                name,
+                meas.p,
+                f"{meas.gamma:.2f}",
+                f"{th_gamma:.1f} ({costs.gamma_expr})",
+                f"{meas.delta:.2f}",
+                f"{th_delta:.1f} ({costs.delta_expr})",
+                f"{meas.r2:.3f}",
+            )
+        )
+    print(
+        render_table(
+            ["topology", "p", "gamma (fit)", "gamma (Table 1)", "delta (fit)", "delta (Table 1)", "R^2"],
+            rows,
+            title=f"Table 1 survey at ~{args.size} processors (store-and-forward routing)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

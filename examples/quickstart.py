@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: write and run a program on each machine model.
+
+* BSP (paper §2.1): generator programs yield ``Compute`` / ``Send`` /
+  ``Sync``; the machine charges ``w + g*h + l`` per superstep.
+* LogP (paper §2.2): generator programs yield ``Compute`` / ``Send`` /
+  ``Recv``; the machine enforces overhead ``o``, gap ``G``, latency
+  ``<= L`` and the capacity constraint ``ceil(L/G)``.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BSPMachine, BSPParams, LogPMachine, LogPParams
+from repro.bsp import Compute, Send, Sync
+from repro.logp import Recv
+from repro.logp import Send as LSend
+from repro.logp.collectives import recv_n_tagged
+
+P = 8
+
+
+# --- a BSP program: odd/even neighbor averaging over two supersteps -------
+
+def bsp_neighbor_average(ctx):
+    """Each processor averages its value with both ring neighbors."""
+    value = float(ctx.pid)
+    left, right = (ctx.pid - 1) % ctx.p, (ctx.pid + 1) % ctx.p
+    yield Send(left, value)
+    yield Send(right, value)
+    yield Compute(2)
+    yield Sync()
+    neighbors = [m.payload for m in ctx.inbox]
+    return (value + sum(neighbors)) / (1 + len(neighbors))
+
+
+# --- a LogP program: request/response with a server processor -------------
+
+def logp_request_response(ctx):
+    """Processor 0 serves squares; everyone else asks for one."""
+    if ctx.pid == 0:
+        replies = 0
+        msgs = yield from recv_n_tagged(ctx, tag=1, n=ctx.p - 1)
+        for m in msgs:
+            yield LSend(m.src, m.payload**2, tag=2)
+            replies += 1
+        return replies
+    yield LSend(0, ctx.pid, tag=1)
+    msg = yield Recv()
+    return msg.payload
+
+
+def main() -> None:
+    bsp = BSPMachine(BSPParams(p=P, g=2, l=16))
+    out = bsp.run(bsp_neighbor_average)
+    print("== BSP ==")
+    print("results:       ", [round(v, 2) for v in out.results])
+    print("supersteps:    ", out.num_supersteps)
+    print("cost ledger:   ", [(r.w, r.h, r.cost) for r in out.ledger])
+    print("total BSP cost:", out.total_cost)
+
+    logp = LogPMachine(LogPParams(p=P, L=8, o=1, G=2))
+    res = logp.run(logp_request_response)
+    print("\n== LogP ==")
+    print("results:   ", res.results)
+    print("makespan:  ", res.makespan)
+    print("messages:  ", res.total_messages)
+    print("stall-free:", res.stall_free)
+
+
+if __name__ == "__main__":
+    main()

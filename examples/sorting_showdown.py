@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The Section 4.2 sorting regimes: small-r network sort vs large-r
+Columnsort (our AKS / Cubesort stand-ins).
+
+The paper: the AKS-based scheme wins for ``r <= 2^sqrt(log p)``; the
+Cubesort-based scheme wins for large ``r`` (e.g. ``r = p^eps``), where it
+costs ``O(G r + L)``.  We print the analytic costs of both schemes across
+``r`` (locating the crossover) and validate the executable substitutes by
+actually sorting with them.
+
+Run:  python examples/sorting_showdown.py
+"""
+
+import random
+
+from repro.models.cost import t_sort_aks, t_sort_cubesort
+from repro.models.params import LogPParams
+from repro.sorting import bitonic_schedule, columnsort, run_schedule_locally
+from repro.util.tables import render_table
+
+
+def analytic_crossover() -> None:
+    params = LogPParams(p=256, L=16, o=1, G=2)
+    rows = []
+    for r in [1, 4, 16, 64, 256, 1024, 4096, 65536]:
+        aks = t_sort_aks(r, params.p, params)
+        cube = t_sort_cubesort(r, params.p, params, include_log_star_term=False)
+        rows.append(
+            (
+                r,
+                f"{aks:.3g}",
+                f"{cube:.3g}",
+                "AKS" if aks <= cube else "Cubesort",
+            )
+        )
+    print(
+        render_table(
+            ["r (keys/proc)", "T_AKS = O((Gr+L)log p)", "T_Cubesort (asympt.)", "winner"],
+            rows,
+            title="Paper cost model: sorting-scheme crossover  [p=256, L=16, o=1, G=2]",
+        )
+    )
+
+
+def executable_substitutes() -> None:
+    rng = random.Random(7)
+
+    # Small r: Batcher bitonic network with merge-split (AKS stand-in).
+    p, r = 16, 4
+    blocks = [[rng.randrange(1000) for _ in range(r)] for _ in range(p)]
+    want = sorted(x for b in blocks for x in b)
+    out = run_schedule_locally(bitonic_schedule(p), blocks)
+    got = [x for b in out for x in b]
+    assert got == want
+    print(f"\nbitonic merge-split: sorted {p * r} keys over p={p} procs, "
+          f"{len(bitonic_schedule(p))} rounds (O(log^2 p))")
+
+    # Large r: Columnsort (Cubesort stand-in), valid for r >= 2(s-1)^2.
+    s, r = 8, 2 * 49
+    blocks = [[rng.randrange(10_000) for _ in range(r)] for _ in range(s)]
+    want = sorted(x for b in blocks for x in b)
+    out = columnsort(blocks)
+    got = [x for b in out for x in b]
+    assert got == want
+    print(f"columnsort: sorted {s * r} keys over p={s} procs in 8 fixed rounds "
+          f"(O(Gr + L) on LogP, the large-r regime)")
+
+
+if __name__ == "__main__":
+    analytic_crossover()
+    executable_substitutes()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Kept so that ``pip install -e .`` works in offline environments whose
+setuptools/pip combination cannot build PEP-660 editable wheels; all
+project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""repro — an executable reproduction of *BSP vs LogP* (Bilardi, Herley,
+Pietracaprina, Pucci, Spirakis; SPAA 1996 / Algorithmica 1999).
+
+The package provides:
+
+* :mod:`repro.bsp` — a BSP virtual machine (supersteps, ``w + g h + l``);
+* :mod:`repro.logp` — an event-accurate LogP machine (``L, o, G, P``,
+  capacity constraint, the paper's formalized stalling rule);
+* :mod:`repro.core` — the paper's cross-simulations: Theorem 1
+  (LogP on BSP), Combine-and-Broadcast, the deterministic and randomized
+  h-relation routing protocols, Theorems 2/3 (BSP on LogP), the stalling
+  experiments, and the Section 5 network-support analysis;
+* :mod:`repro.networks` — the Table 1 topologies and a synchronous
+  store-and-forward packet-routing simulator;
+* :mod:`repro.sorting`, :mod:`repro.routing` — the sorting networks and
+  h-relation machinery the protocols are built from;
+* :mod:`repro.models` — machine parameters and every closed-form cost
+  expression in the paper;
+* :mod:`repro.programs` — ready-made example programs for both models.
+
+Quickstart::
+
+    from repro import BSPParams, LogPParams, BSPMachine, LogPMachine
+    from repro.core import simulate_logp_on_bsp, simulate_bsp_on_logp
+
+See ``examples/quickstart.py`` for a guided tour.
+"""
+
+from repro.models.message import Message
+from repro.models.params import BSPParams, LogPParams
+from repro.bsp.machine import BSPMachine, BSPResult
+from repro.logp.machine import LogPMachine, LogPResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Message",
+    "BSPParams",
+    "LogPParams",
+    "BSPMachine",
+    "BSPResult",
+    "LogPMachine",
+    "LogPResult",
+    "__version__",
+]

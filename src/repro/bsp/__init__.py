@@ -1,0 +1,20 @@
+"""The BSP virtual machine (paper Section 2.1).
+
+Programs are per-processor generator coroutines that yield instructions
+(:class:`~repro.bsp.program.Compute`, :class:`~repro.bsp.program.Send`,
+:class:`~repro.bsp.program.Sync`); :class:`~repro.bsp.machine.BSPMachine`
+runs them superstep by superstep and charges ``w + g*h + l`` per superstep.
+"""
+
+from repro.bsp.machine import BSPMachine, BSPResult, SuperstepRecord
+from repro.bsp.program import BSPContext, Compute, Send, Sync
+
+__all__ = [
+    "BSPMachine",
+    "BSPResult",
+    "SuperstepRecord",
+    "BSPContext",
+    "Compute",
+    "Send",
+    "Sync",
+]

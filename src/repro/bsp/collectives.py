@@ -1,0 +1,227 @@
+"""Reusable BSP collective operations as ``yield from``-able sub-programs.
+
+Each collective is a generator helper invoked from inside a BSP program:
+
+    value = yield from bsp_allreduce(ctx, x, op=operator.add)
+
+Two styles are provided where relevant:
+
+* *flat* — one superstep, ``h = Theta(p)`` (cheap when ``g`` is small),
+* *tree* — ``Theta(log p)`` supersteps with ``h = O(k)`` each (cheap when
+  ``l`` is small relative to ``g * p``).
+
+These are used by the example programs, by the tests, and by the
+Section 3 stalling-simulation machinery (which needs BSP sorting/prefix).
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Generator, Sequence, TypeVar
+
+from repro.bsp.program import BSPContext, Compute, Send, Sync
+from repro.util.intmath import ceil_div
+
+__all__ = [
+    "bsp_broadcast",
+    "bsp_reduce",
+    "bsp_allreduce",
+    "bsp_prefix",
+    "bsp_alltoall",
+    "bsp_gather",
+    "bsp_barrier_only",
+]
+
+T = TypeVar("T")
+
+#: Tag namespace reserved for collective traffic.
+COLLECTIVE_TAG = 1 << 20
+
+
+def bsp_barrier_only(ctx: BSPContext) -> Generator:
+    """Consume one superstep without communicating (pure barrier)."""
+    yield Sync()
+
+
+def bsp_broadcast(
+    ctx: BSPContext, value: T | None, root: int = 0, *, tree_arity: int = 0
+) -> Generator[Any, None, T]:
+    """Broadcast ``value`` from ``root`` to all processors.
+
+    ``tree_arity == 0`` selects the flat single-superstep broadcast
+    (``h = p - 1``); ``tree_arity >= 2`` selects a k-ary tree broadcast
+    with ``ceil(log_k p)`` supersteps and ``h <= k`` each.
+    Returns the broadcast value on every processor.
+    """
+    p = ctx.p
+    if p == 1:
+        return value  # type: ignore[return-value]
+    # Relabel so the root is rank 0 in the tree.
+    rank = (ctx.pid - root) % p
+
+    if tree_arity == 0:
+        if ctx.pid == root:
+            for dest in range(p):
+                if dest != root:
+                    yield Send(dest, value, tag=COLLECTIVE_TAG)
+            yield Sync()
+            return value  # type: ignore[return-value]
+        yield Sync()
+        msgs = ctx.recv_all(COLLECTIVE_TAG)
+        return msgs[0].payload
+
+    k = tree_arity
+    if k < 2:
+        raise ValueError(f"tree_arity must be 0 or >= 2, got {k}")
+    # Round r: ranks [0, k^r) forward to their children k^r*q + rank ... in
+    # the standard k-ary scatter pattern: child ranks = rank + covered*j.
+    covered = 1
+    have = ctx.pid == root
+    got: Any = value if have else None
+    while covered < p:
+        if have:
+            for j in range(1, k + 1):
+                child = rank + covered * j
+                if child < min(covered * (k + 1), p):
+                    yield Send((child + root) % p, got, tag=COLLECTIVE_TAG)
+        yield Sync()
+        if not have:
+            msgs = ctx.recv_all(COLLECTIVE_TAG)
+            if msgs:
+                got = msgs[0].payload
+                have = True
+        covered = min(covered * (k + 1), p)
+    return got
+
+
+def bsp_gather(
+    ctx: BSPContext, value: T, root: int = 0
+) -> Generator[Any, None, list[T] | None]:
+    """Gather one value per processor at ``root`` (flat, one superstep).
+
+    Returns the list indexed by pid at the root, ``None`` elsewhere.
+    """
+    if ctx.pid != root:
+        yield Send(root, (ctx.pid, value), tag=COLLECTIVE_TAG)
+        yield Sync()
+        return None
+    yield Sync()
+    out: list[Any] = [None] * ctx.p
+    out[root] = value
+    for msg in ctx.recv_all(COLLECTIVE_TAG):
+        pid, v = msg.payload
+        out[pid] = v
+    return out
+
+
+def bsp_reduce(
+    ctx: BSPContext,
+    value: T,
+    op: Callable[[T, T], T] = operator.add,
+    root: int = 0,
+    *,
+    tree_arity: int = 2,
+    op_cost: int = 1,
+) -> Generator[Any, None, T | None]:
+    """Reduce with associative ``op`` to ``root`` via a k-ary tree.
+
+    Charges ``op_cost`` local operations per combine.  Returns the
+    reduction at the root, ``None`` elsewhere.
+    """
+    p = ctx.p
+    if p == 1:
+        return value
+    k = tree_arity
+    if k < 2:
+        raise ValueError(f"tree_arity must be >= 2, got {k}")
+    rank = (ctx.pid - root) % p
+    acc = value
+    # Fold ranks bottom-up in groups of k: in round r, ranks that are
+    # multiples of k^(r+1) receive from up to k-1... use simple k-grouping:
+    stride = 1
+    while stride < p:
+        group = k * stride
+        if rank % group == 0:
+            # receive from rank + stride*j for j in 1..k-1 (that exist)
+            yield Sync()
+            payloads = ctx.recv_payloads(COLLECTIVE_TAG)
+            for v in payloads:
+                acc = op(acc, v)
+            if payloads and op_cost:
+                yield Compute(op_cost * len(payloads))
+        elif rank % group % stride == 0 and rank % group != 0:
+            parent_rank = rank - (rank % group)
+            yield Send((parent_rank + root) % p, acc, tag=COLLECTIVE_TAG)
+            yield Sync()
+        else:
+            yield Sync()
+        stride = group
+    # Non-participants past their send round still need to stay in lockstep:
+    # the loop above already advances every processor the same number of
+    # supersteps, because `stride` is updated uniformly.
+    return acc if ctx.pid == root else None
+
+
+def bsp_allreduce(
+    ctx: BSPContext,
+    value: T,
+    op: Callable[[T, T], T] = operator.add,
+    *,
+    tree_arity: int = 2,
+    op_cost: int = 1,
+) -> Generator[Any, None, T]:
+    """Reduce then broadcast; returns the global reduction everywhere."""
+    reduced = yield from bsp_reduce(
+        ctx, value, op, root=0, tree_arity=tree_arity, op_cost=op_cost
+    )
+    out = yield from bsp_broadcast(ctx, reduced, root=0, tree_arity=tree_arity)
+    return out
+
+
+def bsp_prefix(
+    ctx: BSPContext,
+    value: T,
+    op: Callable[[T, T], T] = operator.add,
+    *,
+    op_cost: int = 1,
+) -> Generator[Any, None, T]:
+    """Inclusive prefix (scan): processor ``i`` gets ``op`` over values of
+    processors ``0..i``.  Logarithmic rounds (Hillis–Steele), ``h = 1``
+    per superstep."""
+    p = ctx.p
+    acc = value
+    dist = 1
+    while dist < p:
+        if ctx.pid + dist < p:
+            yield Send(ctx.pid + dist, acc, tag=COLLECTIVE_TAG)
+        yield Sync()
+        payloads = ctx.recv_payloads(COLLECTIVE_TAG)
+        if payloads:
+            acc = op(payloads[0], acc)
+            if op_cost:
+                yield Compute(op_cost)
+        dist *= 2
+    return acc
+
+
+def bsp_alltoall(
+    ctx: BSPContext, values: Sequence[T]
+) -> Generator[Any, None, list[T]]:
+    """Total exchange: ``values[j]`` goes to processor ``j``.
+
+    One superstep with ``h = p - 1`` (own value short-circuits locally).
+    Returns the list indexed by source pid.
+    """
+    p = ctx.p
+    if len(values) != p:
+        raise ValueError(f"alltoall needs exactly p={p} values, got {len(values)}")
+    for dest in range(p):
+        if dest != ctx.pid:
+            yield Send(dest, (ctx.pid, values[dest]), tag=COLLECTIVE_TAG)
+    yield Sync()
+    out: list[Any] = [None] * p
+    out[ctx.pid] = values[ctx.pid]
+    for msg in ctx.recv_all(COLLECTIVE_TAG):
+        src, v = msg.payload
+        out[src] = v
+    return out

@@ -1,0 +1,268 @@
+"""The BSP superstep engine.
+
+Runs one generator per processor, collecting instructions until every live
+processor has ended its local phase, then performs the communication phase
+and charges ``w + g*h + l`` (paper eq. (1)) where
+
+* ``w`` is the maximum number of local operations of any processor,
+* ``h`` is the maximum over processors of max(#sent, #received) — the
+  degree of the superstep's h-relation.
+
+An important and easily-missed detail of the paper's definition is honored
+here: *input pools are discarded at each superstep boundary*.  Messages not
+extracted in the superstep following their delivery are lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Sequence
+
+from repro.errors import ProgramError, SimulationLimitError
+from repro.models.message import Message
+from repro.models.params import BSPParams
+from repro.bsp.program import BSPContext, BSPProgram, Compute, Send, Sync
+
+__all__ = ["BSPMachine", "BSPResult", "SuperstepRecord"]
+
+
+@dataclass(frozen=True)
+class SuperstepRecord:
+    """Cost-ledger row for one superstep."""
+
+    index: int
+    w: int
+    h_send: int
+    h_recv: int
+    cost: int
+
+    @property
+    def h(self) -> int:
+        """Degree of the superstep's h-relation: max(h_send, h_recv)."""
+        return max(self.h_send, self.h_recv)
+
+
+@dataclass
+class BSPResult:
+    """Outcome of a BSP run: per-processor results and the cost ledger.
+
+    ``message_log`` (only populated when the machine was built with
+    ``record_messages=True``) holds, per superstep, the list of
+    ``(src, dest)`` pairs routed in that superstep's communication phase,
+    in the order the senders issued them — the advance knowledge the
+    "known h-relations" routing modes of Section 4.3 assume.
+    """
+
+    params: BSPParams
+    results: list[Any]
+    ledger: list[SuperstepRecord] = field(default_factory=list)
+    message_log: list[list[tuple[int, int]]] | None = None
+
+    @property
+    def total_cost(self) -> int:
+        """Sum of superstep costs — the BSP running time of the program."""
+        return sum(rec.cost for rec in self.ledger)
+
+    @property
+    def num_supersteps(self) -> int:
+        return len(self.ledger)
+
+    @property
+    def total_messages(self) -> int:
+        """Total messages transferred over the whole run (all processors)."""
+        return sum(rec.h_send for rec in self.ledger)  # upper envelope only
+
+    def __repr__(self) -> str:
+        return (
+            f"BSPResult(p={self.params.p}, supersteps={self.num_supersteps}, "
+            f"total_cost={self.total_cost})"
+        )
+
+
+class BSPMachine:
+    """A ``p``-processor BSP machine with parameters ``(g, l)``.
+
+    Parameters
+    ----------
+    params:
+        The machine's :class:`~repro.models.params.BSPParams`.
+    max_supersteps:
+        Safety valve against non-terminating programs.
+
+    Example
+    -------
+    >>> from repro.models.params import BSPParams
+    >>> from repro.bsp import BSPMachine, Compute, Send, Sync
+    >>> def prog(ctx):
+    ...     yield Send((ctx.pid + 1) % ctx.p, ctx.pid)
+    ...     yield Sync()
+    ...     [msg] = ctx.inbox
+    ...     return msg.payload
+    >>> machine = BSPMachine(BSPParams(p=4, g=2, l=10))
+    >>> out = machine.run(prog)
+    >>> out.results
+    [3, 0, 1, 2]
+    >>> out.total_cost  # one superstep: w=0, h=1 -> g*1 + l
+    12
+    """
+
+    #: Cost conventions for the h-relation term.  The paper (and this
+    #: library's default) uses ``max(h_send, h_recv)``; the literature on
+    #: BSP variants (cf. the paper's ref. [12]) also considers the sum of
+    #: the two and the send-only degree — exposed for ablation studies.
+    H_CONVENTIONS = {
+        "max": lambda h_send, h_recv: max(h_send, h_recv),
+        "sum": lambda h_send, h_recv: h_send + h_recv,
+        "send-only": lambda h_send, h_recv: h_send,
+    }
+
+    def __init__(
+        self,
+        params: BSPParams,
+        *,
+        max_supersteps: int = 1_000_000,
+        record_messages: bool = False,
+        h_convention: str = "max",
+    ) -> None:
+        self.params = params
+        self.max_supersteps = max_supersteps
+        self.record_messages = record_messages
+        if h_convention not in self.H_CONVENTIONS:
+            raise ProgramError(
+                f"unknown h_convention {h_convention!r}; "
+                f"choose from {sorted(self.H_CONVENTIONS)}"
+            )
+        self.h_convention = h_convention
+        self._h_fn = self.H_CONVENTIONS[h_convention]
+
+    def run(self, program: BSPProgram | Sequence[BSPProgram]) -> BSPResult:
+        """Run ``program`` on every processor (or one program per processor
+        if a sequence of length ``p`` is given) to completion."""
+        p = self.params.p
+        programs: list[BSPProgram]
+        if callable(program):
+            programs = [program] * p
+        else:
+            programs = list(program)
+            if len(programs) != p:
+                raise ProgramError(
+                    f"need exactly p={p} programs, got {len(programs)}"
+                )
+
+        contexts = [BSPContext(pid, p) for pid in range(p)]
+        gens: list[Generator | None] = []
+        results: list[Any] = [None] * p
+        for pid in range(p):
+            gen = programs[pid](contexts[pid])
+            if not isinstance(gen, Generator):
+                raise ProgramError(
+                    f"BSP program for processor {pid} is not a generator "
+                    f"function (did you forget to yield?)"
+                )
+            gens.append(gen)
+
+        ledger: list[SuperstepRecord] = []
+        message_log: list[list[tuple[int, int]]] | None = (
+            [] if self.record_messages else None
+        )
+        pending: list[list[Message]] = [[] for _ in range(p)]  # next inboxes
+        superstep = 0
+        while any(g is not None for g in gens):
+            if superstep >= self.max_supersteps:
+                raise SimulationLimitError(
+                    f"exceeded max_supersteps={self.max_supersteps}"
+                )
+            # Communication phase of the *previous* superstep delivered
+            # `pending`; hand fresh inboxes to all processors (discarding
+            # whatever they left unread, per the paper's pool semantics).
+            for pid in range(p):
+                contexts[pid]._begin_superstep(superstep, pending[pid])
+            pending = [[] for _ in range(p)]
+
+            w = [0] * p
+            sent = [0] * p
+            recvd = [0] * p
+            step_sends: list[tuple[int, int]] | None = (
+                [] if message_log is not None else None
+            )
+            any_alive = False
+            for pid in range(p):
+                gen = gens[pid]
+                if gen is None:
+                    continue
+                any_alive = True
+                self._run_local_phase(
+                    pid, gen, gens, results, w, sent, recvd, pending, step_sends
+                )
+
+            if not any_alive:
+                break
+            w_max = max(w)
+            h_send = max(sent)
+            h_recv = max(recvd)
+            if (
+                w_max == 0
+                and h_send == 0
+                and h_recv == 0
+                and all(g is None for g in gens)
+            ):
+                # Final drain: every processor returned without doing any
+                # work — there is no superstep to charge for.
+                break
+            cost = self.params.superstep_cost(w_max, self._h_fn(h_send, h_recv))
+            ledger.append(
+                SuperstepRecord(
+                    index=superstep, w=w_max, h_send=h_send, h_recv=h_recv, cost=cost
+                )
+            )
+            if message_log is not None:
+                message_log.append(step_sends if step_sends is not None else [])
+            superstep += 1
+
+        return BSPResult(
+            params=self.params, results=results, ledger=ledger, message_log=message_log
+        )
+
+    def _run_local_phase(
+        self,
+        pid: int,
+        gen: Generator,
+        gens: list[Generator | None],
+        results: list[Any],
+        w: list[int],
+        sent: list[int],
+        recvd: list[int],
+        pending: list[list[Message]],
+        step_sends: list[tuple[int, int]] | None = None,
+    ) -> None:
+        """Drive one processor's generator until Sync or completion."""
+        p = self.params.p
+        while True:
+            try:
+                instr = next(gen)
+            except StopIteration as stop:
+                gens[pid] = None
+                results[pid] = stop.value
+                return
+            if isinstance(instr, Sync):
+                return
+            if isinstance(instr, Compute):
+                w[pid] += instr.ops
+            elif isinstance(instr, Send):
+                if not 0 <= instr.dest < p:
+                    raise ProgramError(
+                        f"processor {pid} sent to invalid destination "
+                        f"{instr.dest} (p={p})"
+                    )
+                pending[instr.dest].append(
+                    Message(src=pid, dest=instr.dest, payload=instr.payload, tag=instr.tag)
+                )
+                sent[pid] += 1
+                recvd[instr.dest] += 1
+                if step_sends is not None:
+                    step_sends.append((pid, instr.dest))
+            else:
+                raise ProgramError(
+                    f"processor {pid} yielded {instr!r}, which is not a BSP "
+                    f"instruction"
+                )

@@ -1,0 +1,95 @@
+"""Running independent BSP programs on disjoint processor groups.
+
+Paper §2.1: "A drawback of the model is that all synchronizations are
+essentially global so that, for instance, two programs cannot run
+independently on two disjoint sets of processors.  This is an obstacle
+for multiuser modes of operation."
+
+:func:`combine_partitions` is the BSP counterpart of
+:mod:`repro.logp.partition`: results are still isolated (messages cannot
+cross groups), but the *cost* is not — every superstep's barrier spans
+the whole machine, so each group pays ``l`` per superstep of the
+*slowest* group and the combined cost is not the max of the standalone
+costs.  The partitioning experiment quantifies exactly this asymmetry
+between the two models.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.bsp.program import BSPContext, BSPProgram, Send, Sync
+from repro.errors import ProgramError
+from repro.models.message import Message
+
+__all__ = ["combine_partitions"]
+
+
+def combine_partitions(
+    groups: Sequence[Sequence[int]],
+    programs: Sequence[BSPProgram],
+    p: int,
+) -> list:
+    """Build per-processor global BSP programs from per-group programs.
+
+    Same contract as the LogP version; the global barrier remains shared
+    (that is the point being measured).
+    """
+    owner: dict[int, tuple[int, Sequence[int]]] = {}
+    for gi, group in enumerate(groups):
+        for pid in group:
+            if pid in owner or not 0 <= pid < p:
+                raise ProgramError(f"groups must be disjoint subsets of range({p})")
+            owner[pid] = (gi, group)
+    if len(groups) != len(programs):
+        raise ProgramError("need exactly one program per group")
+
+    def make(pid: int):
+        if pid not in owner:
+            def idle(ctx):
+                return None
+                yield  # pragma: no cover
+
+            return idle
+        gi, group = owner[pid]
+        to_global = list(group)
+        to_local = {g: i for i, g in enumerate(group)}
+
+        def prog(ctx: BSPContext):
+            view = BSPContext(to_local[ctx.pid], len(group))
+            gen = programs[gi](view)
+            result: Any = None
+            try:
+                instr = next(gen)
+                while True:
+                    if isinstance(instr, Send):
+                        if not 0 <= instr.dest < view.p:
+                            raise ProgramError(
+                                f"group-local destination {instr.dest} out of "
+                                f"range (group size {view.p})"
+                            )
+                        yield Send(to_global[instr.dest], instr.payload, tag=instr.tag)
+                    elif isinstance(instr, Sync):
+                        yield Sync()
+                        view._begin_superstep(
+                            ctx.superstep,
+                            [
+                                Message(
+                                    src=to_local[m.src],
+                                    dest=view.pid,
+                                    payload=m.payload,
+                                    tag=m.tag,
+                                )
+                                for m in ctx.recv_all()
+                            ],
+                        )
+                    else:
+                        yield instr
+                    instr = next(gen)
+            except StopIteration as stop:
+                result = stop.value
+            return result
+
+        return prog
+
+    return [make(pid) for pid in range(p)]

@@ -1,0 +1,33 @@
+"""The paper's contribution: cross-simulations between BSP and LogP.
+
+* :mod:`repro.core.logp_on_bsp` — Theorem 1 (LogP simulated on BSP),
+* :mod:`repro.core.cb` — Section 4.1 Combine-and-Broadcast / barrier,
+* :mod:`repro.core.det_routing` — Section 4.2 deterministic h-relations,
+* :mod:`repro.core.rand_routing` — Section 4.3 randomized h-relations,
+* :mod:`repro.core.bsp_on_logp` — Theorems 2/3 (BSP simulated on LogP),
+* :mod:`repro.core.stalling` — Sections 2/3 stalling analysis,
+* :mod:`repro.core.network_support` — Section 5 / Observation 1.
+
+Submodules are imported lazily so that ``import repro.core.cb`` does not
+pull in the heavier simulation drivers.
+"""
+
+from typing import TYPE_CHECKING
+
+__all__ = ["simulate_logp_on_bsp", "simulate_bsp_on_logp"]
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.bsp_on_logp import simulate_bsp_on_logp
+    from repro.core.logp_on_bsp import simulate_logp_on_bsp
+
+
+def __getattr__(name: str):
+    if name == "simulate_logp_on_bsp":
+        from repro.core.logp_on_bsp import simulate_logp_on_bsp
+
+        return simulate_logp_on_bsp
+    if name == "simulate_bsp_on_logp":
+        from repro.core.bsp_on_logp import simulate_bsp_on_logp
+
+        return simulate_bsp_on_logp
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,259 @@
+"""Combine-and-Broadcast (CB) — paper Section 4.1, as a real LogP program.
+
+Given an associative operator ``op`` and one input per processor, CB
+returns ``op(x_0, ..., x_{p-1})`` to every processor.  The algorithm is an
+ascend/descend pass over a complete ``k``-ary tree with ``k = max{2,
+ceil(L/G)}`` whose nodes are the processors themselves:
+
+* a leaf sends its input to its parent;
+* an internal node combines the values of its children (in child order,
+  after its own value, so ``op`` need only be associative) and forwards
+  the result to its parent;
+* the root combines and broadcasts the total back down the tree.
+
+Capacity compliance: an internal node has at most ``k`` children.  For
+``ceil(L/G) >= 2`` we have ``k = ceil(L/G)``, so even simultaneous child
+submissions respect the capacity constraint and no stalling can occur.
+For ``ceil(L/G) = 1`` the tree is binary and would overflow the single
+slot, so — exactly as the paper prescribes — ascent transmissions are
+restricted to time slots that are even multiples of ``L`` for left
+children and odd multiples of ``L`` for right children.
+
+The paper proves ``T_CB <= 3 (L + o) log p / log(1 + ceil(L/G))``
+(:func:`repro.models.cost.cb_time_upper`) and a matching lower bound
+(Proposition 1).  :func:`measure_cb` measures the completion time from the
+moment the *last* processor joins, which is also how the barrier cost
+``T_synch`` of Proposition 2 is defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Sequence, TypeVar
+
+from repro.logp.collectives import kary_tree_children, recv_n_tagged, recv_tag
+from repro.logp.instructions import Compute, LogPContext, Send, WaitUntil
+from repro.logp.machine import LogPMachine, LogPResult
+from repro.models.cost import cb_tree_arity
+from repro.models.params import LogPParams
+
+__all__ = [
+    "cb",
+    "cb_with_deadline",
+    "cb_barrier",
+    "descend_bound",
+    "tree_depth",
+    "measure_cb",
+    "CBMeasurement",
+]
+
+T = TypeVar("T")
+
+#: Tag offsets within a CB invocation's tag_base.
+_ASCEND = 0
+_DESCEND = 1
+
+
+def tree_depth(p: int, k: int) -> int:
+    """Depth of the complete k-ary tree on ``p`` nodes (root at depth 0)."""
+    depth = 0
+    n = p - 1  # deepest rank
+    while n > 0:
+        n = (n - 1) // k
+        depth += 1
+    return depth
+
+
+def descend_bound(params: LogPParams) -> int:
+    """Engine-accurate upper bound on the CB descend duration.
+
+    Per level a parent issues ``k`` submissions paced ``G`` (the first at
+    most ``G + o`` after it obtains the value), delivery takes at most
+    ``L``, and the child's acquisition start can be pushed by at most
+    ``G`` by its own gap rule plus ``o`` to complete.  Used by
+    :func:`cb_with_deadline` to broadcast a time by which *every*
+    processor is guaranteed to have finished the CB.
+    """
+    p = params.p
+    if p == 1:
+        return 0
+    k = cb_tree_arity(params)
+    per_level = k * params.G + params.L + 3 * params.o + 2 * params.G
+    return tree_depth(p, k) * per_level
+
+
+def _cb_impl(
+    ctx: LogPContext,
+    value: T,
+    op: Callable[[T, T], T],
+    tag_base: int,
+    op_cost: int,
+    want_deadline: bool,
+) -> Generator[Any, Any, tuple[T, int]]:
+    """Shared ascend/descend; returns ``(result, deadline)`` where
+    ``deadline`` is meaningful only when ``want_deadline``."""
+    p = ctx.p
+    params: LogPParams = ctx.params
+    if p == 1:
+        return value, ctx.clock
+    k = cb_tree_arity(params)
+    slotted = params.capacity == 1
+    rank = ctx.pid
+    children = kary_tree_children(rank, k, p)
+    parent = None if rank == 0 else (rank - 1) // k
+
+    # --- ascend -----------------------------------------------------------
+    acc = value
+    if children:
+        msgs = yield from recv_n_tagged(ctx, tag_base + _ASCEND, len(children))
+        by_rank = {m.src: m.payload for m in msgs}
+        for c in children:
+            acc = op(acc, by_rank[c])
+        if op_cost:
+            yield Compute(op_cost * len(children))
+    if parent is not None:
+        if slotted:
+            # Sibling index 0 => even multiples of L; index 1 => odd.
+            parity = (rank - 1) % k
+            yield from _wait_for_slot(ctx, parity, params)
+        yield Send(parent, acc, tag=tag_base + _ASCEND)
+
+    # --- descend ----------------------------------------------------------
+    deadline = 0
+    if parent is None:
+        deadline = ctx.clock + descend_bound(params) if want_deadline else 0
+    else:
+        msg = yield from recv_tag(ctx, tag_base + _DESCEND)
+        acc, deadline = msg.payload
+        if want_deadline and ctx.clock > deadline:
+            raise AssertionError(
+                f"CB descend bound violated: processor {rank} finished at "
+                f"{ctx.clock} > deadline {deadline}"
+            )
+    for c in children:
+        yield Send(c, (acc, deadline), tag=tag_base + _DESCEND)
+    return acc, deadline
+
+
+def cb(
+    ctx: LogPContext,
+    value: T,
+    op: Callable[[T, T], T],
+    *,
+    tag_base: int = 1000,
+    op_cost: int = 1,
+) -> Generator[Any, Any, T]:
+    """Run one CB: returns ``op`` over all processors' values, everywhere.
+
+    ``tag_base`` must differ between CB invocations that may overlap in
+    time (successive protocol phases); it reserves tags ``tag_base`` and
+    ``tag_base + 1``.
+    """
+    acc, _ = yield from _cb_impl(ctx, value, op, tag_base, op_cost, False)
+    return acc
+
+
+def cb_with_deadline(
+    ctx: LogPContext,
+    value: T,
+    op: Callable[[T, T], T],
+    *,
+    tag_base: int = 1000,
+    op_cost: int = 1,
+) -> Generator[Any, Any, tuple[T, int]]:
+    """Like :func:`cb`, additionally returning a *global deadline*: a time
+    (computed by the root, broadcast with the value) by which every
+    processor is guaranteed to have completed this CB.  The Section 4.2
+    protocol uses it to align its pipelined routing cycles."""
+    return (yield from _cb_impl(ctx, value, op, tag_base, op_cost, True))
+
+
+def _wait_for_slot(ctx: LogPContext, parity: int, params: LogPParams) -> Generator:
+    """Delay so the upcoming submission lands on the next time step that is
+    an even (parity 0) or odd (parity 1) multiple of ``L``.
+
+    The machine submits ``o`` steps after the processor resumes, but a
+    submission within ``G`` of the processor's previous one is pushed
+    later by the gap rule; targeting a slot at least ``G`` past the
+    current clock makes the submission land *exactly* on the slot
+    (``last_submit <= clock`` always holds, so ``slot >= clock + G >=
+    last_submit + G``).
+    """
+    L = params.L
+    ready = ctx.clock + max(params.o, params.G)
+    period = 2 * L
+    offset = parity * L
+    # smallest slot = offset + m*period >= ready
+    m = max(0, -(-(ready - offset) // period))
+    slot = offset + m * period
+    yield WaitUntil(slot - params.o)
+    return None
+
+
+def cb_barrier(
+    ctx: LogPContext, *, tag_base: int = 1100
+) -> Generator[Any, Any, bool]:
+    """Barrier synchronization: CB with Boolean AND over ``True`` inputs
+    (paper Section 4.1).  Completes only after every processor has joined;
+    returns ``True``."""
+    out = yield from cb(ctx, True, lambda a, b: a and b, tag_base=tag_base, op_cost=0)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Measurement harness
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CBMeasurement:
+    """Measured CB run vs. the paper's bounds."""
+
+    params: LogPParams
+    makespan: int
+    latest_join: int
+    result: LogPResult
+
+    @property
+    def t_cb(self) -> int:
+        """Completion time measured from the latest join (Prop. 2)."""
+        return self.makespan - self.latest_join
+
+
+def measure_cb(
+    params: LogPParams,
+    values: Sequence[Any],
+    op: Callable[[Any, Any], Any],
+    *,
+    joins: Sequence[int] | None = None,
+    op_cost: int = 1,
+    machine_kwargs: dict | None = None,
+) -> CBMeasurement:
+    """Run CB on a fresh machine and measure ``T_CB``.
+
+    ``joins[i]`` is the time at which processor ``i`` joins the CB
+    (defaults to 0 for everyone); the paper measures ``T_CB`` from the
+    latest join.  The run is required to be stall-free — CB is proven
+    stall-free, so a stall would be an implementation bug.
+    """
+    p = params.p
+    if len(values) != p:
+        raise ValueError(f"need p={p} values, got {len(values)}")
+    join_times = list(joins) if joins is not None else [0] * p
+
+    def make_prog(pid: int):
+        def prog(ctx: LogPContext):
+            if join_times[pid]:
+                yield WaitUntil(join_times[pid])
+            total = yield from cb(ctx, values[pid], op, op_cost=op_cost)
+            return total
+
+        return prog
+
+    machine = LogPMachine(params, forbid_stalling=True, **(machine_kwargs or {}))
+    result = machine.run([make_prog(pid) for pid in range(p)])
+    return CBMeasurement(
+        params=params,
+        makespan=result.makespan,
+        latest_join=max(join_times),
+        result=result,
+    )

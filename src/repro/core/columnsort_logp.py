@@ -1,0 +1,261 @@
+"""Columnsort as a LogP program — the large-r sorting scheme of §4.2.
+
+The paper's deterministic routing protocol picks between two sorters: an
+AKS-based merge-split network for small ``r`` and Cubesort for large
+``r`` (where it costs ``O(G r + L)``).  Our executable stand-ins are the
+bitonic network (in :mod:`repro.core.det_routing`) and, here, Leighton's
+Columnsort: 8 fixed steps — 4 local sorts interleaved with 4
+input-independent permutations — valid for ``r >= 2 (p - 1)^2``.
+
+Exactly as the paper prescribes for Cubesort's redistributions, each
+permutation "is known in advance and can therefore be decomposed into
+1-relations": every processor deterministically computes the same
+Hall/König edge coloring of the permutation's processor-level multigraph
+(:func:`repro.routing.hall.decompose_h_relation`) and sends its elements
+on globally pinned, ``G``-paced slots, one color class per slot — so the
+capacity constraint holds and the phase is stall-free by construction.
+
+The total LogP time is ``O(Tseq(r) + G r + L)`` — the Cubesort bound with
+constant rounds.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Any, Callable, Generator
+
+from repro.errors import RoutingError
+from repro.logp.collectives import recv_n_tagged
+from repro.logp.instructions import Compute, LogPContext, Send, WaitUntil
+from repro.models.cost import t_seq_sort
+from repro.models.params import LogPParams
+from repro.routing.hall import decompose_h_relation
+from repro.sorting.columnsort import columnsort_valid, transpose_dest, untranspose_dest
+
+__all__ = ["columnsort_span", "columnsort_total_span", "logp_columnsort"]
+
+
+# ---------------------------------------------------------------------------
+# Permutation plans (computed identically by every processor, cached)
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=256)
+def _perm_plan(kind: str, r: int, s: int):
+    """Plan for one permutation step.
+
+    Returns ``(edges, colors, expected_in)`` where ``edges[e]`` is the
+    e-th element's ``(src_proc, dst_proc)`` in the *canonical element
+    order* (see the per-kind enumeration below), ``colors[e]`` its pinned
+    slot index, and ``expected_in[j]`` how many elements processor ``j``
+    receives from other processors.
+    """
+    half = r // 2
+    edges: list[tuple[int, int]] = []
+    if kind in ("transpose", "untranspose"):
+        dest_fn = transpose_dest if kind == "transpose" else untranspose_dest
+        # canonical order: global column-major index g
+        for g in range(r * s):
+            edges.append((g // r, dest_fn(g, r, s) // r))
+    elif kind == "shift":
+        # canonical order: global index g in the uniform r-per-proc layout
+        for g in range(r * s):
+            cc = (g + half) // r  # shifted (virtual) column, in [0, s]
+            edges.append((g // r, min(cc, s - 1)))
+    elif kind == "unshift":
+        # canonical order: segments cc = 0..s in order, elements by rank m
+        for cc in range(s + 1):
+            size = (r - half) if cc == 0 else half if cc == s else r
+            src = min(cc, s - 1)
+            for m in range(size):
+                g = m if cc == 0 else cc * r + m - half
+                edges.append((src, g // r))
+    else:  # pragma: no cover - internal
+        raise RoutingError(f"unknown permutation kind {kind!r}")
+
+    classes = decompose_h_relation(edges)
+    colors = [0] * len(edges)
+    for c, cls in enumerate(classes):
+        for e in cls:
+            colors[e] = c
+    expected_in = [0] * s
+    for (src, dst) in edges:
+        if src != dst:
+            expected_in[dst] += 1
+    return tuple(edges), tuple(colors), tuple(expected_in), len(classes)
+
+
+def _perm_targets(kind: str, r: int, s: int) -> Callable[[int], tuple[int, int]]:
+    """Map canonical element index -> (dst_proc, placement_key).
+
+    ``placement_key`` orders elements at the destination: the shifted
+    segment+rank for "shift", the global index otherwise.
+    """
+    half = r // 2
+    if kind == "transpose":
+        return lambda e: (transpose_dest(e, r, s) // r, transpose_dest(e, r, s))
+    if kind == "untranspose":
+        return lambda e: (untranspose_dest(e, r, s) // r, untranspose_dest(e, r, s))
+    if kind == "shift":
+        def shift_target(e: int) -> tuple[int, int]:
+            g2 = e + half
+            cc = g2 // r
+            return min(cc, s - 1), (cc, g2)
+
+        return shift_target
+    if kind == "unshift":
+        def unshift_source_order(e: int) -> tuple[int, int]:
+            raise RoutingError("use plan edges for unshift targets")
+
+        return unshift_source_order
+    raise RoutingError(f"unknown permutation kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Time budgeting
+# ---------------------------------------------------------------------------
+
+def columnsort_span(r: int, p: int, params: LogPParams) -> int:
+    """Per-phase window: pinned paced sends (up to ``r + r//2`` classes),
+    latency, a paced receive drain, the local sort, and slack."""
+    G, o, L = params.G, params.o, params.L
+    classes = r + r // 2 + 1
+    return 2 * classes * G + L + t_seq_sort(r + r // 2, p) + r + 6 * o + 4 * G
+
+
+def columnsort_total_span(r: int, p: int, params: LogPParams) -> int:
+    """Budget for the whole 8-step columnsort measured from its
+    ``start_time``: the initial local sort plus 4 permutation phases."""
+    return t_seq_sort(r, p) + 4 * columnsort_span(r, p, params)
+
+
+# ---------------------------------------------------------------------------
+# The LogP program fragment
+# ---------------------------------------------------------------------------
+
+def _pinned(ctx: LogPContext, slot: int, dest: int, payload: Any, tag: int) -> Generator:
+    o = ctx.params.o
+    if ctx.clock > slot - o:
+        raise AssertionError(
+            f"columnsort schedule overrun: processor {ctx.pid} at {ctx.clock} "
+            f"missed slot {slot}"
+        )
+    yield WaitUntil(slot - o)
+    t_acc = yield Send(dest, payload, tag=tag)
+    if t_acc != slot:
+        raise AssertionError(f"columnsort pinned send drifted: {t_acc} != {slot}")
+    return None
+
+
+def logp_columnsort(
+    ctx: LogPContext,
+    block: list,
+    *,
+    key: Callable[[Any], Any],
+    tag_base: int,
+    start_time: int,
+) -> Generator[Any, Any, list]:
+    """Sort ``r * p`` records (``r = len(block)`` per processor) by
+    ``key`` with Columnsort, entirely inside the LogP model.
+
+    Every processor must call this with the same ``r``, ``tag_base`` and
+    ``start_time`` (a global deadline by which all processors have their
+    blocks — e.g. a CB deadline).  Returns the processor's sorted block;
+    the concatenation over processors (column-major) is globally sorted.
+    Stall-free by construction; runs under ``forbid_stalling=True``.
+    """
+    p = ctx.p
+    r = len(block)
+    params: LogPParams = ctx.params
+    G, o = params.G, params.o
+    half = r // 2
+    if p == 1:
+        yield Compute(t_seq_sort(r, p))
+        return sorted(block, key=key)
+    if not columnsort_valid(r, p):
+        raise RoutingError(
+            f"columnsort requires r >= 2(p-1)^2: r={r}, p={p}"
+        )
+
+    span = columnsort_span(r, p, params)
+    tsort = t_seq_sort(r, p)
+
+    # Step 1: local sort (budgeted before the first permutation window).
+    block = sorted(block, key=key)
+    yield Compute(tsort)
+
+    phases = ("transpose", "untranspose", "shift", "unshift")
+    # State: for the uniform layout, `block` (sorted segments); around the
+    # shift, `segments` maps shifted column id -> sorted list.
+    segments: dict[int, list] | None = None
+
+    for phase_idx, kind in enumerate(phases):
+        base = start_time + tsort + phase_idx * span + G + o
+        edges, colors, expected_in, _n_classes = _perm_plan(kind, r, p)
+
+        # Enumerate my elements in the canonical order, with their edge
+        # indices, destinations and placement keys.
+        outgoing: list[tuple[int, int, Any, Any]] = []  # (color, dst, place, rec)
+        local: list[tuple[Any, Any]] = []  # (place, rec)
+        if kind != "unshift":
+            target = _perm_targets(kind, r, p)
+            for i, rec in enumerate(block):
+                e = ctx.pid * r + i
+                dst, place = target(e)
+                if dst == ctx.pid:
+                    local.append((place, rec))
+                else:
+                    outgoing.append((colors[e], dst, place, rec))
+        else:
+            # canonical order: segments by shifted column id, rank order.
+            base_e = 0
+            my_segments = segments or {}
+            for cc in range(p + 1):
+                size = (r - half) if cc == 0 else half if cc == p else r
+                src = min(cc, p - 1)
+                if src == ctx.pid:
+                    seg = my_segments.get(cc, [])
+                    if len(seg) != size:
+                        raise AssertionError(
+                            f"segment {cc} has {len(seg)} records, expected {size}"
+                        )
+                    for m, rec in enumerate(seg):
+                        e = base_e + m
+                        g = m if cc == 0 else cc * r + m - half
+                        dst = g // r
+                        if dst == ctx.pid:
+                            local.append((g, rec))
+                        else:
+                            outgoing.append((colors[e], dst, g, rec))
+                base_e += size
+
+        outgoing.sort(key=lambda t: t[0])
+        for color, dst, place, rec in outgoing:
+            yield from _pinned(
+                ctx, base + color * G, dst, (place, rec), tag_base + phase_idx
+            )
+        msgs = yield from recv_n_tagged(ctx, tag_base + phase_idx, expected_in[ctx.pid])
+        incoming = local + [m.payload for m in msgs]
+        yield Compute(r)
+
+        if kind == "shift":
+            # Group into shifted segments; sort each (step 7).
+            segments = {}
+            for (cc, _g2), rec in [(pl, rec) for pl, rec in incoming]:
+                segments.setdefault(cc, []).append(rec)
+            for cc in segments:
+                segments[cc].sort(key=key)
+            yield Compute(t_seq_sort(r + half, p))
+            block = []  # uniform layout resumes after unshift
+        else:
+            incoming.sort(key=lambda t: t[0])
+            block = [rec for _pl, rec in incoming]
+            if len(block) != r:
+                raise AssertionError(
+                    f"processor {ctx.pid}: {len(block)} records after {kind}, "
+                    f"expected {r}"
+                )
+            if kind in ("transpose", "untranspose"):
+                # Steps 3 and 5: local sorts after the permutations.
+                block = sorted(block, key=key)
+                yield Compute(tsort)
+    return block

@@ -1,0 +1,121 @@
+"""Section 5 / Observation 1: supporting BSP and LogP on the same network.
+
+For a point-to-point topology whose (measured) h-relation routing time is
+``T(h) ~= gamma * h + delta``:
+
+* best attainable **BSP** parameters: ``g* = Theta(gamma)`` (asymptotic
+  per-message cost) and ``l* = Theta(delta)`` (barrier ~ diameter);
+* best attainable **LogP** parameters: ``G* = Theta(gamma)`` and the
+  smallest ``L*`` such that every ``ceil(L*/G*)``-relation routes within
+  ``L*`` — the model's own self-consistency requirement
+  (``L >= ceil(L/G) gamma + delta``, paper Section 5).
+
+:func:`derive_model_support` measures both on the actual packet
+simulator: ``gamma``/``delta`` by affine fit, then ``L*`` by iterating
+``L <- T(ceil(L/G*))`` with measured ``T`` until the capacity relation
+really does route inside the window.  Observation 1 predicts
+``G* = Theta(g*)`` and ``L* = Theta(l* + g*)`` — the experiment tabulates
+those ratios across ``p`` and checks they stay bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.networks.params import NetworkParams, make_topology, measure_network_params
+from repro.networks.routing_sim import RoutingConfig, route_h_relation
+from repro.networks.topology import Topology
+from repro.util.intmath import ceil_div
+
+__all__ = ["ModelSupport", "derive_model_support"]
+
+
+@dataclass(frozen=True)
+class ModelSupport:
+    """Best attainable model parameters on one topology instance."""
+
+    name: str
+    p: int
+    gamma: float
+    delta: float
+    g_star: int
+    l_star: int
+    G_star: int
+    L_star: int
+
+    @property
+    def G_over_g(self) -> float:
+        """Observation 1 predicts this stays Theta(1) as p grows."""
+        return self.G_star / max(1, self.g_star)
+
+    @property
+    def L_over_lg(self) -> float:
+        """Observation 1 predicts this stays Theta(1) as p grows."""
+        return self.L_star / max(1, self.l_star + self.g_star)
+
+
+def derive_model_support(
+    topo: Topology,
+    *,
+    table_name: str,
+    config: RoutingConfig = RoutingConfig(),
+    hs: tuple[int, ...] = (1, 2, 4, 8),
+    seeds: tuple[int, ...] = (0, 1),
+    gap_slack: float = 2.0,
+    max_iter: int = 30,
+) -> ModelSupport:
+    """Measure the best attainable (g*, l*) and (G*, L*) on ``topo``.
+
+    ``gap_slack`` is the constant-factor headroom between ``G*`` and the
+    raw bandwidth ``gamma`` needed for the fixed point
+    ``L >= gamma ceil(L/G) + delta`` to close (with ``G = gamma`` exactly,
+    the inequality has no finite solution — bandwidth must strictly beat
+    the capacity refill rate).
+    """
+    fit: NetworkParams = measure_network_params(
+        topo, table_name=table_name, hs=hs, seeds=seeds, config=config
+    )
+    gamma = max(fit.gamma, 0.5)
+    delta = max(fit.delta, 1.0)
+
+    g_star = max(1, round(gamma))
+    l_star = max(1, fit.diameter)
+
+    G_star = max(2, g_star, round(gap_slack * gamma))
+    # Fixed point: find the smallest L such that a measured
+    # ceil(L/G)-relation routes within L on the actual simulator.
+    L = max(G_star, round(delta))
+    for _ in range(max_iter):
+        C = max(1, ceil_div(L, G_star))
+        t_measured = max(
+            route_h_relation(topo, C, seed=seed, config=config).time for seed in seeds
+        )
+        if t_measured <= L:
+            break
+        L = t_measured
+    return ModelSupport(
+        name=table_name,
+        p=topo.p,
+        gamma=fit.gamma,
+        delta=fit.delta,
+        g_star=g_star,
+        l_star=l_star,
+        G_star=G_star,
+        L_star=L,
+    )
+
+
+def survey_observation1(
+    names: tuple[str, ...],
+    ps: tuple[int, ...],
+    **kwargs,
+) -> list[ModelSupport]:
+    """Run :func:`derive_model_support` over a topology x size grid."""
+    out: list[ModelSupport] = []
+    for name in names:
+        for p in ps:
+            topo, config = make_topology(name, p)
+            out.append(
+                derive_model_support(topo, table_name=name, config=config, **kwargs)
+            )
+    return out

@@ -1,0 +1,178 @@
+"""Randomized routing of h-relations in LogP (paper Section 4.3, Thm 3).
+
+Protocol (verbatim from the paper), for a relation whose degree ``h`` is
+known in advance by every processor:
+
+1. Each processor independently assigns each of its messages a uniform
+   batch number in ``[1, R]``, with ``R = (1 + beta_hat) h / ceil(L/G)``.
+2. ``R`` rounds, each of ``2 (L + o)`` steps: in round ``r`` transmit up
+   to ``ceil(L/G)`` messages of batch ``r``, one submission every ``G``.
+3. Transmit all remaining messages (batch overflow), one every ``G``.
+
+With ``ceil(L/G) >= c1 log p`` the Chernoff argument shows that w.h.p. no
+round directs more than ``ceil(L/G)`` messages at one destination (so the
+capacity constraint holds and nothing stalls) and no processor has
+leftovers for step 3; the whole relation then completes in
+``beta * G * h`` steps.  Our machine *executes* the protocol, stalls and
+all: the harness reports whether each run stalled, so the experiment can
+estimate the stall probability empirically and compare it with the bound
+(:func:`repro.models.cost.theorem3_failure_bound`).
+
+Because a round's submissions all fall inside its window and deliveries
+take at most ``L < 2(L+o)``, messages from different rounds are never
+simultaneously in transit; in-transit traffic per destination in round
+``r`` is exactly that round's ``Y_r(j)``, matching the proof's random
+variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Sequence
+
+import numpy as np
+
+from repro.errors import ProgramError
+from repro.logp.collectives import recv_n_tagged
+from repro.logp.instructions import LogPContext, Send, WaitUntil
+from repro.logp.machine import LogPMachine, LogPResult
+from repro.models.cost import theorem3_beta_hat, theorem3_time_bound
+from repro.models.params import LogPParams
+from repro.routing.hall import relation_degree
+from repro.routing.two_phase import BatchPlan, make_batch_plan
+
+__all__ = ["randomized_route", "measure_rand_routing", "RandRoutingMeasurement"]
+
+_PAYLOAD_TAG = 3001
+
+
+def randomized_route(
+    ctx: LogPContext,
+    outgoing: Sequence[tuple[int, Any]],
+    batches: list[list[int]],
+    leftovers: list[int],
+    round_length: int,
+    expected_in: int,
+    *,
+    start_time: int = 0,
+    tag: int = _PAYLOAD_TAG,
+) -> Generator[Any, Any, list]:
+    """One processor's side of the Theorem 3 protocol.
+
+    ``batches``/``leftovers`` index into ``outgoing`` (from a
+    :class:`~repro.routing.two_phase.BatchPlan`); ``expected_in`` is how
+    many messages this processor will receive (harness-level accounting —
+    the theorem routes a relation whose degree is known in advance).
+    Returns the received payloads.
+    """
+    # Step 2: R rounds of fixed length.
+    for rnd, idxs in enumerate(batches):
+        if idxs:
+            yield WaitUntil(start_time + rnd * round_length)
+            for i in idxs:
+                dest, payload = outgoing[i]
+                yield Send(dest, (ctx.pid, payload), tag=tag)
+    # Step 3: leftovers, paced G by the machine's gap rule.
+    if leftovers:
+        yield WaitUntil(start_time + len(batches) * round_length)
+        for i in leftovers:
+            dest, payload = outgoing[i]
+            yield Send(dest, (ctx.pid, payload), tag=tag)
+    msgs = yield from recv_n_tagged(ctx, tag, expected_in)
+    return [m.payload for m in msgs]
+
+
+@dataclass
+class RandRoutingMeasurement:
+    """One randomized-routing run vs the Theorem 3 bounds."""
+
+    params: LogPParams
+    h: int
+    plan: BatchPlan
+    result: LogPResult
+    beta_hat: float
+
+    @property
+    def stalled(self) -> bool:
+        return not self.result.stall_free
+
+    @property
+    def clean(self) -> bool:
+        """The w.h.p. event: no stall and no leftovers for step 3."""
+        return self.plan.clean and not self.stalled
+
+    @property
+    def total_time(self) -> int:
+        return self.result.makespan
+
+    @property
+    def time_bound(self) -> float:
+        """The paper's round-phase bound ``2 (L + o) R <= beta G h``."""
+        return theorem3_time_bound(self.h, self.params, self.beta_hat)
+
+
+def measure_rand_routing(
+    params: LogPParams,
+    pairs: Sequence[tuple[int, int]],
+    *,
+    seed: int = 0,
+    c1: float = 1.0,
+    c2: float = 1.0,
+    R: int | None = None,
+    h: int | None = None,
+    machine_kwargs: dict | None = None,
+) -> RandRoutingMeasurement:
+    """Route ``pairs`` with the randomized protocol and verify delivery.
+
+    ``R`` overrides the paper's (very conservative) batch count so the
+    benches can chart stall probability against round budget; ``h``
+    defaults to the relation's true degree (the "known in advance" value).
+    """
+    p = params.p
+    degree = relation_degree(pairs)
+    h_known = degree if h is None else h
+    outgoing: list[list[tuple[int, Any]]] = [[] for _ in range(p)]
+    expected_in = [0] * p
+    for idx, (src, dest) in enumerate(pairs):
+        outgoing[src].append((dest, ("pkt", idx)))
+        expected_in[dest] += 1
+
+    beta_hat = theorem3_beta_hat(c1, c2)
+    plan = make_batch_plan(
+        [len(out) for out in outgoing],
+        h_known,
+        params,
+        seed=seed,
+        c1=c1,
+        c2=c2,
+        R=R,
+    )
+
+    def make_prog(pid: int):
+        def prog(ctx: LogPContext):
+            got = yield from randomized_route(
+                ctx,
+                outgoing[pid],
+                plan.batches[pid],
+                plan.leftovers[pid],
+                plan.round_length,
+                expected_in[pid],
+            )
+            return got
+
+        return prog
+
+    machine = LogPMachine(params, **(machine_kwargs or {}))
+    result = machine.run([make_prog(pid) for pid in range(p)])
+
+    for pid in range(p):
+        got = {payload[1][1] for payload in result.results[pid]}
+        want = {idx for idx, (_s, d) in enumerate(pairs) if d == pid}
+        if got != want:
+            raise ProgramError(
+                f"delivery mismatch at processor {pid}: missing "
+                f"{sorted(want - got)[:5]}, spurious {sorted(got - want)[:5]}"
+            )
+    return RandRoutingMeasurement(
+        params=params, h=h_known, plan=plan, result=result, beta_hat=beta_hat
+    )

@@ -1,0 +1,249 @@
+"""Stalling analysis (paper Sections 2.2, 3 and 4.3).
+
+Three experiment families:
+
+* **Hot spots** (:func:`measure_hotspot`): ``k > ceil(L/G)`` processors
+  simultaneously target one destination.  The paper's observation: under
+  the formalized stalling rule the hot spot still *drains at the maximum
+  rate* — one message every ``G`` — so the task finishes in
+  ``Theta(G k + L)`` despite the stalled senders' lost cycles.  (This is
+  the sense in which "the LogP performance model would actually
+  encourage the use of stalling".)
+
+* **Stall storms** (:func:`measure_stall_storm`): an adversarial
+  ``h``-relation in which every sender walks the same destination
+  sequence, maximizing convoying.  The paper's worst-case bound for
+  completing any h-relation under stalling is ``O(G h^2)``
+  (:func:`repro.models.cost.stalling_worst_case`).
+
+* **Simulating stalling cycles on BSP** (:func:`simulate_stalling_cycle_on_bsp`):
+  the end of Section 3 — a LogP cycle that *stalls* may route far more
+  than ``ceil(L/G)`` messages per destination, so the Theorem 1 window
+  simulation loses its ``h`` bound.  Sorting/prefix preprocessing
+  restores structure: sort the cycle's messages by destination (on the
+  BSP machine, with the same oblivious merge-split network), then
+  deliver them in ``ceil(h / ceil(L/G))`` sub-supersteps, each a
+  ``ceil(L/G)``-relation.  The measured cost exhibits the paper's
+  ``O(((l + g)/G) log p)``-flavored slowdown (with our Batcher network
+  contributing ``log^2 p`` rounds instead of AKS's ``log p``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bsp.machine import BSPMachine, BSPResult
+from repro.bsp.program import BSPContext, Compute as BCompute, Send as BSend, Sync
+from repro.bsp.collectives import bsp_allreduce
+from repro.errors import ProgramError
+from repro.logp.collectives import recv_n_tagged
+from repro.logp.instructions import LogPContext, Send, WaitUntil
+from repro.logp.machine import LogPMachine, LogPResult
+from repro.models.cost import hotspot_delivery_time, stalling_worst_case
+from repro.models.params import BSPParams, LogPParams
+from repro.sorting.bitonic import sorting_schedule
+from repro.sorting.merge_split import merge_split
+from repro.util.intmath import ceil_div
+
+__all__ = [
+    "measure_hotspot",
+    "HotspotReport",
+    "measure_stall_storm",
+    "StallStormReport",
+    "simulate_stalling_cycle_on_bsp",
+]
+
+
+@dataclass
+class HotspotReport:
+    """Hot-spot run: k senders, one destination."""
+
+    params: LogPParams
+    k: int
+    result: LogPResult
+
+    @property
+    def makespan(self) -> int:
+        return self.result.makespan
+
+    @property
+    def predicted(self) -> int:
+        """``Theta(G (k-1) + L)`` — full drain rate at the hot spot."""
+        return hotspot_delivery_time(self.k, self.params) + 2 * self.params.o
+
+    @property
+    def total_stall_time(self) -> int:
+        return self.result.total_stall_time
+
+    @property
+    def num_stalls(self) -> int:
+        return len(self.result.stalls)
+
+
+def measure_hotspot(
+    params: LogPParams, k: int, dest: int = 0, *, machine_kwargs: dict | None = None
+) -> HotspotReport:
+    """``k`` processors send one message each to ``dest`` at time 0; the
+    destination acquires all of them.  Stalling occurs iff
+    ``k > ceil(L/G)``."""
+    if k >= params.p:
+        raise ProgramError(f"need k < p, got k={k}, p={params.p}")
+
+    senders = [pid for pid in range(params.p) if pid != dest][:k]
+
+    def prog(ctx: LogPContext):
+        if ctx.pid == dest:
+            msgs = yield from recv_n_tagged(ctx, 60, k)
+            return len(msgs)
+        if ctx.pid in senders:
+            yield Send(dest, ctx.pid, tag=60)
+            return None
+        return None
+        yield  # pragma: no cover - make this a generator
+
+    machine = LogPMachine(params, **(machine_kwargs or {}))
+    result = machine.run([prog] * params.p)
+    return HotspotReport(params=params, k=k, result=result)
+
+
+@dataclass
+class StallStormReport:
+    """Adversarial h-relation under the stalling rule."""
+
+    params: LogPParams
+    h: int
+    result: LogPResult
+
+    @property
+    def makespan(self) -> int:
+        return self.result.makespan
+
+    @property
+    def worst_case_bound(self) -> int:
+        """The paper's ``O(G h^2)`` completion bound."""
+        return stalling_worst_case(self.h, self.params) + 2 * self.params.L
+
+    @property
+    def optimal(self) -> int:
+        """Off-line optimum ``2o + G(h-1) + L`` for any h-relation."""
+        return 2 * self.params.o + self.params.G * (self.h - 1) + self.params.L
+
+
+def measure_stall_storm(
+    params: LogPParams, h: int, *, machine_kwargs: dict | None = None
+) -> StallStormReport:
+    """An h-relation built to convoy: senders ``0..h-1`` all send their
+    ``h`` messages to destinations ``p-h..p-1`` *in the same order*, so
+    every destination is hammered by all senders at once."""
+    p = params.p
+    if 2 * h > p:
+        raise ProgramError(f"need 2h <= p, got h={h}, p={p}")
+    senders = list(range(h))
+    dests = list(range(p - h, p))
+
+    def prog(ctx: LogPContext):
+        if ctx.pid in senders:
+            for d in dests:
+                yield Send(d, ctx.pid, tag=61)
+            return None
+        if ctx.pid in dests:
+            msgs = yield from recv_n_tagged(ctx, 61, h)
+            return len(msgs)
+        return None
+        yield  # pragma: no cover
+
+    machine = LogPMachine(params, **(machine_kwargs or {}))
+    result = machine.run([prog] * p)
+    return StallStormReport(params=params, h=h, result=result)
+
+
+# ---------------------------------------------------------------------------
+# BSP simulation of a stalling LogP cycle (end of Section 3)
+# ---------------------------------------------------------------------------
+
+def simulate_stalling_cycle_on_bsp(
+    bsp_params: BSPParams,
+    logp_params: LogPParams,
+    pairs: list[tuple[int, int]],
+) -> BSPResult:
+    """Simulate one (potentially stalling) LogP cycle's message set on BSP
+    via the sorting/prefix technique, and return the BSP run.
+
+    The message set ``pairs`` may exceed the capacity ``C = ceil(L/G)``
+    per destination.  The BSP program: balance to ``r`` messages per
+    processor, merge-split sort by destination, compute ``h`` by a
+    commutative destination-count allreduce, then deliver rank ``q`` in
+    sub-superstep ``q mod ceil(h/C)`` — each sub-superstep is a
+    ``<= C``-relation, so the cycle costs
+    ``O((sort rounds) * (l + g C) + ceil(h/C)(l + g C))``.
+    """
+    p = bsp_params.p
+    C = logp_params.capacity
+    outgoing: list[list[tuple[int, int]]] = [[] for _ in range(p)]
+    for idx, (src, dest) in enumerate(pairs):
+        if not (0 <= src < p and 0 <= dest < p):
+            raise ProgramError(f"invalid pair ({src}, {dest})")
+        outgoing[src].append((dest, idx))
+    dummy = p
+
+    def make_prog(pid: int):
+        def prog(ctx: BSPContext):
+            r = yield from bsp_allreduce(ctx, len(outgoing[pid]), max, op_cost=1)
+            if r == 0:
+                return []
+            block = [(dest, idx) for dest, idx in outgoing[pid]]
+            block += [(dummy, -1)] * (r - len(block))
+            block.sort()
+            yield BCompute(r)
+            for rnd in sorting_schedule(p) if p > 1 else []:
+                action = rnd[ctx.pid]
+                if action is not None:
+                    partner, keep_low = action
+                    for rec in block:
+                        yield BSend(partner, rec, tag=70)
+                    yield Sync()
+                    theirs = sorted(m.payload for m in ctx.recv_all(70))
+                    block = merge_split(block, theirs, keep_low)
+                    yield BCompute(r)
+                else:
+                    yield Sync()
+            # Commutative destination-count merge (tree reductions combine
+            # in a permuted order, so the order-sensitive run monoid would
+            # undercount runs spanning non-adjacent processors).
+            counts: dict[int, int] = {}
+            for d, _ in block:
+                if d != dummy:
+                    counts[d] = counts.get(d, 0) + 1
+
+            def merge(a: dict, b: dict) -> dict:
+                out = dict(a)
+                for k, v in b.items():
+                    out[k] = out.get(k, 0) + v
+                return out
+
+            all_counts = yield from bsp_allreduce(ctx, counts, merge, op_cost=1)
+            h = max([r] + list(all_counts.values()))
+            m_sub = ceil_div(h, C) if h else 1
+            received: list[int] = []
+            for sub in range(m_sub):
+                for q, (dest, idx) in enumerate(block):
+                    if dest == dummy or (pid * r + q) % m_sub != sub:
+                        continue
+                    if dest == pid:
+                        received.append(idx)
+                    else:
+                        yield BSend(dest, idx, tag=71)
+                yield Sync()
+                received.extend(m.payload for m in ctx.recv_all(71))
+            return sorted(received)
+
+        return prog
+
+    machine = BSPMachine(bsp_params)
+    result = machine.run([make_prog(pid) for pid in range(p)])
+    # Verify delivery.
+    for pid in range(p):
+        want = sorted(idx for idx, (_s, d) in enumerate(pairs) if d == pid)
+        if result.results[pid] != want:
+            raise ProgramError(f"stalling-cycle BSP sim misdelivered at {pid}")
+    return result

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing configuration mistakes from model-semantics
+violations detected at simulation time.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "ProgramError",
+    "DeadlockError",
+    "CapacityViolationError",
+    "StallError",
+    "RoutingError",
+    "TopologyError",
+    "SimulationLimitError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A machine/model parameter violates its documented constraints.
+
+    For LogP this includes the paper's Section 2.2 constraints
+    ``max{2, o} <= G <= L``; for BSP it covers non-positive ``g``/``l``.
+    """
+
+
+class ProgramError(ReproError, RuntimeError):
+    """A user program performed an operation the model does not allow.
+
+    Examples: sending to a non-existent processor, yielding an object
+    that is not an instruction, receiving after the network drained.
+    """
+
+
+class DeadlockError(ReproError, RuntimeError):
+    """The simulation cannot make progress.
+
+    Raised when every live processor is blocked (e.g. all waiting on
+    ``Recv`` with no message in flight anywhere).
+    """
+
+
+class CapacityViolationError(ReproError, RuntimeError):
+    """An internal invariant of the LogP capacity constraint was broken.
+
+    This signals a bug in the engine, never a user-program condition:
+    user programs that over-subscribe a destination *stall*, they do not
+    break the constraint.
+    """
+
+
+class StallError(ReproError, RuntimeError):
+    """A stall occurred in a context that requires stall-freedom.
+
+    Raised by the LogP machine when running with ``forbid_stalling=True``
+    (used by the Theorem 1/2 constructions, which are proven stall-free)
+    and by :mod:`repro.logp.validate` when certification fails.
+    """
+
+
+class RoutingError(ReproError, RuntimeError):
+    """An h-relation could not be decomposed/routed as requested."""
+
+
+class TopologyError(ReproError, ValueError):
+    """A network topology was requested with invalid size parameters."""
+
+
+class SimulationLimitError(ReproError, RuntimeError):
+    """A configured safety limit (max steps / max events) was exceeded."""

@@ -1,0 +1,263 @@
+"""Command-line experiment runner: regenerate the paper's tables.
+
+``python -m repro.experiments list`` shows the experiment ids (matching
+DESIGN.md's index); ``python -m repro.experiments run <id> [...]`` or
+``run all`` prints the corresponding tables.  The pytest benchmarks in
+``benchmarks/`` run the same code with shape assertions and persistence;
+this runner is the zero-dependency way to eyeball results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import operator
+import sys
+from typing import Callable
+
+from repro.util.tables import render_table
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _exp_table1() -> str:
+    from repro.models.cost import TABLE1
+    from repro.networks.params import TOPOLOGY_BUILDERS, measure_network_params
+
+    rows = []
+    for name, builder in TOPOLOGY_BUILDERS.items():
+        for p in (16, 64):
+            topo, config = builder(p)
+            meas = measure_network_params(
+                topo, table_name=name, hs=(1, 2, 4, 8), seeds=(0, 1), config=config
+            )
+            th_g, th_d = meas.theory()
+            costs = TABLE1[name]
+            rows.append(
+                (
+                    name,
+                    meas.p,
+                    f"{meas.gamma:.2f}",
+                    f"{th_g:.1f} ~ {costs.gamma_expr}",
+                    f"{meas.delta:.2f}",
+                    f"{th_d:.1f} ~ {costs.delta_expr}",
+                )
+            )
+    return render_table(
+        ["topology", "p", "gamma fit", "gamma Table 1", "delta fit", "delta Table 1"],
+        rows,
+        title="T1 — Table 1: fitted T(h) = gamma h + delta per topology",
+    )
+
+
+def _exp_theorem1() -> str:
+    from repro.core.logp_on_bsp import simulate_logp_on_bsp
+    from repro.models.params import BSPParams, LogPParams
+    from repro.programs import logp_alltoall_program
+
+    logp = LogPParams(p=16, L=8, o=1, G=2)
+    rows = []
+    for gs, ls in ((1, 1), (4, 1), (1, 4), (4, 4)):
+        bsp = BSPParams(p=logp.p, g=logp.G * gs, l=logp.L * ls)
+        rep = simulate_logp_on_bsp(logp, logp_alltoall_program(), bsp_params=bsp)
+        rows.append(
+            (
+                f"g={bsp.g}, l={bsp.l}",
+                rep.windows,
+                rep.max_window_h,
+                logp.capacity,
+                f"{rep.slowdown:.2f}",
+                f"{rep.predicted_slowdown:.2f}",
+                rep.outputs_match,
+            )
+        )
+    return render_table(
+        ["BSP machine", "cycles", "max h", "ceil(L/G)", "slowdown", "predicted", "outputs match"],
+        rows,
+        title="TH1 — Theorem 1: stall-free LogP (all-to-all) on BSP  [LogP p=16, L=8, o=1, G=2]",
+    )
+
+
+def _exp_cb() -> str:
+    from repro.core.cb import measure_cb
+    from repro.models.cost import cb_time_lower, cb_time_upper
+    from repro.models.params import LogPParams
+
+    rows = []
+    for p in (8, 64, 512):
+        for L, G in ((8, 8), (8, 2), (16, 2)):
+            params = LogPParams(p=p, L=L, o=1, G=G)
+            m = measure_cb(params, [1] * p, operator.add, op_cost=0)
+            rows.append(
+                (
+                    p,
+                    params.capacity,
+                    m.t_cb,
+                    f"{cb_time_lower(params):.0f}",
+                    f"{cb_time_upper(params):.0f}",
+                )
+            )
+    return render_table(
+        ["p", "ceil(L/G)", "T_CB", "Prop1 lower", "paper upper"],
+        rows,
+        title="P1 — Propositions 1/2: Combine-and-Broadcast cost (o=1)",
+    )
+
+
+def _exp_theorem2() -> str:
+    from repro.core.det_routing import measure_det_routing
+    from repro.models.cost import t_route_small
+    from repro.models.params import LogPParams
+    from repro.routing.workloads import balanced_h_relation
+
+    params = LogPParams(p=16, L=8, o=1, G=2)
+    rows = []
+    for h in (1, 4, 16, 64, 256, 512):
+        m = measure_det_routing(params, balanced_h_relation(params.p, h, seed=h))
+        rows.append(
+            (
+                h,
+                m.outcomes[0].sort_scheme,
+                m.total_time,
+                t_route_small(h, params),
+                f"{m.total_time / (params.G * h + params.L):.1f}",
+            )
+        )
+    return render_table(
+        ["h", "scheme", "T total", "optimal", "T/(Gh+L)"],
+        rows,
+        title="TH2 — Theorem 2: deterministic h-relation routing (p=16, L=8, o=1, G=2)",
+    )
+
+
+def _exp_theorem3() -> str:
+    from repro.core.rand_routing import measure_rand_routing
+    from repro.models.params import LogPParams
+    from repro.routing.workloads import balanced_h_relation
+
+    params = LogPParams(p=16, L=16, o=1, G=2)
+    pairs = balanced_h_relation(params.p, 16, seed=123)
+    rows = []
+    for R in (2, 4, 8, 16):
+        runs = [measure_rand_routing(params, pairs, seed=s, R=R) for s in range(6)]
+        rows.append(
+            (
+                R,
+                f"{sum(r.stalled for r in runs)}/6",
+                f"{sum(r.clean for r in runs)}/6",
+                max(r.total_time for r in runs),
+                params.G * 16,
+            )
+        )
+    return render_table(
+        ["R", "stalled", "clean", "T max", "G h"],
+        rows,
+        title="TH3 — Theorem 3: randomized routing, stall probability vs batch budget",
+    )
+
+
+def _exp_stalling() -> str:
+    from repro.core.stalling import measure_hotspot, measure_stall_storm
+    from repro.models.params import LogPParams
+
+    params = LogPParams(p=32, L=8, o=1, G=2)
+    rows = []
+    for k in (4, 8, 16, 31):
+        rep = measure_hotspot(params, k)
+        rows.append(("hot spot", k, rep.makespan, rep.predicted, rep.num_stalls))
+    for h in (4, 8, 16):
+        rep = measure_stall_storm(params, h)
+        rows.append(("convoy", h, rep.makespan, rep.worst_case_bound, len(rep.result.stalls)))
+    return render_table(
+        ["workload", "k / h", "makespan", "bound", "stalls"],
+        rows,
+        title="ST — stalling: hot-spot drain rate and the O(Gh^2) worst case (p=32, L=8, o=1, G=2)",
+    )
+
+
+def _exp_observation1() -> str:
+    from repro.core.network_support import survey_observation1
+
+    rows = [
+        (r.name, r.p, r.g_star, r.l_star, r.G_star, r.L_star,
+         f"{r.G_over_g:.2f}", f"{r.L_over_lg:.2f}")
+        for r in survey_observation1(
+            (
+                "d-dim array",
+                "hypercube (multi-port)",
+                "hypercube (single-port)",
+                "butterfly",
+                "ccc",
+                "shuffle-exchange",
+                "mesh-of-trees",
+            ),
+            (16, 64),
+        )
+    ]
+    return render_table(
+        ["topology", "p", "g*", "l*", "G*", "L*", "G*/g*", "L*/(l*+g*)"],
+        rows,
+        title="OB1 — Observation 1: best attainable parameters per network",
+    )
+
+
+def _exp_workpreserving() -> str:
+    from repro.core.logp_on_bsp import simulate_logp_on_bsp_workpreserving
+    from repro.models.params import LogPParams
+    from repro.programs import logp_sum_program
+
+    params = LogPParams(p=16, L=8, o=1, G=2)
+    rows = []
+    for bsp_p in (16, 8, 4, 2, 1):
+        rep = simulate_logp_on_bsp_workpreserving(params, logp_sum_program(), bsp_p)
+        rows.append(
+            (bsp_p, params.p // bsp_p, rep.bsp.total_cost, rep.work,
+             f"{rep.slowdown:.1f}", rep.outputs_match)
+        )
+    return render_table(
+        ["p'", "charges/host", "T_BSP", "work p'*T", "slowdown", "outputs match"],
+        rows,
+        title="WP — footnote 1: work-preserving Theorem 1 simulation (LogP p=16)",
+    )
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
+    "T1": ("Table 1: network bandwidth/latency parameters", _exp_table1),
+    "TH1": ("Theorem 1: LogP on BSP", _exp_theorem1),
+    "P1": ("Propositions 1/2: Combine-and-Broadcast", _exp_cb),
+    "TH2": ("Theorem 2: deterministic BSP on LogP", _exp_theorem2),
+    "TH3": ("Theorem 3: randomized routing", _exp_theorem3),
+    "ST": ("Sections 2.2/3: stalling analyses", _exp_stalling),
+    "OB1": ("Observation 1: direct implementations on networks", _exp_observation1),
+    "WP": ("Footnote 1: work-preserving simulation", _exp_workpreserving),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's quantitative artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    run = sub.add_parser("run", help="run experiments by id (or 'all')")
+    run.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for key, (desc, _fn) in EXPERIMENTS.items():
+            print(f"{key:5s} {desc}")
+        return 0
+
+    ids = list(EXPERIMENTS) if "all" in args.ids else args.ids
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; try 'list'", file=sys.stderr)
+        return 2
+    for i in ids:
+        print(EXPERIMENTS[i][1]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

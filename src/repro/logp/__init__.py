@@ -1,0 +1,40 @@
+"""The LogP virtual machine (paper Section 2.2).
+
+An event-driven simulator with integer time implementing the full model:
+``o`` overhead per submission/acquisition, ``G`` gap between consecutive
+submissions (and between consecutive acquisitions) by the same processor,
+delivery at most ``L`` after acceptance, the per-destination capacity
+constraint ``ceil(L/G)``, and the paper's formalized *stalling rule*.
+
+Nondeterminism sources (paper Section 2.2) are pluggable policy objects:
+
+* delivery times — :mod:`repro.logp.scheduler` ``DeliveryScheduler``,
+* acceptance order under congestion — ``AcceptancePolicy``.
+"""
+
+from repro.logp.instructions import Compute, Recv, Send, TryRecv, WaitUntil
+from repro.logp.machine import LogPMachine, LogPResult
+from repro.logp.scheduler import (
+    AcceptFIFO,
+    AcceptLIFO,
+    AcceptRandom,
+    DeliverEager,
+    DeliverMaxLatency,
+    DeliverRandom,
+)
+
+__all__ = [
+    "Compute",
+    "Send",
+    "Recv",
+    "TryRecv",
+    "WaitUntil",
+    "LogPMachine",
+    "LogPResult",
+    "DeliverMaxLatency",
+    "DeliverEager",
+    "DeliverRandom",
+    "AcceptFIFO",
+    "AcceptLIFO",
+    "AcceptRandom",
+]

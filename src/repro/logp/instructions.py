@@ -1,0 +1,127 @@
+"""LogP program API: instructions and the per-processor context.
+
+A LogP program is a generator function ``prog(ctx)`` run once per
+processor.  It yields instruction objects; the machine computes each
+instruction's completion time under the model's rules and resumes the
+generator with the instruction's result.
+
+Timing semantics (integer steps; see paper Section 2.2):
+
+``Compute(n)``
+    The processor is busy for ``n`` steps.  Result: ``None``.
+
+``Send(dest, payload)``
+    Preparation costs ``o`` busy steps and ends with the *submission* of
+    the message.  Consecutive submissions by the same processor are at
+    least ``G`` apart (the processor idle-waits if it issues sends faster;
+    interleave ``Compute`` to use that time).  Between submission and
+    *acceptance* the processor **stalls**; acceptance is governed by the
+    capacity constraint and the stalling rule in
+    :mod:`repro.logp.network`.  Result: the acceptance time.
+
+``Recv()``
+    Acquires the earliest-delivered buffered message.  Acquisition starts
+    no earlier than ``G`` after the previous acquisition and costs ``o``
+    busy steps; blocks while the buffer is empty.  Result: the
+    :class:`~repro.models.message.Message`.
+
+``TryRecv()``
+    If a message is already deliverable under the gap constraint, behaves
+    like ``Recv``; otherwise costs one step and results in ``None``
+    (polling is not free — this also guarantees simulation progress).
+
+``WaitUntil(t)``
+    Idle until absolute time ``t`` (no-op if already past).  Used by
+    schedule-driven algorithms such as the slotted CB tree for
+    ``ceil(L/G) = 1``.  Result: ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from repro.errors import ProgramError
+
+__all__ = ["Compute", "Send", "Recv", "TryRecv", "WaitUntil", "LogPContext", "LogPProgram"]
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Occupy the processor for ``ops`` steps of local work."""
+
+    ops: int
+
+    def __post_init__(self) -> None:
+        if self.ops < 0:
+            raise ProgramError(f"Compute requires ops >= 0, got {self.ops}")
+
+
+@dataclass(frozen=True)
+class Send:
+    """Prepare (cost ``o``) and submit one message to ``dest``.
+
+    ``size`` (in words, >= 1) matters only on LogGP machines
+    (``Gb > 0``): preparing a ``size``-word message costs
+    ``o + (size - 1) * Gb`` at the sender, and acquiring it the same at
+    the receiver.  Classic LogP ignores it.
+    """
+
+    dest: int
+    payload: Any = None
+    tag: int = 0
+    size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ProgramError(f"Send requires size >= 1, got {self.size}")
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Acquire (cost ``o``) the earliest buffered message; blocks if none."""
+
+
+@dataclass(frozen=True)
+class TryRecv:
+    """Non-blocking receive; one step if nothing is acquirable."""
+
+
+@dataclass(frozen=True)
+class WaitUntil:
+    """Idle until absolute time ``time``."""
+
+    time: int
+
+
+Instruction = Compute | Send | Recv | TryRecv | WaitUntil
+LogPProgram = Callable[["LogPContext"], Generator[Instruction, Any, Any]]
+
+
+class LogPContext:
+    """Per-processor view of the machine, passed to the program generator.
+
+    Attributes
+    ----------
+    pid, p:
+        This processor's index and the machine size.
+    params:
+        The machine's :class:`~repro.models.params.LogPParams`.
+    clock:
+        The processor's local time, updated by the machine before every
+        resume.  All clocks run at the same speed (global time).
+    """
+
+    __slots__ = ("pid", "p", "params", "clock", "_stash")
+
+    def __init__(self, pid: int, p: int, params) -> None:
+        self.pid = pid
+        self.p = p
+        self.params = params
+        self.clock = 0
+        # Program-level holding area for messages acquired but not yet
+        # consumed by tag-dispatch helpers (see logp.collectives.recv_match).
+        self._stash: list = []
+
+    def __repr__(self) -> str:
+        return f"LogPContext(pid={self.pid}, p={self.p}, clock={self.clock})"

@@ -1,0 +1,423 @@
+"""Event-driven LogP machine engine.
+
+Drives one generator coroutine per processor under the timing semantics
+documented in :mod:`repro.logp.instructions`, with the communication
+medium of :mod:`repro.logp.network` enforcing the capacity constraint and
+the stalling rule.
+
+Event ordering within a time step: deliveries are processed before
+submissions, which are processed before processor resumptions.  This makes
+the stalling rule's "messages in transit at time t" well defined — a
+message delivered at ``t`` is no longer in transit at ``t``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Generator, Sequence
+
+from repro.errors import DeadlockError, ProgramError, SimulationLimitError, StallError
+from repro.models.message import Message
+from repro.models.params import LogPParams
+from repro.logp.instructions import (
+    Compute,
+    LogPContext,
+    LogPProgram,
+    Recv,
+    Send,
+    TryRecv,
+    WaitUntil,
+)
+from repro.logp.network import Medium, StallRecord
+from repro.logp.scheduler import (
+    AcceptancePolicy,
+    AcceptFIFO,
+    DeliverMaxLatency,
+    DeliveryScheduler,
+)
+from repro.logp.trace import Trace
+
+__all__ = ["LogPMachine", "LogPResult"]
+
+# Event kinds, in intra-step processing order.
+_EV_DELIVER = 0
+_EV_SUBMIT = 1
+_EV_RESUME = 2
+
+_IDLE = 0
+_RUNNING = 1
+_BLOCKED_RECV = 2
+_STALLING = 3
+_DONE = 4
+
+
+@dataclass
+class _Proc:
+    """Engine-internal processor record."""
+
+    pid: int
+    gen: Generator
+    ctx: LogPContext
+    clock: int = 0
+    last_submit: int | None = None
+    last_acquire: int | None = None
+    state: int = _RUNNING
+    # Delivered-but-not-acquired messages, FIFO by delivery time.
+    buffer: list[tuple[int, Message]] = field(default_factory=list)
+    buf_head: int = 0
+    buffer_highwater: int = 0
+    pending_send: Message | None = None
+    result: Any = None
+
+    def buffered(self) -> int:
+        return len(self.buffer) - self.buf_head
+
+
+@dataclass
+class LogPResult:
+    """Outcome of a LogP run.
+
+    Attributes
+    ----------
+    results:
+        Per-processor generator return values.
+    makespan:
+        Time at which the last processor finished (the LogP running time).
+    stalls:
+        Every stall episode (empty iff the execution was stall-free).
+    buffer_highwater:
+        Per-processor maximum of delivered-but-unacquired messages, used
+        by the Section 2.2 buffer-growth experiment.
+    total_messages:
+        Number of messages accepted by the medium over the run.
+    trace:
+        Full event trace when the machine was created with
+        ``record_trace=True``, else ``None``.
+    """
+
+    params: LogPParams
+    results: list[Any]
+    makespan: int
+    stalls: list[StallRecord]
+    buffer_highwater: list[int]
+    total_messages: int
+    trace: Trace | None = None
+
+    @property
+    def stall_free(self) -> bool:
+        return not self.stalls
+
+    @property
+    def total_stall_time(self) -> int:
+        return sum(s.duration for s in self.stalls)
+
+    def __repr__(self) -> str:
+        return (
+            f"LogPResult(p={self.params.p}, makespan={self.makespan}, "
+            f"messages={self.total_messages}, stalls={len(self.stalls)})"
+        )
+
+
+class LogPMachine:
+    """A ``p``-processor LogP machine.
+
+    Parameters
+    ----------
+    params:
+        The machine's :class:`~repro.models.params.LogPParams`.
+    delivery, acceptance:
+        Nondeterminism policies (defaults: worst-case latency, FIFO
+        acceptance).
+    forbid_stalling:
+        Raise :class:`~repro.errors.StallError` on the first stall.  Used
+        when running constructions that are proven stall-free.
+    record_trace:
+        Record a full event trace (see :mod:`repro.logp.trace`).
+
+    Example
+    -------
+    >>> from repro.models.params import LogPParams
+    >>> from repro.logp import LogPMachine, Send, Recv
+    >>> def prog(ctx):
+    ...     if ctx.pid == 0:
+    ...         yield Send(1, "hi")
+    ...     elif ctx.pid == 1:
+    ...         msg = yield Recv()
+    ...         return msg.payload
+    >>> machine = LogPMachine(LogPParams(p=2, L=4, o=1, G=2))
+    >>> machine.run(prog).results
+    [None, 'hi']
+    """
+
+    def __init__(
+        self,
+        params: LogPParams,
+        *,
+        delivery: DeliveryScheduler | None = None,
+        acceptance: AcceptancePolicy | None = None,
+        forbid_stalling: bool = False,
+        record_trace: bool = False,
+        max_events: int = 50_000_000,
+    ) -> None:
+        self.params = params
+        self.delivery = delivery if delivery is not None else DeliverMaxLatency()
+        self.acceptance = acceptance if acceptance is not None else AcceptFIFO()
+        self.forbid_stalling = forbid_stalling
+        self.record_trace = record_trace
+        self.max_events = max_events
+
+    # ------------------------------------------------------------------
+
+    def run(self, program: LogPProgram | Sequence[LogPProgram]) -> LogPResult:
+        """Run ``program`` on every processor (or one per processor when a
+        length-``p`` sequence is given) to completion."""
+        p = self.params.p
+        programs: list[LogPProgram]
+        if callable(program):
+            programs = [program] * p
+        else:
+            programs = list(program)
+            if len(programs) != p:
+                raise ProgramError(f"need exactly p={p} programs, got {len(programs)}")
+
+        procs: list[_Proc] = []
+        for pid in range(p):
+            ctx = LogPContext(pid, p, self.params)
+            gen = programs[pid](ctx)
+            if not isinstance(gen, Generator):
+                raise ProgramError(
+                    f"LogP program for processor {pid} is not a generator function"
+                )
+            procs.append(_Proc(pid=pid, gen=gen, ctx=ctx))
+
+        trace = Trace(self.params) if self.record_trace else None
+        heap: list[tuple[int, int, int, int, Any]] = []
+        seq = 0
+
+        def push(time: int, kind: int, pid: int, data: Any = None) -> None:
+            nonlocal seq
+            seq += 1
+            heapq.heappush(heap, (time, kind, seq, pid, data))
+
+        def schedule_delivery(msg: Message, t: int) -> None:
+            push(t, _EV_DELIVER, msg.dest, msg)
+            if trace is not None:
+                trace.on_delivery_scheduled(msg, t)
+
+        def on_accept_stalled(sender: int, t: int) -> None:
+            # A stalled sender's submission was accepted: resume it.
+            proc = procs[sender]
+            proc.state = _RUNNING
+            push(t, _EV_RESUME, sender, ("sent", t))
+            if self.forbid_stalling:
+                raise StallError(
+                    f"processor {sender} stalled until t={t} "
+                    f"(forbid_stalling=True)"
+                )
+
+        medium = Medium(
+            self.params,
+            delivery=self.delivery,
+            acceptance=self.acceptance,
+            on_accept=on_accept_stalled,
+            on_schedule_delivery=schedule_delivery,
+        )
+
+        for pid in range(p):
+            push(0, _EV_RESUME, pid, ("start", None))
+
+        events = 0
+        makespan = 0
+        while heap:
+            events += 1
+            if events > self.max_events:
+                raise SimulationLimitError(f"exceeded max_events={self.max_events}")
+            time, kind, _seq, pid, data = heapq.heappop(heap)
+            if kind == _EV_DELIVER:
+                msg: Message = data
+                proc = procs[pid]
+                proc.buffer.append((time, msg))
+                proc.buffer_highwater = max(proc.buffer_highwater, proc.buffered())
+                if trace is not None:
+                    trace.on_delivered(msg, time)
+                medium.on_delivered(msg, time)
+                if proc.state == _BLOCKED_RECV:
+                    self._start_acquire(proc, time, push, trace)
+            elif kind == _EV_SUBMIT:
+                proc = procs[pid]
+                msg = proc.pending_send
+                proc.pending_send = None
+                if trace is not None:
+                    trace.on_submitted(msg, time)
+                accepted_at = medium.submit(pid, msg, time)
+                if accepted_at is not None:
+                    proc.state = _RUNNING
+                    push(accepted_at, _EV_RESUME, pid, ("sent", accepted_at))
+                else:
+                    proc.state = _STALLING
+                    if self.forbid_stalling:
+                        raise StallError(
+                            f"processor {pid} stalled submitting {msg!r} at t={time} "
+                            f"(forbid_stalling=True)"
+                        )
+            else:  # _EV_RESUME
+                proc = procs[pid]
+                if proc.state == _DONE:
+                    continue
+                tag, value = data
+                if tag == "tryrecv":
+                    # Deferred poll: the processor's clock ran ahead of
+                    # event time; now (time == clock) the buffer reflects
+                    # every delivery up to it.
+                    if proc.buffered():
+                        self._start_acquire(proc, time, push, trace)
+                        continue
+                    proc.clock += 1
+                    proc.state = _IDLE
+                    push(proc.clock, _EV_RESUME, pid, ("poll", None))
+                    continue
+                result: Any
+                if tag == "recv":
+                    result = value
+                elif tag == "sent":
+                    result = value
+                else:
+                    result = None
+                proc.clock = max(proc.clock, time)
+                makespan = max(makespan, proc.clock)
+                self._step(
+                    proc, result, first=(tag == "start"), push=push, trace=trace, now=time
+                )
+                makespan = max(makespan, proc.clock)
+
+        blocked = [pr.pid for pr in procs if pr.state in (_BLOCKED_RECV, _STALLING)]
+        if blocked:
+            raise DeadlockError(
+                f"simulation drained with processors {blocked} still blocked "
+                f"(waiting on messages that will never arrive)"
+            )
+
+        return LogPResult(
+            params=self.params,
+            results=[pr.result for pr in procs],
+            makespan=makespan,
+            stalls=list(medium.stalls),
+            buffer_highwater=[pr.buffer_highwater for pr in procs],
+            total_messages=medium.total_accepted,
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _step(
+        self, proc: _Proc, send_value: Any, first: bool, push, trace, now: int = 0
+    ) -> None:
+        """Advance ``proc``'s generator until it blocks on the network or
+        finishes.  Compute/WaitUntil are resolved inline (they only move
+        the local clock); Send/Recv hand control back to the event loop."""
+        o, G = self.params.o, self.params.G
+        gen = proc.gen
+        inline = 0
+        while True:
+            inline += 1
+            if inline > self.max_events:
+                raise SimulationLimitError(
+                    f"processor {proc.pid} executed more than "
+                    f"max_events={self.max_events} instructions without "
+                    f"touching the network (runaway local loop?)"
+                )
+            proc.ctx.clock = proc.clock
+            try:
+                instr = gen.send(None if first else send_value)
+            except StopIteration as stop:
+                proc.state = _DONE
+                proc.result = stop.value
+                return
+            first = False
+            send_value = None
+            if isinstance(instr, Compute):
+                proc.clock += instr.ops
+            elif isinstance(instr, WaitUntil):
+                proc.clock = max(proc.clock, instr.time)
+            elif isinstance(instr, Send):
+                if not 0 <= instr.dest < self.params.p:
+                    raise ProgramError(
+                        f"processor {proc.pid} sent to invalid destination "
+                        f"{instr.dest} (p={self.params.p})"
+                    )
+                if instr.dest == proc.pid:
+                    raise ProgramError(
+                        f"processor {proc.pid} sent to itself; LogP messages "
+                        f"traverse the medium — keep local data local"
+                    )
+                prep = o + (instr.size - 1) * self.params.Gb  # LogGP long messages
+                start = proc.clock
+                if proc.last_submit is not None:
+                    start = max(start, proc.last_submit + G - prep)
+                t_sub = start + prep
+                proc.last_submit = t_sub
+                proc.clock = t_sub
+                proc.pending_send = Message(
+                    src=proc.pid,
+                    dest=instr.dest,
+                    payload=instr.payload,
+                    tag=instr.tag,
+                    size=instr.size,
+                )
+                proc.state = _IDLE  # waiting for the SUBMIT event to resolve
+                push(t_sub, _EV_SUBMIT, proc.pid, None)
+                return
+            elif isinstance(instr, Recv):
+                if not self._start_acquire(proc, proc.clock, push, trace):
+                    proc.state = _BLOCKED_RECV
+                return
+            elif isinstance(instr, TryRecv):
+                if proc.clock > now:
+                    # Local clock ran ahead of processed events (inline
+                    # Compute/WaitUntil); deliveries due before `clock`
+                    # may still sit in the heap.  Re-attempt the poll as
+                    # an event at the local clock time.
+                    proc.state = _IDLE
+                    push(proc.clock, _EV_RESUME, proc.pid, ("tryrecv", None))
+                    return
+                if proc.buffered():
+                    if not self._start_acquire(proc, proc.clock, push, trace):
+                        raise AssertionError("acquirable message vanished")
+                    return
+                # Polling costs one step, and control must go back to the
+                # event loop so deliveries with earlier timestamps are
+                # processed before the next poll (a tight in-step loop
+                # would race past its own incoming messages).
+                proc.clock += 1
+                proc.state = _IDLE
+                push(proc.clock, _EV_RESUME, proc.pid, ("poll", None))
+                return
+            else:
+                raise ProgramError(
+                    f"processor {proc.pid} yielded {instr!r}, which is not a "
+                    f"LogP instruction"
+                )
+
+    def _start_acquire(self, proc: _Proc, now: int, push, trace) -> bool:
+        """If a message is buffered, schedule its acquisition and the
+        processor's resumption; returns False when the buffer is empty."""
+        if not proc.buffered():
+            return False
+        o, G = self.params.o, self.params.G
+        t_deliver, msg = proc.buffer[proc.buf_head]
+        proc.buf_head += 1
+        if proc.buf_head > 64 and proc.buf_head * 2 > len(proc.buffer):
+            del proc.buffer[: proc.buf_head]
+            proc.buf_head = 0
+        t_acq = max(now, proc.clock, t_deliver)
+        if proc.last_acquire is not None:
+            t_acq = max(t_acq, proc.last_acquire + G)
+        proc.last_acquire = t_acq
+        cost = o + (msg.size - 1) * self.params.Gb  # LogGP long messages
+        proc.clock = t_acq + cost
+        proc.state = _IDLE
+        if trace is not None:
+            trace.on_acquired(msg, proc.pid, t_acq, t_acq + cost)
+        push(t_acq + cost, _EV_RESUME, proc.pid, ("recv", msg))
+        return True

@@ -1,0 +1,118 @@
+"""Running independent LogP programs on disjoint processor groups.
+
+Paper §2.2: "if two programs run on disjoint sets of processors, then
+their executions do not interfere.  This is a desirable property, as it
+nicely supports partitioning of the computation into independent
+subcomputations, as well as multiuser modes of operation."
+
+:func:`combine_partitions` places one program per group on a single
+machine, giving each program a *local* view (its own ``pid``/``p`` and
+destination space).  Because LogP has no global synchronization, each
+group's timing is exactly what it would be on a standalone machine of its
+own size — the property the partitioning experiment verifies, and the
+contrast with BSP's global barrier (see :mod:`repro.bsp.partition`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import ProgramError
+from repro.logp.instructions import LogPContext, LogPProgram, Recv, Send, TryRecv
+from repro.models.message import Message
+
+__all__ = ["combine_partitions"]
+
+
+class _GroupView(LogPContext):
+    """A context exposing group-local pid/p over the global machine."""
+
+    __slots__ = ("_group",)
+
+    def __init__(self, global_ctx: LogPContext, group: Sequence[int]) -> None:
+        local_pid = list(group).index(global_ctx.pid)
+        super().__init__(local_pid, len(group), global_ctx.params)
+        self._group = list(group)
+
+
+def _translate(global_ctx: LogPContext, view: _GroupView, program: LogPProgram):
+    """Drive ``program`` against the group-local view, translating
+    destinations outward and message sources inward."""
+    group = view._group
+    to_global = group
+    to_local = {g: i for i, g in enumerate(group)}
+
+    def translate_msg(msg: Message) -> Message:
+        if msg.src not in to_local:
+            raise ProgramError(
+                f"group isolation violated: processor {global_ctx.pid} received "
+                f"a message from outside its partition (src={msg.src})"
+            )
+        return Message(
+            src=to_local[msg.src], dest=view.pid, payload=msg.payload, tag=msg.tag
+        )
+
+    gen = program(view)
+    result: Any = None
+    try:
+        instr = next(gen)
+        while True:
+            view.clock = global_ctx.clock
+            if isinstance(instr, Send):
+                if not 0 <= instr.dest < view.p:
+                    raise ProgramError(
+                        f"group-local destination {instr.dest} out of range "
+                        f"(group size {view.p})"
+                    )
+                out = yield Send(to_global[instr.dest], instr.payload, tag=instr.tag)
+            elif isinstance(instr, (Recv, TryRecv)):
+                out = yield instr
+                if isinstance(out, Message):
+                    out = translate_msg(out)
+            else:
+                out = yield instr
+            view.clock = global_ctx.clock
+            instr = gen.send(out)
+    except StopIteration as stop:
+        result = stop.value
+    return result
+
+
+def combine_partitions(
+    groups: Sequence[Sequence[int]],
+    programs: Sequence[LogPProgram],
+    p: int,
+) -> list:
+    """Build per-processor global programs from per-group programs.
+
+    ``groups`` must partition (a subset of) ``range(p)``; processors not
+    covered run an empty program.  Returns the list of ``p`` programs to
+    pass to :meth:`~repro.logp.machine.LogPMachine.run`; each group's
+    results appear at its members' global indices.
+    """
+    owner: dict[int, tuple[int, Sequence[int]]] = {}
+    for gi, group in enumerate(groups):
+        for pid in group:
+            if pid in owner or not 0 <= pid < p:
+                raise ProgramError(f"groups must be disjoint subsets of range({p})")
+            owner[pid] = (gi, group)
+    if len(groups) != len(programs):
+        raise ProgramError("need exactly one program per group")
+
+    def make(pid: int):
+        if pid not in owner:
+            def idle(ctx):
+                return None
+                yield  # pragma: no cover
+
+            return idle
+        gi, group = owner[pid]
+
+        def prog(ctx: LogPContext):
+            view = _GroupView(ctx, group)
+            result = yield from _translate(ctx, view, programs[gi])
+            return result
+
+        return prog
+
+    return [make(pid) for pid in range(p)]

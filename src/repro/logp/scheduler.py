@@ -1,0 +1,122 @@
+"""Policy objects for LogP's two sources of nondeterminism.
+
+The paper (Section 2.2) identifies exactly two: (i) the delay between
+acceptance and delivery of a message (anywhere in ``[1, L]``), and (ii)
+the order in which pending submissions are accepted under congestion
+("we assume that any order is possible").  A program is *correct* iff it
+computes the same input-output map under all admissible choices; the
+validation harness (:mod:`repro.logp.validate`) runs programs under an
+ensemble of these policies.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.models.message import Message
+from repro.util.rng import make_rng
+
+__all__ = [
+    "DeliveryScheduler",
+    "DeliverMaxLatency",
+    "DeliverEager",
+    "DeliverRandom",
+    "DeliverHotspotLate",
+    "AcceptancePolicy",
+    "AcceptFIFO",
+    "AcceptLIFO",
+    "AcceptRandom",
+    "DEFAULT_DELIVERY",
+    "DEFAULT_ACCEPTANCE",
+]
+
+
+class DeliveryScheduler(Protocol):
+    """Chooses the in-network delay of an accepted message.
+
+    ``propose_delay`` returns the *desired* delay in ``[1, L]``; the
+    network resolves collisions (at most one delivery per destination per
+    step) to the nearest admissible slot, never exceeding ``L``.
+    """
+
+    def propose_delay(self, msg: Message, accept_time: int, L: int) -> int: ...
+
+
+class DeliverMaxLatency:
+    """Always take the full latency ``L`` (the conservative execution).
+
+    This is the canonical choice for performance analysis: the paper's
+    upper bounds are stated against worst-case delivery.
+    """
+
+    def propose_delay(self, msg: Message, accept_time: int, L: int) -> int:
+        return L
+
+
+class DeliverEager:
+    """Deliver as soon as possible (delay 1, pushed later on collision)."""
+
+    def propose_delay(self, msg: Message, accept_time: int, L: int) -> int:
+        return 1
+
+
+class DeliverRandom:
+    """Uniformly random delay in ``[1, L]`` from a seeded stream."""
+
+    def __init__(self, seed: int | np.random.Generator = 0) -> None:
+        self._rng = make_rng(seed)
+
+    def propose_delay(self, msg: Message, accept_time: int, L: int) -> int:
+        return int(self._rng.integers(1, L + 1))
+
+
+class DeliverHotspotLate:
+    """Adversarial mix: messages to ``hot`` destinations take the full
+    ``L``; everything else is eager.  Stresses receive-order assumptions."""
+
+    def __init__(self, hot: Sequence[int]) -> None:
+        self._hot = frozenset(int(h) for h in hot)
+
+    def propose_delay(self, msg: Message, accept_time: int, L: int) -> int:
+        return L if msg.dest in self._hot else 1
+
+
+class AcceptancePolicy(Protocol):
+    """Chooses which pending submission a freed slot accepts.
+
+    ``choose`` receives the pending queue for one destination as a
+    sequence of ``(submit_time, seq, sender, msg)`` tuples and returns the
+    index to accept.
+    """
+
+    def choose(self, pending: Sequence[tuple], now: int) -> int: ...
+
+
+class AcceptFIFO:
+    """Accept the oldest submission first (ties by global sequence)."""
+
+    def choose(self, pending: Sequence[tuple], now: int) -> int:
+        return min(range(len(pending)), key=lambda i: (pending[i][0], pending[i][1]))
+
+
+class AcceptLIFO:
+    """Accept the newest submission first — the adversarial inversion."""
+
+    def choose(self, pending: Sequence[tuple], now: int) -> int:
+        return max(range(len(pending)), key=lambda i: (pending[i][0], pending[i][1]))
+
+
+class AcceptRandom:
+    """Accept a uniformly random pending submission (seeded)."""
+
+    def __init__(self, seed: int | np.random.Generator = 0) -> None:
+        self._rng = make_rng(seed)
+
+    def choose(self, pending: Sequence[tuple], now: int) -> int:
+        return int(self._rng.integers(0, len(pending)))
+
+
+DEFAULT_DELIVERY = DeliverMaxLatency
+DEFAULT_ACCEPTANCE = AcceptFIFO

@@ -1,0 +1,115 @@
+"""Approximate stall-freedom / correctness certification for LogP programs.
+
+The paper defines a *stall-free program* as one whose **all admissible
+executions** are stall-free, and a *correct program* as one computing the
+same input-output map under all admissible executions.  Admissibility has
+two degrees of freedom (Section 2.2): delivery delays in ``[1, L]`` and
+the acceptance order under congestion.  Exhaustively enumerating
+executions is infeasible, so :func:`validate_program` samples an ensemble
+of policies — the deterministic extremes (max-latency, eager) crossed
+with FIFO/LIFO acceptance, plus seeded random schedules — and reports:
+
+* whether any sampled execution stalled,
+* whether all sampled executions produced identical results,
+* trace-invariant violations (with ``check_traces=True``).
+
+A ``CertificationReport`` with ``ok`` True is strong evidence, not proof
+(the paper's constructions are *proved* stall-free; the engine asserts
+that claim at run time via ``forbid_stalling``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.logp.machine import LogPMachine
+from repro.logp.scheduler import (
+    AcceptFIFO,
+    AcceptLIFO,
+    AcceptRandom,
+    DeliverEager,
+    DeliverMaxLatency,
+    DeliverRandom,
+)
+from repro.logp.trace import accept_times_from_result
+from repro.models.params import LogPParams
+
+__all__ = ["CertificationReport", "validate_program", "default_ensemble"]
+
+
+def default_ensemble(seeds: Sequence[int] = (0, 1, 2)) -> list[tuple[str, dict]]:
+    """The policy grid: deterministic extremes + seeded random mixes."""
+    grid: list[tuple[str, dict]] = [
+        ("max-latency/FIFO", dict(delivery=DeliverMaxLatency(), acceptance=AcceptFIFO())),
+        ("max-latency/LIFO", dict(delivery=DeliverMaxLatency(), acceptance=AcceptLIFO())),
+        ("eager/FIFO", dict(delivery=DeliverEager(), acceptance=AcceptFIFO())),
+        ("eager/LIFO", dict(delivery=DeliverEager(), acceptance=AcceptLIFO())),
+    ]
+    for s in seeds:
+        grid.append(
+            (
+                f"random[{s}]",
+                dict(delivery=DeliverRandom(seed=s), acceptance=AcceptRandom(seed=s + 1000)),
+            )
+        )
+    return grid
+
+
+@dataclass
+class CertificationReport:
+    """Outcome of ensemble validation."""
+
+    executions: int
+    stall_free: bool
+    deterministic_result: bool
+    results: Any
+    violations: list = field(default_factory=list)
+    stalling_policies: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.stall_free and self.deterministic_result and not self.violations
+
+
+def validate_program(
+    params: LogPParams,
+    program,
+    *,
+    seeds: Sequence[int] = (0, 1, 2),
+    check_traces: bool = True,
+    require_stall_free: bool = True,
+) -> CertificationReport:
+    """Run ``program`` under the policy ensemble and cross-check outcomes.
+
+    With ``require_stall_free=False`` the stall check is skipped (useful
+    for certifying result-determinism of programs that legitimately
+    stall, e.g. hot-spot kernels).
+    """
+    ensemble = default_ensemble(seeds)
+    baseline: Any = None
+    stall_free = True
+    deterministic = True
+    violations: list = []
+    stalling_policies: list[str] = []
+    for i, (name, kwargs) in enumerate(ensemble):
+        machine = LogPMachine(params, record_trace=check_traces, **kwargs)
+        result = machine.run(program)
+        if not result.stall_free:
+            stall_free = False
+            stalling_policies.append(name)
+        if check_traces and result.trace is not None:
+            found = result.trace.check_invariants(accept_times_from_result(result))
+            violations.extend((name, v) for v in found)
+        if i == 0:
+            baseline = result.results
+        elif result.results != baseline:
+            deterministic = False
+    return CertificationReport(
+        executions=len(ensemble),
+        stall_free=stall_free or not require_stall_free,
+        deterministic_result=deterministic,
+        results=baseline,
+        violations=violations,
+        stalling_policies=stalling_policies,
+    )

@@ -1,0 +1,6 @@
+"""Shared model-level types: machine parameters, messages, analytic costs."""
+
+from repro.models.message import Message
+from repro.models.params import BSPParams, LogPParams
+
+__all__ = ["Message", "BSPParams", "LogPParams"]

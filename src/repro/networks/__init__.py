@@ -1,0 +1,33 @@
+"""Point-to-point processor networks (paper Section 5, Table 1).
+
+Each topology provides its node set, which nodes carry processors
+("hosts" — in some networks, e.g. the mesh of trees, internal nodes are
+pure routers), and a structured *oblivious route* between any two nodes.
+:mod:`repro.networks.routing_sim` moves packets synchronously
+(store-and-forward, one packet per directed edge per step, single- or
+multi-port nodes) so the experiments can measure the routing time of
+h-relations and extract empirical bandwidth/latency parameters
+(gamma(p), delta(p)) to compare against Table 1.
+"""
+
+from repro.networks.array_nd import ArrayND
+from repro.networks.butterfly import Butterfly
+from repro.networks.ccc import CubeConnectedCycles
+from repro.networks.hypercube import Hypercube
+from repro.networks.mesh_of_trees import MeshOfTrees
+from repro.networks.shuffle_exchange import ShuffleExchange
+from repro.networks.routing_sim import RoutingConfig, RoutingOutcome, route_h_relation
+from repro.networks.topology import Topology
+
+__all__ = [
+    "Topology",
+    "ArrayND",
+    "Hypercube",
+    "Butterfly",
+    "CubeConnectedCycles",
+    "ShuffleExchange",
+    "MeshOfTrees",
+    "RoutingConfig",
+    "RoutingOutcome",
+    "route_h_relation",
+]

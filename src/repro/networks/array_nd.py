@@ -1,0 +1,68 @@
+"""d-dimensional arrays (meshes) with dimension-order routing.
+
+Table 1 row "d-dim Array": ``gamma(p) = Theta(p^{1/d})`` and
+``delta(p) = Theta(p^{1/d})`` for constant ``d``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.networks.topology import Topology
+from repro.util.intmath import digits_mixed_radix, from_digits_mixed_radix
+
+__all__ = ["ArrayND"]
+
+
+class ArrayND(Topology):
+    """A ``sides[0] x sides[1] x ... `` array; every node is a host.
+
+    ``torus=True`` adds wraparound edges (the Table 1 bounds are the same
+    up to constants; the mesh is the default as in the cited routing
+    results [34]).
+    """
+
+    def __init__(self, sides: tuple[int, ...], *, torus: bool = False) -> None:
+        if not sides or any(s < 1 for s in sides):
+            raise TopologyError(f"invalid array sides {sides}")
+        self.sides = tuple(int(s) for s in sides)
+        self.torus = torus
+        n = 1
+        for s in self.sides:
+            n *= s
+        super().__init__(n)
+        self.name = f"{len(self.sides)}-dim array"
+        for node in range(n):
+            coords = list(digits_mixed_radix(node, self.sides))
+            for dim, side in enumerate(self.sides):
+                if side == 1:
+                    continue
+                if coords[dim] + 1 < side:
+                    coords[dim] += 1
+                    self.add_edge(node, from_digits_mixed_radix(tuple(coords), self.sides))
+                    coords[dim] -= 1
+                elif torus and side > 2:
+                    coords[dim] = 0
+                    self.add_edge(node, from_digits_mixed_radix(tuple(coords), self.sides))
+                    coords[dim] = side - 1
+
+    @classmethod
+    def square(cls, side: int, d: int = 2, **kw) -> "ArrayND":
+        """The ``side^d``-node array with equal sides."""
+        return cls((side,) * d, **kw)
+
+    def route(self, u: int, v: int) -> list[int]:
+        """Dimension-order (e-cube-style) routing: correct coordinate 0
+        first, then coordinate 1, etc., stepping one hop at a time."""
+        path = [u]
+        coords = list(digits_mixed_radix(u, self.sides))
+        target = digits_mixed_radix(v, self.sides)
+        for dim, side in enumerate(self.sides):
+            while coords[dim] != target[dim]:
+                delta = target[dim] - coords[dim]
+                if self.torus and side > 2 and abs(delta) > side // 2:
+                    step = -1 if delta > 0 else 1
+                else:
+                    step = 1 if delta > 0 else -1
+                coords[dim] = (coords[dim] + step) % side
+                path.append(from_digits_mixed_radix(tuple(coords), self.sides))
+        return path

@@ -1,0 +1,172 @@
+"""Network-backed BSP: charge supersteps with *measured* routing costs.
+
+Section 5 argues that point-to-point networks support the BSP
+abstraction with parameters ``g* = Theta(gamma(p))``, ``l* =
+Theta(delta(p))``.  This module closes the loop executably: it runs a
+BSP program normally (BSP semantics are network-independent — the §2.1
+portability property), then re-prices every superstep with
+
+* the *actual* time the packet simulator needs to route that superstep's
+  message set on a given topology, plus
+* a barrier charge of one tree ascent + descent (``2 x diameter``).
+
+Comparing the network-backed cost against the abstract machine's
+``w + g* h + l*`` quantifies how well the bridging model's two
+parameters predict a real network — the model's raison d'être.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.bsp.machine import BSPMachine, BSPResult
+from repro.bsp.program import BSPProgram
+from repro.errors import TopologyError
+from repro.models.params import BSPParams
+from repro.networks.routing_sim import RoutingConfig, build_paths, route_packets
+from repro.networks.topology import Topology
+
+__all__ = [
+    "NetworkBackedRun",
+    "run_on_network",
+    "SuperstepComm",
+    "NetworkDelivery",
+]
+
+
+@dataclass(frozen=True)
+class SuperstepComm:
+    """One superstep's communication, priced on the network."""
+
+    index: int
+    w: int
+    h: int
+    route_time: int
+    barrier_time: int
+
+    @property
+    def cost(self) -> int:
+        return self.w + self.route_time + self.barrier_time
+
+
+@dataclass
+class NetworkBackedRun:
+    """A BSP execution priced on a concrete topology."""
+
+    topology_name: str
+    p: int
+    bsp: BSPResult
+    supersteps: list[SuperstepComm] = field(default_factory=list)
+
+    @property
+    def results(self):
+        return self.bsp.results
+
+    @property
+    def network_cost(self) -> int:
+        """Total cost with measured routing + barrier charges."""
+        return sum(s.cost for s in self.supersteps)
+
+    def abstract_cost(self, params: BSPParams) -> int:
+        """Cost of the same execution on the abstract machine
+        ``w + g h + l`` — for fidelity ratios against ``network_cost``."""
+        return sum(
+            params.superstep_cost(s.w, s.h) for s in self.supersteps
+        )
+
+    @property
+    def total_route_time(self) -> int:
+        return sum(s.route_time for s in self.supersteps)
+
+
+class NetworkDelivery:
+    """A LogP :class:`~repro.logp.scheduler.DeliveryScheduler` whose
+    delays come from *traversing the actual topology*.
+
+    Each accepted message is routed hop by hop along the topology's
+    oblivious path; every directed edge carries one message per step, so
+    the scheduler keeps a reservation table (edge -> next free step) that
+    persists across messages — an online store-and-forward co-simulation
+    of the network underneath the LogP machine.
+
+    The LogP model *requires* delivery within ``L``; if the network needs
+    longer, the machine clamps the delay to ``L`` and this scheduler
+    counts the violation (:attr:`violations`).  A topology genuinely
+    supports ``(L, G)`` for a traffic class iff such runs stay
+    violation-free — the executable form of Section 5's "any machine that
+    supports ..." statements.
+    """
+
+    def __init__(self, topo: Topology, *, start_time: int = 0) -> None:
+        self.topo = topo
+        self._edge_free: dict[tuple[int, int], int] = {}
+        self.violations = 0
+        self.delays: list[int] = []
+
+    def propose_delay(self, msg, accept_time: int, L: int) -> int:
+        path = self.topo.route(self.topo.hosts[msg.src], self.topo.hosts[msg.dest])
+        t = accept_time
+        for u, v in zip(path, path[1:]):
+            depart = max(t, self._edge_free.get((u, v), 0))
+            self._edge_free[(u, v)] = depart + 1
+            t = depart + 1
+        delay = max(1, t - accept_time)
+        self.delays.append(delay)
+        if delay > L:
+            self.violations += 1
+        return delay  # the engine clamps to [1, L]
+
+    @property
+    def max_delay(self) -> int:
+        return max(self.delays, default=0)
+
+
+def run_on_network(
+    topo: Topology,
+    program: BSPProgram | Sequence[BSPProgram],
+    *,
+    config: RoutingConfig = RoutingConfig(),
+    seed: int = 0,
+    barrier_factor: int = 2,
+) -> NetworkBackedRun:
+    """Execute ``program`` with BSP semantics and network-measured costs.
+
+    The program runs on a machine with ``p`` = the topology's processor
+    count; each superstep's message multiset is source-routed on the
+    packet simulator (Valiant per ``config``) and its completion time
+    becomes the superstep's communication charge.  The barrier costs
+    ``barrier_factor * diameter`` (tree up + down).
+    """
+    p = topo.p
+    # Semantics first: parameters don't affect results (§2.1), so run on
+    # a unit machine while recording the communication structure.
+    machine = BSPMachine(BSPParams(p=p, g=1, l=0), record_messages=True)
+    bsp = machine.run(program)
+    if bsp.message_log is None:
+        raise TopologyError("internal: message recording disabled")
+
+    barrier = barrier_factor * topo.diameter(
+        sample=None if topo.num_nodes <= 1024 else topo.hosts[:: max(1, p // 16)]
+    )
+    supersteps: list[SuperstepComm] = []
+    for rec, msgs in zip(bsp.ledger, bsp.message_log):
+        if msgs:
+            paths = build_paths(
+                topo, msgs, valiant=config.valiant, seed=seed + rec.index
+            )
+            route_time = route_packets(topo, paths, config).time
+        else:
+            route_time = 0
+        supersteps.append(
+            SuperstepComm(
+                index=rec.index,
+                w=rec.w,
+                h=rec.h,
+                route_time=route_time,
+                barrier_time=barrier,
+            )
+        )
+    return NetworkBackedRun(
+        topology_name=topo.name, p=p, bsp=bsp, supersteps=supersteps
+    )

@@ -1,0 +1,65 @@
+"""The butterfly network.
+
+Table 1 places processors at *every* node of the ``(k+1) 2^k``-node
+butterfly (that is how its ``gamma = Theta(log p)`` arises: the bisection
+is ``Theta(2^k) = Theta(p / log p)``).  Node ``(l, r)`` for level
+``l in [0, k]`` and row ``r in [0, 2^k)``; straight edges connect
+``(l, r)-(l+1, r)`` and cross edges ``(l, r)-(l+1, r XOR 2^l)``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.networks.topology import Topology
+from repro.util.intmath import is_power_of_two, ilog2
+
+__all__ = ["Butterfly"]
+
+
+class Butterfly(Topology):
+    """Butterfly with ``rows = 2^k`` rows and ``k + 1`` levels."""
+
+    def __init__(self, rows: int) -> None:
+        if not is_power_of_two(rows) or rows < 2:
+            raise TopologyError(f"butterfly requires rows = 2^k >= 2, got {rows}")
+        self.rows = rows
+        self.k = ilog2(rows)
+        n = (self.k + 1) * rows
+        super().__init__(n)
+        self.name = "butterfly"
+        for l in range(self.k):
+            for r in range(rows):
+                self.add_edge(self.node(l, r), self.node(l + 1, r))
+                self.add_edge(self.node(l, r), self.node(l + 1, r ^ (1 << l)))
+
+    def node(self, level: int, row: int) -> int:
+        return level * self.rows + row
+
+    def level_row(self, node: int) -> tuple[int, int]:
+        return divmod(node, self.rows)
+
+    def route(self, u: int, v: int) -> list[int]:
+        """Ascend to level 0, descend correcting all row bits (bit ``l``
+        is correctable only on a level-``l`` cross edge), then ascend to
+        the target level in the target row."""
+        lu, ru = self.level_row(u)
+        lv, rv = self.level_row(v)
+        path = [u]
+        # ascend to level 0 in row ru
+        for l in range(lu - 1, -1, -1):
+            path.append(self.node(l, ru))
+        # descend to level k, correcting bits toward rv
+        row = ru
+        for l in range(self.k):
+            if (row ^ rv) & (1 << l):
+                row ^= 1 << l
+            path.append(self.node(l + 1, row))
+        # ascend to level lv in row rv
+        for l in range(self.k - 1, lv - 1, -1):
+            path.append(self.node(l, rv))
+        # collapse consecutive duplicates (u may already sit mid-path)
+        out = [path[0]]
+        for nd in path[1:]:
+            if nd != out[-1]:
+                out.append(nd)
+        return out

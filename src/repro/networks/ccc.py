@@ -1,0 +1,64 @@
+"""Cube-connected cycles.
+
+``k * 2^k`` nodes: each corner ``x`` of the k-cube is a cycle of ``k``
+nodes ``(x, 0) .. (x, k-1)``; cycle edges plus one cube edge per node
+(``(x, i) - (x XOR 2^i, i)``).  Constant degree 3; Table 1 gives
+``gamma = delta = Theta(log p)``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.networks.topology import Topology
+from repro.util.intmath import is_power_of_two, ilog2
+
+__all__ = ["CubeConnectedCycles"]
+
+
+class CubeConnectedCycles(Topology):
+    """CCC on ``corners = 2^k`` corners (``k >= 2``), all nodes hosts."""
+
+    def __init__(self, corners: int) -> None:
+        if not is_power_of_two(corners) or corners < 4:
+            raise TopologyError(f"CCC requires corners = 2^k >= 4, got {corners}")
+        self.corners = corners
+        self.k = ilog2(corners)
+        super().__init__(self.k * corners)
+        self.name = "ccc"
+        k = self.k
+        for x in range(corners):
+            for i in range(k):
+                self.add_edge(self.node(x, i), self.node(x, (i + 1) % k))
+                self.add_edge(self.node(x, i), self.node(x ^ (1 << i), i))
+
+    def node(self, corner: int, pos: int) -> int:
+        return corner * self.k + pos
+
+    def corner_pos(self, node: int) -> tuple[int, int]:
+        return divmod(node, self.k)
+
+    def route(self, u: int, v: int) -> list[int]:
+        """Emulated e-cube: walk the cycle once; at position ``i`` take
+        the cube edge when bit ``i`` differs; finish by walking the cycle
+        to the target position."""
+        k = self.k
+        (cx, ci) = self.corner_pos(u)
+        (tx, tj) = self.corner_pos(v)
+        path = [u]
+        corner, pos = cx, ci
+        # One full sweep of positions starting at ci, flipping needed bits.
+        for step in range(k):
+            i = (ci + step) % k
+            if pos != i:  # move one step along the cycle
+                pos = i
+                path.append(self.node(corner, pos))
+            if (corner ^ tx) & (1 << i):
+                corner ^= 1 << i
+                path.append(self.node(corner, pos))
+        # Walk the cycle to the target position (shorter direction).
+        while pos != tj:
+            fwd = (tj - pos) % k
+            back = (pos - tj) % k
+            pos = (pos + 1) % k if fwd <= back else (pos - 1) % k
+            path.append(self.node(corner, pos))
+        return path

@@ -1,0 +1,45 @@
+"""The binary hypercube with e-cube routing.
+
+Table 1 distinguishes the *multi-port* hypercube (a node may use all
+``log p`` links in one step: ``gamma = Theta(1)``) from the *single-port*
+one (one link per node per step: ``gamma = Theta(log p)``); both have
+``delta = Theta(log p)``.  The port discipline is a property of the
+packet simulator (:class:`~repro.networks.routing_sim.RoutingConfig`),
+not of the graph, so a single topology class serves both rows.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.networks.topology import Topology
+from repro.util.intmath import ilog2, is_power_of_two
+
+__all__ = ["Hypercube"]
+
+
+class Hypercube(Topology):
+    """The ``2^k``-node hypercube; every node is a host."""
+
+    def __init__(self, p: int) -> None:
+        if not is_power_of_two(p):
+            raise TopologyError(f"hypercube requires a power-of-two size, got {p}")
+        super().__init__(p)
+        self.k = ilog2(p)
+        self.name = "hypercube"
+        for u in range(p):
+            for bit in range(self.k):
+                self.add_edge(u, u ^ (1 << bit))
+
+    def route(self, u: int, v: int) -> list[int]:
+        """E-cube routing: correct differing bits from LSB to MSB."""
+        path = [u]
+        cur = u
+        diff = u ^ v
+        bit = 0
+        while diff:
+            if diff & 1:
+                cur ^= 1 << bit
+                path.append(cur)
+            diff >>= 1
+            bit += 1
+        return path

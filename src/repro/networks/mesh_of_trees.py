@@ -1,0 +1,104 @@
+"""The 2-dimensional mesh of trees (Table 1's "Pruned Butterfly /
+Mesh-of-Trees" row: ``gamma = Theta(sqrt p)``, ``delta = Theta(log p)``).
+
+An ``n x n`` grid of leaf cells (the ``p = n^2`` processors), plus a
+complete binary tree over every row and every column whose internal
+nodes are pure routers.  Routing ``(i, j) -> (i', j')`` goes through row
+tree ``i`` (leaf ``(i, j)`` to leaf ``(i, j')`` via their LCA) and then
+column tree ``j'`` (leaf ``(i, j')`` to ``(i', j')``), i.e. at most
+``4 log n`` hops.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.networks.topology import Topology
+from repro.util.intmath import is_power_of_two, ilog2
+
+__all__ = ["MeshOfTrees"]
+
+
+class MeshOfTrees(Topology):
+    """Mesh of trees over an ``n x n`` grid, ``n = 2^k``.
+
+    Node layout: leaves ``0 .. n^2-1`` (leaf ``(i, j)`` is ``i*n + j``),
+    then for each row ``i`` the ``n - 1`` internal nodes of its tree,
+    then for each column ``j`` likewise.  Internal tree nodes are heap
+    indexed: internal node ``t in [1, n)`` of a tree has children
+    ``2t`` and ``2t + 1`` (indices ``>= n`` denote leaves ``idx - n``).
+    """
+
+    def __init__(self, n: int) -> None:
+        if not is_power_of_two(n) or n < 2:
+            raise TopologyError(f"mesh of trees requires n = 2^k >= 2, got {n}")
+        self.n = n
+        self.k = ilog2(n)
+        leaves = n * n
+        internal_per_tree = n - 1
+        total = leaves + 2 * n * internal_per_tree
+        super().__init__(total, hosts=list(range(leaves)))
+        self.name = "mesh-of-trees"
+        self._row_base = leaves
+        self._col_base = leaves + n * internal_per_tree
+        for i in range(n):
+            for t in range(1, n):
+                node = self._row_internal(i, t)
+                for child in (2 * t, 2 * t + 1):
+                    self.add_edge(node, self._row_child(i, child))
+        for j in range(n):
+            for t in range(1, n):
+                node = self._col_internal(j, t)
+                for child in (2 * t, 2 * t + 1):
+                    self.add_edge(node, self._col_child(j, child))
+
+    # heap-node helpers: index t in [1, 2n); t >= n is leaf t - n
+    def _row_internal(self, row: int, t: int) -> int:
+        return self._row_base + row * (self.n - 1) + (t - 1)
+
+    def _row_child(self, row: int, t: int) -> int:
+        if t >= self.n:
+            return row * self.n + (t - self.n)  # leaf (row, t - n)
+        return self._row_internal(row, t)
+
+    def _col_internal(self, col: int, t: int) -> int:
+        return self._col_base + col * (self.n - 1) + (t - 1)
+
+    def _col_child(self, col: int, t: int) -> int:
+        if t >= self.n:
+            return (t - self.n) * self.n + col  # leaf (t - n, col)
+        return self._col_internal(col, t)
+
+    @staticmethod
+    def _tree_path(a: int, b: int, n: int) -> list[int]:
+        """Heap-index path from leaf slot ``a`` to leaf slot ``b`` via
+        their LCA (slots in ``[0, n)``, heap leaf index = slot + n)."""
+        x, y = a + n, b + n
+        up_x: list[int] = [x]
+        up_y: list[int] = [y]
+        while x != y:
+            if x >= y:
+                x //= 2
+                up_x.append(x)
+            else:
+                y //= 2
+                up_y.append(y)
+        return up_x + up_y[-2::-1]
+
+    def route(self, u: int, v: int) -> list[int]:
+        n = self.n
+        iu, ju = divmod(u, n) if u < n * n else (None, None)
+        iv, jv = divmod(v, n) if v < n * n else (None, None)
+        if iu is None or iv is None:
+            raise TopologyError("mesh-of-trees routes host (leaf) pairs only")
+        path = [u]
+        # Row tree iu: (iu, ju) -> (iu, jv)
+        if ju != jv:
+            heap = self._tree_path(ju, jv, n)
+            for t in heap[1:]:
+                path.append(self._row_child(iu, t) if t < n else iu * n + (t - n))
+        # Column tree jv: (iu, jv) -> (iv, jv)
+        if iu != iv:
+            heap = self._tree_path(iu, iv, n)
+            for t in heap[1:]:
+                path.append(self._col_child(jv, t) if t < n else (t - n) * n + jv)
+        return path

@@ -1,0 +1,151 @@
+"""Extracting empirical (gamma, delta) from routing measurements — the
+machinery behind the Table 1 experiment.
+
+``T(h) ~= gamma * h + delta`` for balanced h-relations; we measure
+``T(h)`` over an ``h`` sweep (several seeds each), fit the affine model,
+and compare the fitted slope/intercept against the Table 1 asymptotics
+(:data:`repro.models.cost.TABLE1`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.cost import TABLE1
+from repro.networks.routing_sim import RoutingConfig, route_h_relation
+from repro.networks.topology import Topology
+from repro.util.stats import AffineFit, affine_fit
+
+__all__ = ["NetworkParams", "measure_network_params", "make_topology", "TOPOLOGY_BUILDERS"]
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Empirical bandwidth/latency of one topology instance."""
+
+    name: str
+    p: int
+    gamma: float
+    delta: float
+    r2: float
+    diameter: int
+
+    def theory(self, d: int = 2) -> tuple[float, float]:
+        """Table 1's (gamma, delta) for this topology at this ``p``."""
+        costs = TABLE1[self.name]
+        return costs.gamma(self.p, d), costs.delta(self.p, d)
+
+
+def measure_network_params(
+    topo: Topology,
+    *,
+    table_name: str,
+    hs: tuple[int, ...] = (1, 2, 4, 8, 16),
+    seeds: tuple[int, ...] = (0, 1, 2),
+    config: RoutingConfig = RoutingConfig(),
+    exact_diameter: bool = True,
+) -> NetworkParams:
+    """Fit ``T(h) = gamma h + delta`` on the measured routing times."""
+    xs: list[float] = []
+    ys: list[float] = []
+    for h in hs:
+        for seed in seeds:
+            out = route_h_relation(topo, h, seed=seed, config=config)
+            xs.append(float(h))
+            ys.append(float(out.time))
+    fit: AffineFit = affine_fit(xs, ys)
+    diam = (
+        topo.diameter()
+        if exact_diameter and topo.num_nodes <= 2048
+        else topo.diameter(sample=topo.hosts[:: max(1, len(topo.hosts) // 16)])
+    )
+    return NetworkParams(
+        name=table_name,
+        p=topo.p,
+        gamma=max(fit.slope, 0.0),
+        delta=max(fit.intercept, 0.0),
+        r2=fit.r2,
+        diameter=diam,
+    )
+
+
+def make_topology(name: str, p: int):
+    """Build a Table 1 topology instance with (approximately) ``p``
+    processors, together with the routing configuration that realizes the
+    table's assumptions for that row.
+
+    Returns ``(topology, config)``.  ``p`` must be a power of two for the
+    non-array networks (sizes are rounded to the structure's natural
+    grid for arrays / butterflies / CCC / mesh-of-trees).
+    """
+    builder = TOPOLOGY_BUILDERS.get(name)
+    if builder is None:
+        raise KeyError(f"unknown topology {name!r}; choose from {sorted(TOPOLOGY_BUILDERS)}")
+    return builder(p)
+
+
+def _build_array(p: int):
+    from repro.networks.array_nd import ArrayND
+
+    side = max(2, int(round(np.sqrt(p))))
+    return ArrayND((side, side)), RoutingConfig(priority="farthest")
+
+
+def _build_hypercube_multi(p: int):
+    from repro.networks.hypercube import Hypercube
+
+    return Hypercube(p), RoutingConfig(valiant=True)
+
+
+def _build_hypercube_single(p: int):
+    from repro.networks.hypercube import Hypercube
+
+    return Hypercube(p), RoutingConfig(single_port=True, valiant=True)
+
+
+def _build_butterfly(p: int):
+    from repro.networks.butterfly import Butterfly
+
+    # p processors spread over (k+1) levels of 2^k rows: pick the largest
+    # 2^k with (k+1) 2^k <= p, then report the actual processor count.
+    rows = 2
+    while (rows.bit_length() + 1) * rows * 2 <= p:
+        rows *= 2
+    return Butterfly(rows), RoutingConfig(valiant=True)
+
+
+def _build_ccc(p: int):
+    from repro.networks.ccc import CubeConnectedCycles
+
+    corners = 4
+    while corners.bit_length() * corners * 2 <= p:
+        corners *= 2
+    return CubeConnectedCycles(corners), RoutingConfig(valiant=True)
+
+
+def _build_shuffle_exchange(p: int):
+    from repro.networks.shuffle_exchange import ShuffleExchange
+
+    return ShuffleExchange(p), RoutingConfig(valiant=True)
+
+
+def _build_mesh_of_trees(p: int):
+    from repro.networks.mesh_of_trees import MeshOfTrees
+
+    n = max(2, int(round(np.sqrt(p))))
+    # round n to a power of two
+    n = 1 << (n - 1).bit_length()
+    return MeshOfTrees(n), RoutingConfig()
+
+
+TOPOLOGY_BUILDERS = {
+    "d-dim array": _build_array,
+    "hypercube (multi-port)": _build_hypercube_multi,
+    "hypercube (single-port)": _build_hypercube_single,
+    "butterfly": _build_butterfly,
+    "ccc": _build_ccc,
+    "shuffle-exchange": _build_shuffle_exchange,
+    "mesh-of-trees": _build_mesh_of_trees,
+}

@@ -1,0 +1,197 @@
+"""Synchronous store-and-forward packet routing on a topology.
+
+The simulator moves packets along precomputed (source-routed) paths:
+
+* per step, each *directed edge* transmits at most one packet;
+* **multi-port** nodes may use all their incident edges in one step;
+  **single-port** nodes transmit on at most one outgoing edge per step
+  (the Table 1 distinction between the two hypercube rows);
+* queues are per outgoing edge, FIFO by default, optionally
+  farthest-to-go-first (a classical greedy priority for meshes);
+* a packet arriving at its destination node is absorbed.
+
+Paths come from each topology's deterministic oblivious route, optionally
+via a Valiant random intermediate host ("two-phase" routing — the
+standard way to make the deterministic routes h-relation-worst-case
+proof; used by the Table 1 experiment on the hypercube-like networks).
+
+The routing time of a balanced h-relation then behaves as
+``T(h) ~= gamma(p) * h + delta(p)``, and the experiment extracts
+``(gamma, delta)`` by an affine fit over ``h``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.networks.topology import Topology
+from repro.routing.workloads import balanced_h_relation
+from repro.util.rng import make_rng
+
+__all__ = ["RoutingConfig", "RoutingOutcome", "route_packets", "route_h_relation"]
+
+
+@dataclass(frozen=True)
+class RoutingConfig:
+    """Simulator knobs.
+
+    ``single_port``: one outgoing transmission per node per step.
+    ``priority``: ``"fifo"`` or ``"farthest"`` (most remaining hops first).
+    ``valiant``: route via a uniformly random intermediate host.
+    ``max_steps``: safety valve.
+    """
+
+    single_port: bool = False
+    priority: str = "fifo"
+    valiant: bool = False
+    max_steps: int = 1_000_000
+
+
+@dataclass
+class RoutingOutcome:
+    """Result of routing one packet set."""
+
+    time: int
+    packets: int
+    total_hops: int
+    max_queue: int
+
+    @property
+    def avg_path(self) -> float:
+        return self.total_hops / self.packets if self.packets else 0.0
+
+
+def route_packets(
+    topo: Topology,
+    paths: list[list[int]],
+    config: RoutingConfig = RoutingConfig(),
+) -> RoutingOutcome:
+    """Simulate the synchronous delivery of packets along ``paths``.
+
+    Each path is a node sequence (from the packet's source node to its
+    destination node).  Returns timing statistics; raises
+    :class:`~repro.errors.RoutingError` if ``max_steps`` is exceeded.
+    """
+    # Packet state: index into its path (position of current node).
+    pos = [0] * len(paths)
+    total_hops = 0
+    queues: dict[tuple[int, int], deque[int]] = {}
+    node_out: dict[int, list[tuple[int, int]]] = {}
+
+    def enqueue(pkt: int) -> bool:
+        """Queue packet ``pkt`` on its next edge; False if already home."""
+        path = paths[pkt]
+        i = pos[pkt]
+        if i + 1 >= len(path):
+            return False
+        edge = (path[i], path[i + 1])
+        q = queues.get(edge)
+        if q is None:
+            q = queues[edge] = deque()
+            node_out.setdefault(edge[0], []).append(edge)
+        q.append(pkt)
+        return True
+
+    live = 0
+    for pkt, path in enumerate(paths):
+        total_hops += len(path) - 1
+        if enqueue(pkt):
+            live += 1
+    max_queue = max((len(q) for q in queues.values()), default=0)
+
+    farthest = config.priority == "farthest"
+    if config.priority not in ("fifo", "farthest"):
+        raise RoutingError(f"unknown priority {config.priority!r}")
+
+    time = 0
+    while live:
+        time += 1
+        if time > config.max_steps:
+            raise RoutingError(f"routing exceeded max_steps={config.max_steps}")
+        moved: list[int] = []
+        if config.single_port:
+            # Each node transmits on one outgoing edge this step; rotate
+            # fairly over its edges by time to avoid starvation.
+            for node, edges in node_out.items():
+                n_e = len(edges)
+                for off in range(n_e):
+                    edge = edges[(time + off) % n_e]
+                    q = queues.get(edge)
+                    if q:
+                        moved.append(_pop(q, paths, pos, farthest))
+                        break
+        else:
+            for edge, q in queues.items():
+                if q:
+                    moved.append(_pop(q, paths, pos, farthest))
+        if not moved:
+            raise RoutingError("routing deadlock: live packets but no moves")
+        for pkt in moved:
+            pos[pkt] += 1
+            if not enqueue(pkt):
+                live -= 1
+        if queues:
+            max_queue = max(max_queue, max(len(q) for q in queues.values()))
+
+    return RoutingOutcome(
+        time=time,
+        packets=len(paths),
+        total_hops=total_hops,
+        max_queue=max_queue,
+    )
+
+
+def _pop(q: deque, paths: list[list[int]], pos: list[int], farthest: bool) -> int:
+    if not farthest or len(q) == 1:
+        return q.popleft()
+    best_i = 0
+    best_rem = -1
+    for i, pkt in enumerate(q):
+        rem = len(paths[pkt]) - 1 - pos[pkt]
+        if rem > best_rem:
+            best_rem = rem
+            best_i = i
+    pkt = q[best_i]
+    del q[best_i]
+    return pkt
+
+
+def build_paths(
+    topo: Topology,
+    pairs: list[tuple[int, int]],
+    *,
+    valiant: bool = False,
+    seed: int | np.random.Generator = 0,
+) -> list[list[int]]:
+    """Source-route each ``(src_host, dst_host)`` pair, optionally through
+    a uniformly random intermediate host (Valiant's two-phase trick)."""
+    rng = make_rng(seed)
+    paths: list[list[int]] = []
+    hosts = topo.hosts
+    for src, dst in pairs:
+        u, v = hosts[src], hosts[dst]
+        if valiant and u != v:
+            w = hosts[int(rng.integers(0, len(hosts)))]
+            first = topo.route(u, w)
+            second = topo.route(w, v)
+            paths.append(first + second[1:])
+        else:
+            paths.append(topo.route(u, v))
+    return paths
+
+
+def route_h_relation(
+    topo: Topology,
+    h: int,
+    *,
+    seed: int = 0,
+    config: RoutingConfig = RoutingConfig(),
+) -> RoutingOutcome:
+    """Generate a balanced h-relation on the topology's hosts and route it."""
+    pairs = balanced_h_relation(topo.p, h, seed=seed)
+    paths = build_paths(topo, pairs, valiant=config.valiant, seed=seed + 1)
+    return route_packets(topo, paths, config)

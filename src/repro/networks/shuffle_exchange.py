@@ -1,0 +1,57 @@
+"""The shuffle-exchange graph.
+
+``2^k`` nodes; *exchange* edges ``x - (x XOR 1)`` and *shuffle* edges
+``x - rot_left(x)`` (undirected, as usual for the routing results Table 1
+cites).  Constant degree; ``gamma = delta = Theta(log p)``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.networks.topology import Topology
+from repro.util.intmath import is_power_of_two, ilog2
+
+__all__ = ["ShuffleExchange"]
+
+
+class ShuffleExchange(Topology):
+    """Shuffle-exchange on ``p = 2^k`` nodes (``k >= 1``), all hosts."""
+
+    def __init__(self, p: int) -> None:
+        if not is_power_of_two(p) or p < 2:
+            raise TopologyError(f"shuffle-exchange requires p = 2^k >= 2, got {p}")
+        super().__init__(p)
+        self.k = ilog2(p)
+        self.name = "shuffle-exchange"
+        for x in range(p):
+            self.add_edge(x, x ^ 1)
+            self.add_edge(x, self.shuffle(x))
+
+    def shuffle(self, x: int) -> int:
+        """Cyclic left rotation of the k-bit word ``x``."""
+        k = self.k
+        return ((x << 1) | (x >> (k - 1))) & ((1 << k) - 1)
+
+    def route(self, u: int, v: int) -> list[int]:
+        """The classical k-round schedule: in round ``i`` shuffle, then
+        exchange if the now-lowest bit disagrees with the corresponding
+        bit of the destination."""
+        k = self.k
+        path = [u]
+        cur = u
+        if u == v:
+            return path
+        for i in range(k):
+            nxt = self.shuffle(cur)
+            if nxt != cur:
+                cur = nxt
+                path.append(cur)
+            # The LSB fixed in round i undergoes k-1-i further rotations
+            # and ends at position k-1-i, so it must equal that bit of v.
+            want = (v >> (k - 1 - i)) & 1
+            if (cur & 1) != want:
+                cur ^= 1
+                path.append(cur)
+        if cur != v:
+            raise AssertionError(f"shuffle-exchange routing failed: {u}->{v}, got {cur}")
+        return path

@@ -1,0 +1,33 @@
+"""Ready-made example programs for both machine models.
+
+These are the workloads the cross-simulation experiments run: classic
+LogP kernels (ring rotation, broadcast, summation, all-to-all) and BSP
+kernels (prefix sums, parallel radix sort, dense matrix-vector).
+"""
+
+from repro.programs.logp_examples import (
+    logp_alltoall_program,
+    logp_broadcast_program,
+    logp_ring_program,
+    logp_sum_program,
+)
+from repro.programs.bsp_examples import (
+    bsp_matvec_program,
+    bsp_prefix_program,
+    bsp_radix_sort_program,
+    bsp_sample_sort_program,
+)
+from repro.programs.bsp_numeric import bsp_fft_program, bsp_matmul_program
+
+__all__ = [
+    "logp_ring_program",
+    "logp_broadcast_program",
+    "logp_sum_program",
+    "logp_alltoall_program",
+    "bsp_prefix_program",
+    "bsp_radix_sort_program",
+    "bsp_sample_sort_program",
+    "bsp_matvec_program",
+    "bsp_fft_program",
+    "bsp_matmul_program",
+]

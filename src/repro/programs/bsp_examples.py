@@ -1,0 +1,197 @@
+"""Classic BSP kernels.
+
+These are the workloads driven through the Theorem 2 simulation
+(BSP-on-LogP).  ``bsp_radix_sort_program`` is the paper's own cautionary
+example (Section 6: the straightforward parallel Radixsort "involves
+relations that may violate the capacity constraint" under LogP — which is
+precisely why simulating it via the Section 4.2 protocol is interesting).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.bsp.collectives import bsp_allreduce, bsp_alltoall, bsp_prefix
+from repro.bsp.program import BSPContext, Compute, Send, Sync
+from repro.util.rng import make_rng
+
+__all__ = [
+    "bsp_prefix_program",
+    "bsp_radix_sort_program",
+    "bsp_sample_sort_program",
+    "bsp_matvec_program",
+]
+
+
+def bsp_prefix_program(values: Sequence[int] | None = None):
+    """Inclusive prefix sums across processors; processor ``i`` returns
+    the sum of values ``0..i``."""
+
+    def prog(ctx: BSPContext):
+        x = values[ctx.pid] if values is not None else ctx.pid + 1
+        acc = yield from bsp_prefix(ctx, x)
+        return acc
+
+    return prog
+
+
+def bsp_radix_sort_program(keys_per_proc: int, key_bits: int, seed: int = 0):
+    """Parallel LSD radix sort of ``p * keys_per_proc`` integers.
+
+    Each digit pass: local counting, global prefix over bucket counts
+    (one allreduce per bucket batch, as in the textbook BSP algorithm),
+    then an all-to-all redistribution whose degree varies with the data —
+    the irregular h-relations that make this kernel the paper's example
+    of capacity-constraint trouble under LogP.
+
+    Each processor returns its final sorted slice; the concatenation over
+    processors is the globally sorted sequence.
+    """
+    RADIX_BITS = 4
+    radix = 1 << RADIX_BITS
+
+    def prog(ctx: BSPContext):
+        p = ctx.p
+        rng = make_rng((seed * 1_000_003 + ctx.pid))
+        keys = [int(k) for k in rng.integers(0, 1 << key_bits, size=keys_per_proc)]
+        n_total = keys_per_proc * p
+
+        shift = 0
+        while shift < key_bits:
+            # Local histogram of this digit.
+            counts = [0] * radix
+            for k in keys:
+                counts[(k >> shift) & (radix - 1)] += 1
+            yield Compute(len(keys))
+            # Global placement: for bucket b, keys go after all keys of
+            # smaller buckets plus same-bucket keys of smaller processors.
+            prefix_counts = yield from bsp_prefix(
+                ctx, np.array(counts), lambda a, b: a + b, op_cost=radix
+            )
+            totals = yield from bsp_allreduce(
+                ctx, np.array(counts), lambda a, b: a + b, op_cost=radix
+            )
+            bucket_base = [0] * radix
+            acc = 0
+            for b in range(radix):
+                bucket_base[b] = acc
+                acc += int(totals[b])
+            # start index for my keys of bucket b:
+            start = [
+                bucket_base[b] + int(prefix_counts[b]) - counts[b] for b in range(radix)
+            ]
+            yield Compute(radix)
+            # Scatter keys to their global positions (block distribution);
+            # keys staying on this processor move locally.
+            mine: list[tuple[int, int]] = []
+            offsets = list(start)
+            for k in sorted(keys, key=lambda k: (k >> shift) & (radix - 1)):
+                b = (k >> shift) & (radix - 1)
+                pos = offsets[b]
+                offsets[b] += 1
+                dest = min(pos // keys_per_proc, p - 1)
+                if dest == ctx.pid:
+                    mine.append((pos, k))
+                else:
+                    yield Send(dest, (pos, k), tag=50)
+            yield Compute(len(keys))
+            yield Sync()
+            for msg in ctx.recv_all(50):
+                mine.append(msg.payload)
+            mine.sort()
+            keys = [k for _pos, k in mine]
+            shift += RADIX_BITS
+        return keys
+
+    return prog
+
+
+def bsp_sample_sort_program(keys_per_proc: int, key_range: int = 1 << 16, seed: int = 0):
+    """Sample sort in the *direct BSP* style of Gerbessiotis & Valiant
+    (the paper's reference [4]): a constant number of supersteps, each a
+    large h-relation.
+
+    1. local sort; pick ``p`` regular samples per processor;
+    2. gather all ``p^2`` samples at processor 0, pick ``p - 1``
+       splitters, broadcast them (one superstep each);
+    3. partition local keys by splitter and exchange (the data-dependent
+       h-relation — with random input it is ``Theta(n/p)``-balanced
+       w.h.p., which is what makes the algorithm a showcase for BSP's
+       arbitrary-h-relation primitive);
+    4. local merge.  Processor ``i`` returns the ``i``-th sorted bucket;
+       the concatenation over processors is the sorted sequence.
+    """
+
+    def prog(ctx: BSPContext):
+        p = ctx.p
+        rng = make_rng(seed * 99991 + ctx.pid)
+        keys = sorted(int(k) for k in rng.integers(0, key_range, size=keys_per_proc))
+        yield Compute(keys_per_proc * max(1, keys_per_proc.bit_length()))
+
+        if p == 1:
+            return keys
+
+        # Step 2: regular samples -> processor 0.
+        step = max(1, keys_per_proc // p)
+        samples = keys[::step][:p]
+        yield Send(0, samples, tag=80)
+        yield Sync()
+        if ctx.pid == 0:
+            pool = sorted(s for m in ctx.recv_all(80) for s in m.payload)
+            yield Compute(len(pool) * max(1, len(pool).bit_length()))
+            stride = max(1, len(pool) // p)
+            splitters = pool[stride::stride][: p - 1]
+            for dest in range(1, p):
+                yield Send(dest, splitters, tag=81)
+            yield Sync()
+        else:
+            yield Sync()
+            [msg] = ctx.recv_all(81)
+            splitters = msg.payload
+
+        # Step 3: partition and exchange.
+        import bisect
+
+        buckets: list[list[int]] = [[] for _ in range(p)]
+        for k in keys:
+            buckets[bisect.bisect_right(splitters, k)].append(k)
+        yield Compute(keys_per_proc)
+        for dest in range(p):
+            if dest != ctx.pid and buckets[dest]:
+                yield Send(dest, buckets[dest], tag=82)
+        yield Sync()
+        mine = list(buckets[ctx.pid])
+        for m in ctx.recv_all(82):
+            mine.extend(m.payload)
+        mine.sort()
+        yield Compute(len(mine) * max(1, len(mine).bit_length()))
+        return mine
+
+    return prog
+
+
+def bsp_matvec_program(n: int, seed: int = 0):
+    """Dense matrix-vector product ``y = A x`` with row-block distribution.
+
+    Each processor owns ``n/p`` rows of A and the matching slice of x;
+    one all-gather of x (an all-to-all of slices) then a local product.
+    Returns each processor's slice of ``y`` (as a list of floats).
+    """
+
+    def prog(ctx: BSPContext):
+        p = ctx.p
+        rows = n // p
+        if rows * p != n:
+            raise ValueError(f"n={n} must be divisible by p={p}")
+        rng = make_rng(seed * 7919 + ctx.pid)
+        a_block = rng.random((rows, n))
+        x_slice = rng.random(rows)
+        slices = yield from bsp_alltoall(ctx, [x_slice] * p)
+        x = np.concatenate(slices)
+        yield Compute(rows * n)
+        y = a_block @ x
+        return [float(v) for v in y]
+
+    return prog

@@ -1,0 +1,103 @@
+"""Classic stall-free LogP kernels.
+
+Each factory returns a LogP program (a generator function over a
+:class:`~repro.logp.instructions.LogPContext`).  All kernels are
+stall-free by construction — per destination, traffic is paced at one
+submission per ``G`` or bounded by the capacity — and they exercise the
+different instruction mixes the Theorem 1 simulation must handle:
+blocking receives (ring), fan-out trees (broadcast), fan-in (sum) and
+paced all-to-all traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.logp.collectives import (
+    binary_tree_reduce,
+    binomial_broadcast,
+    recv_n_tagged,
+    recv_tag,
+)
+from repro.logp.instructions import Compute, LogPContext, Recv, Send
+
+__all__ = [
+    "logp_ring_program",
+    "logp_broadcast_program",
+    "logp_sum_program",
+    "logp_alltoall_program",
+]
+
+
+def logp_ring_program(rounds: int = 1, compute_per_hop: int = 0):
+    """Token rotation: each processor passes a value around the ring
+    ``rounds`` times; returns the value that ends up at each processor
+    (its own value after full rotations)."""
+
+    def prog(ctx: LogPContext):
+        p = ctx.p
+        value = ctx.pid
+        if p == 1:
+            return value
+        right = (ctx.pid + 1) % p
+        for _ in range(rounds * p):
+            yield Send(right, value, tag=7)
+            if compute_per_hop:
+                yield Compute(compute_per_hop)
+            msg = yield Recv()
+            value = msg.payload
+        return value
+
+    return prog
+
+
+def logp_broadcast_program(value: Any = "tok", root: int = 0):
+    """Binomial-tree broadcast from ``root``; every processor returns the
+    broadcast value."""
+
+    def prog(ctx: LogPContext):
+        got = yield from binomial_broadcast(
+            ctx, value if ctx.pid == root else None, root=root
+        )
+        return got
+
+    return prog
+
+
+def logp_sum_program(values: Sequence[int] | None = None):
+    """Global summation to processor 0 then broadcast of the total;
+    every processor returns the sum (cf. Karp et al.'s optimal summation)."""
+
+    def prog(ctx: LogPContext):
+        x = values[ctx.pid] if values is not None else ctx.pid
+        total = yield from binary_tree_reduce(ctx, x, lambda a, b: a + b)
+        total = yield from binomial_broadcast(ctx, total, root=0, tag=909)
+        return total
+
+    return prog
+
+
+def logp_alltoall_program(payload: Callable[[int, int], Any] | None = None):
+    """Total exchange: processor ``i`` sends ``payload(i, j)`` to every
+    ``j``; returns the list of received payloads indexed by source.
+
+    Sends are staggered (processor ``i`` starts with destination
+    ``i + 1``) so every destination sees one submission per ``G`` — the
+    standard stall-free all-to-all schedule.
+    """
+    make = payload if payload is not None else (lambda i, j: (i, j))
+
+    def prog(ctx: LogPContext):
+        p = ctx.p
+        if p == 1:
+            return []
+        for k in range(1, p):
+            dest = (ctx.pid + k) % p
+            yield Send(dest, make(ctx.pid, dest), tag=11)
+        out: list[Any] = [None] * p
+        msgs = yield from recv_n_tagged(ctx, 11, p - 1)
+        for m in msgs:
+            out[m.src] = m.payload
+        return out
+
+    return prog

@@ -1,0 +1,29 @@
+"""h-relation machinery: workloads, exact decomposition, randomized plans.
+
+An *h-relation* is a set of messages in which every processor sends at
+most ``h`` and receives at most ``h`` (paper Section 2.1).  This package
+provides workload generators for the experiments, the Hall/König
+decomposition into partial permutations that underpins off-line routing
+(paper Section 4.2), and the batch plan of the Theorem 3 randomized
+protocol.
+"""
+
+from repro.routing.hall import decompose_h_relation, relation_degree, verify_decomposition
+from repro.routing.workloads import (
+    balanced_h_relation,
+    cyclic_shift,
+    hotspot_relation,
+    random_destinations,
+    random_permutation,
+)
+
+__all__ = [
+    "decompose_h_relation",
+    "relation_degree",
+    "verify_decomposition",
+    "balanced_h_relation",
+    "cyclic_shift",
+    "hotspot_relation",
+    "random_destinations",
+    "random_permutation",
+]

@@ -1,0 +1,87 @@
+"""The Theorem 3 batch plan (paper Section 4.3).
+
+The randomized protocol groups each processor's messages into ``R``
+batches by independent uniform draws, then runs ``R`` rounds of
+``2 (L + o)`` steps, transmitting up to ``ceil(L/G)`` messages of the
+round's batch (one submission every ``G`` steps), followed by a cleanup
+phase for whatever remains.  This module builds the *plan* (pure data);
+:mod:`repro.core.rand_routing` executes it on the LogP machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.cost import theorem3_beta_hat, theorem3_num_batches
+from repro.models.params import LogPParams
+from repro.util.rng import make_rng
+
+__all__ = ["BatchPlan", "make_batch_plan"]
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """Per-processor batching of outgoing messages.
+
+    ``batches[i][r]`` lists the indices (into processor ``i``'s outgoing
+    message list) assigned to round ``r``; ``leftovers[i]`` the indices
+    whose batch overflowed the per-round budget ``ceil(L/G)`` and must be
+    sent in the cleanup phase.
+    """
+
+    R: int
+    round_length: int
+    batches: list[list[list[int]]]
+    leftovers: list[list[int]]
+
+    @property
+    def clean(self) -> bool:
+        """True when no processor overflows any round (the w.h.p. event of
+        Theorem 3: all messages go out in the round phase)."""
+        return all(not left for left in self.leftovers)
+
+
+def make_batch_plan(
+    out_counts: list[int],
+    h: int,
+    params: LogPParams,
+    *,
+    seed: int | np.random.Generator = 0,
+    c1: float = 1.0,
+    c2: float = 1.0,
+    R: int | None = None,
+) -> BatchPlan:
+    """Assign each processor's ``out_counts[i]`` messages to batches.
+
+    ``h`` must be known in advance by all processors (the theorem's
+    hypothesis).  ``R`` defaults to the paper's
+    ``(1 + beta_hat) h / ceil(L/G)`` with ``beta_hat`` derived from the
+    confidence constants ``c1, c2``; callers may override ``R`` to explore
+    the trade-off (smaller R = faster but stall-prone).
+    """
+    rng = make_rng(seed)
+    if R is None:
+        R = theorem3_num_batches(h, params, theorem3_beta_hat(c1, c2))
+    cap = params.capacity
+    batches: list[list[list[int]]] = []
+    leftovers: list[list[int]] = []
+    for count in out_counts:
+        draws = rng.integers(0, R, size=count) if count else np.empty(0, dtype=int)
+        rounds: list[list[int]] = [[] for _ in range(R)]
+        left: list[int] = []
+        for idx, b in enumerate(draws):
+            bucket = rounds[int(b)]
+            if len(bucket) < cap:
+                bucket.append(idx)
+            else:
+                left.append(idx)
+        batches.append(rounds)
+        leftovers.append(left)
+    return BatchPlan(
+        R=R,
+        round_length=2 * (params.L + params.o),
+        batches=batches,
+        leftovers=leftovers,
+    )

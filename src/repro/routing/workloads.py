@@ -1,0 +1,106 @@
+"""Workload generators: the h-relations the experiments route.
+
+All generators return a list of ``(src, dest)`` pairs (``src != dest``
+unless noted) and take explicit seeds.  The benches sweep these through
+the LogP protocols (Theorems 2/3), the BSP machine, and the network
+simulator (Table 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.util.rng import make_rng
+
+__all__ = [
+    "random_permutation",
+    "balanced_h_relation",
+    "random_destinations",
+    "cyclic_shift",
+    "block_transpose",
+    "hotspot_relation",
+]
+
+Edge = tuple[int, int]
+
+
+def random_permutation(p: int, seed: int | np.random.Generator = 0) -> list[Edge]:
+    """A uniformly random (full) permutation: every processor sends one
+    message and receives one (a 1-relation); fixed points are allowed and
+    simply mean a self-addressed... no — fixed points are re-drawn, since
+    neither machine model sends a message from a processor to itself."""
+    rng = make_rng(seed)
+    if p < 2:
+        return []
+    while True:
+        perm = rng.permutation(p)
+        if not np.any(perm == np.arange(p)):
+            return [(i, int(perm[i])) for i in range(p)]
+
+
+def balanced_h_relation(p: int, h: int, seed: int | np.random.Generator = 0) -> list[Edge]:
+    """An exact h-relation: the union of ``h`` random derangement-free
+    permutations, so every processor sends exactly ``h`` messages and
+    receives exactly ``h``.  This is the canonical workload for the
+    Theorem 2/3 and Table 1 sweeps."""
+    if h < 0:
+        raise RoutingError(f"h must be >= 0, got {h}")
+    rng = make_rng(seed)
+    pairs: list[Edge] = []
+    for _ in range(h):
+        pairs.extend(random_permutation(p, rng))
+    return pairs
+
+
+def random_destinations(p: int, per_proc: int, seed: int | np.random.Generator = 0) -> list[Edge]:
+    """Each processor sends ``per_proc`` messages to independent uniform
+    destinations.  Send degree is exactly ``per_proc``; receive degree is
+    binomial and may exceed it — the workload the randomized protocol's
+    analysis actually contends with, and a natural stalling stressor."""
+    rng = make_rng(seed)
+    pairs: list[Edge] = []
+    for src in range(p):
+        for _ in range(per_proc):
+            dest = int(rng.integers(0, p - 1))
+            if dest >= src:
+                dest += 1  # uniform over the p-1 non-self destinations
+            pairs.append((src, dest))
+    return pairs
+
+
+def cyclic_shift(p: int, h: int = 1, offset: int = 1) -> list[Edge]:
+    """Deterministic h-relation: each processor sends ``h`` messages to
+    ``(pid + offset) % p`` ... one per offset ``offset, offset+1, ...``."""
+    pairs: list[Edge] = []
+    for k in range(h):
+        d = (offset + k) % p
+        if d == 0:
+            d = 1 if p > 1 else 0
+        for src in range(p):
+            pairs.append((src, (src + d) % p))
+    return pairs
+
+
+def block_transpose(p: int, h: int) -> list[Edge]:
+    """The all-to-all personalized pattern restricted to degree ``h``:
+    processor ``i`` sends one message to each of the next ``h`` processors
+    ``i+1 .. i+h`` (mod p).  Models matrix-transpose communication."""
+    if h >= p:
+        raise RoutingError(f"block_transpose needs h < p, got h={h}, p={p}")
+    return [(i, (i + k) % p) for i in range(p) for k in range(1, h + 1)]
+
+
+def hotspot_relation(p: int, senders: int, dest: int = 0) -> list[Edge]:
+    """``senders`` processors each send one message to the single
+    destination ``dest`` — the hot-spot workload of the stalling
+    experiments (Section 2.2)."""
+    if senders >= p:
+        raise RoutingError(f"hotspot needs senders < p, got {senders}, p={p}")
+    out: list[Edge] = []
+    src = 0
+    while len(out) < senders:
+        if src != dest:
+            out.append((src, dest))
+        src += 1
+    return out

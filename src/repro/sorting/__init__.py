@@ -1,0 +1,26 @@
+"""Sorting machinery for the Section 4.2 routing protocol.
+
+The paper sorts messages by destination with an AKS network (small ``r``)
+or Cubesort (large ``r``); our executable substitutes are Batcher's
+bitonic network and Leighton's Columnsort respectively (see DESIGN.md for
+why the substitutions preserve the experiments' shape).  All schemes are
+expressed as *schedules* of partner exchanges so they can run both as
+plain functions (for tests) and as LogP programs (for the protocol).
+"""
+
+from repro.sorting.bitonic import bitonic_schedule, odd_even_transposition_schedule
+from repro.sorting.columnsort import columnsort, columnsort_valid
+from repro.sorting.local import counting_sort, local_sort_cost, radix_sort
+from repro.sorting.merge_split import merge_split, run_schedule_locally
+
+__all__ = [
+    "bitonic_schedule",
+    "odd_even_transposition_schedule",
+    "columnsort",
+    "columnsort_valid",
+    "counting_sort",
+    "radix_sort",
+    "local_sort_cost",
+    "merge_split",
+    "run_schedule_locally",
+]

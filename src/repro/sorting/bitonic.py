@@ -1,0 +1,93 @@
+"""Compare-exchange sorting-network schedules.
+
+A *schedule* is a list of rounds; round ``t`` assigns to each processor
+``i`` either ``None`` (idle this round) or a pair ``(partner, keep_low)``:
+``i`` exchanges its (sorted) block with ``partner`` and keeps the low or
+high half of the merge.  Schedules are oblivious — they depend only on
+``p`` — which is exactly what lets the LogP implementation route each
+round as a pre-decomposed sequence of 1-relations (paper Section 4.2).
+
+Two networks are provided:
+
+* :func:`bitonic_schedule` — Batcher's bitonic sorter,
+  ``O(log^2 p)`` rounds, requires ``p`` to be a power of two.  This is the
+  practical stand-in for the paper's AKS network (same role: an
+  ``r``-per-processor merge-split sorter with polylogarithmic rounds).
+* :func:`odd_even_transposition_schedule` — ``p`` rounds, any ``p``;
+  used as the fallback when ``p`` is not a power of two.
+
+Both satisfy the 0/1-principle, which the property tests exercise.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RoutingError
+from repro.util.intmath import is_power_of_two
+
+__all__ = ["bitonic_schedule", "odd_even_transposition_schedule", "schedule_depth"]
+
+Round = list  # list[Optional[tuple[int, bool]]], indexed by pid
+
+
+def bitonic_schedule(p: int) -> list[Round]:
+    """Batcher's bitonic sorting network on ``p`` processors.
+
+    Returns ``log2(p) * (log2(p) + 1) / 2`` rounds.  In each round every
+    processor is paired with ``pid XOR j``; the pair's sort direction is
+    ascending iff ``pid AND k == 0`` where ``k`` is the current stage size.
+    """
+    if p < 1:
+        raise RoutingError(f"bitonic_schedule requires p >= 1, got {p}")
+    if not is_power_of_two(p):
+        raise RoutingError(
+            f"bitonic_schedule requires a power-of-two p, got {p}; "
+            f"use odd_even_transposition_schedule for general p"
+        )
+    rounds: list[Round] = []
+    k = 2
+    while k <= p:
+        j = k // 2
+        while j >= 1:
+            rnd: Round = [None] * p
+            for pid in range(p):
+                partner = pid ^ j
+                ascending = (pid & k) == 0
+                # In an ascending pair the lower index keeps the low half.
+                keep_low = (pid < partner) == ascending
+                rnd[pid] = (partner, keep_low)
+            rounds.append(rnd)
+            j //= 2
+        k *= 2
+    return rounds
+
+
+def odd_even_transposition_schedule(p: int) -> list[Round]:
+    """Odd-even transposition sort: ``p`` rounds of neighbor exchanges.
+
+    Works for any ``p``; round ``t`` pairs indices ``(2i + t%2, 2i + t%2 + 1)``.
+    """
+    if p < 1:
+        raise RoutingError(f"odd_even_transposition_schedule requires p >= 1, got {p}")
+    rounds: list[Round] = []
+    for t in range(p):
+        rnd: Round = [None] * p
+        start = t % 2
+        for low in range(start, p - 1, 2):
+            high = low + 1
+            rnd[low] = (high, True)
+            rnd[high] = (low, False)
+        rounds.append(rnd)
+    return rounds
+
+
+def schedule_depth(schedule: list[Round]) -> int:
+    """Number of rounds in a schedule."""
+    return len(schedule)
+
+
+def sorting_schedule(p: int) -> list[Round]:
+    """The schedule the routing protocol uses: bitonic when ``p`` is a
+    power of two, odd-even transposition otherwise."""
+    if is_power_of_two(p):
+        return bitonic_schedule(p)
+    return odd_even_transposition_schedule(p)

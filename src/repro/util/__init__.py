@@ -1,0 +1,24 @@
+"""Shared utilities: integer math, RNG plumbing, statistics, tables, tracing."""
+
+from repro.util.intmath import (
+    ceil_div,
+    ilog2,
+    is_power_of_two,
+    log_star,
+    next_power_of_two,
+)
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.stats import affine_fit, mean_and_ci, summarize
+
+__all__ = [
+    "ceil_div",
+    "ilog2",
+    "is_power_of_two",
+    "log_star",
+    "next_power_of_two",
+    "make_rng",
+    "spawn_rngs",
+    "affine_fit",
+    "mean_and_ci",
+    "summarize",
+]

@@ -1,0 +1,122 @@
+"""Small exact integer-math helpers used throughout the models.
+
+All cost formulas in the paper are stated over integer step counts, so we
+keep this arithmetic exact (no floats) wherever the paper does.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "ceil_div",
+    "ilog2",
+    "next_power_of_two",
+    "is_power_of_two",
+    "log_star",
+    "log2_ceil",
+    "digits_mixed_radix",
+    "from_digits_mixed_radix",
+    "gray_code",
+    "inverse_gray_code",
+]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Exact ``ceil(a / b)`` for integers, ``b > 0``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div requires b > 0, got {b}")
+    return -(-a // b)
+
+
+def ilog2(n: int) -> int:
+    """``floor(log2(n))`` for ``n >= 1``."""
+    if n < 1:
+        raise ValueError(f"ilog2 requires n >= 1, got {n}")
+    return n.bit_length() - 1
+
+
+def log2_ceil(n: int) -> int:
+    """``ceil(log2(n))`` for ``n >= 1`` (0 for n == 1)."""
+    if n < 1:
+        raise ValueError(f"log2_ceil requires n >= 1, got {n}")
+    return (n - 1).bit_length()
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two ``>= n`` (``n >= 1``)."""
+    if n < 1:
+        raise ValueError(f"next_power_of_two requires n >= 1, got {n}")
+    return 1 << log2_ceil(n)
+
+
+def is_power_of_two(n: int) -> bool:
+    """True iff ``n`` is a positive power of two."""
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def log_star(n: float) -> int:
+    """The iterated logarithm ``log* n`` (base 2).
+
+    Number of times ``log2`` must be applied before the value drops to
+    ``<= 1``.  Appears in the paper's Cubesort round count
+    ``25^{log* pr - log* r}``.
+    """
+    if n <= 1:
+        return 0
+    count = 0
+    value = float(n)
+    while value > 1.0:
+        value = math.log2(value)
+        count += 1
+    return count
+
+
+def digits_mixed_radix(value: int, radices: tuple[int, ...]) -> tuple[int, ...]:
+    """Decompose ``value`` into mixed-radix digits (least significant first).
+
+    Used to map linear processor indices to coordinates in d-dimensional
+    arrays with per-dimension side lengths ``radices``.
+    """
+    digits = []
+    v = value
+    for r in radices:
+        if r < 1:
+            raise ValueError(f"radices must be >= 1, got {radices}")
+        digits.append(v % r)
+        v //= r
+    if v != 0:
+        raise ValueError(f"value {value} out of range for radices {radices}")
+    return tuple(digits)
+
+
+def from_digits_mixed_radix(digits: tuple[int, ...], radices: tuple[int, ...]) -> int:
+    """Inverse of :func:`digits_mixed_radix`."""
+    if len(digits) != len(radices):
+        raise ValueError("digits/radices length mismatch")
+    value = 0
+    weight = 1
+    for d, r in zip(digits, radices):
+        if not 0 <= d < r:
+            raise ValueError(f"digit {d} out of range for radix {r}")
+        value += d * weight
+        weight *= r
+    return value
+
+
+def gray_code(n: int) -> int:
+    """Binary-reflected Gray code of ``n``."""
+    if n < 0:
+        raise ValueError("gray_code requires n >= 0")
+    return n ^ (n >> 1)
+
+
+def inverse_gray_code(g: int) -> int:
+    """Inverse of :func:`gray_code`."""
+    if g < 0:
+        raise ValueError("inverse_gray_code requires g >= 0")
+    n = 0
+    while g:
+        n ^= g
+        g >>= 1
+    return n

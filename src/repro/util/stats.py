@@ -1,0 +1,98 @@
+"""Statistics helpers for the benchmark harness.
+
+The Table 1 experiment extracts bandwidth/latency estimates by fitting the
+affine model ``T(h) = gamma * h + delta`` to measured routing times; the
+theorem benches summarize repeated randomized runs with means and normal
+confidence intervals.  Nothing here is performance-critical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["AffineFit", "affine_fit", "mean_and_ci", "summarize", "geometric_mean"]
+
+
+@dataclass(frozen=True)
+class AffineFit:
+    """Least-squares fit ``y ~ slope * x + intercept``.
+
+    ``r2`` is the coefficient of determination; ``1.0`` for a perfect fit,
+    ``0.0`` when the fit explains nothing beyond the mean.
+    """
+
+    slope: float
+    intercept: float
+    r2: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def affine_fit(xs: Sequence[float], ys: Sequence[float]) -> AffineFit:
+    """Ordinary least squares for ``y = slope*x + intercept``.
+
+    Requires at least two distinct x values.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("affine_fit requires equal-length 1-d sequences")
+    if x.size < 2 or np.all(x == x[0]):
+        raise ValueError("affine_fit requires >= 2 distinct x values")
+    slope, intercept = np.polyfit(x, y, 1)
+    residuals = y - (slope * x + intercept)
+    ss_res = float(np.sum(residuals**2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    return AffineFit(slope=float(slope), intercept=float(intercept), r2=r2)
+
+
+def mean_and_ci(values: Sequence[float], z: float = 1.96) -> tuple[float, float]:
+    """Sample mean and half-width of the normal ``z``-confidence interval."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("mean_and_ci requires at least one value")
+    if arr.size == 1:
+        return float(arr[0]), 0.0
+    half = z * float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    return float(arr.mean()), half
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (used for slowdown ratios)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric_mean requires at least one value")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    min: float
+    max: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of a non-empty sample."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("summarize requires at least one value")
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        min=float(arr.min()),
+        max=float(arr.max()),
+    )

@@ -1,0 +1,59 @@
+"""Fixed-width ASCII table rendering for the benchmark harness.
+
+The benches print paper-shaped tables (one per experiment id in DESIGN.md);
+this module keeps the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value: Any) -> str:
+    """Render one table cell: floats get 4 significant digits."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a boxed fixed-width table string."""
+    str_rows = [[format_cell(c) for c in row] for row in rows]
+    ncols = len(headers)
+    for row in str_rows:
+        if len(row) != ncols:
+            raise ValueError(f"row has {len(row)} cells, expected {ncols}")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.rjust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(line(list(headers)))
+    out.append(sep)
+    for row in str_rows:
+        out.append(line(row))
+    out.append(sep)
+    return "\n".join(out)

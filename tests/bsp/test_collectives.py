@@ -1,0 +1,160 @@
+import operator
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bsp import BSPMachine
+from repro.bsp.collectives import (
+    bsp_allreduce,
+    bsp_alltoall,
+    bsp_broadcast,
+    bsp_gather,
+    bsp_prefix,
+    bsp_reduce,
+)
+from repro.models.params import BSPParams
+
+
+def run(p, prog, g=2, l=8):
+    return BSPMachine(BSPParams(p=p, g=g, l=l)).run(prog)
+
+
+PS = [1, 2, 3, 5, 8, 13]
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("p", PS)
+    @pytest.mark.parametrize("arity", [0, 2, 3])
+    def test_all_receive(self, p, arity):
+        def prog(ctx):
+            v = yield from bsp_broadcast(
+                ctx, "val" if ctx.pid == 0 else None, tree_arity=arity
+            )
+            return v
+
+        assert run(p, prog).results == ["val"] * p
+
+    @pytest.mark.parametrize("root", [0, 2, 4])
+    def test_nonzero_root(self, root):
+        def prog(ctx):
+            v = yield from bsp_broadcast(
+                ctx, ctx.pid if ctx.pid == root else None, root=root, tree_arity=2
+            )
+            return v
+
+        assert run(5, prog).results == [root] * 5
+
+    def test_flat_broadcast_h_is_p_minus_1(self):
+        def prog(ctx):
+            yield from bsp_broadcast(ctx, 1 if ctx.pid == 0 else None)
+
+        out = run(6, prog)
+        assert max(r.h for r in out.ledger) == 5
+
+    def test_tree_broadcast_h_bounded_by_arity(self):
+        def prog(ctx):
+            yield from bsp_broadcast(
+                ctx, 1 if ctx.pid == 0 else None, tree_arity=2
+            )
+
+        out = run(13, prog)
+        assert max(r.h for r in out.ledger) <= 2
+
+
+class TestReduceAllreduce:
+    @pytest.mark.parametrize("p", PS)
+    def test_reduce_sum(self, p):
+        def prog(ctx):
+            v = yield from bsp_reduce(ctx, ctx.pid + 1, operator.add)
+            return v
+
+        out = run(p, prog)
+        assert out.results[0] == p * (p + 1) // 2
+        assert all(v is None for v in out.results[1:])
+
+    @pytest.mark.parametrize("p", PS)
+    def test_allreduce_max(self, p):
+        def prog(ctx):
+            v = yield from bsp_allreduce(ctx, ctx.pid * 7 % 5, max)
+            return v
+
+        expect = max(i * 7 % 5 for i in range(p))
+        assert run(p, prog).results == [expect] * p
+
+    def test_reduce_non_commutative_op(self):
+        """String concatenation: combine order must be rank order."""
+
+        def prog(ctx):
+            v = yield from bsp_reduce(ctx, str(ctx.pid), operator.add)
+            return v
+
+        out = run(8, prog)
+        assert out.results[0] == "01234567"
+
+    @pytest.mark.parametrize("arity", [2, 3, 4])
+    def test_arities_agree(self, arity):
+        def prog(ctx):
+            v = yield from bsp_allreduce(ctx, ctx.pid, operator.add, tree_arity=arity)
+            return v
+
+        assert run(10, prog).results == [45] * 10
+
+
+class TestPrefix:
+    @pytest.mark.parametrize("p", PS)
+    def test_inclusive_prefix_sum(self, p):
+        def prog(ctx):
+            v = yield from bsp_prefix(ctx, ctx.pid + 1)
+            return v
+
+        expect = [sum(range(1, i + 2)) for i in range(p)]
+        assert run(p, prog).results == expect
+
+    def test_prefix_non_commutative(self):
+        def prog(ctx):
+            v = yield from bsp_prefix(ctx, str(ctx.pid), operator.add)
+            return v
+
+        out = run(6, prog)
+        assert out.results == ["0", "01", "012", "0123", "01234", "012345"]
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_prefix_matches_itertools(self, values):
+        p = len(values)
+
+        def prog(ctx):
+            v = yield from bsp_prefix(ctx, values[ctx.pid])
+            return v
+
+        import itertools
+
+        assert run(p, prog).results == list(itertools.accumulate(values))
+
+
+class TestAlltoallGather:
+    @pytest.mark.parametrize("p", PS)
+    def test_alltoall_transpose(self, p):
+        def prog(ctx):
+            got = yield from bsp_alltoall(ctx, [(ctx.pid, j) for j in range(ctx.p)])
+            return got
+
+        out = run(p, prog)
+        for j, got in enumerate(out.results):
+            assert got == [(i, j) for i in range(p)]
+
+    def test_alltoall_wrong_length_rejected(self):
+        def prog(ctx):
+            yield from bsp_alltoall(ctx, [0])
+
+        with pytest.raises(ValueError):
+            run(4, prog)
+
+    def test_gather(self):
+        def prog(ctx):
+            got = yield from bsp_gather(ctx, ctx.pid * 10, root=1)
+            return got
+
+        out = run(4, prog)
+        assert out.results[1] == [0, 10, 20, 30]
+        assert out.results[0] is None

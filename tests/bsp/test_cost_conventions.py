@@ -1,0 +1,57 @@
+"""The h-relation cost-convention knob (model-variant ablation support)."""
+
+import pytest
+
+from repro.bsp import BSPMachine, Compute, Send, Sync
+from repro.errors import ProgramError
+from repro.models.params import BSPParams
+from repro.programs import bsp_prefix_program
+
+
+def fan_in_program(ctx):
+    """Everyone sends one message to processor 0: h_send=1, h_recv=p-1."""
+    if ctx.pid != 0:
+        yield Send(0, ctx.pid)
+    yield Sync()
+
+
+class TestConventions:
+    def test_max_is_default_and_papers(self):
+        machine = BSPMachine(BSPParams(p=5, g=3, l=0))
+        assert machine.h_convention == "max"
+        out = machine.run(fan_in_program)
+        assert out.ledger[0].cost == 3 * 4  # g * max(1, 4)
+
+    def test_sum_convention(self):
+        out = BSPMachine(BSPParams(p=5, g=3, l=0), h_convention="sum").run(
+            fan_in_program
+        )
+        assert out.ledger[0].cost == 3 * (1 + 4)
+
+    def test_send_only_convention(self):
+        out = BSPMachine(BSPParams(p=5, g=3, l=0), h_convention="send-only").run(
+            fan_in_program
+        )
+        assert out.ledger[0].cost == 3 * 1
+
+    def test_unknown_convention_rejected(self):
+        with pytest.raises(ProgramError, match="h_convention"):
+            BSPMachine(BSPParams(p=2, g=1, l=1), h_convention="median")
+
+    def test_results_convention_independent(self):
+        outs = [
+            BSPMachine(BSPParams(p=6, g=2, l=8), h_convention=conv).run(
+                bsp_prefix_program()
+            )
+            for conv in ("max", "sum", "send-only")
+        ]
+        assert all(o.results == outs[0].results for o in outs)
+
+    def test_ordering_send_max_sum(self):
+        costs = {
+            conv: BSPMachine(BSPParams(p=6, g=2, l=8), h_convention=conv)
+            .run(bsp_prefix_program())
+            .total_cost
+            for conv in ("max", "sum", "send-only")
+        }
+        assert costs["send-only"] <= costs["max"] <= costs["sum"]

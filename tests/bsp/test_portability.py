@@ -1,0 +1,68 @@
+"""The paper's §2.1 portability property: a BSP program's *results* are
+independent of the machine parameters (g, l); only its cost changes."""
+
+import operator
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bsp import BSPMachine, Compute, Send, Sync
+from repro.bsp.collectives import bsp_allreduce, bsp_prefix
+from repro.models.params import BSPParams
+from repro.programs import bsp_prefix_program, bsp_radix_sort_program
+
+
+PARAM_GRID = [(1, 0), (1, 100), (17, 3), (5, 50)]
+
+
+def results_across_params(p, prog_factory):
+    outs = []
+    for g, l in PARAM_GRID:
+        out = BSPMachine(BSPParams(p=p, g=g, l=l)).run(prog_factory())
+        outs.append(out)
+    return outs
+
+
+class TestParameterIndependence:
+    def test_prefix_program(self):
+        outs = results_across_params(6, bsp_prefix_program)
+        assert all(o.results == outs[0].results for o in outs)
+
+    def test_radix_sort_program(self):
+        outs = results_across_params(
+            4, lambda: bsp_radix_sort_program(keys_per_proc=6, key_bits=8, seed=3)
+        )
+        assert all(o.results == outs[0].results for o in outs)
+
+    def test_costs_do_change(self):
+        outs = results_across_params(6, bsp_prefix_program)
+        assert len({o.total_cost for o in outs}) > 1
+
+    def test_superstep_structure_is_parameter_independent(self):
+        """Not only results: the (w, h) sequence is identical too."""
+        outs = results_across_params(6, bsp_prefix_program)
+        shapes = [[(r.w, r.h) for r in o.ledger] for o in outs]
+        assert all(s == shapes[0] for s in shapes)
+
+    @given(st.integers(2, 10), st.integers(0, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_random_message_pattern(self, p, rounds):
+        """A parameter-oblivious random-looking kernel gives identical
+        results on all machines (seeded by pid, so deterministic)."""
+
+        def make_prog():
+            def prog(ctx):
+                acc = ctx.pid
+                for r in range(rounds):
+                    dest = (ctx.pid * 7 + r * 3 + 1) % ctx.p
+                    if dest != ctx.pid:
+                        yield Send(dest, acc, tag=r)
+                    yield Compute(1)
+                    yield Sync()
+                    acc += sum(m.payload for m in ctx.inbox)
+                total = yield from bsp_allreduce(ctx, acc, operator.add)
+                return total
+
+            return prog
+
+        outs = results_across_params(p, make_prog)
+        assert all(o.results == outs[0].results for o in outs)

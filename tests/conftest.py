@@ -1,0 +1,32 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.params import BSPParams, LogPParams
+
+
+@pytest.fixture
+def small_logp() -> LogPParams:
+    """A small LogP machine with capacity ceil(L/G) = 4."""
+    return LogPParams(p=8, L=8, o=1, G=2)
+
+
+@pytest.fixture
+def small_bsp() -> BSPParams:
+    return BSPParams(p=8, g=2, l=8)
+
+
+#: Parameter grid spanning capacity 1 .. 8, odd p, o = 0 .. G.
+LOGP_GRID = [
+    LogPParams(p=4, L=4, o=1, G=4),   # capacity 1
+    LogPParams(p=8, L=8, o=1, G=2),   # capacity 4
+    LogPParams(p=8, L=6, o=2, G=3),   # capacity 2, o > 1
+    LogPParams(p=7, L=16, o=0, G=2),  # capacity 8, odd p, o = 0
+    LogPParams(p=5, L=5, o=2, G=5),   # capacity 1, G = L = 5
+]
+
+
+def logp_grid_ids() -> list[str]:
+    return [f"p{q.p}-L{q.L}-o{q.o}-G{q.G}" for q in LOGP_GRID]

@@ -1,0 +1,155 @@
+"""The Section 4.2 deterministic routing protocol, end to end."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.det_routing import (
+    RunSummary,
+    combine_runs,
+    measure_det_routing,
+    summarize_block,
+)
+from repro.models.cost import t_route_deterministic
+from repro.models.params import LogPParams
+from repro.routing.workloads import (
+    balanced_h_relation,
+    hotspot_relation,
+    random_destinations,
+)
+
+from tests.conftest import LOGP_GRID, logp_grid_ids
+
+
+class TestRunMonoid:
+    @given(st.lists(st.integers(0, 5), max_size=30), st.integers(0, 30))
+    def test_combine_matches_brute_force(self, keys, cut_raw):
+        keys = sorted(keys)
+        cut = min(cut_raw, len(keys))
+        combined = combine_runs(summarize_block(keys[:cut]), summarize_block(keys[cut:]))
+
+        best = run = 0
+        prev = object()
+        for k in keys:
+            run = run + 1 if k == prev else 1
+            prev = k
+            best = max(best, run)
+        assert combined.best == best
+
+    def test_identity(self):
+        s = summarize_block([1, 1, 2])
+        assert combine_runs(RunSummary(), s) == s
+        assert combine_runs(s, RunSummary()) == s
+
+    @given(
+        st.lists(st.integers(0, 3), max_size=10),
+        st.lists(st.integers(0, 3), max_size=10),
+        st.lists(st.integers(0, 3), max_size=10),
+    )
+    def test_associativity(self, a, b, c):
+        a, b, c = sorted(a), sorted(b), sorted(c)
+        sa, sb, sc = summarize_block(a), summarize_block(b), summarize_block(c)
+        left = combine_runs(combine_runs(sa, sb), sc)
+        right = combine_runs(sa, combine_runs(sb, sc))
+        assert left.best == right.best
+
+
+@pytest.mark.parametrize("params", LOGP_GRID, ids=logp_grid_ids())
+class TestProtocolDelivery:
+    """measure_det_routing verifies exact delivery internally and runs
+    with forbid_stalling=True — these tests assert it completes and that
+    the discovered (r, s, h) are right."""
+
+    def test_balanced_relation(self, params):
+        h = 3
+        pairs = balanced_h_relation(params.p, h, seed=11)
+        m = measure_det_routing(params, pairs)
+        assert (m.r, m.s, m.h) == (h, h, h) if params.p > 1 else True
+
+    def test_skewed_relation_discovers_s(self, params):
+        if params.p < 3:
+            pytest.skip("needs >= 3 processors")
+        pairs = hotspot_relation(params.p, params.p - 1, dest=1)
+        m = measure_det_routing(params, pairs)
+        assert m.r == 1
+        assert m.s == params.p - 1
+        assert m.h == params.p - 1
+
+    def test_empty_relation(self, params):
+        m = measure_det_routing(params, [])
+        assert m.h == 0
+
+
+class TestStep3OrderImmunity:
+    """Regression: the s-computation must be immune to CB's combine
+    order.  This workload has a destination whose messages are scattered
+    over non-adjacent processors; an order-sensitive operator (the run
+    monoid over CB's DFS-preorder) undercounted s, producing cycle-slot
+    collisions and a stall at capacity 1."""
+
+    def test_found_by_stress_fuzzing(self):
+        params = LogPParams(p=16, L=3, o=1, G=3)  # capacity 1
+        pairs = random_destinations(16, 5, seed=25)
+        from repro.logp import DeliverEager
+
+        m = measure_det_routing(
+            params, pairs, machine_kwargs={"delivery": DeliverEager()}
+        )
+        from collections import Counter
+
+        true_s = max(Counter(d for _s, d in pairs).values())
+        assert m.s == true_s  # = 12 for this seed
+
+    def test_s_exact_on_scattered_runs(self):
+        params = LogPParams(p=8, L=8, o=1, G=2)
+        # destination 3's messages originate from processors 0, 3, 7 —
+        # non-adjacent in any tree combine order.
+        pairs = [(0, 3), (0, 3), (3, 1), (7, 3), (7, 3), (7, 3), (1, 2)]
+        m = measure_det_routing(params, pairs)
+        assert m.s == 5
+
+
+class TestProtocolShape:
+    def test_random_relations_many_shapes(self):
+        params = LogPParams(p=8, L=8, o=1, G=2)
+        for seed in range(6):
+            pairs = random_destinations(8, 2 + seed % 3, seed=seed)
+            measure_det_routing(params, pairs)  # raises on any mismatch
+
+    def test_phase_ordering(self):
+        params = LogPParams(p=8, L=8, o=1, G=2)
+        m = measure_det_routing(params, balanced_h_relation(8, 4, seed=0))
+        assert (
+            m.phase_time("r_known")
+            <= m.phase_time("sorted")
+            <= m.phase_time("s_known")
+            <= m.phase_time("done")
+        )
+
+    def test_time_dominated_by_sort_for_small_h(self):
+        """The paper's practical caveat: for small h the sorting phase
+        dominates (motivating the randomized protocol)."""
+        params = LogPParams(p=16, L=8, o=1, G=2)
+        m = measure_det_routing(params, balanced_h_relation(16, 2, seed=1))
+        sort_time = m.phase_time("sorted") - m.phase_time("r_known")
+        cycle_time = m.phase_time("done") - m.phase_time("s_known")
+        assert sort_time > cycle_time
+
+    def test_total_time_within_paper_bound_shape(self):
+        """Measured time stays within a constant of eq. (2) evaluated with
+        our Batcher depth in place of AKS (we allow the log^2/log gap)."""
+        import math
+
+        params = LogPParams(p=16, L=8, o=1, G=2)
+        for h in (1, 4, 8):
+            pairs = balanced_h_relation(16, h, seed=2)
+            m = measure_det_routing(params, pairs)
+            bound = t_route_deterministic(h, params)
+            # Batcher contributes an extra O(log p) factor over AKS.
+            assert m.total_time <= bound * (2 + math.log2(params.p))
+
+    def test_grows_linearly_in_h_for_large_h(self):
+        params = LogPParams(p=8, L=8, o=1, G=2)
+        t8 = measure_det_routing(params, balanced_h_relation(8, 8, seed=3)).total_time
+        t32 = measure_det_routing(params, balanced_h_relation(8, 32, seed=3)).total_time
+        # quadrupling h must not grow time more than ~6x (linear + overhead)
+        assert t32 <= 6 * t8

@@ -1,0 +1,86 @@
+"""The Section 4.3 randomized protocol (Theorem 3)."""
+
+import pytest
+
+from repro.core.rand_routing import measure_rand_routing
+from repro.models.cost import theorem3_failure_bound
+from repro.models.params import LogPParams
+from repro.routing.workloads import balanced_h_relation, random_destinations
+
+
+def theorem_params(p=16) -> LogPParams:
+    """Capacity ceil(L/G) = 8 >= 2 log2(16): the theorem's hypothesis."""
+    return LogPParams(p=p, L=16, o=1, G=2)
+
+
+class TestDelivery:
+    def test_balanced_relation_delivered(self):
+        params = theorem_params()
+        pairs = balanced_h_relation(params.p, 8, seed=0)
+        m = measure_rand_routing(params, pairs, seed=1, R=8)
+        assert m.h == 8  # degree known in advance
+
+    def test_skewed_relation_delivered(self):
+        params = theorem_params()
+        pairs = random_destinations(params.p, 4, seed=2)
+        measure_rand_routing(params, pairs, seed=3, R=8)
+
+    def test_empty_relation(self):
+        params = theorem_params()
+        m = measure_rand_routing(params, [], seed=0)
+        assert m.total_time == 0
+
+    def test_delivery_correct_even_when_stalling(self):
+        """A one-round hot-spot burst (15 senders, capacity 8) stalls —
+        and the stalling rule must still deliver everything
+        (measure_* verifies delivery internally)."""
+        from repro.routing.workloads import hotspot_relation
+
+        params = theorem_params()
+        pairs = hotspot_relation(params.p, params.p - 1, dest=0)
+        m = measure_rand_routing(params, pairs, seed=5, R=1)
+        assert m.stalled
+
+
+class TestTheorem3Claims:
+    def test_adequate_R_is_stall_free_whp(self):
+        """With the (1+beta) h / C batching, runs are clean across seeds."""
+        params = theorem_params()
+        pairs = balanced_h_relation(params.p, 16, seed=6)
+        R = 8  # = 4 * h / capacity
+        outcomes = [
+            measure_rand_routing(params, pairs, seed=s, R=R).clean for s in range(8)
+        ]
+        assert sum(outcomes) >= 7  # at most one unlucky seed
+
+    def test_stall_probability_decreases_with_R(self):
+        params = theorem_params()
+        pairs = balanced_h_relation(params.p, 16, seed=7)
+        stalls = {}
+        for R in (2, 4, 8):
+            stalls[R] = sum(
+                measure_rand_routing(params, pairs, seed=s, R=R).stalled
+                for s in range(6)
+            )
+        assert stalls[8] <= stalls[4] <= stalls[2]
+
+    def test_time_scales_with_R_not_h_when_clean(self):
+        """Round phase dominates: T ~= 2(L+o) R."""
+        params = theorem_params()
+        pairs = balanced_h_relation(params.p, 16, seed=8)
+        m = measure_rand_routing(params, pairs, seed=9, R=8)
+        assert m.clean
+        round_phase = 2 * (params.L + params.o) * 8
+        assert m.total_time <= round_phase + 6 * params.L  # + drain slack
+
+    def test_paper_R_bound_relation(self):
+        """time_bound property equals 2(L+o)R for the paper's R."""
+        params = theorem_params()
+        pairs = balanced_h_relation(params.p, 8, seed=10)
+        m = measure_rand_routing(params, pairs, seed=11)  # paper constants
+        assert m.time_bound == pytest.approx(2 * (params.L + params.o) * m.plan.R)
+        assert m.clean  # the paper's R is enormously conservative
+
+    def test_failure_bound_formula_tiny_for_paper_R(self):
+        params = theorem_params()
+        assert theorem3_failure_bound(16, params, beta_hat=20.0) < 1e-3

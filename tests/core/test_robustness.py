@@ -1,0 +1,119 @@
+"""Robustness of the paper's constructions under nondeterminism, and
+composability of the cross-simulations."""
+
+import pytest
+
+from repro.core.cb import measure_cb
+from repro.core.det_routing import measure_det_routing
+from repro.core.logp_on_bsp import simulate_logp_on_bsp
+from repro.core.bsp_on_logp import simulate_bsp_on_logp
+from repro.logp import (
+    AcceptLIFO,
+    AcceptRandom,
+    DeliverEager,
+    DeliverRandom,
+    LogPMachine,
+)
+from repro.models.params import LogPParams
+from repro.programs import bsp_prefix_program, logp_sum_program
+from repro.routing.workloads import balanced_h_relation, random_destinations
+
+POLICIES = [
+    {"delivery": DeliverEager()},
+    {"delivery": DeliverRandom(seed=11)},
+    {"delivery": DeliverRandom(seed=12), "acceptance": AcceptRandom(seed=13)},
+    {"acceptance": AcceptLIFO()},
+]
+
+
+class TestProtocolsUnderAnyAdmissibleExecution:
+    """The stall-freedom proofs only use delivery <= L, so the protocols
+    must stay stall-free and correct under every delivery/acceptance mix,
+    not just the default worst-case scheduler."""
+
+    @pytest.mark.parametrize("kwargs", POLICIES)
+    def test_det_routing_stall_free_any_policy(self, kwargs):
+        params = LogPParams(p=8, L=8, o=1, G=2)
+        pairs = random_destinations(8, 3, seed=42)
+        m = measure_det_routing(params, pairs, machine_kwargs=kwargs)
+        assert m.result.stall_free  # measure_* also verifies delivery
+
+    @pytest.mark.parametrize("kwargs", POLICIES)
+    def test_cb_stall_free_any_policy(self, kwargs):
+        import operator
+
+        params = LogPParams(p=16, L=8, o=1, G=2)
+        m = measure_cb(
+            params, list(range(16)), operator.add, machine_kwargs=kwargs
+        )
+        assert m.result.results == [120] * 16
+
+    @pytest.mark.parametrize("kwargs", POLICIES)
+    def test_cb_capacity_one_slotted_any_policy(self, kwargs):
+        import operator
+
+        params = LogPParams(p=9, L=4, o=1, G=4)  # capacity 1
+        m = measure_cb(params, [1] * 9, operator.add, machine_kwargs=kwargs)
+        assert m.result.results == [9] * 9
+
+    @pytest.mark.parametrize("kwargs", POLICIES)
+    def test_theorem2_driver_any_policy(self, kwargs):
+        params = LogPParams(p=8, L=16, o=1, G=2)
+        rep = simulate_bsp_on_logp(
+            params, bsp_prefix_program(), machine_kwargs=kwargs
+        )
+        assert rep.outputs_match
+
+    def test_eager_delivery_is_never_slower(self):
+        params = LogPParams(p=8, L=8, o=1, G=2)
+        pairs = balanced_h_relation(8, 4, seed=7)
+        worst = measure_det_routing(params, pairs)
+        eager = measure_det_routing(
+            params, pairs, machine_kwargs={"delivery": DeliverEager()}
+        )
+        # Pinned schedules make the protocol time delivery-independent up
+        # to the final drain.
+        assert eager.total_time <= worst.total_time
+
+
+class TestComposition:
+    def test_logp_program_through_both_simulations(self):
+        """LogP kernel -> (Thm 1) BSP program -> (Thm 2) back on LogP:
+        the round trip preserves results."""
+        logp = LogPParams(p=8, L=8, o=1, G=2)
+        native = LogPMachine(logp, forbid_stalling=True).run(logp_sum_program())
+
+        # Theorem 1 gives a BSP execution; wrap its per-processor
+        # interpreters as a BSP program factory for Theorem 2.
+        from repro.core.logp_on_bsp import CycleInterpreter, window_length
+        from repro.bsp.program import Compute as BCompute, Send as BSend, Sync
+
+        W = window_length(logp)
+
+        def make_bsp_prog():
+            def prog(bsp_ctx):
+                interp = CycleInterpreter(bsp_ctx.pid, bsp_ctx.p, logp_sum_program(), logp)
+                window_end = W
+                while True:
+                    interp.deliver(bsp_ctx.inbox)
+                    for instr in interp.run_window(window_end):
+                        yield BSend(instr.dest, instr.payload, tag=instr.tag)
+                    if interp.done:
+                        return interp.result
+                    yield BCompute(W)
+                    yield Sync()
+                    interp.close_window(window_end)
+                    window_end += W
+
+            return prog
+
+        outer = LogPParams(p=8, L=16, o=1, G=2)
+        rep = simulate_bsp_on_logp(outer, make_bsp_prog(), routing="offline")
+        assert rep.results == list(native.results)
+
+    def test_theorem1_report_consistency(self):
+        logp = LogPParams(p=8, L=8, o=1, G=2)
+        rep = simulate_logp_on_bsp(logp, logp_sum_program())
+        assert rep.virtual_time == rep.windows * rep.window
+        assert rep.hosts == logp.p
+        assert rep.work == logp.p * rep.bsp.total_cost

@@ -1,0 +1,114 @@
+"""Stalling experiments (§2.2/§3) and the Section 5 network-support
+analysis (Observation 1)."""
+
+import pytest
+
+from repro.core.network_support import derive_model_support, survey_observation1
+from repro.core.stalling import (
+    measure_hotspot,
+    measure_stall_storm,
+    simulate_stalling_cycle_on_bsp,
+)
+from repro.errors import ProgramError
+from repro.models.params import BSPParams, LogPParams
+from repro.networks.params import make_topology
+from repro.routing.workloads import random_destinations
+
+
+class TestHotspot:
+    def test_no_stall_within_capacity(self):
+        params = LogPParams(p=16, L=8, o=1, G=2)
+        rep = measure_hotspot(params, k=params.capacity)
+        assert rep.num_stalls == 0
+
+    def test_stall_count_is_excess_over_capacity(self):
+        params = LogPParams(p=16, L=8, o=1, G=2)
+        rep = measure_hotspot(params, k=10)
+        assert rep.num_stalls == 10 - params.capacity
+
+    def test_drain_rate_theta_Gk_plus_L(self):
+        """The paper's point: stalling does not slow the hot spot's drain."""
+        params = LogPParams(p=32, L=8, o=1, G=2)
+        for k in (8, 16, 31):
+            rep = measure_hotspot(params, k)
+            assert rep.makespan <= rep.predicted + params.G
+            assert rep.makespan >= params.G * (k - 1)
+
+    def test_k_must_be_less_than_p(self):
+        with pytest.raises(ProgramError):
+            measure_hotspot(LogPParams(p=4, L=8, o=1, G=2), k=4)
+
+
+class TestStallStorm:
+    def test_bounded_by_paper_worst_case(self):
+        params = LogPParams(p=32, L=8, o=1, G=2)
+        for h in (2, 4, 8, 16):
+            rep = measure_stall_storm(params, h)
+            assert rep.makespan <= rep.worst_case_bound
+            assert rep.makespan >= rep.optimal - params.L
+
+    def test_storm_worse_than_optimal_for_large_h(self):
+        params = LogPParams(p=32, L=8, o=1, G=2)
+        rep = measure_stall_storm(params, 16)
+        assert rep.makespan > rep.optimal
+
+    def test_size_guard(self):
+        with pytest.raises(ProgramError):
+            measure_stall_storm(LogPParams(p=8, L=8, o=1, G=2), h=5)
+
+
+class TestStallingCycleOnBSP:
+    def test_delivers_and_charges(self):
+        bsp = BSPParams(p=8, g=2, l=8)
+        logp = LogPParams(p=8, L=8, o=1, G=2)
+        pairs = random_destinations(8, 6, seed=1)
+        res = simulate_stalling_cycle_on_bsp(bsp, logp, pairs)
+        assert res.total_cost > 0
+
+    def test_empty_cycle(self):
+        res = simulate_stalling_cycle_on_bsp(
+            BSPParams(p=4, g=1, l=2), LogPParams(p=4, L=4, o=1, G=2), []
+        )
+        assert res.results == [[]] * 4
+
+    def test_sub_supersteps_respect_capacity(self):
+        """Every communication superstep of the delivery phase routes an
+        h-relation of degree <= ceil(L/G)."""
+        bsp = BSPParams(p=8, g=2, l=8)
+        logp = LogPParams(p=8, L=8, o=1, G=2)  # capacity 4
+        pairs = [(s, 0) for s in range(1, 8)] + [(s, 1) for s in range(2, 8)]
+        res = simulate_stalling_cycle_on_bsp(bsp, logp, pairs)
+        # The delivery sub-supersteps are the trailing ones; none may
+        # exceed the capacity in receive degree.
+        tail = res.ledger[-4:]
+        assert all(rec.h_recv <= logp.capacity for rec in tail)
+
+    def test_slowdown_shape_log_p(self):
+        """Cost per cycle grows ~log^2 p (Batcher) while the cycle length
+        is fixed: the paper's O(((l+g)/G) log p) flavour."""
+        costs = {}
+        for p in (4, 16):
+            bsp = BSPParams(p=p, g=2, l=8)
+            logp = LogPParams(p=p, L=8, o=1, G=2)
+            pairs = random_destinations(p, 4, seed=2)
+            costs[p] = simulate_stalling_cycle_on_bsp(bsp, logp, pairs).total_cost
+        assert costs[16] < 8 * costs[4]  # far from linear-in-p growth
+
+
+class TestObservation1:
+    def test_ratios_bounded_on_two_networks(self):
+        rows = survey_observation1(("hypercube (single-port)", "d-dim array"), (16, 64))
+        for r in rows:
+            assert 1.0 <= r.G_over_g <= 4.0
+            assert 0.3 <= r.L_over_lg <= 4.0
+
+    def test_fixed_point_is_self_consistent(self):
+        """L* must actually route a ceil(L*/G*)-relation within L*."""
+        from repro.networks.routing_sim import route_h_relation
+        from repro.util.intmath import ceil_div
+
+        topo, config = make_topology("hypercube (single-port)", 32)
+        ms = derive_model_support(topo, table_name="hypercube (single-port)", config=config)
+        C = ceil_div(ms.L_star, ms.G_star)
+        t = route_h_relation(topo, C, seed=0, config=config).time
+        assert t <= ms.L_star

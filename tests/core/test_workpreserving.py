@@ -1,0 +1,71 @@
+"""The footnote-1 work-preserving variant of Theorem 1."""
+
+import pytest
+
+from repro.core.logp_on_bsp import (
+    simulate_logp_on_bsp,
+    simulate_logp_on_bsp_workpreserving,
+)
+from repro.errors import ProgramError
+from repro.models.params import BSPParams, LogPParams
+from repro.programs import (
+    logp_alltoall_program,
+    logp_broadcast_program,
+    logp_ring_program,
+    logp_sum_program,
+)
+
+PARAMS = LogPParams(p=16, L=8, o=1, G=2)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("bsp_p", [1, 2, 4, 8, 16])
+    @pytest.mark.parametrize(
+        "kernel",
+        [logp_sum_program, logp_ring_program, logp_broadcast_program, logp_alltoall_program],
+    )
+    def test_outputs_match_native(self, bsp_p, kernel):
+        rep = simulate_logp_on_bsp_workpreserving(PARAMS, kernel(), bsp_p)
+        assert rep.outputs_match
+
+    def test_non_divisor_rejected(self):
+        with pytest.raises(ProgramError, match="must divide"):
+            simulate_logp_on_bsp_workpreserving(PARAMS, logp_sum_program(), 3)
+
+    def test_mismatched_bsp_params_rejected(self):
+        with pytest.raises(ProgramError):
+            simulate_logp_on_bsp_workpreserving(
+                PARAMS, logp_sum_program(), 4, bsp_params=BSPParams(p=8, g=2, l=8)
+            )
+
+
+class TestWorkPreservation:
+    def test_work_decreases_with_fewer_hosts(self):
+        """p' T_BSP falls toward the sequential work as p' shrinks — the
+        defining property of a work-preserving simulation."""
+        works = {}
+        for bsp_p in (16, 4, 1):
+            rep = simulate_logp_on_bsp_workpreserving(PARAMS, logp_sum_program(), bsp_p)
+            works[bsp_p] = rep.work
+        assert works[1] < works[4] < works[16]
+
+    def test_slowdown_scales_like_p_over_pprime(self):
+        base = simulate_logp_on_bsp_workpreserving(PARAMS, logp_sum_program(), 16)
+        quarter = simulate_logp_on_bsp_workpreserving(PARAMS, logp_sum_program(), 4)
+        # 4x fewer hosts: slowdown grows, but by at most ~4x (the h-part
+        # amortizes), and stays under the scaled prediction.
+        assert base.slowdown < quarter.slowdown <= 4 * base.slowdown
+        assert quarter.slowdown <= quarter.predicted_slowdown
+
+    def test_same_window_count_as_plain(self):
+        plain = simulate_logp_on_bsp(PARAMS, logp_sum_program())
+        hosted = simulate_logp_on_bsp_workpreserving(PARAMS, logp_sum_program(), 4)
+        assert hosted.windows == plain.windows
+
+    def test_full_hosting_matches_plain_costs_roughly(self):
+        """k = 1 hosting is the plain simulation up to the message
+        envelope (intra-host self-sends are impossible with k = 1)."""
+        plain = simulate_logp_on_bsp(PARAMS, logp_alltoall_program())
+        hosted = simulate_logp_on_bsp_workpreserving(PARAMS, logp_alltoall_program(), 16)
+        assert hosted.results == plain.results
+        assert hosted.bsp.total_cost == plain.bsp.total_cost

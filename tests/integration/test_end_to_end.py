@@ -1,0 +1,85 @@
+"""Cross-module integration: the same application through every machine
+and every cross-simulation must produce identical answers."""
+
+import pytest
+
+from repro.bsp import BSPMachine
+from repro.core.bsp_on_logp import simulate_bsp_on_logp
+from repro.core.logp_on_bsp import simulate_logp_on_bsp
+from repro.logp import LogPMachine
+from repro.logp.validate import validate_program
+from repro.models.params import BSPParams, LogPParams
+from repro.programs import (
+    bsp_matvec_program,
+    bsp_radix_sort_program,
+    logp_alltoall_program,
+    logp_sum_program,
+)
+
+
+class TestRadixSortEverywhere:
+    """The paper's own Section 6 example application, four ways."""
+
+    PROG = staticmethod(lambda: bsp_radix_sort_program(keys_per_proc=6, key_bits=8, seed=13))
+
+    def expected(self):
+        out = BSPMachine(BSPParams(p=8, g=2, l=16)).run(self.PROG())
+        return out.results
+
+    @pytest.mark.parametrize("mode", ["deterministic", "randomized", "offline"])
+    def test_on_logp_all_modes(self, mode):
+        expected = self.expected()
+        rep = simulate_bsp_on_logp(
+            LogPParams(p=8, L=16, o=1, G=2), self.PROG(), routing=mode, seed=21
+        )
+        assert rep.results == expected
+
+    def test_different_logp_machines_same_answer(self):
+        expected = self.expected()
+        for L, o, G in [(16, 1, 2), (8, 2, 2), (6, 2, 3)]:
+            rep = simulate_bsp_on_logp(
+                LogPParams(p=8, L=L, o=o, G=G), self.PROG(), routing="deterministic"
+            )
+            assert rep.results == expected
+
+
+class TestRoundTrip:
+    def test_logp_program_via_bsp_simulation_matches_direct(self):
+        params = LogPParams(p=8, L=8, o=1, G=2)
+        direct = LogPMachine(params, forbid_stalling=True).run(logp_sum_program())
+        rep = simulate_logp_on_bsp(params, logp_sum_program())
+        assert rep.bsp.results == direct.results
+
+    def test_alltoall_under_scheduler_ensemble_and_bsp_sim(self):
+        params = LogPParams(p=6, L=8, o=1, G=2)
+        cert = validate_program(params, logp_alltoall_program())
+        assert cert.ok
+        rep = simulate_logp_on_bsp(params, logp_alltoall_program())
+        assert rep.bsp.results == cert.results
+
+
+class TestMatvecNumerics:
+    def test_matvec_identical_across_machines(self):
+        prog = lambda: bsp_matvec_program(16, seed=5)
+        native = BSPMachine(BSPParams(p=4, g=1, l=4)).run(prog()).results
+        via_logp = simulate_bsp_on_logp(
+            LogPParams(p=4, L=8, o=1, G=2), prog(), routing="offline"
+        ).results
+        assert via_logp == native
+
+
+class TestScaleSmoke:
+    """Larger instances exercise the event engine's scalability paths."""
+
+    def test_p64_collective_stack(self):
+        params = LogPParams(p=64, L=16, o=1, G=2)
+        res = LogPMachine(params, forbid_stalling=True).run(logp_sum_program())
+        assert res.results == [sum(range(64))] * 64
+
+    def test_p32_det_routing_h16(self):
+        from repro.core.det_routing import measure_det_routing
+        from repro.routing.workloads import balanced_h_relation
+
+        params = LogPParams(p=32, L=16, o=1, G=2)
+        m = measure_det_routing(params, balanced_h_relation(32, 16, seed=3))
+        assert m.h == 16

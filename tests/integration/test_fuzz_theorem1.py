@@ -1,0 +1,83 @@
+"""Property-based fuzzing of the Theorem 1 window interpreter: random
+LogP traffic programs must produce the same results natively and through
+the BSP cycle simulation.
+
+The random programs make their results delivery-order-insensitive
+(received payloads are sorted before folding), so the comparison is
+meaningful even when a random fan-in happens to stall natively — the
+window simulation corresponds to a capacity-free execution, which has
+the same I/O map for this program class.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.logp_on_bsp import simulate_logp_on_bsp
+from repro.logp import Compute, LogPMachine, Recv, Send, TryRecv, WaitUntil
+from repro.models.params import LogPParams
+
+
+@st.composite
+def traffic_spec(draw):
+    p = draw(st.integers(2, 7))
+    L = draw(st.sampled_from([4, 8, 12]))
+    G = draw(st.sampled_from([2, 4]))
+    o = draw(st.integers(0, 2))
+    params = LogPParams(p=p, L=L, o=o, G=min(G, L))
+    sends = []
+    for src in range(p):
+        n = draw(st.integers(0, 4))
+        dests = []
+        for _ in range(n):
+            d = draw(st.integers(0, p - 2))
+            dests.append(d + 1 if d >= src else d)
+        sends.append(dests)
+    waits = [draw(st.integers(0, 6)) for _ in range(p)]
+    computes = [draw(st.integers(0, 5)) for _ in range(p)]
+    return params, sends, waits, computes
+
+
+def make_program(spec, pid):
+    params, sends, waits, computes = spec
+    expected = sum(1 for dests in sends for d in dests if d == pid)
+
+    def prog(ctx):
+        if waits[ctx.pid]:
+            yield WaitUntil(waits[ctx.pid])
+        if computes[ctx.pid]:
+            yield Compute(computes[ctx.pid])
+        for i, dest in enumerate(sends[ctx.pid]):
+            yield Send(dest, (ctx.pid, i))
+            if i % 2:
+                maybe = yield TryRecv()
+                if maybe is not None:
+                    ctx._stash.append(maybe)
+        got = [m.payload for m in ctx._stash]
+        ctx._stash.clear()
+        while len(got) < expected:
+            msg = yield Recv()
+            got.append(msg.payload)
+        return sorted(got)
+
+    return prog
+
+
+@given(traffic_spec())
+@settings(max_examples=30, deadline=None)
+def test_window_simulation_matches_native(spec):
+    params = spec[0]
+    programs = [make_program(spec, pid) for pid in range(params.p)]
+    native = LogPMachine(params).run(programs)  # stalls permitted
+    rep = simulate_logp_on_bsp(params, programs, compare_native=False)
+    assert rep.bsp.results == native.results
+
+
+@given(traffic_spec())
+@settings(max_examples=15, deadline=None)
+def test_window_h_bounded_when_native_stall_free(spec):
+    params = spec[0]
+    programs = [make_program(spec, pid) for pid in range(params.p)]
+    native = LogPMachine(params).run(programs)
+    rep = simulate_logp_on_bsp(params, programs, compare_native=False)
+    if native.stall_free:
+        # Theorem 1's per-cycle bound applies to stall-free executions.
+        assert rep.max_window_h <= params.capacity + 1

@@ -1,0 +1,153 @@
+"""Randomized stress grids over machines x workloads x policies.
+
+These are the sweeps that caught two real bugs during development (the
+order-sensitive Step-3 operator and self-send handling in the known-h
+routing modes); they stay in the suite as a standing patrol.
+"""
+
+import random
+
+import pytest
+
+from repro.core.bsp_on_logp import simulate_bsp_on_logp
+from repro.core.columnsort_logp import logp_columnsort
+from repro.core.det_routing import measure_det_routing
+from repro.core.rand_routing import measure_rand_routing
+from repro.logp import (
+    AcceptLIFO,
+    AcceptRandom,
+    DeliverEager,
+    DeliverRandom,
+    LogPMachine,
+)
+from repro.models.params import LogPParams
+from repro.programs import (
+    bsp_prefix_program,
+    bsp_radix_sort_program,
+    bsp_sample_sort_program,
+)
+from repro.routing.workloads import (
+    balanced_h_relation,
+    hotspot_relation,
+    random_destinations,
+)
+
+
+def policies(rng, trial):
+    return rng.choice(
+        [
+            {},
+            {"delivery": DeliverEager()},
+            {"delivery": DeliverRandom(seed=trial)},
+            {"acceptance": AcceptLIFO()},
+            {
+                "delivery": DeliverRandom(seed=trial + 5),
+                "acceptance": AcceptRandom(seed=trial),
+            },
+        ]
+    )
+
+
+def random_params(rng, p_choices=(2, 3, 4, 5, 8, 11, 16)):
+    p = rng.choice(p_choices)
+    G = rng.choice([2, 3, 4])
+    L = G * rng.choice([1, 2, 4])
+    o = rng.randint(0, min(2, G))
+    return LogPParams(p=p, L=L, o=o, G=G)
+
+
+class TestDetRoutingGrid:
+    def test_30_random_configs(self):
+        rng = random.Random(99)
+        for trial in range(30):
+            params = random_params(rng)
+            p = params.p
+            kind = trial % 3
+            if kind == 0:
+                pairs = balanced_h_relation(p, rng.randint(0, 6), seed=trial)
+            elif kind == 1:
+                pairs = random_destinations(p, rng.randint(0, 5), seed=trial)
+            else:
+                pairs = hotspot_relation(p, p - 1, dest=rng.randrange(p)) if p > 1 else []
+            measure_det_routing(
+                params, pairs, machine_kwargs=policies(rng, trial)
+            )  # raises on stall or misdelivery
+
+
+class TestColumnsortGrid:
+    def test_12_random_configs(self):
+        rng = random.Random(202)
+        for trial in range(12):
+            params = random_params(rng, p_choices=(2, 4, 8))
+            p = params.p
+            r = 2 * (p - 1) ** 2 + rng.randint(0, 10) if p > 1 else 5
+            blocks = [
+                [(rng.randrange(p + 1), pid, i) for i in range(r)] for pid in range(p)
+            ]
+            want = sorted(rec[0] for b in blocks for rec in b)
+
+            def make_prog(pid):
+                def prog(ctx):
+                    out = yield from logp_columnsort(
+                        ctx,
+                        list(blocks[pid]),
+                        key=lambda rec: rec,
+                        tag_base=100,
+                        start_time=0,
+                    )
+                    return out
+
+                return prog
+
+            res = LogPMachine(
+                params, forbid_stalling=True, **policies(rng, trial)
+            ).run([make_prog(i) for i in range(p)])
+            got = [rec[0] for b in res.results for rec in b]
+            assert got == want, trial
+
+
+class TestTheorem2Grid:
+    def test_15_random_configs(self):
+        rng = random.Random(101)
+        for trial in range(15):
+            params = random_params(rng, p_choices=(2, 4, 8))
+            prog = rng.choice(
+                [
+                    lambda: bsp_prefix_program(),
+                    lambda: bsp_sample_sort_program(keys_per_proc=8, seed=trial),
+                    lambda: bsp_radix_sort_program(
+                        keys_per_proc=4, key_bits=8, seed=trial
+                    ),
+                ]
+            )()
+            mode = rng.choice(["deterministic", "offline", "randomized"])
+            rep = simulate_bsp_on_logp(
+                params,
+                prog,
+                routing=mode,
+                seed=trial,
+                machine_kwargs=policies(rng, trial),
+            )
+            assert rep.outputs_match, (trial, mode)
+
+
+class TestRandRoutingGrid:
+    def test_15_random_configs(self):
+        rng = random.Random(303)
+        for trial in range(15):
+            p = rng.choice([4, 8, 16])
+            G = rng.choice([2, 4])
+            L = G * rng.choice([2, 4, 8])
+            params = LogPParams(p=p, L=L, o=1, G=G)
+            pairs = (
+                balanced_h_relation(p, rng.randint(1, 8), seed=trial)
+                if trial % 2
+                else random_destinations(p, rng.randint(1, 6), seed=trial)
+            )
+            measure_rand_routing(
+                params,
+                pairs,
+                seed=trial,
+                R=rng.choice([1, 2, 4, 8]),
+                machine_kwargs=policies(rng, trial),
+            )  # raises on misdelivery (stalls are allowed here)

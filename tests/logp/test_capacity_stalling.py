@@ -1,0 +1,116 @@
+"""The capacity constraint and the formalized stalling rule (paper §2.2)."""
+
+import pytest
+
+from repro.errors import StallError
+from repro.logp import (
+    AcceptFIFO,
+    AcceptLIFO,
+    LogPMachine,
+    Recv,
+    Send,
+)
+from repro.logp.collectives import recv_n_tagged
+from repro.models.params import LogPParams
+
+
+def hot_spot_prog(k, dest=0, tag=5):
+    """k senders fire at `dest` simultaneously."""
+
+    def prog(ctx):
+        if ctx.pid == dest:
+            msgs = yield from recv_n_tagged(ctx, tag, k)
+            return [m.src for m in msgs]
+        if ctx.pid <= k:
+            yield Send(dest, ctx.pid, tag=tag)
+        return None
+
+    return prog
+
+
+class TestCapacity:
+    def test_within_capacity_no_stall(self):
+        params = LogPParams(p=8, L=8, o=1, G=2)  # capacity 4
+        res = LogPMachine(params).run(hot_spot_prog(k=4))
+        assert res.stall_free
+
+    def test_beyond_capacity_stalls(self):
+        params = LogPParams(p=8, L=8, o=1, G=2)
+        res = LogPMachine(params).run(hot_spot_prog(k=6))
+        assert not res.stall_free
+        assert len(res.stalls) == 6 - params.capacity
+
+    def test_stall_records_have_positive_duration(self):
+        params = LogPParams(p=8, L=8, o=1, G=2)
+        res = LogPMachine(params).run(hot_spot_prog(k=7))
+        for s in res.stalls:
+            assert s.accept_time > s.submit_time
+            assert s.dest == 0
+
+    def test_forbid_stalling_raises(self):
+        params = LogPParams(p=8, L=8, o=1, G=2)
+        with pytest.raises(StallError):
+            LogPMachine(params, forbid_stalling=True).run(hot_spot_prog(k=6))
+
+    def test_forbid_stalling_permits_clean_programs(self):
+        params = LogPParams(p=8, L=8, o=1, G=2)
+        res = LogPMachine(params, forbid_stalling=True).run(hot_spot_prog(k=3))
+        assert res.stall_free
+
+    def test_in_transit_never_exceeds_capacity(self):
+        """Machine invariant, verified from the trace."""
+        from repro.logp.trace import accept_times_from_result
+
+        params = LogPParams(p=8, L=8, o=1, G=2)
+        machine = LogPMachine(params, record_trace=True)
+        res = machine.run(hot_spot_prog(k=7))
+        violations = res.trace.check_invariants(accept_times_from_result(res))
+        assert violations == []
+
+
+class TestStallingRule:
+    def test_hotspot_drains_at_full_rate(self):
+        """Paper: the delivery rate at a hot spot stays one per G, so
+        k messages complete in ~ G(k-1) + L despite stalling."""
+        params = LogPParams(p=16, L=8, o=1, G=2)
+        k = 12
+        res = LogPMachine(params).run(hot_spot_prog(k=k))
+        expected = params.G * (k - 1) + params.L
+        assert res.makespan <= expected + 4 * params.o + params.G
+
+    def test_all_messages_delivered_despite_stalls(self):
+        params = LogPParams(p=8, L=4, o=1, G=4)  # capacity 1: heavy stalling
+        res = LogPMachine(params).run(hot_spot_prog(k=7))
+        assert sorted(res.results[0]) == list(range(1, 8))
+
+    def test_acceptance_order_policy_changes_arrival_order(self):
+        params = LogPParams(p=8, L=4, o=1, G=4)  # capacity 1
+
+        fifo = LogPMachine(params, acceptance=AcceptFIFO()).run(hot_spot_prog(k=6))
+        lifo = LogPMachine(params, acceptance=AcceptLIFO()).run(hot_spot_prog(k=6))
+        assert sorted(fifo.results[0]) == sorted(lifo.results[0])
+        assert fifo.results[0] != lifo.results[0]  # order is policy-dependent
+
+    def test_sender_resumes_exactly_at_acceptance(self):
+        """A stalled sender is operational again at its acceptance time."""
+        params = LogPParams(p=4, L=4, o=1, G=4)  # capacity 1
+
+        def prog(ctx):
+            if ctx.pid in (1, 2):
+                t_acc = yield Send(0, ctx.pid)
+                return (t_acc, ctx.clock)
+            if ctx.pid == 0:
+                yield Recv()
+                yield Recv()
+            return None
+
+        res = LogPMachine(params).run(prog)
+        for pid in (1, 2):
+            t_acc, clock = res.results[pid]
+            assert clock == t_acc
+
+    def test_stall_time_grows_with_oversubscription(self):
+        params = LogPParams(p=32, L=8, o=1, G=2)
+        t8 = LogPMachine(params).run(hot_spot_prog(k=8)).total_stall_time
+        t24 = LogPMachine(params).run(hot_spot_prog(k=24)).total_stall_time
+        assert t24 > t8 > 0

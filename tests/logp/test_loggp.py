@@ -1,0 +1,118 @@
+"""The LogGP long-message extension (paper ref. [18]).
+
+``Gb > 0`` charges ``o + (size-1) Gb`` per endpoint for a size-word
+message; ``Gb = 0`` (the default) must leave classic LogP untouched.
+"""
+
+import pytest
+
+from repro.errors import ParameterError, ProgramError
+from repro.logp import LogPMachine, Recv, Send
+from repro.models.cost import loggp_end_to_end
+from repro.models.params import LogPParams
+
+
+def loggp(p=2, L=16, o=2, G=4, Gb=1):
+    return LogPParams(p=p, L=L, o=o, G=G, Gb=Gb)
+
+
+def ping(size):
+    def prog(ctx):
+        if ctx.pid == 0:
+            yield Send(1, "bulk", size=size)
+        else:
+            msg = yield Recv()
+            return (msg.payload, msg.size, ctx.clock)
+
+    return prog
+
+
+class TestParams:
+    def test_gb_defaults_to_zero(self):
+        assert LogPParams(p=2, L=8, o=1, G=2).Gb == 0
+
+    def test_gb_must_not_exceed_G(self):
+        with pytest.raises(ParameterError, match="Gb <= G"):
+            LogPParams(p=2, L=8, o=1, G=2, Gb=3)
+
+    def test_negative_gb_rejected(self):
+        with pytest.raises(ParameterError):
+            LogPParams(p=2, L=8, o=1, G=2, Gb=-1)
+
+    def test_size_validation(self):
+        with pytest.raises(ProgramError):
+            Send(1, None, size=0)
+
+
+class TestTiming:
+    def test_end_to_end_matches_loggp_formula(self):
+        params = loggp()
+        for n in (1, 4, 16):
+            res = LogPMachine(params).run(ping(n))
+            _payload, size, clock = res.results[1]
+            assert size == n
+            assert clock == loggp_end_to_end(n, params)
+
+    def test_gb_zero_ignores_size(self):
+        params = LogPParams(p=2, L=16, o=2, G=4)  # classic LogP
+        short = LogPMachine(params).run(ping(1)).results[1][2]
+        long = LogPMachine(params).run(ping(64)).results[1][2]
+        assert short == long
+
+    def test_bulk_beats_many_singles(self):
+        """The reason LogGP exists: one n-word message amortizes o and G
+        over the whole payload."""
+        n = 32
+        params = loggp(L=16, o=4, G=8, Gb=1)
+
+        def singles(ctx):
+            if ctx.pid == 0:
+                for i in range(n):
+                    yield Send(1, i)
+            else:
+                for _ in range(n):
+                    yield Recv()
+                return ctx.clock
+
+        def bulk(ctx):
+            if ctx.pid == 0:
+                yield Send(1, list(range(n)), size=n)
+            else:
+                msg = yield Recv()
+                return ctx.clock
+
+        t_singles = LogPMachine(params).run(singles).results[1]
+        t_bulk = LogPMachine(params).run(bulk).results[1]
+        assert t_bulk < t_singles / 3
+
+    def test_sender_occupancy_blocks_next_submission(self):
+        params = loggp(L=64, o=2, G=4, Gb=2)
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                t1 = yield Send(1, None, size=10)  # prep = 2 + 9*2 = 20
+                t2 = yield Send(1, None, size=1)
+                return (t1, t2)
+            yield Recv()
+            yield Recv()
+
+        res = LogPMachine(params).run(prog)
+        t1, t2 = res.results[0]
+        assert t1 == 20
+        assert t2 == t1 + params.G  # submissions still >= G apart
+
+    def test_trace_invariants_hold_with_bulk_messages(self):
+        from repro.logp.trace import accept_times_from_result
+
+        params = loggp(p=4, L=16, o=2, G=4, Gb=1)
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                for d in (1, 2, 3):
+                    yield Send(d, "x", size=5)
+            else:
+                yield Recv()
+
+        machine = LogPMachine(params, record_trace=True)
+        res = machine.run(prog)
+        assert res.trace.check_invariants(accept_times_from_result(res)) == []

@@ -1,0 +1,100 @@
+"""Unit tests for the communication medium (repro.logp.network.Medium),
+driven directly with fake callbacks — no machine, no programs."""
+
+import pytest
+
+from repro.errors import CapacityViolationError
+from repro.logp.network import Medium, StallRecord
+from repro.logp.scheduler import AcceptFIFO, AcceptLIFO, DeliverMaxLatency
+from repro.models.message import Message
+from repro.models.params import LogPParams
+
+
+class Harness:
+    def __init__(self, params, acceptance=None):
+        self.accepted: list[tuple[int, int]] = []
+        self.scheduled: list[tuple[Message, int]] = []
+        self.medium = Medium(
+            params,
+            delivery=DeliverMaxLatency(),
+            acceptance=acceptance or AcceptFIFO(),
+            on_accept=lambda sender, t: self.accepted.append((sender, t)),
+            on_schedule_delivery=lambda msg, t: self.scheduled.append((msg, t)),
+        )
+
+
+def params(L=8, G=2):
+    return LogPParams(p=4, L=L, o=1, G=G)
+
+
+class TestSubmitAccept:
+    def test_immediate_acceptance_within_capacity(self):
+        h = Harness(params())  # capacity 4
+        for i in range(4):
+            t = h.medium.submit(1, Message(src=1, dest=0), t=i)
+            assert t == i
+        assert h.medium.in_transit[0] == 4
+        assert h.accepted == []  # immediate acceptances return directly
+
+    def test_fifth_submission_pends(self):
+        h = Harness(params())
+        for i in range(4):
+            h.medium.submit(1, Message(src=1, dest=0), t=0)
+        assert h.medium.submit(2, Message(src=2, dest=0), t=0) is None
+        assert h.medium.pending_count() == 1
+        assert not h.medium.quiescent
+
+    def test_delivery_frees_slot_and_drains_pending(self):
+        h = Harness(params())
+        msgs = [Message(src=1, dest=0) for _ in range(4)]
+        for m in msgs:
+            h.medium.submit(1, m, t=0)
+        waiting = Message(src=2, dest=0)
+        h.medium.submit(2, waiting, t=0)
+        # deliver the first scheduled message
+        first, t_del = h.scheduled[0]
+        h.medium.on_delivered(first, t_del)
+        assert h.accepted == [(2, t_del)]
+        assert h.medium.stalls[0] == StallRecord(
+            sender=2, dest=0, submit_time=0, accept_time=t_del
+        )
+
+    def test_fifo_vs_lifo_drain_order(self):
+        for policy, expect in ((AcceptFIFO(), 2), (AcceptLIFO(), 3)):
+            h = Harness(params(L=2, G=2), acceptance=policy)  # capacity 1
+            h.medium.submit(1, Message(src=1, dest=0), t=0)
+            h.medium.submit(2, Message(src=2, dest=0), t=0)
+            h.medium.submit(3, Message(src=3, dest=0), t=1)
+            first, t_del = h.scheduled[0]
+            h.medium.on_delivered(first, t_del)
+            assert h.accepted[0][0] == expect
+
+    def test_queues_are_per_destination(self):
+        h = Harness(params(L=2, G=2))  # capacity 1
+        assert h.medium.submit(1, Message(src=1, dest=0), t=0) == 0
+        assert h.medium.submit(1, Message(src=1, dest=2), t=0) == 0
+        assert h.medium.submit(2, Message(src=2, dest=3), t=0) == 0
+
+
+class TestDeliverySlots:
+    def test_one_delivery_per_destination_per_step(self):
+        h = Harness(params())
+        for _ in range(4):
+            h.medium.submit(1, Message(src=1, dest=0), t=0)
+        times = sorted(t for _m, t in h.scheduled)
+        assert len(set(times)) == 4  # all distinct steps
+        assert all(0 < t <= 8 for t in times)
+
+    def test_negative_in_transit_guarded(self):
+        h = Harness(params())
+        msg = Message(src=1, dest=0)
+        h.medium.submit(1, msg, t=0)
+        h.medium.on_delivered(msg, 8)
+        with pytest.raises(CapacityViolationError):
+            h.medium.on_delivered(msg, 9)
+
+    def test_total_accepted_counter(self):
+        h = Harness(params())
+        for i in range(3):
+            h.medium.submit(1, Message(src=1, dest=i % 2), t=i)
+        assert h.medium.total_accepted == 3

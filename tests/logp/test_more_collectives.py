@@ -1,0 +1,70 @@
+"""scatter / gather / ring all-gather for LogP."""
+
+import pytest
+
+from repro.logp import LogPMachine
+from repro.logp.collectives import gather, ring_allgather, scatter
+from repro.models.params import LogPParams
+
+from tests.conftest import LOGP_GRID, logp_grid_ids
+
+
+@pytest.mark.parametrize("params", LOGP_GRID, ids=logp_grid_ids())
+class TestScatterGatherAllgather:
+    def test_scatter(self, params):
+        def prog(ctx):
+            vals = [f"item{j}" for j in range(ctx.p)] if ctx.pid == 0 else None
+            got = yield from scatter(ctx, vals)
+            return got
+
+        res = LogPMachine(params, forbid_stalling=True).run(prog)
+        assert res.results == [f"item{j}" for j in range(params.p)]
+
+    def test_gather(self, params):
+        def prog(ctx):
+            got = yield from gather(ctx, ctx.pid * 11, root=0)
+            return got
+
+        res = LogPMachine(params).run(prog)  # may stall (hot spot) — allowed
+        assert res.results[0] == [j * 11 for j in range(params.p)]
+        assert all(r is None for r in res.results[1:])
+
+    def test_ring_allgather(self, params):
+        def prog(ctx):
+            got = yield from ring_allgather(ctx, (ctx.pid, "v"))
+            return got
+
+        res = LogPMachine(params, forbid_stalling=True).run(prog)
+        expect = [(j, "v") for j in range(params.p)]
+        assert all(r == expect for r in res.results)
+
+
+class TestShapes:
+    def test_scatter_root_validates_length(self):
+        params = LogPParams(p=4, L=8, o=1, G=2)
+
+        def prog(ctx):
+            got = yield from scatter(ctx, [1, 2] if ctx.pid == 0 else None)
+            return got
+
+        with pytest.raises(ValueError):
+            LogPMachine(params).run(prog)
+
+    def test_gather_stalls_beyond_capacity(self):
+        params = LogPParams(p=16, L=8, o=1, G=2)  # capacity 4 < 15 senders
+
+        def prog(ctx):
+            got = yield from gather(ctx, ctx.pid)
+            return got
+
+        res = LogPMachine(params).run(prog)
+        assert not res.stall_free  # documented: gather is a hot spot
+
+    def test_allgather_time_linear_in_p(self):
+        def prog(ctx):
+            got = yield from ring_allgather(ctx, ctx.pid)
+            return got
+
+        t8 = LogPMachine(LogPParams(p=8, L=8, o=1, G=2)).run(prog).makespan
+        t16 = LogPMachine(LogPParams(p=16, L=8, o=1, G=2)).run(prog).makespan
+        assert 1.5 <= t16 / t8 <= 2.5

@@ -1,0 +1,87 @@
+"""The Karp et al. optimal broadcast tree (paper ref. [17])."""
+
+import pytest
+
+from repro.logp import LogPMachine
+from repro.logp.collectives import (
+    binomial_broadcast,
+    optimal_broadcast,
+    optimal_broadcast_schedule,
+)
+from repro.models.params import LogPParams
+
+
+def run_broadcast(params, which, root=0):
+    def prog(ctx):
+        fn = optimal_broadcast if which == "optimal" else binomial_broadcast
+        v = yield from fn(ctx, "tok" if ctx.pid == root else None, root=root)
+        return v
+
+    return LogPMachine(params, forbid_stalling=True).run(prog)
+
+
+class TestSchedule:
+    def test_covers_everyone_once(self):
+        params = LogPParams(p=16, L=8, o=2, G=4)
+        sched = optimal_broadcast_schedule(16, params)
+        informed = [c for kids in sched for c in kids]
+        assert sorted(informed) == list(range(1, 16))
+
+    def test_star_when_latency_large(self):
+        """With L huge, relays come online too late to help: the root
+        alone is always the earliest sender — a star."""
+        params = LogPParams(p=16, L=32, o=1, G=2)
+        sched = optimal_broadcast_schedule(16, params)
+        assert sched[0] == list(range(1, 16))
+
+    def test_branching_when_latency_small(self):
+        """With small L, a freshly informed processor can relay as soon
+        as the root could send again: the tree branches (doubling)."""
+        params = LogPParams(p=6, L=2, o=0, G=2, unchecked=True)
+        sched = optimal_broadcast_schedule(6, params)
+        assert len(sched[0]) < 5  # not a star
+        assert any(sched[c] for c in sched[0])  # relays exist
+
+    def test_trivial_sizes(self):
+        params = LogPParams(p=2, L=4, o=1, G=2)
+        assert optimal_broadcast_schedule(1, params) == [[]]
+        assert optimal_broadcast_schedule(2, params) == [[1], []]
+
+
+class TestBroadcastExecution:
+    @pytest.mark.parametrize("p", [2, 5, 8, 16, 33])
+    def test_everyone_informed(self, p):
+        params = LogPParams(p=p, L=8, o=1, G=2)
+        res = run_broadcast(params, "optimal")
+        assert res.results == ["tok"] * p
+        assert res.stall_free
+
+    @pytest.mark.parametrize("root", [0, 3, 7])
+    def test_nonzero_root(self, root):
+        params = LogPParams(p=8, L=8, o=1, G=2)
+        res = run_broadcast(params, "optimal", root=root)
+        assert res.results == ["tok"] * 8
+
+    @pytest.mark.parametrize(
+        "params",
+        [
+            LogPParams(p=32, L=8, o=1, G=2),
+            LogPParams(p=32, L=4, o=1, G=4),
+            LogPParams(p=64, L=16, o=2, G=2),
+        ],
+    )
+    def test_never_slower_than_binomial(self, params):
+        opt = run_broadcast(params, "optimal").makespan
+        bino = run_broadcast(params, "binomial").makespan
+        assert opt <= bino
+
+    def test_strictly_faster_somewhere(self):
+        """The optimal tree must actually beat binomial for some machine
+        (small L relative to G makes binomial's idle senders wasteful)."""
+        wins = 0
+        for L, o, G in [(2, 1, 2), (4, 0, 4), (8, 1, 4), (4, 1, 2)]:
+            params = LogPParams(p=32, L=L, o=o, G=G)
+            opt = run_broadcast(params, "optimal").makespan
+            bino = run_broadcast(params, "binomial").makespan
+            wins += opt < bino
+        assert wins >= 1

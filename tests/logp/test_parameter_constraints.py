@@ -1,0 +1,86 @@
+"""Executable reproductions of the paper's §2.2 parameter arguments.
+
+The paper constrains ``max{2, o} <= G <= L`` and motivates each bound
+with a scenario; these tests build those scenarios on the machine (using
+``unchecked=True`` where the constraint must be violated on purpose).
+"""
+
+from repro.logp import DeliverEager, LogPMachine, Recv, Send, WaitUntil
+from repro.models.params import LogPParams
+
+
+class TestGGreaterThanLAnomaly:
+    """Paper: with G > L, messages can legally arrive faster than 1/G but
+    be acquired only at rate 1/G, forcing unbounded input buffers."""
+
+    @staticmethod
+    def _run(G, L, shots):
+        params = LogPParams(p=3, L=L, o=1, G=G, unchecked=True)
+
+        def prog(ctx):
+            if ctx.pid in (0, 1):
+                # The paper's schedule: processor i sends to 2 at times
+                # max(G, 2L) k + L i — always exactly one message in
+                # transit, so no stalling, yet arrival rate > 1/G.
+                for k in range(shots):
+                    yield WaitUntil(max(G, 2 * L) * k + L * ctx.pid)
+                    yield Send(2, (ctx.pid, k))
+            else:
+                for _ in range(2 * shots):
+                    yield Recv()
+
+        return LogPMachine(params, delivery=DeliverEager()).run(prog)
+
+    def test_buffer_grows_linearly(self):
+        small = self._run(G=8, L=3, shots=8)
+        large = self._run(G=8, L=3, shots=32)
+        assert small.stall_free and large.stall_free  # capacity never violated
+        assert large.buffer_highwater[2] >= small.buffer_highwater[2] + 16
+
+    def test_buffer_bounded_when_G_leq_L(self):
+        params = LogPParams(p=3, L=8, o=1, G=2)
+
+        def prog(ctx):
+            if ctx.pid in (0, 1):
+                for k in range(32):
+                    yield Send(2, (ctx.pid, k))
+            else:
+                for _ in range(64):
+                    yield Recv()
+
+        res = LogPMachine(params).run(prog)
+        # Arrival rate is at most one per destination per step and the
+        # drain rate is 1/G; the backlog stays O(L) = O(capacity * G).
+        assert res.buffer_highwater[2] <= 2 * params.capacity + 2
+
+
+class TestGEqualsOneAnomaly:
+    """Paper: with G = 1 the capacity bound becomes L, so L simultaneous
+    messages must all be delivered within L steps — one per step, i.e.
+    some message traverses the machine in a single step."""
+
+    def test_one_step_delivery_forced(self):
+        L = 6
+        params = LogPParams(p=L + 2, L=L, o=1, G=1, unchecked=True)
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                got = []
+                for _ in range(L):
+                    msg = yield Recv()
+                    got.append(msg.payload)
+                return got
+            if ctx.pid <= L:
+                yield Send(0, ctx.pid)
+            return None
+
+        machine = LogPMachine(params, record_trace=True)
+        res = machine.run(prog)
+        assert res.stall_free  # L messages <= capacity L: no stalling
+        # All L messages accepted at t=o must be delivered by o+L with at
+        # most one arrival per step => some delivery happens 1 step after
+        # acceptance.
+        deliveries = sorted(t for t, dest, _ in res.trace.deliveries if dest == 0)
+        accept = params.o
+        assert deliveries[0] == accept + 1
+        assert deliveries[-1] <= accept + L

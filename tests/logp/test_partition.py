@@ -1,0 +1,116 @@
+"""Partitionability (paper §2.2 vs §2.1): LogP groups don't interfere;
+BSP groups share the global barrier's cost."""
+
+import pytest
+
+from repro.bsp.machine import BSPMachine
+from repro.bsp import partition as bsp_partition
+from repro.bsp.program import Compute as BCompute, Sync
+from repro.errors import ProgramError
+from repro.logp import LogPMachine
+from repro.logp.partition import combine_partitions
+from repro.models.params import BSPParams, LogPParams
+from repro.programs import logp_ring_program, logp_sum_program
+from repro.programs.bsp_examples import bsp_prefix_program
+
+
+class TestLogPPartitioning:
+    def test_groups_compute_independently(self):
+        params = LogPParams(p=8, L=8, o=1, G=2)
+        progs = combine_partitions(
+            [[0, 1, 2, 3], [4, 5, 6, 7]],
+            [logp_sum_program(), logp_ring_program()],
+            p=8,
+        )
+        res = LogPMachine(params).run(progs)
+        assert res.results[:4] == [6] * 4  # sum of local pids 0..3
+        assert res.results[4:] == [0, 1, 2, 3]  # ring returns own value
+
+    def test_group_timing_equals_standalone(self):
+        """The §2.2 non-interference property: a group's makespan on the
+        shared machine equals its makespan on a standalone machine of the
+        group's size."""
+        big = LogPParams(p=8, L=8, o=1, G=2)
+        small = LogPParams(p=4, L=8, o=1, G=2)
+
+        standalone = LogPMachine(small).run(logp_sum_program())
+
+        def silent(ctx):
+            return None
+            yield  # pragma: no cover
+
+        progs = combine_partitions(
+            [[0, 1, 2, 3]], [logp_sum_program()], p=8
+        )
+        shared = LogPMachine(big).run(progs)
+        assert shared.makespan == standalone.makespan
+        assert shared.results[:4] == standalone.results
+
+    def test_noncontiguous_groups(self):
+        params = LogPParams(p=8, L=8, o=1, G=2)
+        progs = combine_partitions(
+            [[0, 2, 4, 6], [1, 3, 5, 7]],
+            [logp_sum_program(), logp_sum_program()],
+            p=8,
+        )
+        res = LogPMachine(params).run(progs)
+        assert [res.results[i] for i in (0, 2, 4, 6)] == [6] * 4
+        assert [res.results[i] for i in (1, 3, 5, 7)] == [6] * 4
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ProgramError, match="disjoint"):
+            combine_partitions([[0, 1], [1, 2]], [logp_sum_program()] * 2, p=4)
+
+    def test_program_count_mismatch_rejected(self):
+        with pytest.raises(ProgramError, match="one program per group"):
+            combine_partitions([[0, 1]], [], p=4)
+
+    def test_escape_to_foreign_processor_rejected(self):
+        from repro.logp import Send
+
+        def leaky(ctx):
+            yield Send(3, "oops")  # local dest 3 in a 2-member group
+
+        params = LogPParams(p=4, L=8, o=1, G=2)
+        progs = combine_partitions([[0, 1]], [leaky], p=4)
+        with pytest.raises(ProgramError, match="out of range"):
+            LogPMachine(params).run(progs)
+
+
+class TestBSPCoupling:
+    def test_results_isolated_but_cost_coupled(self):
+        """Two groups: a light one (1 superstep) and a heavy one (many
+        supersteps).  Results are independent; total cost is driven by
+        the heavy group — each barrier spans the machine (paper §2.1)."""
+        p, g, l = 8, 2, 32
+
+        def light(ctx):
+            yield BCompute(1)
+            yield Sync()
+            return "light"
+
+        def heavy(ctx):
+            for _ in range(10):
+                yield BCompute(1)
+                yield Sync()
+            return "heavy"
+
+        progs = bsp_partition.combine_partitions(
+            [[0, 1, 2, 3], [4, 5, 6, 7]], [light, heavy], p=p
+        )
+        out = BSPMachine(BSPParams(p=p, g=g, l=l)).run(progs)
+        assert out.results[:4] == ["light"] * 4
+        assert out.results[4:] == ["heavy"] * 4
+        # the run pays the barrier for every superstep of the heavy group
+        assert out.num_supersteps == 10
+        assert out.total_cost >= 10 * l
+
+    def test_bsp_group_results_match_standalone(self):
+        progs = bsp_partition.combine_partitions(
+            [[0, 1, 2], [3, 4, 5, 6, 7]],
+            [bsp_prefix_program(), bsp_prefix_program()],
+            p=8,
+        )
+        out = BSPMachine(BSPParams(p=8, g=2, l=8)).run(progs)
+        assert out.results[:3] == [1, 3, 6]
+        assert out.results[3:] == [1, 3, 6, 10, 15]

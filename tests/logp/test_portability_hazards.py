@@ -1,0 +1,110 @@
+"""The paper's §6 portability asymmetry, as executable facts.
+
+BSP: a parameter change affects performance, never correctness (see
+``tests/bsp/test_portability.py``).  LogP: changing (L, G) can turn a
+stall-free program into a stalling one, and a correct program into an
+incorrect one — because the *admissible execution set* depends on the
+parameters.
+"""
+
+import pytest
+
+from repro.logp import (
+    DeliverEager,
+    DeliverMaxLatency,
+    LogPMachine,
+    Recv,
+    Send,
+    TryRecv,
+    WaitUntil,
+)
+from repro.logp.collectives import recv_n_tagged
+from repro.logp.validate import validate_program
+from repro.models.params import LogPParams
+
+
+def fan_in_program(k):
+    """k senders, one receiver: stall-free iff k <= ceil(L/G)."""
+
+    def prog(ctx):
+        if ctx.pid == 0:
+            msgs = yield from recv_n_tagged(ctx, 3, k)
+            return sorted(m.payload for m in msgs)
+        if ctx.pid <= k:
+            yield Send(0, ctx.pid, tag=3)
+        return None
+
+    return prog
+
+
+class TestStallFreeBecomesStalling:
+    def test_same_program_different_machines(self):
+        """The identical program is stall-free at capacity 4 and stalls
+        at capacity 2 — the §6 hazard."""
+        prog = fan_in_program(k=4)
+        wide = LogPParams(p=8, L=8, o=1, G=2)   # capacity 4
+        narrow = LogPParams(p=8, L=8, o=1, G=4)  # capacity 2
+        assert LogPMachine(wide).run(prog).stall_free
+        assert not LogPMachine(narrow).run(prog).stall_free
+
+    def test_certification_is_parameter_specific(self):
+        prog = fan_in_program(k=4)
+        ok = validate_program(LogPParams(p=8, L=8, o=1, G=2), prog)
+        bad = validate_program(LogPParams(p=8, L=8, o=1, G=4), prog)
+        assert ok.stall_free and not bad.stall_free
+        # results stay correct in both — only the stall guarantee breaks
+        assert ok.results[0] == bad.results[0] == [1, 2, 3, 4]
+
+
+class TestCorrectBecomesIncorrect:
+    @staticmethod
+    def deadline_prog(deadline):
+        """Processor 1 polls until ``deadline`` and reports whether the
+        message arrived 'in time' — a deliberately time-sensitive program
+        in the style the paper warns about."""
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield Send(1, "data")
+                return None
+            got = None
+            while ctx.clock < deadline:
+                msg = yield TryRecv()
+                if msg is not None:
+                    got = msg.payload
+                    break
+            return got
+
+        return prog
+
+    def test_correct_on_small_L_incorrect_on_large_L(self):
+        """With L=4 every admissible execution delivers before the
+        deadline (the program is correct: one fixed I/O map).  With L=16
+        the outcome depends on the delivery schedule — the same source is
+        no longer a correct LogP program."""
+        deadline = 10
+        prog = self.deadline_prog(deadline)
+
+        small = LogPParams(p=2, L=4, o=1, G=2)
+        for delivery in (DeliverMaxLatency(), DeliverEager()):
+            res = LogPMachine(small, delivery=delivery).run(prog)
+            assert res.results[1] == "data"
+
+        large = LogPParams(p=2, L=16, o=1, G=2)
+        outcomes = {
+            type(d).__name__: LogPMachine(large, delivery=d).run(prog).results[1]
+            for d in (DeliverMaxLatency(), DeliverEager())
+        }
+        assert outcomes["DeliverEager"] == "data"
+        assert outcomes["DeliverMaxLatency"] is None  # missed the deadline
+
+    def test_ensemble_validation_flags_it(self):
+        prog = self.deadline_prog(10)
+        report = validate_program(
+            LogPParams(p=2, L=16, o=1, G=2), prog, require_stall_free=False
+        )
+        assert not report.deterministic_result
+        report_ok = validate_program(
+            LogPParams(p=2, L=4, o=1, G=2), prog, require_stall_free=False
+        )
+        assert report_ok.deterministic_result

@@ -1,0 +1,105 @@
+"""The nondeterminism policy objects (paper §2.2's two freedoms)."""
+
+import pytest
+
+from repro.logp import (
+    AcceptFIFO,
+    AcceptLIFO,
+    AcceptRandom,
+    DeliverEager,
+    DeliverMaxLatency,
+    DeliverRandom,
+    LogPMachine,
+    Recv,
+    Send,
+)
+from repro.logp.scheduler import DeliverHotspotLate
+from repro.models.message import Message
+from repro.models.params import LogPParams
+from repro.programs import logp_sum_program
+
+
+class TestDeliverySchedulers:
+    def test_max_latency_proposes_L(self):
+        msg = Message(src=0, dest=1)
+        assert DeliverMaxLatency().propose_delay(msg, 10, 8) == 8
+
+    def test_eager_proposes_one(self):
+        msg = Message(src=0, dest=1)
+        assert DeliverEager().propose_delay(msg, 10, 8) == 1
+
+    def test_random_in_range_and_seeded(self):
+        msg = Message(src=0, dest=1)
+        a = [DeliverRandom(seed=3).propose_delay(msg, 0, 8) for _ in range(1)]
+        b = [DeliverRandom(seed=3).propose_delay(msg, 0, 8) for _ in range(1)]
+        assert a == b
+        sched = DeliverRandom(seed=4)
+        draws = [sched.propose_delay(msg, 0, 8) for _ in range(200)]
+        assert all(1 <= d <= 8 for d in draws)
+        assert len(set(draws)) > 3  # actually random
+
+    def test_hotspot_late_targets_hot_dest(self):
+        sched = DeliverHotspotLate(hot=[2])
+        hot = Message(src=0, dest=2)
+        cold = Message(src=0, dest=1)
+        assert sched.propose_delay(hot, 0, 8) == 8
+        assert sched.propose_delay(cold, 0, 8) == 1
+
+    def test_out_of_range_proposal_clamped_by_engine(self):
+        class Silly:
+            def propose_delay(self, msg, t, L):
+                return 999  # engine must clamp to [1, L]
+
+        params = LogPParams(p=2, L=4, o=1, G=2)
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield Send(1, "x")
+            else:
+                msg = yield Recv()
+                return ctx.clock
+
+        res = LogPMachine(params, delivery=Silly(), record_trace=True).run(prog)
+        (t_del, _dest, _uid) = res.trace.deliveries[0]
+        assert t_del <= params.o + params.L
+
+
+class TestAcceptancePolicies:
+    PENDING = [(5, 1, 10, None), (3, 2, 11, None), (3, 0, 12, None)]
+
+    def test_fifo_picks_oldest(self):
+        idx = AcceptFIFO().choose(self.PENDING, now=9)
+        assert self.PENDING[idx][0] == 3 and self.PENDING[idx][1] == 0
+
+    def test_lifo_picks_newest(self):
+        idx = AcceptLIFO().choose(self.PENDING, now=9)
+        assert self.PENDING[idx][0] == 5
+
+    def test_random_seeded(self):
+        a = AcceptRandom(seed=1).choose(self.PENDING, now=0)
+        b = AcceptRandom(seed=1).choose(self.PENDING, now=0)
+        assert a == b
+        assert 0 <= a < len(self.PENDING)
+
+
+class TestPolicyIndependenceForCorrectPrograms:
+    """A correct program yields the same results under every policy mix —
+    the paper's correctness criterion, spot-checked on a real kernel."""
+
+    @pytest.mark.parametrize(
+        "delivery", [DeliverMaxLatency(), DeliverEager(), DeliverRandom(seed=9)]
+    )
+    @pytest.mark.parametrize(
+        "acceptance", [AcceptFIFO(), AcceptLIFO(), AcceptRandom(seed=8)]
+    )
+    def test_sum_invariant(self, delivery, acceptance):
+        params = LogPParams(p=8, L=8, o=1, G=2)
+        machine = LogPMachine(params, delivery=delivery, acceptance=acceptance)
+        res = machine.run(logp_sum_program())
+        assert res.results == [28] * 8
+
+    def test_makespan_does_depend_on_delivery_policy(self):
+        params = LogPParams(p=8, L=8, o=1, G=2)
+        slow = LogPMachine(params, delivery=DeliverMaxLatency()).run(logp_sum_program())
+        fast = LogPMachine(params, delivery=DeliverEager()).run(logp_sum_program())
+        assert fast.makespan < slow.makespan

@@ -1,0 +1,188 @@
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models import cost
+from repro.models.params import BSPParams, LogPParams
+
+
+def params(p=64, L=16, o=1, G=2) -> LogPParams:
+    return LogPParams(p=p, L=L, o=o, G=G)
+
+
+class TestTheorem1Formulas:
+    def test_matched_machine_slowdown_is_constant(self):
+        """l = Theta(L), g = Theta(G) => constant slowdown (Theorem 1)."""
+        logp = params()
+        s = cost.theorem1_slowdown(logp.matching_bsp(), logp)
+        assert 1.0 <= s <= 8.0
+
+    def test_slowdown_grows_with_g_and_l(self):
+        logp = params()
+        base = cost.theorem1_slowdown(logp.matching_bsp(), logp)
+        more_g = cost.theorem1_slowdown(logp.matching_bsp(g=logp.G * 8), logp)
+        more_l = cost.theorem1_slowdown(logp.matching_bsp(l=logp.L * 8), logp)
+        assert more_g > base and more_l > base
+
+    def test_superstep_cost_components(self):
+        logp = params(L=8, G=2)
+        bsp = BSPParams(p=64, g=3, l=5)
+        # cycle L/2 = 4, h = 4 -> 4 + 3*4 + 5
+        assert cost.theorem1_superstep_cost(bsp, logp) == 4 + 12 + 5
+
+
+class TestCBFormulas:
+    def test_upper_dominates_lower(self):
+        for C_target in [1, 2, 4, 8]:
+            q = params(L=2 * C_target, G=2)
+            assert cost.cb_time_upper(q) >= cost.cb_time_lower(q)
+
+    def test_single_processor_is_free(self):
+        q = params(p=1)
+        assert cost.cb_time_upper(q) == 0.0
+        assert cost.cb_time_lower(q) == 0.0
+
+    def test_larger_capacity_speeds_cb(self):
+        """Wider trees synchronize faster: T_CB falls as ceil(L/G) grows."""
+        narrow = params(L=4, G=4)  # capacity 1
+        wide = params(L=4, G=2)  # capacity 2
+        assert cost.cb_time_upper(wide) < cost.cb_time_upper(narrow) * 1.01
+
+    def test_scales_logarithmically_in_p(self):
+        t1 = cost.cb_time_upper(params(p=16))
+        t2 = cost.cb_time_upper(params(p=256))
+        assert t2 / t1 == pytest.approx(2.0, rel=0.01)  # log 256 / log 16
+
+    def test_arity(self):
+        assert cost.cb_tree_arity(params(L=4, G=4)) == 2  # capacity 1 -> binary
+        assert cost.cb_tree_arity(params(L=16, G=2)) == 8
+
+
+class TestSortFormulas:
+    def test_tseq_linear_times_passes(self):
+        assert cost.t_seq_sort(0, 100) == 0
+        assert cost.t_seq_sort(1, 100) == 1
+        # r = p^eps regime: O(r)
+        assert cost.t_seq_sort(2**20, 2**20) <= 3 * 2**20
+
+    def test_aks_scales_with_log_p(self):
+        q16, q256 = params(p=16), params(p=256)
+        assert cost.t_sort_aks(8, 256, q256) / cost.t_sort_aks(8, 16, q16) == pytest.approx(
+            2.0, rel=0.01
+        )
+
+    def test_cubesort_beats_aks_for_large_r(self):
+        q = params(p=256)
+        r = 4096
+        assert cost.t_sort_cubesort(
+            r, q.p, q, include_log_star_term=False
+        ) < cost.t_sort_aks(r, q.p, q)
+
+    def test_aks_beats_cubesort_for_small_r(self):
+        q = params(p=256)
+        assert cost.t_sort_aks(2, q.p, q) < cost.t_sort_cubesort(2, q.p, q)
+
+    def test_log_star_term_only_inflates(self):
+        q = params(p=256)
+        for r in [4, 64, 1024]:
+            assert cost.t_sort_cubesort(r, q.p, q) >= cost.t_sort_cubesort(
+                r, q.p, q, include_log_star_term=False
+            )
+
+
+class TestRoutingFormulas:
+    def test_small_relation_time(self):
+        q = params(L=8, o=1, G=2)
+        assert cost.t_route_small(0, q) == 0
+        assert cost.t_route_small(1, q) == 2 + 0 + 8
+        assert cost.t_route_small(4, q) == 2 + 2 * 3 + 8
+        assert cost.t_route_small(q.capacity, q) <= 4 * q.L
+
+    def test_negative_h_rejected(self):
+        with pytest.raises(ValueError):
+            cost.t_route_small(-1, params())
+
+    def test_slowdown_S_is_O_log_p(self):
+        q = params(p=1024)
+        for h in [1, 4, 64, 4096]:
+            assert cost.slowdown_S(q, h) <= 2 * math.log2(q.p) + 1
+
+    def test_slowdown_S_constant_for_large_h(self):
+        """S = O(1) for h = Omega(p^eps + L log p) (Theorem 2)."""
+        q = params(p=256)
+        big_h = q.p  # p^1
+        assert cost.slowdown_S(q, big_h) <= 6.0
+
+    def test_slowdown_S_single_proc(self):
+        assert cost.slowdown_S(params(p=1), 4) == 1.0
+
+    def test_deterministic_route_bound_structure(self):
+        q = params()
+        t_small = cost.t_route_deterministic(1, q)
+        t_big = cost.t_route_deterministic(64, q)
+        assert t_big > t_small > 0
+
+
+class TestTheorem3Formulas:
+    def test_beta_relations(self):
+        c1, c2 = 2.0, 1.0
+        beta_hat = cost.theorem3_beta_hat(c1, c2)
+        beta = cost.theorem3_beta(c1, c2)
+        assert beta == pytest.approx(4 * (1 + beta_hat))
+
+    def test_batches_scale_with_h_over_capacity(self):
+        q = params(L=16, G=2)  # capacity 8
+        r1 = cost.theorem3_num_batches(8, q, beta_hat=1.0)
+        r2 = cost.theorem3_num_batches(64, q, beta_hat=1.0)
+        assert r2 == pytest.approx(8 * r1, abs=1)
+
+    def test_failure_bound_in_unit_interval_and_monotone_in_capacity(self):
+        small_cap = params(L=8, G=2)  # capacity 4
+        big_cap = params(L=64, G=2)  # capacity 32
+        f_small = cost.theorem3_failure_bound(64, small_cap, beta_hat=2.0)
+        f_big = cost.theorem3_failure_bound(64, big_cap, beta_hat=2.0)
+        assert 0.0 <= f_big <= f_small <= 1.0
+
+    def test_zero_h_single_batch(self):
+        assert cost.theorem3_num_batches(0, params(), 1.0) == 1
+
+
+class TestStallingFormulas:
+    def test_worst_case_quadratic(self):
+        q = params()
+        assert cost.stalling_worst_case(10, q) == q.G * 100
+
+    def test_hotspot_drain_rate(self):
+        q = params(L=8, G=2)
+        assert cost.hotspot_delivery_time(0, q) == 0
+        assert cost.hotspot_delivery_time(5, q) == 2 * 4 + 8
+
+
+class TestTable1:
+    def test_all_rows_present(self):
+        assert set(cost.TABLE1) == {
+            "d-dim array",
+            "hypercube (multi-port)",
+            "hypercube (single-port)",
+            "butterfly",
+            "ccc",
+            "shuffle-exchange",
+            "mesh-of-trees",
+        }
+
+    def test_table_values(self):
+        p = 256
+        assert cost.TABLE1["d-dim array"].gamma(p, d=2) == pytest.approx(16.0)
+        assert cost.TABLE1["hypercube (multi-port)"].gamma(p) == 1.0
+        assert cost.TABLE1["hypercube (single-port)"].gamma(p) == pytest.approx(8.0)
+        assert cost.TABLE1["mesh-of-trees"].gamma(p) == pytest.approx(16.0)
+        assert cost.TABLE1["butterfly"].delta(p) == pytest.approx(8.0)
+
+    def test_best_params_observation1(self):
+        """G* = Theta(gamma), L* = Theta(gamma + delta) (Section 5)."""
+        for name in cost.TABLE1:
+            g, l = cost.best_bsp_params_on(name, 256)
+            G, L = cost.best_logp_params_on(name, 256)
+            assert G == pytest.approx(g)
+            assert L == pytest.approx(g + l)

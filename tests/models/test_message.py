@@ -1,0 +1,29 @@
+from repro.models.message import Message
+
+
+class TestMessage:
+    def test_uids_unique(self):
+        msgs = [Message(src=0, dest=1) for _ in range(100)]
+        assert len({m.uid for m in msgs}) == 100
+
+    def test_equality_ignores_uid(self):
+        a = Message(src=0, dest=1, payload="x", tag=3)
+        b = Message(src=0, dest=1, payload="x", tag=3)
+        assert a == b
+        assert a.uid != b.uid
+
+    def test_redirect_preserves_body(self):
+        m = Message(src=2, dest=5, payload={"k": 1}, tag=9)
+        r = m.redirect(7)
+        assert (r.src, r.dest, r.payload, r.tag) == (2, 7, {"k": 1}, 9)
+
+    def test_frozen(self):
+        m = Message(src=0, dest=1)
+        try:
+            m.dest = 2
+            assert False, "Message must be immutable"
+        except AttributeError:
+            pass
+
+    def test_repr_compact(self):
+        assert "0->1" in repr(Message(src=0, dest=1))

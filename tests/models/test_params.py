@@ -1,0 +1,73 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParameterError
+from repro.models.params import BSPParams, LogPParams
+from repro.util.intmath import ceil_div
+
+
+class TestBSPParams:
+    def test_superstep_cost_formula(self):
+        params = BSPParams(p=4, g=3, l=10)
+        assert params.superstep_cost(w=5, h=2) == 5 + 3 * 2 + 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(p=0, g=1, l=1), dict(p=1, g=0, l=1), dict(p=1, g=1, l=-1)],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            BSPParams(**kwargs)
+
+    def test_negative_w_h_rejected(self):
+        params = BSPParams(p=2, g=1, l=1)
+        with pytest.raises(ParameterError):
+            params.superstep_cost(-1, 0)
+        with pytest.raises(ParameterError):
+            params.superstep_cost(0, -1)
+
+
+class TestLogPParams:
+    def test_capacity_is_ceil_L_over_G(self):
+        assert LogPParams(p=2, L=8, o=1, G=3).capacity == ceil_div(8, 3)
+        assert LogPParams(p=2, L=8, o=1, G=8).capacity == 1
+
+    def test_paper_constraint_G_at_least_2(self):
+        """Section 2.2: G = 1 would force one-step delivery at hot spots."""
+        with pytest.raises(ParameterError, match="G >= 2"):
+            LogPParams(p=2, L=4, o=1, G=1)
+
+    def test_paper_constraint_G_at_least_o(self):
+        """Section 2.2: the processor spends o per message regardless."""
+        with pytest.raises(ParameterError, match="G >= o"):
+            LogPParams(p=2, L=8, o=5, G=3)
+
+    def test_paper_constraint_G_at_most_L(self):
+        """Section 2.2: G > L forces unbounded input buffers."""
+        with pytest.raises(ParameterError, match="G <= L"):
+            LogPParams(p=2, L=3, o=1, G=5)
+
+    def test_unchecked_allows_anomalous_settings(self):
+        params = LogPParams(p=2, L=3, o=1, G=5, unchecked=True)
+        assert params.G == 5  # permitted so tests can exhibit the anomaly
+
+    def test_matching_bsp_defaults(self):
+        logp = LogPParams(p=8, L=16, o=1, G=2)
+        bsp = logp.matching_bsp()
+        assert (bsp.p, bsp.g, bsp.l) == (8, 2, 16)
+
+    def test_matching_bsp_overrides(self):
+        logp = LogPParams(p=8, L=16, o=1, G=2)
+        bsp = logp.matching_bsp(g=7, l=3)
+        assert (bsp.g, bsp.l) == (7, 3)
+
+    @given(
+        st.integers(1, 64),
+        st.integers(2, 64),
+        st.integers(0, 8),
+    )
+    def test_valid_combinations_construct(self, p, G, o):
+        o = min(o, G)
+        L = G * 3
+        params = LogPParams(p=p, L=L, o=o, G=G)
+        assert 1 <= params.capacity <= L

@@ -1,0 +1,86 @@
+"""LogP over a real network: the NetworkDelivery co-simulation."""
+
+import operator
+
+import pytest
+
+from repro.core.cb import measure_cb
+from repro.logp import LogPMachine
+from repro.models.params import LogPParams
+from repro.networks import ArrayND, Hypercube
+from repro.networks.backed import NetworkDelivery
+from repro.programs import logp_alltoall_program, logp_sum_program
+
+
+class TestNetworkDelivery:
+    def test_single_message_delay_is_path_length(self):
+        topo = Hypercube(8)
+        sched = NetworkDelivery(topo)
+        from repro.models.message import Message
+
+        assert sched.propose_delay(Message(src=0, dest=7), 10, 100) == 3
+        assert sched.violations == 0
+
+    def test_edge_contention_extends_delay(self):
+        topo = ArrayND((3, 1))  # path 0-1-2
+        sched = NetworkDelivery(topo)
+        from repro.models.message import Message
+
+        d1 = sched.propose_delay(Message(src=0, dest=2), 0, 100)
+        d2 = sched.propose_delay(Message(src=0, dest=2), 0, 100)
+        assert d1 == 2
+        assert d2 == 3  # first edge busy at step 1
+
+    def test_violation_counting(self):
+        topo = ArrayND((5, 1))
+        sched = NetworkDelivery(topo)
+        from repro.models.message import Message
+
+        sched.propose_delay(Message(src=0, dest=4), 0, L=2)
+        assert sched.violations == 1
+
+
+class TestLogPProgramsOverNetworks:
+    @pytest.mark.parametrize("topo_factory", [lambda: Hypercube(16), lambda: ArrayND((4, 4))])
+    def test_sum_kernel_supported(self, topo_factory):
+        """A generously-chosen L is honored by the network: no clamping,
+        results exact."""
+        topo = topo_factory()
+        sched = NetworkDelivery(topo)
+        params = LogPParams(p=topo.p, L=32, o=1, G=2)
+        res = LogPMachine(params, delivery=sched).run(logp_sum_program())
+        assert res.results == [sum(range(topo.p))] * topo.p
+        assert sched.violations == 0
+        assert sched.max_delay <= params.L
+
+    def test_tight_L_gets_violated_on_a_long_path(self):
+        """An L below the diameter cannot be supported — the scheduler
+        reports it (and the machine clamps, preserving model semantics)."""
+        topo = ArrayND((8, 8))  # diameter 14
+        sched = NetworkDelivery(topo)
+        params = LogPParams(p=64, L=8, o=1, G=2)
+        res = LogPMachine(params, delivery=sched).run(logp_alltoall_program())
+        assert sched.violations > 0
+        # results still correct: admissible-semantics clamping
+        for j, got in enumerate(res.results):
+            assert len([g for g in got if g is not None]) == 63
+
+    def test_cb_on_network_supported_with_fitted_L(self):
+        """The (G*, L*) pair derived by the Section 5 fixed point really
+        supports the CB workload on the same network."""
+        from repro.core.network_support import derive_model_support
+        from repro.networks.params import make_topology
+
+        topo, config = make_topology("hypercube (single-port)", 16)
+        support = derive_model_support(
+            topo, table_name="hypercube (single-port)", config=config
+        )
+        sched = NetworkDelivery(topo)
+        params = LogPParams(
+            p=topo.p, L=max(support.L_star, support.G_star), o=1, G=support.G_star
+        )
+        m = measure_cb(
+            params, [1] * topo.p, operator.add, machine_kwargs={"delivery": sched}
+        )
+        assert m.result.results == [topo.p] * topo.p
+        assert sched.violations == 0

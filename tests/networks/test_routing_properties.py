@@ -1,0 +1,62 @@
+"""Property-based checks on the packet router and topology routes."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.networks import (
+    ArrayND,
+    CubeConnectedCycles,
+    Hypercube,
+    MeshOfTrees,
+    ShuffleExchange,
+)
+from repro.networks.routing_sim import RoutingConfig, build_paths, route_packets
+
+
+@st.composite
+def topology_and_pairs(draw):
+    kind = draw(st.sampled_from(["array", "hypercube", "se", "ccc", "mot"]))
+    if kind == "array":
+        sides = tuple(draw(st.lists(st.integers(2, 4), min_size=1, max_size=3)))
+        topo = ArrayND(sides, torus=draw(st.booleans()))
+    elif kind == "hypercube":
+        topo = Hypercube(2 ** draw(st.integers(1, 5)))
+    elif kind == "se":
+        topo = ShuffleExchange(2 ** draw(st.integers(1, 5)))
+    elif kind == "ccc":
+        topo = CubeConnectedCycles(2 ** draw(st.integers(2, 4)))
+    else:
+        topo = MeshOfTrees(2 ** draw(st.integers(1, 3)))
+    n = draw(st.integers(0, 12))
+    pairs = [
+        (draw(st.integers(0, topo.p - 1)), draw(st.integers(0, topo.p - 1)))
+        for _ in range(n)
+    ]
+    return topo, pairs
+
+
+@given(topology_and_pairs(), st.booleans(), st.booleans(), st.integers(0, 99))
+@settings(max_examples=60, deadline=None)
+def test_every_packet_delivered_and_accounted(spec, single_port, farthest, seed):
+    topo, pairs = spec
+    paths = build_paths(topo, pairs, valiant=False, seed=seed)
+    for path, (s, d) in zip(paths, pairs):
+        topo.check_route(path, topo.hosts[s], topo.hosts[d])
+    cfg = RoutingConfig(
+        single_port=single_port, priority="farthest" if farthest else "fifo"
+    )
+    out = route_packets(topo, paths, cfg)
+    assert out.packets == len(pairs)
+    assert out.total_hops == sum(len(p) - 1 for p in paths)
+    # time bounds: at least the longest path, at most total hops + slack
+    longest = max((len(p) - 1 for p in paths), default=0)
+    assert out.time >= longest
+    assert out.time <= max(1, out.total_hops) + longest
+
+
+@given(topology_and_pairs(), st.integers(0, 99))
+@settings(max_examples=30, deadline=None)
+def test_valiant_paths_also_valid(spec, seed):
+    topo, pairs = spec
+    paths = build_paths(topo, pairs, valiant=True, seed=seed)
+    for path, (s, d) in zip(paths, pairs):
+        topo.check_route(path, topo.hosts[s], topo.hosts[d])

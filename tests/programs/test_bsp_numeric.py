@@ -1,0 +1,101 @@
+"""Direct BSP numeric kernels vs numpy ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.bsp import BSPMachine
+from repro.models.params import BSPParams, LogPParams
+from repro.programs.bsp_numeric import (
+    bsp_fft_program,
+    bsp_matmul_program,
+    fft_reference_order,
+)
+from repro.util.rng import make_rng
+
+
+class TestFFT:
+    @pytest.mark.parametrize("p,m", [(2, 4), (4, 8), (8, 8), (4, 16)])
+    def test_matches_numpy(self, p, m):
+        seed = 5
+        out = BSPMachine(BSPParams(p=p, g=1, l=4)).run(
+            bsp_fft_program(points_per_proc=m, seed=seed)
+        )
+        X = fft_reference_order(out.results, n1=p, n2=m)
+        # Reconstruct the distributed input: processor i's local j-th
+        # point is x[j * p + i] (cyclic distribution).
+        n = p * m
+        x = np.zeros(n, dtype=complex)
+        for i in range(p):
+            rng = make_rng(seed * 31337 + i)
+            re = rng.random(m)
+            im = rng.random(m)
+            for j in range(m):
+                x[j * p + i] = complex(re[j], im[j])
+        assert np.allclose(np.array(X), np.fft.fft(x), atol=1e-9)
+
+    def test_communication_is_single_alltoall(self):
+        out = BSPMachine(BSPParams(p=4, g=1, l=4)).run(
+            bsp_fft_program(points_per_proc=8, seed=1)
+        )
+        # exactly one communicating superstep (the transpose)
+        comm_steps = [r for r in out.ledger if r.h > 0]
+        assert len(comm_steps) == 1
+
+    def test_through_theorem2(self):
+        from repro.core.bsp_on_logp import simulate_bsp_on_logp
+
+        rep = simulate_bsp_on_logp(
+            LogPParams(p=4, L=16, o=1, G=2),
+            bsp_fft_program(points_per_proc=8, seed=2),
+            routing="offline",
+        )
+        assert rep.outputs_match
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            BSPMachine(BSPParams(p=4, g=1, l=1)).run(
+                bsp_fft_program(points_per_proc=6)
+            )
+
+
+class TestMatmul:
+    @pytest.mark.parametrize("p,n", [(1, 4), (4, 8), (9, 9), (16, 8)])
+    def test_matches_numpy(self, p, n):
+        seed = 3
+        out = BSPMachine(BSPParams(p=p, g=1, l=4)).run(bsp_matmul_program(n, seed=seed))
+        q = int(round(p**0.5))
+        nb = n // q
+        # Reconstruct A, B from the per-processor seeds.
+        A = np.zeros((n, n))
+        B = np.zeros((n, n))
+        for pid in range(p):
+            r, c = divmod(pid, q)
+            rng = make_rng(seed * 613 + pid)
+            A[r * nb:(r + 1) * nb, c * nb:(c + 1) * nb] = rng.random((nb, nb))
+            B[r * nb:(r + 1) * nb, c * nb:(c + 1) * nb] = rng.random((nb, nb))
+        C = np.zeros((n, n))
+        for pid in range(p):
+            r, c = divmod(pid, q)
+            C[r * nb:(r + 1) * nb, c * nb:(c + 1) * nb] = np.array(out.results[pid])
+        assert np.allclose(C, A @ B)
+
+    def test_h_relations_are_grid_broadcasts(self):
+        out = BSPMachine(BSPParams(p=9, g=1, l=4)).run(bsp_matmul_program(9, seed=1))
+        q = 3
+        comm = [r.h for r in out.ledger if r.h > 0]
+        assert comm and all(h <= 2 * (q - 1) for h in comm)
+
+    def test_rejects_non_square_p(self):
+        with pytest.raises(ValueError):
+            BSPMachine(BSPParams(p=8, g=1, l=1)).run(bsp_matmul_program(8))
+
+    def test_through_theorem2(self):
+        from repro.core.bsp_on_logp import simulate_bsp_on_logp
+
+        rep = simulate_bsp_on_logp(
+            LogPParams(p=4, L=16, o=1, G=2),
+            bsp_matmul_program(8, seed=4),
+            routing="randomized",
+            seed=6,
+        )
+        assert rep.outputs_match

@@ -1,0 +1,124 @@
+"""The example program library (programs/)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bsp import BSPMachine
+from repro.logp import LogPMachine
+from repro.models.params import BSPParams, LogPParams
+from repro.programs import (
+    bsp_matvec_program,
+    bsp_prefix_program,
+    bsp_radix_sort_program,
+    bsp_sample_sort_program,
+    logp_alltoall_program,
+    logp_broadcast_program,
+    logp_ring_program,
+    logp_sum_program,
+)
+
+
+class TestLogPKernels:
+    @pytest.mark.parametrize("p", [1, 2, 5, 8, 16])
+    def test_ring(self, p):
+        res = LogPMachine(LogPParams(p=p, L=8, o=1, G=2)).run(logp_ring_program())
+        assert res.results == list(range(p))  # full rotation returns own value
+        assert res.stall_free
+
+    def test_ring_multiple_rounds_with_compute(self):
+        res = LogPMachine(LogPParams(p=4, L=8, o=1, G=2)).run(
+            logp_ring_program(rounds=3, compute_per_hop=2)
+        )
+        assert res.results == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("p", [1, 3, 8, 13])
+    def test_broadcast(self, p):
+        res = LogPMachine(LogPParams(p=p, L=8, o=1, G=2)).run(
+            logp_broadcast_program(value="v", root=0)
+        )
+        assert res.results == ["v"] * p
+
+    def test_sum_with_values(self):
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        res = LogPMachine(LogPParams(p=8, L=8, o=1, G=2)).run(
+            logp_sum_program(values)
+        )
+        assert res.results == [31] * 8
+
+    @pytest.mark.parametrize("p", [1, 2, 7, 8])
+    def test_alltoall(self, p):
+        res = LogPMachine(LogPParams(p=p, L=16, o=1, G=2)).run(
+            logp_alltoall_program()
+        )
+        for j, got in enumerate(res.results):
+            if p == 1:
+                assert got == []
+            else:
+                assert [got[i] for i in range(p) if i != j] == [
+                    (i, j) for i in range(p) if i != j
+                ]
+
+
+class TestBSPKernels:
+    def test_prefix_with_values(self):
+        out = BSPMachine(BSPParams(p=5, g=1, l=4)).run(
+            bsp_prefix_program([2, 4, 6, 8, 10])
+        )
+        assert out.results == [2, 6, 12, 20, 30]
+
+    @given(st.integers(1, 4), st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_radix_sort_random(self, pexp, seed):
+        p = 2**pexp
+        out = BSPMachine(BSPParams(p=p, g=1, l=4)).run(
+            bsp_radix_sort_program(keys_per_proc=5, key_bits=8, seed=seed)
+        )
+        flat = [k for block in out.results for k in block]
+        assert flat == sorted(flat)
+        assert len(flat) == 5 * p
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_sample_sort(self, p, seed):
+        n = 32
+        out = BSPMachine(BSPParams(p=p, g=1, l=4)).run(
+            bsp_sample_sort_program(keys_per_proc=n, seed=seed)
+        )
+        flat = [k for block in out.results for k in block]
+        assert flat == sorted(flat)
+        assert len(flat) == n * p
+
+    def test_sample_sort_through_theorem2(self):
+        from repro.core.bsp_on_logp import simulate_bsp_on_logp
+
+        rep = simulate_bsp_on_logp(
+            LogPParams(p=8, L=16, o=1, G=2),
+            bsp_sample_sort_program(keys_per_proc=16, seed=3),
+            routing="deterministic",
+        )
+        flat = [k for block in rep.results for k in block]
+        assert flat == sorted(flat) and len(flat) == 128
+
+    def test_matvec_against_numpy(self):
+        import numpy as np
+
+        from repro.util.rng import make_rng
+
+        n, p, seed = 16, 4, 9
+        out = BSPMachine(BSPParams(p=p, g=1, l=4)).run(bsp_matvec_program(n, seed=seed))
+        # rebuild the same A and x
+        rows = n // p
+        blocks, slices = [], []
+        for pid in range(p):
+            rng = make_rng(seed * 7919 + pid)
+            blocks.append(rng.random((rows, n)))
+            slices.append(rng.random(rows))
+        A = np.vstack(blocks)
+        x = np.concatenate(slices)
+        y = A @ x
+        got = np.array([v for block in out.results for v in block])
+        assert np.allclose(got, y)
+
+    def test_matvec_requires_divisible_n(self):
+        with pytest.raises(ValueError):
+            BSPMachine(BSPParams(p=3, g=1, l=4)).run(bsp_matvec_program(16))

@@ -1,0 +1,78 @@
+"""Hall/König decomposition: exactly h partial permutations, always."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RoutingError
+from repro.routing.hall import decompose_h_relation, relation_degree, verify_decomposition
+
+
+class TestRelationDegree:
+    def test_empty(self):
+        assert relation_degree([]) == 0
+
+    def test_send_side(self):
+        assert relation_degree([(0, 1), (0, 2), (0, 3)]) == 3
+
+    def test_recv_side(self):
+        assert relation_degree([(1, 0), (2, 0)]) == 2
+
+    def test_mixed(self):
+        pairs = [(0, 1), (0, 2), (3, 2), (4, 2)]
+        assert relation_degree(pairs) == 3  # dest 2 receives 3
+
+
+class TestDecompose:
+    def test_permutation_single_class(self):
+        pairs = [(i, (i + 1) % 5) for i in range(5)]
+        classes = decompose_h_relation(pairs)
+        assert len(classes) == 1
+        verify_decomposition(pairs, classes)
+
+    def test_multigraph_parallel_edges(self):
+        pairs = [(0, 1)] * 4
+        classes = decompose_h_relation(pairs)
+        assert len(classes) == 4
+        verify_decomposition(pairs, classes)
+
+    def test_empty(self):
+        assert decompose_h_relation([]) == []
+
+    @given(
+        st.integers(2, 12),
+        st.lists(st.tuples(st.integers(0, 11), st.integers(0, 11)), max_size=60),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_random_relations_use_exactly_h_colors(self, p, raw):
+        pairs = [(s % p, d % p) for s, d in raw]
+        classes = decompose_h_relation(pairs)
+        verify_decomposition(pairs, classes)
+        assert len(classes) == relation_degree(pairs)
+
+    def test_every_class_nonempty_is_not_required_but_cover_is(self):
+        pairs = [(0, 1), (1, 0), (0, 2), (2, 0)]
+        classes = decompose_h_relation(pairs)
+        covered = sorted(i for cls in classes for i in cls)
+        assert covered == list(range(len(pairs)))
+
+
+class TestVerify:
+    def test_detects_duplicate_edge(self):
+        pairs = [(0, 1), (1, 2)]
+        with pytest.raises(RoutingError, match="more than one"):
+            verify_decomposition(pairs, [[0, 0], [1]])
+
+    def test_detects_repeated_sender(self):
+        pairs = [(0, 1), (0, 2)]
+        with pytest.raises(RoutingError, match="sender"):
+            verify_decomposition(pairs, [[0, 1]])
+
+    def test_detects_repeated_receiver(self):
+        pairs = [(0, 2), (1, 2)]
+        with pytest.raises(RoutingError, match="receiver"):
+            verify_decomposition(pairs, [[0, 1]])
+
+    def test_detects_missing_edge(self):
+        pairs = [(0, 1), (1, 2)]
+        with pytest.raises(RoutingError, match="covers"):
+            verify_decomposition(pairs, [[0]])

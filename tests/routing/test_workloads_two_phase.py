@@ -1,0 +1,101 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RoutingError
+from repro.models.params import LogPParams
+from repro.routing.hall import relation_degree
+from repro.routing.two_phase import make_batch_plan
+from repro.routing.workloads import (
+    balanced_h_relation,
+    block_transpose,
+    cyclic_shift,
+    hotspot_relation,
+    random_destinations,
+    random_permutation,
+)
+
+
+class TestWorkloads:
+    @given(st.integers(2, 20), st.integers(0, 6), st.integers(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_balanced_relation_exact_degree(self, p, h, seed):
+        pairs = balanced_h_relation(p, h, seed=seed)
+        assert len(pairs) == p * h
+        from collections import Counter
+
+        out = Counter(s for s, _ in pairs)
+        inn = Counter(d for _, d in pairs)
+        if h:
+            assert set(out.values()) == {h} and set(inn.values()) == {h}
+        assert all(s != d for s, d in pairs)
+
+    @given(st.integers(2, 20), st.integers(0, 100))
+    def test_permutation_no_fixed_points(self, p, seed):
+        pairs = random_permutation(p, seed=seed)
+        assert relation_degree(pairs) == 1
+        assert all(s != d for s, d in pairs)
+
+    def test_permutation_trivial_p(self):
+        assert random_permutation(1) == []
+
+    @given(st.integers(2, 12), st.integers(0, 4), st.integers(0, 50))
+    def test_random_destinations_send_degree(self, p, per, seed):
+        pairs = random_destinations(p, per, seed=seed)
+        from collections import Counter
+
+        out = Counter(s for s, _ in pairs)
+        if per:
+            assert set(out.values()) == {per}
+        assert all(s != d for s, d in pairs)
+
+    def test_cyclic_shift_degree(self):
+        pairs = cyclic_shift(8, h=3)
+        assert relation_degree(pairs) == 3
+
+    def test_block_transpose(self):
+        pairs = block_transpose(6, 2)
+        assert relation_degree(pairs) == 2
+        with pytest.raises(RoutingError):
+            block_transpose(4, 4)
+
+    def test_hotspot(self):
+        pairs = hotspot_relation(8, 5, dest=3)
+        assert len(pairs) == 5
+        assert all(d == 3 and s != 3 for s, d in pairs)
+        with pytest.raises(RoutingError):
+            hotspot_relation(4, 4)
+
+
+class TestBatchPlan:
+    def test_paper_R_formula(self):
+        params = LogPParams(p=16, L=16, o=1, G=2)  # capacity 8
+        plan = make_batch_plan([8] * 16, 8, params, seed=0, c1=2.0, c2=1.0)
+        assert plan.R >= 8 // 8  # at least h / capacity
+        assert plan.round_length == 2 * (16 + 1)
+
+    def test_override_R(self):
+        params = LogPParams(p=4, L=16, o=1, G=2)
+        plan = make_batch_plan([16] * 4, 16, params, seed=0, R=4)
+        assert plan.R == 4
+
+    def test_every_message_assigned_once(self):
+        params = LogPParams(p=4, L=16, o=1, G=2)
+        plan = make_batch_plan([10, 0, 3, 7], 10, params, seed=1, R=3)
+        for pid, count in enumerate([10, 0, 3, 7]):
+            seen = sorted(
+                i for rnd in plan.batches[pid] for i in rnd
+            ) + sorted(plan.leftovers[pid])
+            assert sorted(seen) == list(range(count))
+
+    def test_rounds_respect_capacity(self):
+        params = LogPParams(p=2, L=8, o=1, G=2)  # capacity 4
+        plan = make_batch_plan([40], 40, params, seed=2, R=2)
+        for rnd in plan.batches[0]:
+            assert len(rnd) <= params.capacity
+        assert plan.leftovers[0]  # R too small: must overflow
+        assert not plan.clean
+
+    def test_large_R_is_clean_whp(self):
+        params = LogPParams(p=8, L=32, o=1, G=2)  # capacity 16
+        plan = make_batch_plan([16] * 8, 16, params, seed=3, R=16)
+        assert plan.clean

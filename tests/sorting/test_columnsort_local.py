@@ -1,0 +1,94 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RoutingError
+from repro.sorting.columnsort import columnsort, columnsort_valid, transpose_dest, untranspose_dest
+from repro.sorting.local import counting_sort, local_sort_cost, radix_sort
+
+
+def flat(blocks):
+    return [x for b in blocks for x in b]
+
+
+class TestValidity:
+    def test_condition(self):
+        assert columnsort_valid(1, 1)
+        assert columnsort_valid(2, 2)
+        assert columnsort_valid(8, 3)
+        assert not columnsort_valid(7, 3)
+        assert not columnsort_valid(0, 2)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(RoutingError):
+            columnsort([[1] * 3, [2] * 3, [3] * 3])  # r=3 < 2(3-1)^2
+
+    def test_unequal_blocks_rejected(self):
+        with pytest.raises(RoutingError):
+            columnsort([[1, 2], [3]])
+
+
+class TestPermutations:
+    @given(st.integers(1, 8), st.integers(1, 8))
+    def test_transpose_bijection_and_inverse(self, r, s):
+        n = r * s
+        images = {transpose_dest(x, r, s) for x in range(n)}
+        assert images == set(range(n))
+        for x in range(n):
+            assert untranspose_dest(transpose_dest(x, r, s), r, s) == x
+
+
+class TestColumnsortSorts:
+    @given(st.integers(1, 6), st.integers(0, 10**6), st.integers(0, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_random_inputs(self, s, seed, extra):
+        import random
+
+        rng = random.Random(seed)
+        r = max(1, 2 * (s - 1) ** 2) + extra
+        blocks = [[rng.randrange(40) for _ in range(r)] for _ in range(s)]
+        out = columnsort(blocks)
+        assert flat(out) == sorted(flat(blocks))
+        assert all(len(b) == r for b in out)
+
+    def test_single_column(self):
+        assert columnsort([[3, 1, 2]]) == [[1, 2, 3]]
+
+    def test_already_sorted(self):
+        blocks = [[0, 1], [2, 3]]
+        assert flat(columnsort(blocks)) == [0, 1, 2, 3]
+
+    def test_with_key(self):
+        s, r = 3, 8
+        blocks = [[("k", s * 10 - i - 10 * j) for i in range(r)] for j in range(s)]
+        out = columnsort(blocks, key=lambda t: t[1])
+        keys = [t[1] for t in flat(out)]
+        assert keys == sorted(keys)
+
+
+class TestLocalSorts:
+    @given(st.lists(st.integers(0, 99), max_size=50))
+    def test_counting_sort(self, keys):
+        assert counting_sort(keys, 100) == sorted(keys)
+
+    def test_counting_sort_stability(self):
+        items = [(1, "a"), (0, "b"), (1, "c"), (0, "d")]
+        out = counting_sort(items, 2, key=lambda t: t[0])
+        assert out == [(0, "b"), (0, "d"), (1, "a"), (1, "c")]
+
+    def test_counting_sort_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            counting_sort([5], 3)
+
+    @given(st.lists(st.integers(0, 10**6), max_size=60), st.sampled_from([2, 10, 256]))
+    def test_radix_sort(self, keys, base):
+        assert radix_sort(keys, 10**6 + 1, base=base) == sorted(keys)
+
+    def test_radix_sort_with_key(self):
+        items = [(k, i) for i, k in enumerate([30, 4, 17, 4])]
+        out = radix_sort(items, 31, key=lambda t: t[0])
+        assert [t[0] for t in out] == [4, 4, 17, 30]
+        assert out[0][1] < out[1][1]  # stable
+
+    def test_local_sort_cost_monotone_in_r(self):
+        costs = [local_sort_cost(r, 256) for r in (1, 8, 64, 512)]
+        assert costs == sorted(costs)

@@ -1,0 +1,127 @@
+"""Sorting-network schedules: 0/1 principle and merge-split sorting."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RoutingError
+from repro.sorting.bitonic import (
+    bitonic_schedule,
+    odd_even_transposition_schedule,
+    schedule_depth,
+    sorting_schedule,
+)
+from repro.sorting.merge_split import merge_split, run_schedule_locally
+
+
+def flat(blocks):
+    return [x for b in blocks for x in b]
+
+
+class TestScheduleShape:
+    def test_bitonic_depth_is_log_squared(self):
+        for k in range(1, 6):
+            p = 2**k
+            assert schedule_depth(bitonic_schedule(p)) == k * (k + 1) // 2
+
+    def test_bitonic_rejects_non_power_of_two(self):
+        with pytest.raises(RoutingError):
+            bitonic_schedule(6)
+
+    def test_oet_depth_is_p(self):
+        for p in (1, 2, 5, 9):
+            assert schedule_depth(odd_even_transposition_schedule(p)) == p
+
+    def test_rounds_are_matchings(self):
+        for sched in (bitonic_schedule(16), odd_even_transposition_schedule(9)):
+            for rnd in sched:
+                for pid, action in enumerate(rnd):
+                    if action is None:
+                        continue
+                    partner, keep_low = action
+                    assert rnd[partner] == (pid, not keep_low)
+
+    def test_sorting_schedule_picks_by_p(self):
+        assert schedule_depth(sorting_schedule(8)) == 6  # bitonic
+        assert schedule_depth(sorting_schedule(6)) == 6  # OET fallback
+
+
+class TestZeroOnePrinciple:
+    """A comparator network sorts all inputs iff it sorts all 0/1 inputs;
+    we verify all 0/1 inputs exhaustively for small p."""
+
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_bitonic_all_01_inputs(self, p):
+        sched = bitonic_schedule(p)
+        for bits in itertools.product([0, 1], repeat=p):
+            out = flat(run_schedule_locally(sched, [[b] for b in bits]))
+            assert out == sorted(bits)
+
+    @pytest.mark.parametrize("p", [2, 3, 5, 6])
+    def test_oet_all_01_inputs(self, p):
+        sched = odd_even_transposition_schedule(p)
+        for bits in itertools.product([0, 1], repeat=p):
+            out = flat(run_schedule_locally(sched, [[b] for b in bits]))
+            assert out == sorted(bits)
+
+
+class TestMergeSplit:
+    @given(
+        st.lists(st.integers(0, 50), max_size=8),
+        st.lists(st.integers(0, 50), max_size=8),
+        st.booleans(),
+    )
+    def test_keeps_extreme_half(self, a, b, keep_low):
+        a, b = sorted(a), sorted(b)
+        out = merge_split(a, b, keep_low)
+        assert len(out) == len(a)
+        assert out == sorted(out)
+        combined = sorted(a + b)
+        expect = combined[: len(a)] if keep_low else combined[len(combined) - len(a):]
+        assert out == expect
+
+    def test_complementary_halves_partition_multiset(self):
+        a, b = [1, 3, 3, 9], [0, 3, 5, 7]
+        low = merge_split(a, b, True)
+        high = merge_split(b, a, False)
+        assert sorted(low + high) == sorted(a + b)
+
+
+class TestFullSorting:
+    @given(
+        st.sampled_from([2, 4, 8, 16]),
+        st.integers(1, 4),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bitonic_sorts_r_per_processor(self, p, r, seed):
+        import random
+
+        rng = random.Random(seed)
+        blocks = [[rng.randrange(100) for _ in range(r)] for _ in range(p)]
+        out = run_schedule_locally(bitonic_schedule(p), blocks)
+        assert flat(out) == sorted(flat(blocks))
+        assert all(len(b) == r for b in out)
+
+    @given(st.integers(1, 9), st.integers(1, 3), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_oet_sorts_any_p(self, p, r, seed):
+        import random
+
+        rng = random.Random(seed)
+        blocks = [[rng.randrange(50) for _ in range(r)] for _ in range(p)]
+        out = run_schedule_locally(odd_even_transposition_schedule(p), blocks)
+        assert flat(out) == sorted(flat(blocks))
+
+    def test_duplicate_heavy_input(self):
+        blocks = [[5] * 3 for _ in range(8)]
+        out = run_schedule_locally(bitonic_schedule(8), blocks)
+        assert flat(out) == [5] * 24
+
+    def test_sorts_by_key(self):
+        blocks = [[(9 - i, i)] for i in range(8)]
+        out = run_schedule_locally(
+            bitonic_schedule(8), blocks, key=lambda t: t[0]
+        )
+        assert [t[0] for t in flat(out)] == sorted(9 - i for i in range(8))

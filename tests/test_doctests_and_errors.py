@@ -1,0 +1,59 @@
+"""Docstring examples must run, and the error hierarchy must be sound."""
+
+import doctest
+
+import pytest
+
+import repro.bsp.machine
+import repro.logp.machine
+from repro import errors
+
+
+class TestDoctests:
+    @pytest.mark.parametrize(
+        "module",
+        [repro.bsp.machine, repro.logp.machine],
+        ids=lambda m: m.__name__,
+    )
+    def test_module_doctests(self, module):
+        result = doctest.testmod(module)
+        assert result.attempted > 0, f"{module.__name__} lost its examples"
+        assert result.failed == 0
+
+
+class TestErrorHierarchy:
+    ALL = [
+        errors.ParameterError,
+        errors.ProgramError,
+        errors.DeadlockError,
+        errors.CapacityViolationError,
+        errors.StallError,
+        errors.RoutingError,
+        errors.TopologyError,
+        errors.SimulationLimitError,
+    ]
+
+    def test_all_derive_from_repro_error(self):
+        for exc in self.ALL:
+            assert issubclass(exc, errors.ReproError), exc
+
+    def test_value_errors_where_configuration(self):
+        assert issubclass(errors.ParameterError, ValueError)
+        assert issubclass(errors.TopologyError, ValueError)
+
+    def test_runtime_errors_where_execution(self):
+        for exc in (
+            errors.ProgramError,
+            errors.DeadlockError,
+            errors.StallError,
+            errors.SimulationLimitError,
+        ):
+            assert issubclass(exc, RuntimeError), exc
+
+    def test_single_catch_covers_library(self):
+        """An application can catch ReproError to handle any library
+        failure."""
+        from repro.models.params import LogPParams
+
+        with pytest.raises(errors.ReproError):
+            LogPParams(p=2, L=2, o=1, G=5)

@@ -1,0 +1,29 @@
+"""The experiment runner CLI (python -m repro.experiments)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_unknown_id(self, capsys):
+        assert main(["run", "NOPE"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_one_fast_experiment(self, capsys):
+        assert main(["run", "WP"]) == 0
+        out = capsys.readouterr().out
+        assert "work-preserving" in out
+        assert "yes" in out  # outputs match column
+
+    def test_registry_complete(self):
+        """Every DESIGN.md experiment id is runnable."""
+        assert set(EXPERIMENTS) == {"T1", "TH1", "P1", "TH2", "TH3", "ST", "OB1", "WP"}
+        for _desc, fn in EXPERIMENTS.values():
+            assert callable(fn)

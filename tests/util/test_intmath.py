@@ -1,0 +1,99 @@
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.intmath import (
+    ceil_div,
+    digits_mixed_radix,
+    from_digits_mixed_radix,
+    gray_code,
+    ilog2,
+    inverse_gray_code,
+    is_power_of_two,
+    log2_ceil,
+    log_star,
+    next_power_of_two,
+)
+
+
+class TestCeilDiv:
+    @given(st.integers(-(10**9), 10**9), st.integers(1, 10**6))
+    def test_matches_math_ceil(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+    def test_rejects_nonpositive_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+        with pytest.raises(ValueError):
+            ceil_div(1, -2)
+
+
+class TestLogs:
+    @given(st.integers(1, 2**62))
+    def test_ilog2_bounds(self, n):
+        k = ilog2(n)
+        assert 2**k <= n < 2 ** (k + 1)
+
+    @given(st.integers(1, 2**62))
+    def test_log2_ceil_bounds(self, n):
+        k = log2_ceil(n)
+        assert 2 ** max(0, k - 1) < n <= 2**k or n == 1
+
+    @given(st.integers(1, 2**40))
+    def test_next_power_of_two(self, n):
+        m = next_power_of_two(n)
+        assert is_power_of_two(m) and m >= n and m // 2 < n
+
+    def test_ilog2_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ilog2(0)
+
+    def test_is_power_of_two_edges(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(2)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+        assert not is_power_of_two(6)
+
+
+class TestLogStar:
+    def test_known_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+        assert log_star(2**65536 if False else 1e300) == 5  # 1e300 < 2^65536
+
+    @given(st.integers(2, 10**9))
+    def test_recurrence(self, n):
+        assert log_star(n) == 1 + log_star(math.log2(n))
+
+
+class TestMixedRadix:
+    @given(st.data())
+    def test_roundtrip(self, data):
+        radices = tuple(
+            data.draw(st.lists(st.integers(1, 9), min_size=1, max_size=5))
+        )
+        total = math.prod(radices)
+        value = data.draw(st.integers(0, total - 1))
+        digits = digits_mixed_radix(value, radices)
+        assert from_digits_mixed_radix(digits, radices) == value
+        assert all(0 <= d < r for d, r in zip(digits, radices))
+
+    def test_out_of_range_value(self):
+        with pytest.raises(ValueError):
+            digits_mixed_radix(10, (2, 5))
+
+
+class TestGray:
+    @given(st.integers(0, 2**40))
+    def test_roundtrip(self, n):
+        assert inverse_gray_code(gray_code(n)) == n
+
+    @given(st.integers(0, 2**20))
+    def test_adjacent_codes_differ_in_one_bit(self, n):
+        diff = gray_code(n) ^ gray_code(n + 1)
+        assert diff != 0 and diff & (diff - 1) == 0

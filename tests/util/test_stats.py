@@ -1,0 +1,89 @@
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import affine_fit, geometric_mean, mean_and_ci, summarize
+
+
+class TestAffineFit:
+    def test_exact_line_recovered(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [3.0 * x + 7.0 for x in xs]
+        fit = affine_fit(xs, ys)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(7.0)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = affine_fit([0, 1], [1, 3])
+        assert fit.predict(10) == pytest.approx(21.0)
+
+    def test_constant_y_gives_r2_one(self):
+        fit = affine_fit([1, 2, 3], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_rejects_degenerate_x(self):
+        with pytest.raises(ValueError):
+            affine_fit([2, 2, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            affine_fit([1], [1])
+
+    @given(
+        st.floats(-100, 100),
+        st.floats(-100, 100),
+        st.lists(st.integers(-50, 50), min_size=3, max_size=20, unique=True),
+    )
+    def test_noiseless_recovery(self, slope, intercept, xs):
+        # x values are integers (the fit's real inputs are h sweeps and
+        # integer routing times), keeping the least squares well posed.
+        ys = [slope * x + intercept for x in xs]
+        fit = affine_fit([float(x) for x in xs], ys)
+        assert fit.slope == pytest.approx(slope, abs=1e-6)
+        assert fit.intercept == pytest.approx(intercept, abs=1e-4)
+
+
+class TestMeanCI:
+    def test_single_value(self):
+        mean, half = mean_and_ci([4.2])
+        assert mean == 4.2 and half == 0.0
+
+    def test_ci_shrinks_with_n(self):
+        rng = np.random.default_rng(0)
+        small = mean_and_ci(list(rng.normal(0, 1, 10)))[1]
+        large = mean_and_ci(list(rng.normal(0, 1, 1000)))[1]
+        assert large < small
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_and_ci([])
+
+
+class TestGeometricMean:
+    def test_matches_closed_form(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(0.01, 100), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.min == 1.0 and s.max == 3.0
+        assert s.std == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

@@ -1,0 +1,54 @@
+import numpy as np
+import pytest
+
+from repro.util.rng import derive_seed, make_rng, spawn_rngs
+from repro.util.tables import format_cell, render_table
+
+
+class TestTables:
+    def test_render_basic(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [30, "x"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "| a" in lines[2] or "a |" in lines[2]
+        # all body lines equal width
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_cell_formats(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+        assert format_cell(0.0) == "0"
+        assert format_cell(123456.0) == "1.235e+05"
+        assert format_cell(float("nan")) == "nan"
+        assert format_cell(3.14159) == "3.142"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+
+class TestRng:
+    def test_make_rng_idempotent_on_generator(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
+
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).integers(0, 1000, 10)
+        b = make_rng(42).integers(0, 1000, 10)
+        assert (a == b).all()
+
+    def test_spawn_independent_streams(self):
+        streams = spawn_rngs(7, 4)
+        draws = [tuple(s.integers(0, 10**9, 4)) for s in streams]
+        assert len(set(draws)) == 4  # distinct streams
+
+    def test_spawn_reproducible(self):
+        a = [tuple(s.integers(0, 100, 3)) for s in spawn_rngs(5, 3)]
+        b = [tuple(s.integers(0, 100, 3)) for s in spawn_rngs(5, 3)]
+        assert a == b
+
+    def test_derive_seed_stable_and_salted(self):
+        assert derive_seed(1, "x", 2) == derive_seed(1, "x", 2)
+        assert derive_seed(1, "x", 2) != derive_seed(1, "x", 3)
+        assert derive_seed(1, "x") != derive_seed(2, "x")
