@@ -1,6 +1,6 @@
 # Convenience targets; everything also works as plain pytest invocations.
 
-.PHONY: install test bench bench-only experiments examples clean
+.PHONY: install test bench bench-only faults experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -13,6 +13,11 @@ bench:
 
 bench-only:
 	pytest benchmarks/ --benchmark-only
+
+# Fault-resilience slowdown tables (reduced grid; see benchmarks/results/).
+# PYTHONPATH=src so the target also works without `make install`.
+faults:
+	FAULT_BENCH_SMOKE=1 PYTHONPATH=src pytest benchmarks/bench_fault_resilience.py -q
 
 experiments:
 	python -m repro.experiments run all

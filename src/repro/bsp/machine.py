@@ -11,14 +11,28 @@ and charges ``w + g*h + l`` (paper eq. (1)) where
 An important and easily-missed detail of the paper's definition is honored
 here: *input pools are discarded at each superstep boundary*.  Messages not
 extracted in the superstep following their delivery are lost.
+
+**Checkpoint-and-retry resilience** (``faults=``): the superstep barrier
+doubles as a checkpoint.  When a :class:`~repro.faults.plan.FaultPlan`
+makes the exchange lossy (message drops, transient crash of a processor's
+sends for one superstep), the machine detects the shortfall at the
+barrier — every processor knows how many messages it was owed, exactly the
+information the CB combine already aggregates — and re-runs the exchange
+for the missing messages only, charging ``g*h_k + l`` per recovery round
+``k``.  Because local state was checkpointed at the barrier, no
+computation is redone; results are bit-identical to the fault-free run
+and only the cost ledger (``retries`` / ``retry_cost`` per superstep)
+shows the substrate misbehaved.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Generator, Sequence
 
-from repro.errors import ProgramError, SimulationLimitError
+from repro.errors import ProgramError, ProtocolError, SimulationLimitError
+from repro.faults.plan import ActiveFaults, FaultLog, FaultPlan
 from repro.models.message import Message
 from repro.models.params import BSPParams
 from repro.bsp.program import BSPContext, BSPProgram, Compute, Send, Sync
@@ -28,13 +42,20 @@ __all__ = ["BSPMachine", "BSPResult", "SuperstepRecord"]
 
 @dataclass(frozen=True)
 class SuperstepRecord:
-    """Cost-ledger row for one superstep."""
+    """Cost-ledger row for one superstep.
+
+    ``cost`` is the full charge including recovery; on a lossy substrate
+    ``retries`` counts the extra exchange rounds and ``retry_cost`` their
+    ``sum(g*h_k + l)`` share of ``cost`` (both 0 on a clean run).
+    """
 
     index: int
     w: int
     h_send: int
     h_recv: int
     cost: int
+    retries: int = 0
+    retry_cost: int = 0
 
     @property
     def h(self) -> int:
@@ -57,6 +78,8 @@ class BSPResult:
     results: list[Any]
     ledger: list[SuperstepRecord] = field(default_factory=list)
     message_log: list[list[tuple[int, int]]] | None = None
+    #: Injected-fault ledger when the machine ran with a FaultPlan.
+    fault_log: "FaultLog | None" = None
 
     @property
     def total_cost(self) -> int:
@@ -71,6 +94,16 @@ class BSPResult:
     def total_messages(self) -> int:
         """Total messages transferred over the whole run (all processors)."""
         return sum(rec.h_send for rec in self.ledger)  # upper envelope only
+
+    @property
+    def total_retries(self) -> int:
+        """Extra exchange rounds spent recovering lost messages."""
+        return sum(rec.retries for rec in self.ledger)
+
+    @property
+    def total_retry_cost(self) -> int:
+        """Share of :attr:`total_cost` paid to the recovery rounds."""
+        return sum(rec.retry_cost for rec in self.ledger)
 
     def __repr__(self) -> str:
         return (
@@ -88,6 +121,17 @@ class BSPMachine:
         The machine's :class:`~repro.models.params.BSPParams`.
     max_supersteps:
         Safety valve against non-terminating programs.
+    faults:
+        A :class:`~repro.faults.plan.FaultPlan` making the communication
+        phase lossy (``drop_rate`` drops each message of each exchange
+        attempt independently; ``crash[pid] = s`` loses all of ``pid``'s
+        superstep-``s`` sends on the first attempt).  The barrier's
+        checkpoint-and-retry recovery re-exchanges lost messages, so
+        results are identical to the clean run; the cost ledger carries
+        the recovery charge.  Seeded and fully deterministic.
+    max_comm_retries:
+        Recovery-round budget per superstep before the machine gives up
+        with :class:`~repro.errors.ProtocolError`.
 
     Example
     -------
@@ -123,6 +167,8 @@ class BSPMachine:
         max_supersteps: int = 1_000_000,
         record_messages: bool = False,
         h_convention: str = "max",
+        faults: FaultPlan | None = None,
+        max_comm_retries: int = 64,
     ) -> None:
         self.params = params
         self.max_supersteps = max_supersteps
@@ -134,6 +180,12 @@ class BSPMachine:
             )
         self.h_convention = h_convention
         self._h_fn = self.H_CONVENTIONS[h_convention]
+        if max_comm_retries < 1:
+            raise ProgramError(
+                f"max_comm_retries must be >= 1, got {max_comm_retries}"
+            )
+        self.faults = faults
+        self.max_comm_retries = max_comm_retries
 
     def run(self, program: BSPProgram | Sequence[BSPProgram]) -> BSPResult:
         """Run ``program`` on every processor (or one program per processor
@@ -160,6 +212,8 @@ class BSPMachine:
                     f"function (did you forget to yield?)"
                 )
             gens.append(gen)
+
+        active = self.faults.activate() if self.faults is not None else None
 
         ledger: list[SuperstepRecord] = []
         message_log: list[list[tuple[int, int]]] | None = (
@@ -210,9 +264,19 @@ class BSPMachine:
                 # work — there is no superstep to charge for.
                 break
             cost = self.params.superstep_cost(w_max, self._h_fn(h_send, h_recv))
+            retries = retry_cost = 0
+            if active is not None:
+                retries, retry_cost = self._lossy_exchange(pending, superstep, active)
+                cost += retry_cost
             ledger.append(
                 SuperstepRecord(
-                    index=superstep, w=w_max, h_send=h_send, h_recv=h_recv, cost=cost
+                    index=superstep,
+                    w=w_max,
+                    h_send=h_send,
+                    h_recv=h_recv,
+                    cost=cost,
+                    retries=retries,
+                    retry_cost=retry_cost,
                 )
             )
             if message_log is not None:
@@ -220,8 +284,55 @@ class BSPMachine:
             superstep += 1
 
         return BSPResult(
-            params=self.params, results=results, ledger=ledger, message_log=message_log
+            params=self.params,
+            results=results,
+            ledger=ledger,
+            message_log=message_log,
+            fault_log=active.log if active is not None else None,
         )
+
+    def _lossy_exchange(
+        self,
+        pending: list[list[Message]],
+        superstep: int,
+        active: ActiveFaults,
+    ) -> tuple[int, int]:
+        """Charge the checkpoint-and-retry recovery of this superstep's
+        exchange under ``active``'s fault plan.
+
+        Every delivery attempt rolls each still-undelivered message
+        independently (transiently-crashed senders lose all of attempt 0);
+        each round with losses costs an extra ``g*h_k + l`` where ``h_k``
+        is the degree of the lost sub-h-relation.  Recovery always
+        completes — the barrier knows the exact shortfall, and retries
+        draw fresh fates — so the inboxes end up exactly as on a clean
+        run; only ``(retries, retry_cost)`` is returned.
+        """
+        undelivered = [msg for inbox in pending for msg in inbox]
+        attempt = 0
+        retry_cost = 0
+        while undelivered:
+            if attempt > self.max_comm_retries:
+                raise ProtocolError(
+                    f"superstep {superstep}: {len(undelivered)} message(s) "
+                    f"still undelivered after max_comm_retries="
+                    f"{self.max_comm_retries} recovery rounds "
+                    f"(fault log: {active.log.summary()})"
+                )
+            lost = [
+                msg
+                for msg in undelivered
+                if active.bsp_lost(msg.src, msg.dest, superstep, attempt)
+            ]
+            if lost:
+                active.log.bsp_lost.append((superstep, len(lost)))
+                sent = Counter(msg.src for msg in lost)
+                recvd = Counter(msg.dest for msg in lost)
+                h_k = self._h_fn(max(sent.values()), max(recvd.values()))
+                retry_cost += self.params.superstep_cost(0, h_k)
+            undelivered = lost
+            attempt += 1
+        return max(attempt - 1, 0), retry_cost
 
     def _run_local_phase(
         self,

@@ -19,6 +19,15 @@ Every BSP superstep becomes, on LogP (the paper's three-part structure):
      theorem: the relation is decomposed into 1-relations in advance and
      routed in optimal ``2o + G(h-1) + L``; input-independent relations
      only (the driver checks the runtime relation matches the pre-run).
+   * ``"resilient"`` — a count-announce exchange (each processor first
+     tells every other how many payload messages to expect, then sends
+     them) running entirely over the ack/retransmit transport of
+     :mod:`repro.faults.protocol`.  Unlike the three model-optimal
+     protocols above, it assumes *nothing* about delivery timing, so it
+     is the one mode that stays correct over a lossy
+     :class:`~repro.faults.medium.FaultyMedium` (``faults=``) — the
+     price is ``O(p)`` extra count messages per superstep and the
+     protocol's retransmission slowdown.
 
 The driver always runs the program natively on a matched BSP machine
 (``g = G, l = L``) first — for output comparison, for the cost ledger the
@@ -35,9 +44,11 @@ import numpy as np
 
 from repro.bsp.machine import BSPMachine, BSPResult
 from repro.bsp.program import BSPContext, BSPProgram, Compute as BCompute, Send as BSend, Sync
-from repro.core.cb import cb_with_deadline
+from repro.core.cb import cb, cb_with_deadline
 from repro.core.det_routing import TAG_STRIDE, deterministic_route, _pinned_send
 from repro.errors import ProgramError
+from repro.faults.plan import FaultPlan
+from repro.faults.protocol import reliable
 from repro.logp.collectives import recv_n_tagged
 from repro.logp.instructions import Compute, LogPContext, Send, WaitUntil
 from repro.logp.machine import LogPMachine, LogPResult
@@ -51,6 +62,7 @@ __all__ = ["simulate_bsp_on_logp", "Theorem2Report", "SuperstepTiming"]
 
 _BARRIER_TAG = 8192
 _PAYLOAD_TAG = 8200
+_COUNT_TAG = 8201
 
 
 @dataclass(frozen=True)
@@ -143,17 +155,26 @@ def simulate_bsp_on_logp(
     R_factor: float | None = 4.0,
     c1: float = 1.0,
     c2: float = 1.0,
+    faults: FaultPlan | None = None,
     machine_kwargs: dict | None = None,
 ) -> Theorem2Report:
     """Run ``program`` on the LogP machine via the Theorem 2/3 simulation.
 
-    See the module docstring for the three ``routing`` modes.  For
+    See the module docstring for the four ``routing`` modes.  For
     ``"randomized"``, ``R_factor`` overrides the paper's conservative
     batch multiplier ``1 + beta_hat`` (pass ``None`` to use the paper's
-    ``c1, c2``-derived value).
+    ``c1, c2``-derived value).  ``faults`` makes the LogP substrate lossy
+    and requires ``routing="resilient"`` — the model-optimal protocols
+    are correct only under admissible (fault-free) semantics.
     """
-    if routing not in ("deterministic", "randomized", "offline"):
+    if routing not in ("deterministic", "randomized", "offline", "resilient"):
         raise ProgramError(f"unknown routing mode {routing!r}")
+    if faults is not None and routing != "resilient":
+        raise ProgramError(
+            f"routing={routing!r} assumes the paper's admissible delivery "
+            f"semantics; running it over a FaultPlan requires "
+            f"routing='resilient'"
+        )
     p = logp_params.p
     programs: list[BSPProgram]
     if callable(program):
@@ -238,20 +259,35 @@ def simulate_bsp_on_logp(
                 tag_ns = (superstep + 1) * TAG_STRIDE
 
                 # --- synchronization: CB(AND) carrying done flags --------
-                all_done, t0 = yield from cb_with_deadline(
-                    ctx,
-                    done,
-                    lambda a, b: a and b,
-                    tag_base=tag_ns + _BARRIER_TAG,
-                    op_cost=0,
-                )
+                if routing == "resilient":
+                    # The deadline variant asserts the model's descend
+                    # bound, which retransmission delays legitimately
+                    # exceed; the resilient exchange never uses deadlines.
+                    all_done = yield from cb(
+                        ctx,
+                        done,
+                        lambda a, b: a and b,
+                        tag_base=tag_ns + _BARRIER_TAG,
+                        op_cost=0,
+                    )
+                    t0 = ctx.clock
+                else:
+                    all_done, t0 = yield from cb_with_deadline(
+                        ctx,
+                        done,
+                        lambda a, b: a and b,
+                        tag_base=tag_ns + _BARRIER_TAG,
+                        op_cost=0,
+                    )
                 t_sync = ctx.clock
                 if all_done:
                     timeline.append((t_local, t_sync, t_sync))
                     return {"result": result, "timeline": timeline}
 
                 # --- routing ---------------------------------------------
-                if routing == "deterministic":
+                if routing == "resilient":
+                    received = yield from _route_resilient(ctx, outgoing, tag_ns)
+                elif routing == "deterministic":
                     outcome = yield from deterministic_route(
                         ctx, outgoing, tag_ns=tag_ns
                     )
@@ -289,9 +325,12 @@ def simulate_bsp_on_logp(
 
     forbid = routing in ("deterministic", "offline")
     machine = LogPMachine(
-        logp_params, forbid_stalling=forbid, **(machine_kwargs or {})
+        logp_params, forbid_stalling=forbid, faults=faults, **(machine_kwargs or {})
     )
-    logp_result = machine.run([make_prog(pid) for pid in range(p)])
+    progs = [make_prog(pid) for pid in range(p)]
+    if routing == "resilient":
+        progs = [reliable(pr) for pr in progs]
+    logp_result = machine.run(progs)
 
     report = Theorem2Report(
         logp_params=logp_params,
@@ -306,6 +345,35 @@ def simulate_bsp_on_logp(
             "native BSP run"
         )
     return report
+
+
+def _route_resilient(ctx: LogPContext, outgoing, tag_ns: int):
+    """Count-announce exchange for the ``"resilient"`` mode.
+
+    Every processor tells every other how many payload messages to expect
+    (``p - 1`` count messages), then sends the payloads; the receive loop
+    blocks until all counts and all announced payloads arrived.  The only
+    assumption is that every sent message is *eventually* received — which
+    the ack/retransmit transport guarantees even over a lossy medium — so
+    unlike the slot-pinned protocols this exchange needs no latency bound
+    and tolerates arbitrary reordering and retransmission delays.
+    """
+    p, pid = ctx.p, ctx.pid
+    counts = [0] * p
+    for dest, _envelope in outgoing:
+        counts[dest] += 1
+    for q in range(p):
+        if q != pid:
+            yield Send(q, counts[q], tag=tag_ns + _COUNT_TAG)
+    for dest, envelope in outgoing:
+        yield Send(dest, envelope, tag=tag_ns + _PAYLOAD_TAG)
+    count_msgs = yield from recv_n_tagged(ctx, tag_ns + _COUNT_TAG, p - 1)
+    expected = sum(m.payload for m in count_msgs)
+    payload_msgs = yield from recv_n_tagged(ctx, tag_ns + _PAYLOAD_TAG, expected)
+    return [
+        Message(src=m.src, dest=pid, payload=m.payload[1], tag=m.payload[0])
+        for m in payload_msgs
+    ]
 
 
 def _route_known(

@@ -41,6 +41,7 @@ from typing import Any, Sequence
 from repro.bsp.machine import BSPMachine, BSPResult
 from repro.bsp.program import Compute as BCompute, Send as BSend, Sync
 from repro.errors import ProgramError
+from repro.faults.plan import FaultPlan
 from repro.logp.instructions import (
     Compute,
     LogPContext,
@@ -258,6 +259,7 @@ def simulate_logp_on_bsp(
     bsp_params: BSPParams | None = None,
     compare_native: bool = True,
     max_supersteps: int = 1_000_000,
+    faults: FaultPlan | None = None,
     machine_kwargs: dict | None = None,
 ) -> Theorem1Report:
     """Run a stall-free LogP program via the Theorem 1 BSP simulation.
@@ -267,6 +269,12 @@ def simulate_logp_on_bsp(
     ``compare_native=True`` the program is also executed on the real LogP
     machine (with ``forbid_stalling=True`` — the theorem only covers
     stall-free programs) and the outputs are compared.
+
+    ``faults`` makes the *host* BSP machine's exchanges lossy; its
+    checkpoint-and-retry recovery keeps the simulation's results
+    identical while the cost ledger absorbs the recovery rounds, so the
+    whole Section 3 construction runs end-to-end over a misbehaving
+    substrate.  (The native comparison run stays fault-free.)
     """
     p = logp_params.p
     bsp = bsp_params if bsp_params is not None else logp_params.matching_bsp()
@@ -292,7 +300,7 @@ def simulate_logp_on_bsp(
 
         return wrapper
 
-    machine = BSPMachine(bsp, max_supersteps=max_supersteps)
+    machine = BSPMachine(bsp, max_supersteps=max_supersteps, faults=faults)
     bsp_result = machine.run([make_wrapper(pid) for pid in range(p)])
 
     native = _run_native(logp_params, programs, machine_kwargs) if compare_native else None
@@ -314,6 +322,7 @@ def simulate_logp_on_bsp_workpreserving(
     bsp_params: BSPParams | None = None,
     compare_native: bool = True,
     max_supersteps: int = 1_000_000,
+    faults: FaultPlan | None = None,
     machine_kwargs: dict | None = None,
 ) -> Theorem1Report:
     """Footnote-1 variant: ``p`` LogP processors on ``p' = bsp_p`` BSP
@@ -380,7 +389,7 @@ def simulate_logp_on_bsp_workpreserving(
 
         return host
 
-    machine = BSPMachine(bsp, max_supersteps=max_supersteps)
+    machine = BSPMachine(bsp, max_supersteps=max_supersteps, faults=faults)
     bsp_result = machine.run([make_host(b) for b in range(bsp_p)])
 
     native = _run_native(logp_params, programs, machine_kwargs) if compare_native else None

@@ -18,6 +18,8 @@ __all__ = [
     "RoutingError",
     "TopologyError",
     "SimulationLimitError",
+    "InvariantViolationError",
+    "ProtocolError",
 ]
 
 
@@ -46,7 +48,42 @@ class DeadlockError(ReproError, RuntimeError):
 
     Raised when every live processor is blocked (e.g. all waiting on
     ``Recv`` with no message in flight anywhere).
+
+    ``diagnostics`` (when provided by the engine) is a dict snapshotting
+    the machine at the moment of deadlock — per-processor state, buffered
+    message counts, the medium's in-transit and pending queues — so that
+    fault-induced hangs can be debugged from the exception alone.  The
+    snapshot is also rendered into the message text.
     """
+
+    def __init__(self, message: str, *, diagnostics: dict | None = None) -> None:
+        if diagnostics:
+            message = f"{message}\n{format_deadlock_diagnostics(diagnostics)}"
+        super().__init__(message)
+        self.diagnostics = diagnostics or {}
+
+
+def format_deadlock_diagnostics(diag: dict) -> str:
+    """Render a deadlock diagnostics dict as an indented report."""
+    lines = ["deadlock diagnostics:"]
+    if "time" in diag:
+        lines.append(f"  last event time: {diag['time']}")
+    for proc in diag.get("processors", []):
+        lines.append(
+            "  processor {pid}: state={state} clock={clock} buffered={buffered}"
+            " pending_send={pending_send!r}".format(**proc)
+        )
+    medium = diag.get("medium")
+    if medium:
+        lines.append(
+            f"  medium: in_transit={medium.get('in_transit')} "
+            f"pending={medium.get('pending')} "
+            f"total_accepted={medium.get('total_accepted')}"
+        )
+    faults = diag.get("faults")
+    if faults:
+        lines.append(f"  faults: {faults}")
+    return "\n".join(lines)
 
 
 class CapacityViolationError(ReproError, RuntimeError):
@@ -77,3 +114,28 @@ class TopologyError(ReproError, ValueError):
 
 class SimulationLimitError(ReproError, RuntimeError):
     """A configured safety limit (max steps / max events) was exceeded."""
+
+
+class InvariantViolationError(ReproError, AssertionError):
+    """A machine-checkable model invariant failed on an execution trace.
+
+    Raised by :mod:`repro.faults.invariants` (and by ``LogPMachine`` when
+    constructed with ``check_invariants=True``).  ``violations`` holds the
+    individual :class:`~repro.logp.trace.TraceViolation` records.
+    """
+
+    def __init__(self, message: str, violations: list | None = None) -> None:
+        self.violations = list(violations or [])
+        if self.violations:
+            message += "\n" + "\n".join(f"  - {v}" for v in self.violations)
+        super().__init__(message)
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """A resilience protocol exhausted its fault budget.
+
+    Raised by the ack/retransmit layer when a message is still
+    unacknowledged after the maximum number of retransmissions, and by
+    the BSP checkpoint-retry machine when a superstep's communication
+    phase keeps losing messages past ``max_comm_retries``.
+    """

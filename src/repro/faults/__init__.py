@@ -1,0 +1,70 @@
+"""Deterministic fault injection and resilience protocols.
+
+The paper's LogP semantics already quantify over an *adversarial*
+substrate (any delivery schedule within ``L``, any acceptance order under
+the capacity bound), but every admissible execution still delivers every
+message exactly once.  This package deliberately steps outside that
+envelope so the machines can be hardened against a substrate that
+*misbehaves*:
+
+* :class:`~repro.faults.plan.FaultPlan` — a seeded, immutable description
+  of per-message faults (drop / duplicate / extra-delay / reorder) and
+  per-processor faults (crash-stop, slow clock).  Fixed seed => identical
+  fault pattern, so faulty runs are exactly as reproducible as clean ones.
+* :class:`~repro.faults.medium.FaultyMedium` — a drop-in replacement for
+  the LogP :class:`~repro.logp.network.Medium` applying a plan's
+  message fates at acceptance time.
+* :mod:`repro.faults.protocol` — an ack/retransmit layer (timeout +
+  exponential backoff + duplicate suppression) that wraps any LogP
+  program so it completes correctly over a lossy medium.
+* :mod:`repro.faults.invariants` — machine-checkable execution invariants
+  (message conservation, monotone clocks, capacity compliance, buffer
+  high-water consistency), wired into ``LogPMachine(check_invariants=True)``.
+
+BSP resilience (superstep checkpoint-and-retry) lives in
+:class:`repro.bsp.machine.BSPMachine` (``faults=`` / ``comm_retry=``);
+faulty-link packet routing lives in
+:mod:`repro.networks.routing_sim` (``RoutingConfig.link_fault_rate``).
+See ``docs/FAULTS.md`` for the full fault model.
+"""
+
+__all__ = [
+    "FaultPlan",
+    "ActiveFaults",
+    "FaultLog",
+    "MessageFate",
+    "CRASHED",
+    "FaultyMedium",
+    "reliable",
+    "check_execution",
+]
+
+# Lazy re-exports: both machine engines import from this package while its
+# submodules import from theirs (faults.medium builds on logp.network), so
+# eagerly importing everything here would close an import cycle.  PEP 562
+# attribute access keeps `from repro.faults import FaultPlan` working
+# without forcing the whole dependency graph at package-import time.
+_EXPORTS = {
+    "FaultPlan": "repro.faults.plan",
+    "ActiveFaults": "repro.faults.plan",
+    "FaultLog": "repro.faults.plan",
+    "MessageFate": "repro.faults.plan",
+    "CRASHED": "repro.faults.plan",
+    "FaultyMedium": "repro.faults.medium",
+    "reliable": "repro.faults.protocol",
+    "check_execution": "repro.faults.invariants",
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,185 @@
+"""Machine-checkable execution invariants for LogP runs.
+
+:func:`check_execution` validates a finished
+:class:`~repro.logp.machine.LogPResult` (run with a trace) against the
+model rules the engine is supposed to enforce, *plus* the bookkeeping
+rules the engine enforces on itself:
+
+* every rule of :meth:`repro.logp.trace.Trace.check_invariants`
+  (submission/acquisition gaps ``>= G``, delivery within ``L`` of
+  acceptance, per-destination capacity ``<= ceil(L/G)``, one delivery per
+  destination per step, no acquisition before delivery);
+* **message conservation** — every submitted message is delivered exactly
+  once, every delivered message was submitted, every acquisition consumes
+  a distinct delivery;
+* **monotone clocks** — each processor's submissions and acquisitions
+  occur at non-decreasing times, and the global delivery sequence is
+  non-decreasing (the event heap never runs backwards);
+* **buffer high-water consistency** — the engine-reported per-processor
+  high-water mark never exceeds the bound recomputed from the trace's
+  delivery/acquisition times.
+
+When the run used a :class:`~repro.faults.plan.FaultPlan`, pass its
+:class:`~repro.faults.plan.FaultLog`: violations the plan *deliberately
+injected* (dropped messages are never delivered, duplicated ghosts are
+delivered without a submission, extra-delayed messages overshoot the
+``L`` window) are excused — everything else must still hold, which is
+exactly what makes a faulty run trustworthy evidence rather than noise.
+
+``LogPMachine(check_invariants=True)`` wires this in automatically and
+raises :class:`~repro.errors.InvariantViolationError` on any violation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.faults.plan import FaultLog
+from repro.logp.trace import TraceViolation, accept_times_from_result
+
+__all__ = ["check_execution"]
+
+
+def check_execution(result, fault_log: FaultLog | None = None) -> list[TraceViolation]:
+    """Validate ``result`` (a :class:`~repro.logp.machine.LogPResult`
+    carrying a trace); returns all violations (empty list == clean).
+
+    ``fault_log`` — the run's injected-fault ledger, used to excuse the
+    violations the fault plan caused on purpose.
+    """
+    trace = result.trace
+    if trace is None:
+        raise ValueError(
+            "check_execution needs a trace; run the machine with "
+            "record_trace=True (check_invariants=True alone checks "
+            "internally but strips the trace from the result)"
+        )
+
+    delayed = fault_log.delayed_uids() if fault_log is not None else set()
+    ghosts = fault_log.ghost_uids() if fault_log is not None else set()
+    dropped = fault_log.dropped_uids() if fault_log is not None else set()
+
+    accept = accept_times_from_result(result)
+    violations = [
+        v
+        for v in trace.check_invariants(accept)
+        if not (v.rule == "latency" and v.uid in delayed)
+        and not (v.rule == "phantom" and v.uid in ghosts)
+    ]
+
+    submitted = {uid for _t, _src, uid in trace.submissions}
+    delivered = Counter(uid for _t, _dest, uid in trace.deliveries)
+
+    # -- message conservation ----------------------------------------------
+    for uid in sorted(submitted):
+        n = delivered.get(uid, 0)
+        if n == 0 and uid not in dropped:
+            violations.append(
+                TraceViolation(
+                    "conservation",
+                    f"message {uid} submitted but never delivered (and not "
+                    f"dropped by the fault plan)",
+                    uid=uid,
+                )
+            )
+        elif n > 1:
+            violations.append(
+                TraceViolation(
+                    "conservation", f"message {uid} delivered {n} times", uid=uid
+                )
+            )
+    for uid in sorted(set(delivered) - submitted - ghosts):
+        violations.append(
+            TraceViolation(
+                "conservation",
+                f"message {uid} delivered without a submission (and not a "
+                f"fault-plan duplicate)",
+                uid=uid,
+            )
+        )
+    acquired = Counter(uid for _a, _b, _pid, uid in trace.acquisitions)
+    for uid, n in sorted(acquired.items()):
+        if n > 1:
+            violations.append(
+                TraceViolation(
+                    "conservation", f"message {uid} acquired {n} times", uid=uid
+                )
+            )
+
+    # -- monotone clocks ----------------------------------------------------
+    # Trace lists are appended in engine-event order, so each processor's
+    # sub-sequence is its local execution order: time must never decrease.
+    per_src: dict[int, list[int]] = defaultdict(list)
+    for t, src, _uid in trace.submissions:
+        per_src[src].append(t)
+    for src, times in sorted(per_src.items()):
+        for a, b in zip(times, times[1:]):
+            if b < a:
+                violations.append(
+                    TraceViolation(
+                        "monotone-clock",
+                        f"processor {src} submitted at {b} after submitting at {a}",
+                    )
+                )
+    per_pid: dict[int, list[tuple[int, int]]] = defaultdict(list)
+    for t_start, t_end, pid, _uid in trace.acquisitions:
+        per_pid[pid].append((t_start, t_end))
+        if t_end < t_start:
+            violations.append(
+                TraceViolation(
+                    "monotone-clock",
+                    f"processor {pid} acquisition ends at {t_end} before its "
+                    f"start at {t_start}",
+                )
+            )
+    for pid, spans in sorted(per_pid.items()):
+        for (a, _), (b, _) in zip(spans, spans[1:]):
+            if b < a:
+                violations.append(
+                    TraceViolation(
+                        "monotone-clock",
+                        f"processor {pid} acquired at {b} after acquiring at {a}",
+                    )
+                )
+    for (a, _d1, _u1), (b, _d2, _u2) in zip(trace.deliveries, trace.deliveries[1:]):
+        if b < a:
+            violations.append(
+                TraceViolation(
+                    "monotone-clock",
+                    f"delivery at {b} processed after delivery at {a} "
+                    f"(event heap ran backwards)",
+                )
+            )
+            break
+
+    # -- buffer high-water consistency --------------------------------------
+    # Recompute, per destination, the peak number of delivered-but-not-yet-
+    # acquired messages.  The engine pops a message from its buffer when the
+    # acquisition *starts*, possibly later than the event that triggered it,
+    # so the trace-derived peak is an upper bound on the engine's report.
+    highwater = getattr(result, "buffer_highwater", None)
+    if highwater is not None:
+        events: dict[int, list[tuple[int, int]]] = defaultdict(list)
+        for t, dest, _uid in trace.deliveries:
+            events[dest].append((t, 0))  # +1; ties: deliver before acquire
+        acq_start = {uid: t for t, _e, _pid, uid in trace.acquisitions}
+        for t, dest, uid in trace.deliveries:
+            t_acq = acq_start.get(uid)
+            if t_acq is not None:
+                events[dest].append((t_acq, 1))  # -1
+        for pid, reported in enumerate(highwater):
+            evs = sorted(events.get(pid, []))
+            peak = count = 0
+            for _t, kind in evs:
+                count += 1 if kind == 0 else -1
+                peak = max(peak, count)
+            if reported > peak:
+                violations.append(
+                    TraceViolation(
+                        "buffer-highwater",
+                        f"processor {pid} reports buffer high-water {reported} "
+                        f"but the trace only supports {peak}",
+                    )
+                )
+
+    return violations

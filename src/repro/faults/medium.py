@@ -1,0 +1,104 @@
+"""A LogP communication medium that misbehaves on cue.
+
+:class:`FaultyMedium` is a drop-in :class:`~repro.logp.network.Medium`
+replacement.  At acceptance time each message draws a
+:class:`~repro.faults.plan.MessageFate` from the run's
+:class:`~repro.faults.plan.ActiveFaults`:
+
+* **drop** — the delivery event still fires (the capacity slot was
+  genuinely occupied while the message was "in flight"), but
+  :meth:`deliverable` returns ``False`` so the engine frees the slot
+  without buffering anything at the destination;
+* **duplicate** — a ghost copy (fresh uid, same content) is scheduled at
+  another free step; ghosts occupy a delivery step but *not* a capacity
+  slot (they are spontaneous network artifacts, not accepted traffic);
+* **extra-delay** — the delivery step may exceed the model's
+  ``t_acc + L`` deadline by the fate's ``extra_delay``;
+* **reorder** — the delivery policy's proposed delay is inverted within
+  ``[1, L]``, flipping the arrival order of back-to-back messages.
+
+Everything else — the stalling rule, the capacity constraint for real
+messages, one delivery per destination per step — is inherited unchanged,
+so a faulty run is still a legal LogP execution *minus* the injected
+violations, all of which are recorded in the run's
+:class:`~repro.faults.plan.FaultLog`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.faults.plan import _CLEAN, ActiveFaults
+from repro.logp.network import Medium
+from repro.logp.scheduler import AcceptancePolicy, DeliveryScheduler
+from repro.models.message import Message
+from repro.models.params import LogPParams
+
+__all__ = ["FaultyMedium"]
+
+
+class FaultyMedium(Medium):
+    """A :class:`Medium` applying a seeded fault plan's message fates."""
+
+    def __init__(
+        self,
+        params: LogPParams,
+        delivery: DeliveryScheduler,
+        acceptance: AcceptancePolicy,
+        on_accept: Callable[[int, int], None],
+        on_schedule_delivery: Callable[[Message, int], None],
+        faults: ActiveFaults,
+    ) -> None:
+        super().__init__(params, delivery, acceptance, on_accept, on_schedule_delivery)
+        self.faults = faults
+        self._fates: dict[int, object] = {}
+        self._drops: set[int] = set()
+        self._ghosts: set[int] = set()
+
+    def _accept(self, sender: int, msg: Message, t: int, stalled_since: int | None) -> None:
+        fate = self.faults.fate(msg)
+        log = self.faults.log
+        if not fate.clean:
+            self._fates[msg.uid] = fate
+        if fate.drop:
+            self._drops.add(msg.uid)
+            log.dropped.append((msg.uid, msg.src, msg.dest, t))
+        if fate.reorder:
+            log.reordered.append(msg.uid)
+        if fate.extra_delay:
+            log.delayed.append((msg.uid, fate.extra_delay))
+        super()._accept(sender, msg, t, stalled_since)
+        if fate.duplicate:
+            ghost = Message(
+                src=msg.src, dest=msg.dest, payload=msg.payload, tag=msg.tag, size=msg.size
+            )
+            step = self._free_step(msg.dest, t + 1, t, t + self.params.L, overflow=True)
+            self._occupied[msg.dest].add(step)
+            self._ghosts.add(ghost.uid)
+            log.duplicated.append((msg.uid, ghost.uid, msg.dest))
+            self._on_schedule(ghost, step)
+
+    def _pick_delivery_step(self, msg: Message, t_acc: int) -> int:
+        L = self.params.L
+        fate = self._fates.get(msg.uid, _CLEAN)
+        delay = self.delivery.propose_delay(msg, t_acc, L)
+        delay = min(max(int(delay), 1), L)
+        if fate.reorder:
+            delay = L + 1 - delay
+        if fate.extra_delay:
+            target = t_acc + delay + fate.extra_delay
+            return self._free_step(
+                msg.dest, target, t_acc, target + L, overflow=True
+            )
+        return self._free_step(msg.dest, t_acc + delay, t_acc, t_acc + L)
+
+    def on_delivered(self, msg: Message, t: int) -> None:
+        if msg.uid in self._ghosts:
+            # Ghosts never occupied a capacity slot: free only the
+            # delivery step, do not touch in-transit counts or pending.
+            self._occupied[msg.dest].discard(t)
+            return
+        super().on_delivered(msg, t)
+
+    def deliverable(self, msg: Message) -> bool:
+        return msg.uid not in self._drops

@@ -1,0 +1,251 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` is an immutable description of how the substrate
+misbehaves.  Message-level faults are drawn from one seeded stream per
+directed link ``(src, dest)``, indexed by the link's acceptance count, so
+
+* a fixed seed reproduces the exact same fault pattern run after run
+  (the engines themselves are deterministic, hence so is the per-link
+  acceptance order), and
+* a retransmission of a lost message is a *new* submission on the link
+  and draws a fresh, independent fate — exactly the property the
+  ack/retransmit layer needs to make progress.
+
+Processor-level faults are static maps: ``crash[pid] = t`` (crash-stop;
+on the BSP machine ``t`` is a superstep index and the crash is transient
+— that superstep's sends are lost once and recovered by the
+checkpoint-retry exchange) and ``slow[pid] = s`` (every local busy step
+takes ``s`` steps instead — LogP only).
+
+A plan is reusable: each run calls :meth:`FaultPlan.activate` to get a
+fresh :class:`ActiveFaults` carrying the per-run RNG streams and the
+:class:`FaultLog` ledger of what was actually injected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.models.message import Message
+from repro.util.rng import derive_seed
+
+__all__ = ["FaultPlan", "ActiveFaults", "FaultLog", "MessageFate", "CRASHED"]
+
+
+class _Crashed:
+    """Singleton result placeholder for crash-stopped processors."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "CRASHED"
+
+
+CRASHED = _Crashed()
+
+
+@dataclass(frozen=True)
+class MessageFate:
+    """The faults one accepted message suffers."""
+
+    drop: bool = False
+    duplicate: bool = False
+    extra_delay: int = 0
+    reorder: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not (self.drop or self.duplicate or self.extra_delay or self.reorder)
+
+
+_CLEAN = MessageFate()
+
+
+@dataclass
+class FaultLog:
+    """Ledger of every fault actually injected during one run."""
+
+    #: (uid, src, dest, accept_time)
+    dropped: list[tuple[int, int, int, int]] = field(default_factory=list)
+    #: (original uid, ghost uid, dest)
+    duplicated: list[tuple[int, int, int]] = field(default_factory=list)
+    #: (uid, extra steps beyond the [1, L] window)
+    delayed: list[tuple[int, int]] = field(default_factory=list)
+    #: uids whose proposed delay was inverted
+    reordered: list[int] = field(default_factory=list)
+    #: (pid, time-or-superstep)
+    crashes: list[tuple[int, int]] = field(default_factory=list)
+    #: (superstep, messages lost that attempt) — BSP checkpoint-retry
+    bsp_lost: list[tuple[int, int]] = field(default_factory=list)
+
+    def ghost_uids(self) -> set[int]:
+        return {ghost for _orig, ghost, _d in self.duplicated}
+
+    def dropped_uids(self) -> set[int]:
+        return {uid for uid, _s, _d, _t in self.dropped}
+
+    def delayed_uids(self) -> set[int]:
+        return {uid for uid, _extra in self.delayed}
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "dropped": len(self.dropped),
+            "duplicated": len(self.duplicated),
+            "delayed": len(self.delayed),
+            "reordered": len(self.reordered),
+            "crashes": len(self.crashes),
+            "bsp_lost": sum(n for _s, n in self.bsp_lost),
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Immutable, seeded description of substrate misbehaviour.
+
+    Attributes
+    ----------
+    seed:
+        Root seed; all fault decisions derive from it deterministically.
+    drop_rate, dup_rate, delay_rate, reorder_rate:
+        Per-message probabilities in ``[0, 1]``, drawn independently per
+        accepted message from the link's stream.
+    max_extra_delay:
+        When a message draws a delay fault, it is delivered up to this
+        many steps *past* the model's ``t_acc + L`` deadline (uniform in
+        ``[1, max_extra_delay]``).  Must be >= 1 when ``delay_rate > 0``.
+    crash:
+        ``pid -> t``.  LogP: the processor halts at step ``t`` (its
+        result becomes :data:`CRASHED`).  BSP: the processor's sends in
+        superstep ``t`` are lost on the first delivery attempt
+        (transient fail-stop across one exchange).
+    slow:
+        ``pid -> scale``.  LogP only: every local busy step (``Compute``,
+        send/receive overhead) of the processor takes ``scale`` steps.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    delay_rate: float = 0.0
+    max_extra_delay: int = 0
+    reorder_rate: float = 0.0
+    crash: Mapping[int, int] | None = None
+    slow: Mapping[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "dup_rate", "delay_rate", "reorder_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ParameterError(f"FaultPlan requires 0 <= {name} <= 1, got {rate}")
+        if self.max_extra_delay < 0:
+            raise ParameterError(
+                f"FaultPlan requires max_extra_delay >= 0, got {self.max_extra_delay}"
+            )
+        if self.delay_rate > 0 and self.max_extra_delay < 1:
+            raise ParameterError(
+                "FaultPlan with delay_rate > 0 needs max_extra_delay >= 1 "
+                "(otherwise the delay fault is a silent no-op)"
+            )
+        for name in ("crash", "slow"):
+            mapping = getattr(self, name)
+            if mapping is None:
+                continue
+            for pid, value in mapping.items():
+                if not isinstance(pid, int) or isinstance(pid, bool) or pid < 0:
+                    raise ParameterError(f"FaultPlan.{name} keys must be pids, got {pid!r}")
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise ParameterError(
+                        f"FaultPlan.{name}[{pid}] must be an integer, got {value!r}"
+                    )
+            if name == "slow" and any(v < 1 for v in mapping.values()):
+                raise ParameterError("FaultPlan.slow scales must be >= 1")
+            if name == "crash" and any(v < 0 for v in mapping.values()):
+                raise ParameterError("FaultPlan.crash times must be >= 0")
+
+    @property
+    def message_faults(self) -> bool:
+        return bool(self.drop_rate or self.dup_rate or self.delay_rate or self.reorder_rate)
+
+    def activate(self) -> "ActiveFaults":
+        """Fresh per-run fault state (streams rewound, empty log)."""
+        return ActiveFaults(self)
+
+
+class ActiveFaults:
+    """Per-run realization of a :class:`FaultPlan`.
+
+    Holds the lazily-created per-link RNG streams, the per-attempt BSP
+    exchange streams, and the :class:`FaultLog`.  Created via
+    :meth:`FaultPlan.activate`; never shared between runs.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.log = FaultLog()
+        self._link_rng: dict[tuple[int, int], np.random.Generator] = {}
+        self._bsp_rng: dict[tuple[int, int], np.random.Generator] = {}
+
+    # -- LogP message fates --------------------------------------------------
+
+    def fate(self, msg: Message) -> MessageFate:
+        """Draw the fate of an accepted message (one draw per acceptance,
+        in link-acceptance order — deterministic for a fixed seed)."""
+        plan = self.plan
+        if not plan.message_faults:
+            return _CLEAN
+        key = (msg.src, msg.dest)
+        rng = self._link_rng.get(key)
+        if rng is None:
+            rng = self._link_rng[key] = np.random.default_rng(
+                derive_seed(plan.seed, "link", msg.src, msg.dest)
+            )
+        u = rng.random(4)
+        # Constant stream consumption per message: the extra-delay width
+        # is drawn unconditionally so one fate never shifts the next.
+        extra = int(rng.integers(1, plan.max_extra_delay + 1)) if plan.max_extra_delay else 0
+        return MessageFate(
+            drop=bool(u[0] < plan.drop_rate),
+            duplicate=bool(u[1] < plan.dup_rate),
+            extra_delay=extra if u[2] < plan.delay_rate else 0,
+            reorder=bool(u[3] < plan.reorder_rate),
+        )
+
+    # -- BSP exchange fates ----------------------------------------------------
+
+    def bsp_lost(self, src: int, dest: int, superstep: int, attempt: int) -> bool:
+        """Whether this message is lost in delivery ``attempt`` of the
+        superstep's exchange.  One stream per (superstep, attempt), drawn
+        in message order, so retries re-roll independently."""
+        plan = self.plan
+        if plan.crash and attempt == 0 and plan.crash.get(src) == superstep:
+            return True
+        if plan.drop_rate <= 0.0:
+            return False
+        key = (superstep, attempt)
+        rng = self._bsp_rng.get(key)
+        if rng is None:
+            rng = self._bsp_rng[key] = np.random.default_rng(
+                derive_seed(plan.seed, "bsp", superstep, attempt)
+            )
+        return bool(rng.random() < plan.drop_rate)
+
+    # -- processor faults ------------------------------------------------------
+
+    def crash_time(self, pid: int) -> int | None:
+        if self.plan.crash is None:
+            return None
+        return self.plan.crash.get(pid)
+
+    def clock_scale(self, pid: int) -> int:
+        if self.plan.slow is None:
+            return 1
+        return self.plan.slow.get(pid, 1)

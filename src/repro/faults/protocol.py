@@ -1,0 +1,195 @@
+"""Ack/retransmit: a resilient transport for LogP programs.
+
+:func:`reliable` wraps any LogP program in a stop-and-wait
+acknowledgement protocol so it completes **correctly and
+deterministically** over a :class:`~repro.faults.medium.FaultyMedium`
+that drops, duplicates, delays, and reorders messages:
+
+* every application ``Send`` becomes a ``('D', seq, tag, payload)``
+  envelope; the sender retransmits on timeout with exponential backoff
+  (capped) until the matching ``('A', seq)`` acknowledgement arrives;
+* the receiver acknowledges *every* data envelope (including
+  retransmissions of data it already has) and suppresses duplicates by
+  ``(src, seq)``, so the application sees each message exactly once, in
+  first-arrival order;
+* after the application program finishes, the wrapper *lingers*
+  (:class:`~repro.logp.instructions.Linger`): it keeps re-acknowledging
+  late retransmissions until the whole machine is quiescent, which is the
+  exact distributed-termination condition — no guessed shutdown timeout.
+
+Guarantees (for ``drop_rate < 1`` and no *permanent* crash of a
+communicating peer): every wrapped program terminates with the same
+per-processor results as the fault-free run, because retransmissions are
+fresh submissions that draw fresh, independent fault fates from the
+plan's per-link streams (see :mod:`repro.faults.plan`).  Crash-stop
+processors are *not* masked — a receive from a permanently crashed peer
+deadlocks, as it must under crash-stop with no failure detector.
+
+The protocol costs time, not correctness: timeouts, acks and
+retransmissions inflate the makespan.  ``benchmarks/bench_fault_resilience.py``
+measures the slowdown as a function of the fault rate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import ProtocolError
+from repro.logp.instructions import (
+    Linger,
+    LogPContext,
+    LogPProgram,
+    Recv,
+    Send,
+    TryRecv,
+)
+from repro.models.message import Message
+
+__all__ = ["reliable", "DATA_TAG", "ACK_TAG", "default_timeout"]
+
+#: Tag namespace far above anything application programs use.
+DATA_TAG = 1 << 20
+ACK_TAG = (1 << 20) + 1
+
+
+def default_timeout(params) -> int:
+    """Retransmission timeout covering one clean round trip: data flight
+    (<= L), receiver acquire + ack prepare (~2o + G), ack flight (<= L)."""
+    return 2 * (params.L + 2 * params.o + params.G) + 2
+
+
+class _ProtoState:
+    """Per-processor protocol bookkeeping."""
+
+    __slots__ = ("next_seq", "seen", "inbox", "retransmissions")
+
+    def __init__(self) -> None:
+        self.next_seq: dict[int, int] = {}
+        # (src, seq) pairs already delivered to the application.
+        self.seen: set[tuple[int, int]] = set()
+        # Fresh application messages awaiting the application's Recv.
+        self.inbox: deque[Message] = deque()
+        self.retransmissions = 0
+
+
+def reliable(program: LogPProgram, *, timeout: int | None = None, max_backoff: int = 8):
+    """Wrap ``program`` in the ack/retransmit layer.
+
+    Parameters
+    ----------
+    program:
+        Any LogP program (generator function over a
+        :class:`~repro.logp.instructions.LogPContext`).
+    timeout:
+        Base retransmission timeout in steps; defaults to
+        :func:`default_timeout` for the machine's parameters.
+    max_backoff:
+        Cap on the exponential backoff, as a multiple of the base
+        timeout.
+
+    Returns a new LogP program.  All processors of a machine must run
+    wrapped programs (the protocol's envelopes are not understood by
+    unwrapped peers).
+    """
+    if max_backoff < 1:
+        raise ProtocolError(f"reliable() needs max_backoff >= 1, got {max_backoff}")
+
+    def wrapped(ctx: LogPContext):
+        base = timeout if timeout is not None else default_timeout(ctx.params)
+        if base < 1:
+            raise ProtocolError(f"reliable() needs timeout >= 1, got {base}")
+        st = _ProtoState()
+        inner = program(ctx)
+        send_value: Any = None
+        result: Any = None
+        while True:
+            try:
+                instr = inner.send(send_value)
+            except StopIteration as stop:
+                result = stop.value
+                break
+            if isinstance(instr, Send):
+                send_value = yield from _send_reliably(ctx, st, instr, base, max_backoff)
+            elif isinstance(instr, Recv):
+                send_value = yield from _recv_reliably(ctx, st, blocking=True)
+            elif isinstance(instr, TryRecv):
+                send_value = yield from _recv_reliably(ctx, st, blocking=False)
+            else:
+                # Compute / WaitUntil / Linger are purely local: pass through.
+                send_value = yield instr
+        # Drain phase: our last acks may have been dropped, so peers can
+        # still be retransmitting data we already consumed.  Keep
+        # re-acknowledging until the machine is quiescent.
+        while True:
+            msg = yield Linger()
+            if msg is None:
+                return result
+            yield from _handle_envelope(ctx, st, msg)
+
+    return wrapped
+
+
+def _send_reliably(ctx: LogPContext, st: _ProtoState, instr: Send, base: int, max_backoff: int):
+    """Send one application message, retransmitting until acknowledged.
+    Returns the acceptance time of the first transmission (what the
+    application's ``Send`` would have returned)."""
+    seq = st.next_seq.get(instr.dest, 0)
+    st.next_seq[instr.dest] = seq + 1
+    envelope = ("D", seq, instr.tag, instr.payload)
+    wait = base
+    accept_time: int | None = None
+    while True:
+        t_acc = yield Send(instr.dest, envelope, tag=DATA_TAG, size=instr.size)
+        if accept_time is None:
+            accept_time = t_acc
+        else:
+            st.retransmissions += 1
+        deadline = ctx.clock + wait
+        while ctx.clock < deadline:
+            msg = yield TryRecv()
+            if msg is None:
+                continue
+            if msg.tag == ACK_TAG:
+                if msg.src == instr.dest and msg.payload[1] == seq:
+                    return accept_time
+                # Stale ack (an earlier retransmission's duplicate): ignore.
+                continue
+            yield from _handle_envelope(ctx, st, msg)
+        # Timeout: back off and retransmit.
+        wait = min(wait * 2, base * max_backoff)
+
+
+def _recv_reliably(ctx: LogPContext, st: _ProtoState, *, blocking: bool):
+    """Produce the next fresh application message (or ``None`` for a
+    non-blocking poll that found nothing)."""
+    if st.inbox:
+        return st.inbox.popleft()
+    while True:
+        msg = yield (Recv() if blocking else TryRecv())
+        if msg is None:
+            return None  # TryRecv: nothing acquirable right now
+        yield from _handle_envelope(ctx, st, msg)
+        if st.inbox:
+            return st.inbox.popleft()
+        # Acquired a duplicate or a stray ack; the application's poll is
+        # still unanswered — try again.
+
+
+def _handle_envelope(ctx: LogPContext, st: _ProtoState, msg: Message):
+    """Process one acquired message: ack data (always, even duplicates),
+    enqueue fresh application messages, drop stray acks."""
+    if msg.tag == ACK_TAG:
+        return  # ack for a send already satisfied by a duplicate ack
+    if msg.tag != DATA_TAG:
+        # Not protocol traffic (mixed machine): hand through verbatim.
+        st.inbox.append(msg)
+        return
+    _kind, seq, app_tag, app_payload = msg.payload
+    yield Send(msg.src, ("A", seq), tag=ACK_TAG)
+    key = (msg.src, seq)
+    if key not in st.seen:
+        st.seen.add(key)
+        st.inbox.append(
+            Message(src=msg.src, dest=ctx.pid, payload=app_payload, tag=app_tag, size=msg.size)
+        )

@@ -34,6 +34,16 @@ Timing semantics (integer steps; see paper Section 2.2):
     Idle until absolute time ``t`` (no-op if already past).  Used by
     schedule-driven algorithms such as the slotted CB tree for
     ``ceil(L/G) = 1``.  Result: ``None``.
+
+``Linger()``
+    Like ``Recv``, but instead of deadlocking when no message can ever
+    arrive, results in ``None`` once the whole machine is quiescent
+    (every other processor finished or lingering, nothing in flight).
+    This is the graceful-drain primitive the resilient protocol layer
+    (:mod:`repro.faults.protocol`) uses to keep re-acknowledging
+    retransmissions after its own work is done, without having to guess
+    a timeout for distributed termination.  Result: a
+    :class:`~repro.models.message.Message` or ``None`` (quiescent).
 """
 
 from __future__ import annotations
@@ -43,7 +53,16 @@ from typing import Any, Callable, Generator
 
 from repro.errors import ProgramError
 
-__all__ = ["Compute", "Send", "Recv", "TryRecv", "WaitUntil", "LogPContext", "LogPProgram"]
+__all__ = [
+    "Compute",
+    "Send",
+    "Recv",
+    "TryRecv",
+    "WaitUntil",
+    "Linger",
+    "LogPContext",
+    "LogPProgram",
+]
 
 
 @dataclass(frozen=True)
@@ -94,7 +113,12 @@ class WaitUntil:
     time: int
 
 
-Instruction = Compute | Send | Recv | TryRecv | WaitUntil
+@dataclass(frozen=True)
+class Linger:
+    """Receive if anything arrives; resolve to ``None`` at quiescence."""
+
+
+Instruction = Compute | Send | Recv | TryRecv | WaitUntil | Linger
 LogPProgram = Callable[["LogPContext"], Generator[Instruction, Any, Any]]
 
 

@@ -17,11 +17,20 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Generator, Sequence
 
-from repro.errors import DeadlockError, ProgramError, SimulationLimitError, StallError
+from repro.errors import (
+    DeadlockError,
+    InvariantViolationError,
+    ProgramError,
+    SimulationLimitError,
+    StallError,
+)
+from repro.faults.medium import FaultyMedium
+from repro.faults.plan import CRASHED, FaultLog, FaultPlan
 from repro.models.message import Message
 from repro.models.params import LogPParams
 from repro.logp.instructions import (
     Compute,
+    Linger,
     LogPContext,
     LogPProgram,
     Recv,
@@ -40,7 +49,9 @@ from repro.logp.trace import Trace
 
 __all__ = ["LogPMachine", "LogPResult"]
 
-# Event kinds, in intra-step processing order.
+# Event kinds, in intra-step processing order (crashes take effect before
+# anything else that happens at the same step).
+_EV_CRASH = -1
 _EV_DELIVER = 0
 _EV_SUBMIT = 1
 _EV_RESUME = 2
@@ -50,6 +61,16 @@ _RUNNING = 1
 _BLOCKED_RECV = 2
 _STALLING = 3
 _DONE = 4
+_LINGERING = 5
+
+_STATE_NAMES = {
+    _IDLE: "idle",
+    _RUNNING: "running",
+    _BLOCKED_RECV: "blocked-recv",
+    _STALLING: "stalling",
+    _DONE: "done",
+    _LINGERING: "lingering",
+}
 
 
 @dataclass
@@ -63,6 +84,8 @@ class _Proc:
     last_submit: int | None = None
     last_acquire: int | None = None
     state: int = _RUNNING
+    # Slow-clock fault: every local busy step takes `scale` steps.
+    scale: int = 1
     # Delivered-but-not-acquired messages, FIFO by delivery time.
     buffer: list[tuple[int, Message]] = field(default_factory=list)
     buf_head: int = 0
@@ -94,6 +117,9 @@ class LogPResult:
     trace:
         Full event trace when the machine was created with
         ``record_trace=True``, else ``None``.
+    fault_log:
+        Ledger of every fault the run's :class:`~repro.faults.plan.FaultPlan`
+        actually injected (``None`` for a fault-free machine).
     """
 
     params: LogPParams
@@ -103,6 +129,7 @@ class LogPResult:
     buffer_highwater: list[int]
     total_messages: int
     trace: Trace | None = None
+    fault_log: "FaultLog | None" = None
 
     @property
     def stall_free(self) -> bool:
@@ -134,6 +161,20 @@ class LogPMachine:
         when running constructions that are proven stall-free.
     record_trace:
         Record a full event trace (see :mod:`repro.logp.trace`).
+    faults:
+        A :class:`~repro.faults.plan.FaultPlan`: run over a misbehaving
+        substrate (message drop/duplicate/extra-delay/reorder via a
+        :class:`~repro.faults.medium.FaultyMedium`, plus crash-stop and
+        slow-clock processors).  ``None`` (default) is the pristine
+        medium of the paper.
+    check_invariants:
+        After the run, verify the execution trace against the model
+        invariants (message conservation, monotone clocks, capacity
+        compliance, buffer high-water consistency — see
+        :mod:`repro.faults.invariants`) and raise
+        :class:`~repro.errors.InvariantViolationError` on any violation.
+        Implies trace recording internally; ``result.trace`` is still
+        only populated when ``record_trace=True``.
 
     Example
     -------
@@ -159,6 +200,8 @@ class LogPMachine:
         forbid_stalling: bool = False,
         record_trace: bool = False,
         max_events: int = 50_000_000,
+        faults: FaultPlan | None = None,
+        check_invariants: bool = False,
     ) -> None:
         self.params = params
         self.delivery = delivery if delivery is not None else DeliverMaxLatency()
@@ -166,6 +209,8 @@ class LogPMachine:
         self.forbid_stalling = forbid_stalling
         self.record_trace = record_trace
         self.max_events = max_events
+        self.faults = faults
+        self.check_invariants = check_invariants
 
     # ------------------------------------------------------------------
 
@@ -181,6 +226,8 @@ class LogPMachine:
             if len(programs) != p:
                 raise ProgramError(f"need exactly p={p} programs, got {len(programs)}")
 
+        active = self.faults.activate() if self.faults is not None else None
+
         procs: list[_Proc] = []
         for pid in range(p):
             ctx = LogPContext(pid, p, self.params)
@@ -189,9 +236,10 @@ class LogPMachine:
                 raise ProgramError(
                     f"LogP program for processor {pid} is not a generator function"
                 )
-            procs.append(_Proc(pid=pid, gen=gen, ctx=ctx))
+            scale = active.clock_scale(pid) if active is not None else 1
+            procs.append(_Proc(pid=pid, gen=gen, ctx=ctx, scale=scale))
 
-        trace = Trace(self.params) if self.record_trace else None
+        trace = Trace(self.params) if (self.record_trace or self.check_invariants) else None
         heap: list[tuple[int, int, int, int, Any]] = []
         seq = 0
 
@@ -216,89 +264,134 @@ class LogPMachine:
                     f"(forbid_stalling=True)"
                 )
 
-        medium = Medium(
-            self.params,
-            delivery=self.delivery,
-            acceptance=self.acceptance,
-            on_accept=on_accept_stalled,
-            on_schedule_delivery=schedule_delivery,
-        )
+        if active is not None:
+            medium: Medium = FaultyMedium(
+                self.params,
+                delivery=self.delivery,
+                acceptance=self.acceptance,
+                on_accept=on_accept_stalled,
+                on_schedule_delivery=schedule_delivery,
+                faults=active,
+            )
+        else:
+            medium = Medium(
+                self.params,
+                delivery=self.delivery,
+                acceptance=self.acceptance,
+                on_accept=on_accept_stalled,
+                on_schedule_delivery=schedule_delivery,
+            )
 
         for pid in range(p):
             push(0, _EV_RESUME, pid, ("start", None))
+        if active is not None:
+            for pid in range(p):
+                t_crash = active.crash_time(pid)
+                if t_crash is not None:
+                    push(t_crash, _EV_CRASH, pid, None)
 
         events = 0
         makespan = 0
-        while heap:
-            events += 1
-            if events > self.max_events:
-                raise SimulationLimitError(f"exceeded max_events={self.max_events}")
-            time, kind, _seq, pid, data = heapq.heappop(heap)
-            if kind == _EV_DELIVER:
-                msg: Message = data
-                proc = procs[pid]
-                proc.buffer.append((time, msg))
-                proc.buffer_highwater = max(proc.buffer_highwater, proc.buffered())
-                if trace is not None:
-                    trace.on_delivered(msg, time)
-                medium.on_delivered(msg, time)
-                if proc.state == _BLOCKED_RECV:
-                    self._start_acquire(proc, time, push, trace)
-            elif kind == _EV_SUBMIT:
-                proc = procs[pid]
-                msg = proc.pending_send
-                proc.pending_send = None
-                if trace is not None:
-                    trace.on_submitted(msg, time)
-                accepted_at = medium.submit(pid, msg, time)
-                if accepted_at is not None:
-                    proc.state = _RUNNING
-                    push(accepted_at, _EV_RESUME, pid, ("sent", accepted_at))
-                else:
-                    proc.state = _STALLING
-                    if self.forbid_stalling:
-                        raise StallError(
-                            f"processor {pid} stalled submitting {msg!r} at t={time} "
-                            f"(forbid_stalling=True)"
-                        )
-            else:  # _EV_RESUME
-                proc = procs[pid]
-                if proc.state == _DONE:
-                    continue
-                tag, value = data
-                if tag == "tryrecv":
-                    # Deferred poll: the processor's clock ran ahead of
-                    # event time; now (time == clock) the buffer reflects
-                    # every delivery up to it.
-                    if proc.buffered():
-                        self._start_acquire(proc, time, push, trace)
+        time = 0
+        while True:
+            while heap:
+                events += 1
+                if events > self.max_events:
+                    raise SimulationLimitError(f"exceeded max_events={self.max_events}")
+                time, kind, _seq, pid, data = heapq.heappop(heap)
+                if kind == _EV_CRASH:
+                    proc = procs[pid]
+                    # proc.clock > time: the engine ran the processor's
+                    # local computation optimistically past the crash
+                    # instant, so the "finish" never actually happened.
+                    if proc.state != _DONE or proc.clock > time:
+                        proc.state = _DONE
+                        proc.result = CRASHED
+                        proc.pending_send = None
+                        active.log.crashes.append((pid, time))
+                elif kind == _EV_DELIVER:
+                    msg: Message = data
+                    proc = procs[pid]
+                    if not medium.deliverable(msg):
+                        # Dropped in flight: free the capacity slot, never
+                        # buffer (the fault log already has the record).
+                        medium.on_delivered(msg, time)
                         continue
-                    proc.clock += 1
-                    proc.state = _IDLE
-                    push(proc.clock, _EV_RESUME, pid, ("poll", None))
-                    continue
-                result: Any
-                if tag == "recv":
-                    result = value
-                elif tag == "sent":
-                    result = value
-                else:
-                    result = None
-                proc.clock = max(proc.clock, time)
-                makespan = max(makespan, proc.clock)
-                self._step(
-                    proc, result, first=(tag == "start"), push=push, trace=trace, now=time
-                )
-                makespan = max(makespan, proc.clock)
+                    proc.buffer.append((time, msg))
+                    proc.buffer_highwater = max(proc.buffer_highwater, proc.buffered())
+                    if trace is not None:
+                        trace.on_delivered(msg, time)
+                    medium.on_delivered(msg, time)
+                    if proc.state in (_BLOCKED_RECV, _LINGERING):
+                        self._start_acquire(proc, time, push, trace)
+                elif kind == _EV_SUBMIT:
+                    proc = procs[pid]
+                    if proc.state == _DONE or proc.pending_send is None:
+                        continue  # sender crashed between prepare and submit
+                    msg = proc.pending_send
+                    proc.pending_send = None
+                    if trace is not None:
+                        trace.on_submitted(msg, time)
+                    accepted_at = medium.submit(pid, msg, time)
+                    if accepted_at is not None:
+                        proc.state = _RUNNING
+                        push(accepted_at, _EV_RESUME, pid, ("sent", accepted_at))
+                    else:
+                        proc.state = _STALLING
+                        if self.forbid_stalling:
+                            raise StallError(
+                                f"processor {pid} stalled submitting {msg!r} at t={time} "
+                                f"(forbid_stalling=True)"
+                            )
+                else:  # _EV_RESUME
+                    proc = procs[pid]
+                    if proc.state == _DONE:
+                        continue
+                    tag, value = data
+                    if tag == "tryrecv":
+                        # Deferred poll: the processor's clock ran ahead of
+                        # event time; now (time == clock) the buffer reflects
+                        # every delivery up to it.
+                        if proc.buffered():
+                            self._start_acquire(proc, time, push, trace)
+                            continue
+                        proc.clock += 1
+                        proc.state = _IDLE
+                        push(proc.clock, _EV_RESUME, pid, ("poll", None))
+                        continue
+                    result: Any
+                    if tag == "recv":
+                        result = value
+                    elif tag == "sent":
+                        result = value
+                    else:
+                        result = None
+                    proc.clock = max(proc.clock, time)
+                    makespan = max(makespan, proc.clock)
+                    self._step(
+                        proc, result, first=(tag == "start"), push=push, trace=trace, now=time
+                    )
+                    makespan = max(makespan, proc.clock)
+
+            # Quiescence: nothing in flight, nobody runnable.  Release
+            # lingering processors (Linger resolves to None) and keep
+            # draining whatever their final actions generate.
+            lingerers = [pr for pr in procs if pr.state == _LINGERING]
+            if not lingerers:
+                break
+            for pr in lingerers:
+                pr.state = _IDLE
+                push(pr.clock, _EV_RESUME, pr.pid, ("recv", None))
 
         blocked = [pr.pid for pr in procs if pr.state in (_BLOCKED_RECV, _STALLING)]
         if blocked:
             raise DeadlockError(
                 f"simulation drained with processors {blocked} still blocked "
-                f"(waiting on messages that will never arrive)"
+                f"(waiting on messages that will never arrive)",
+                diagnostics=self._deadlock_diagnostics(procs, medium, active, time),
             )
 
-        return LogPResult(
+        result_obj = LogPResult(
             params=self.params,
             results=[pr.result for pr in procs],
             makespan=makespan,
@@ -306,7 +399,49 @@ class LogPMachine:
             buffer_highwater=[pr.buffer_highwater for pr in procs],
             total_messages=medium.total_accepted,
             trace=trace,
+            fault_log=active.log if active is not None else None,
         )
+        if self.check_invariants:
+            from repro.faults.invariants import check_execution
+
+            violations = check_execution(
+                result_obj, fault_log=active.log if active is not None else None
+            )
+            if violations:
+                raise InvariantViolationError(
+                    f"LogP execution violated {len(violations)} model invariant(s)",
+                    violations,
+                )
+        if not self.record_trace:
+            result_obj.trace = None
+        return result_obj
+
+    @staticmethod
+    def _deadlock_diagnostics(procs, medium, active, time) -> dict:
+        """Snapshot machine state for a debuggable DeadlockError."""
+        return {
+            "time": time,
+            "processors": [
+                {
+                    "pid": pr.pid,
+                    "state": _STATE_NAMES.get(pr.state, str(pr.state)),
+                    "clock": pr.clock,
+                    "buffered": pr.buffered(),
+                    "pending_send": pr.pending_send,
+                }
+                for pr in procs
+            ],
+            "medium": {
+                "in_transit": list(medium.in_transit),
+                "pending": {
+                    d: [(t, sender) for t, _seq, sender, _m in q]
+                    for d, q in enumerate(medium.pending)
+                    if q
+                },
+                "total_accepted": medium.total_accepted,
+            },
+            "faults": active.log.summary() if active is not None else None,
+        }
 
     # ------------------------------------------------------------------
 
@@ -337,7 +472,7 @@ class LogPMachine:
             first = False
             send_value = None
             if isinstance(instr, Compute):
-                proc.clock += instr.ops
+                proc.clock += instr.ops * proc.scale
             elif isinstance(instr, WaitUntil):
                 proc.clock = max(proc.clock, instr.time)
             elif isinstance(instr, Send):
@@ -351,7 +486,8 @@ class LogPMachine:
                         f"processor {proc.pid} sent to itself; LogP messages "
                         f"traverse the medium — keep local data local"
                     )
-                prep = o + (instr.size - 1) * self.params.Gb  # LogGP long messages
+                # LogGP long messages; slow-clock faults scale local overhead.
+                prep = (o + (instr.size - 1) * self.params.Gb) * proc.scale
                 start = proc.clock
                 if proc.last_submit is not None:
                     start = max(start, proc.last_submit + G - prep)
@@ -367,6 +503,13 @@ class LogPMachine:
                 )
                 proc.state = _IDLE  # waiting for the SUBMIT event to resolve
                 push(t_sub, _EV_SUBMIT, proc.pid, None)
+                return
+            elif isinstance(instr, Linger):
+                # Like Recv, but resolves to None at machine quiescence
+                # instead of deadlocking — the distributed-termination
+                # primitive for resilient protocol drain phases.
+                if not self._start_acquire(proc, proc.clock, push, trace):
+                    proc.state = _LINGERING
                 return
             elif isinstance(instr, Recv):
                 if not self._start_acquire(proc, proc.clock, push, trace):
@@ -414,7 +557,8 @@ class LogPMachine:
         if proc.last_acquire is not None:
             t_acq = max(t_acq, proc.last_acquire + G)
         proc.last_acquire = t_acq
-        cost = o + (msg.size - 1) * self.params.Gb  # LogGP long messages
+        # LogGP long messages; slow-clock faults scale local overhead.
+        cost = (o + (msg.size - 1) * self.params.Gb) * proc.scale
         proc.clock = t_acq + cost
         proc.state = _IDLE
         if trace is not None:

@@ -168,20 +168,42 @@ class Medium:
         ``(t_acc, t_acc + L]`` (earlier deliveries already happened),
         while the window has ``L >= C`` steps.
         """
-        d = msg.dest
         L = self.params.L
         delay = self.delivery.propose_delay(msg, t_acc, L)
         delay = min(max(int(delay), 1), L)
+        return self._free_step(msg.dest, t_acc + delay, t_acc, t_acc + L)
+
+    def _free_step(
+        self, d: int, preferred: int, lo: int, hi: int, *, overflow: bool = False
+    ) -> int:
+        """Nearest step >= ``preferred`` (then < preferred, > ``lo``) with
+        no delivery to ``d`` scheduled.  With ``overflow=True`` the search
+        continues past ``hi`` instead of failing — used only by the fault
+        injector, whose extra-delay faults deliberately leave the model's
+        ``(t_acc, t_acc + L]`` window."""
         occupied = self._occupied[d]
-        for step in range(t_acc + delay, t_acc + L + 1):
+        for step in range(preferred, hi + 1):
             if step not in occupied:
                 return step
-        for step in range(t_acc + delay - 1, t_acc, -1):
+        for step in range(min(preferred, hi + 1) - 1, lo, -1):
             if step not in occupied:
                 return step
+        if overflow:
+            step = hi + 1
+            while step in occupied:
+                step += 1
+            return step
         raise CapacityViolationError(
-            f"no free delivery step for destination {d} in ({t_acc}, {t_acc + L}]"
+            f"no free delivery step for destination {d} in ({lo}, {hi}]"
         )
+
+    def deliverable(self, msg: Message) -> bool:
+        """Whether a delivery event for ``msg`` should reach the processor
+        buffer.  The base medium delivers everything; the fault injector's
+        :class:`~repro.faults.medium.FaultyMedium` returns ``False`` for
+        messages its plan drops (the engine still frees the capacity slot
+        via :meth:`on_delivered`)."""
+        return True
 
     # ------------------------------------------------------------------
 

@@ -11,7 +11,7 @@ ensemble of these policies.
 
 from __future__ import annotations
 
-from typing import Protocol, Sequence
+from typing import Callable, Protocol, Sequence
 
 import numpy as np
 
@@ -24,12 +24,19 @@ __all__ = [
     "DeliverEager",
     "DeliverRandom",
     "DeliverHotspotLate",
+    "DeliverAlternating",
+    "DeliverBimodal",
     "AcceptancePolicy",
     "AcceptFIFO",
     "AcceptLIFO",
     "AcceptRandom",
+    "AcceptStarveLowPid",
     "DEFAULT_DELIVERY",
     "DEFAULT_ACCEPTANCE",
+    "DELIVERY_REGISTRY",
+    "ACCEPTANCE_REGISTRY",
+    "make_delivery",
+    "make_acceptance",
 ]
 
 
@@ -83,6 +90,33 @@ class DeliverHotspotLate:
         return L if msg.dest in self._hot else 1
 
 
+class DeliverAlternating:
+    """Maximally reordering adversary: per destination, propose ``L`` and
+    ``1`` in alternation, so consecutive messages to the same destination
+    arrive in inverted pairs.  Breaks any program that assumes network
+    FIFO between a sender/receiver pair."""
+
+    def __init__(self) -> None:
+        self._count: dict[int, int] = {}
+
+    def propose_delay(self, msg: Message, accept_time: int, L: int) -> int:
+        n = self._count.get(msg.dest, 0)
+        self._count[msg.dest] = n + 1
+        return L if n % 2 == 0 else 1
+
+
+class DeliverBimodal:
+    """Seeded adversary drawing only the extremes: delay ``1`` or ``L``
+    with equal probability.  Produces far more reorderings than the
+    uniform :class:`DeliverRandom` (mid-range delays rarely invert)."""
+
+    def __init__(self, seed: int | np.random.Generator = 0) -> None:
+        self._rng = make_rng(seed)
+
+    def propose_delay(self, msg: Message, accept_time: int, L: int) -> int:
+        return L if self._rng.integers(0, 2) else 1
+
+
 class AcceptancePolicy(Protocol):
     """Chooses which pending submission a freed slot accepts.
 
@@ -118,5 +152,57 @@ class AcceptRandom:
         return int(self._rng.integers(0, len(pending)))
 
 
+class AcceptStarveLowPid:
+    """Deterministic starvation adversary: always accept the pending
+    submission with the *highest* sender pid, so low-pid senders stall as
+    long as the model allows."""
+
+    def choose(self, pending: Sequence[tuple], now: int) -> int:
+        return max(range(len(pending)), key=lambda i: pending[i][2])
+
+
 DEFAULT_DELIVERY = DeliverMaxLatency
 DEFAULT_ACCEPTANCE = AcceptFIFO
+
+# ---------------------------------------------------------------------------
+# Named registries: every policy the validation harness, the adversarial
+# test grid, and the fault benchmarks may instantiate by name.  Factories
+# take one keyword, ``seed``, which deterministic policies ignore.
+# ---------------------------------------------------------------------------
+
+DELIVERY_REGISTRY: dict[str, "Callable"] = {
+    "max-latency": lambda seed=0: DeliverMaxLatency(),
+    "eager": lambda seed=0: DeliverEager(),
+    "random": lambda seed=0: DeliverRandom(seed=seed),
+    "alternating": lambda seed=0: DeliverAlternating(),
+    "bimodal": lambda seed=0: DeliverBimodal(seed=seed),
+}
+
+ACCEPTANCE_REGISTRY: dict[str, "Callable"] = {
+    "fifo": lambda seed=0: AcceptFIFO(),
+    "lifo": lambda seed=0: AcceptLIFO(),
+    "random": lambda seed=0: AcceptRandom(seed=seed),
+    "starve-low-pid": lambda seed=0: AcceptStarveLowPid(),
+}
+
+
+def make_delivery(name: str, seed: int = 0) -> DeliveryScheduler:
+    """Instantiate a delivery scheduler from :data:`DELIVERY_REGISTRY`."""
+    try:
+        return DELIVERY_REGISTRY[name](seed=seed)
+    except KeyError:
+        raise KeyError(
+            f"unknown delivery scheduler {name!r}; "
+            f"choose from {sorted(DELIVERY_REGISTRY)}"
+        ) from None
+
+
+def make_acceptance(name: str, seed: int = 0) -> AcceptancePolicy:
+    """Instantiate an acceptance policy from :data:`ACCEPTANCE_REGISTRY`."""
+    try:
+        return ACCEPTANCE_REGISTRY[name](seed=seed)
+    except KeyError:
+        raise KeyError(
+            f"unknown acceptance policy {name!r}; "
+            f"choose from {sorted(ACCEPTANCE_REGISTRY)}"
+        ) from None

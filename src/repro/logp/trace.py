@@ -27,10 +27,17 @@ __all__ = ["Trace", "TraceViolation"]
 
 @dataclass(frozen=True)
 class TraceViolation:
-    """One violated invariant, for readable test failures."""
+    """One violated invariant, for readable test failures.
+
+    ``uid`` names the implicated message when the rule concerns a single
+    message (latency, causality, phantom, premature-acquire); the fault
+    checker (:mod:`repro.faults.invariants`) uses it to excuse violations
+    the active fault plan deliberately injected.
+    """
 
     rule: str
     detail: str
+    uid: int | None = None
 
     def __str__(self) -> str:
         return f"[{self.rule}] {self.detail}"
@@ -116,7 +123,9 @@ class Trace:
             t_acc = accept.get(uid, sub_time.get(uid))
             if t_acc is None:
                 violations.append(
-                    TraceViolation("phantom", f"message {uid} delivered but never submitted")
+                    TraceViolation(
+                        "phantom", f"message {uid} delivered but never submitted", uid=uid
+                    )
                 )
                 continue
             if t_del > t_acc + L:
@@ -124,6 +133,7 @@ class Trace:
                     TraceViolation(
                         "latency",
                         f"message {uid} accepted at {t_acc} delivered at {t_del} (> L={L} later)",
+                        uid=uid,
                     )
                 )
             if t_del <= t_acc:
@@ -131,6 +141,7 @@ class Trace:
                     TraceViolation(
                         "causality",
                         f"message {uid} delivered at {t_del} <= acceptance {t_acc}",
+                        uid=uid,
                     )
                 )
 
@@ -177,7 +188,9 @@ class Trace:
             t_del = delivered_at.get(uid)
             if t_del is None:
                 violations.append(
-                    TraceViolation("phantom", f"message {uid} acquired but never delivered")
+                    TraceViolation(
+                        "phantom", f"message {uid} acquired but never delivered", uid=uid
+                    )
                 )
             elif t_start < t_del:
                 violations.append(
@@ -185,6 +198,7 @@ class Trace:
                         "premature-acquire",
                         f"processor {pid} acquired {uid} at {t_start} before "
                         f"its delivery at {t_del}",
+                        uid=uid,
                     )
                 )
 

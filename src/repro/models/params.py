@@ -8,12 +8,36 @@ individually motivated in the paper and individually reproduced in
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 
 from repro.errors import ParameterError
 from repro.util.intmath import ceil_div
 
 __all__ = ["BSPParams", "LogPParams"]
+
+
+def _coerce_int_fields(obj, fields: tuple[str, ...]) -> None:
+    """Coerce each named field to a plain ``int`` (accepting numpy ints
+    and other ``__index__`` types), raising :class:`ParameterError` for
+    floats, strings and anything else non-integral.
+
+    Without this, a float or string parameter sails past the sign checks
+    (``4.0 < 1`` is a fine comparison) and only explodes much later as an
+    opaque ``TypeError`` deep inside the engine's ``range``/heap code.
+    """
+    for name in fields:
+        value = getattr(obj, name)
+        if isinstance(value, bool):
+            raise ParameterError(f"{name} must be an integer, got bool {value!r}")
+        try:
+            coerced = operator.index(value)
+        except TypeError:
+            raise ParameterError(
+                f"{name} must be an integer, got {type(value).__name__} {value!r}"
+            ) from None
+        # frozen dataclass: bypass the frozen __setattr__
+        object.__setattr__(obj, name, int(coerced))
 
 
 @dataclass(frozen=True)
@@ -41,6 +65,7 @@ class BSPParams:
     l: int
 
     def __post_init__(self) -> None:
+        _coerce_int_fields(self, ("p", "g", "l"))
         if self.p < 1:
             raise ParameterError(f"BSP requires p >= 1, got p={self.p}")
         if self.g < 1:
@@ -97,6 +122,7 @@ class LogPParams:
     Gb: int = 0
 
     def __post_init__(self) -> None:
+        _coerce_int_fields(self, ("p", "L", "o", "G", "Gb"))
         if self.p < 1:
             raise ParameterError(f"LogP requires p >= 1, got p={self.p}")
         if self.o < 0:

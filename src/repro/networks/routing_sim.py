@@ -43,22 +43,41 @@ class RoutingConfig:
     ``priority``: ``"fifo"`` or ``"farthest"`` (most remaining hops first).
     ``valiant``: route via a uniformly random intermediate host.
     ``max_steps``: safety valve.
+    ``link_fault_rate``: probability in ``[0, 1)`` that any single
+    transmission attempt fails (the packet stays queued and is retried on
+    a later step — a lossy link with link-level retransmission).  Faults
+    are drawn from a stream seeded by ``fault_seed``, so a fixed seed
+    reproduces the exact same fault pattern.
     """
 
     single_port: bool = False
     priority: str = "fifo"
     valiant: bool = False
     max_steps: int = 1_000_000
+    link_fault_rate: float = 0.0
+    fault_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.link_fault_rate < 1.0:
+            raise RoutingError(
+                f"link_fault_rate must be in [0, 1), got {self.link_fault_rate}"
+                " (at 1.0 no packet ever advances)"
+            )
 
 
 @dataclass
 class RoutingOutcome:
-    """Result of routing one packet set."""
+    """Result of routing one packet set.
+
+    ``retransmissions`` counts transmission attempts that a faulty link
+    swallowed (always 0 when ``link_fault_rate == 0``).
+    """
 
     time: int
     packets: int
     total_hops: int
     max_queue: int
+    retransmissions: int = 0
 
     @property
     def avg_path(self) -> float:
@@ -107,28 +126,45 @@ def route_packets(
     if config.priority not in ("fifo", "farthest"):
         raise RoutingError(f"unknown priority {config.priority!r}")
 
+    fault_rate = config.link_fault_rate
+    fault_rng = make_rng(config.fault_seed) if fault_rate > 0 else None
+    retransmissions = 0
+
+    def link_ok() -> bool:
+        return fault_rng is None or fault_rng.random() >= fault_rate
+
     time = 0
     while live:
         time += 1
         if time > config.max_steps:
             raise RoutingError(f"routing exceeded max_steps={config.max_steps}")
         moved: list[int] = []
+        attempted = 0
         if config.single_port:
             # Each node transmits on one outgoing edge this step; rotate
-            # fairly over its edges by time to avoid starvation.
+            # fairly over its edges by time to avoid starvation.  A faulty
+            # link still consumes the node's port for the step.
             for node, edges in node_out.items():
                 n_e = len(edges)
                 for off in range(n_e):
                     edge = edges[(time + off) % n_e]
                     q = queues.get(edge)
                     if q:
-                        moved.append(_pop(q, paths, pos, farthest))
+                        attempted += 1
+                        if link_ok():
+                            moved.append(_pop(q, paths, pos, farthest))
+                        else:
+                            retransmissions += 1
                         break
         else:
             for edge, q in queues.items():
                 if q:
-                    moved.append(_pop(q, paths, pos, farthest))
-        if not moved:
+                    attempted += 1
+                    if link_ok():
+                        moved.append(_pop(q, paths, pos, farthest))
+                    else:
+                        retransmissions += 1
+        if not attempted:
             raise RoutingError("routing deadlock: live packets but no moves")
         for pkt in moved:
             pos[pkt] += 1
@@ -142,6 +178,7 @@ def route_packets(
         packets=len(paths),
         total_hops=total_hops,
         max_queue=max_queue,
+        retransmissions=retransmissions,
     )
 
 

@@ -40,12 +40,17 @@ def logp_ring_program(rounds: int = 1, compute_per_hop: int = 0):
         if p == 1:
             return value
         right = (ctx.pid + 1) % p
-        for _ in range(rounds * p):
-            yield Send(right, value, tag=7)
+        # Tokens carry their hop index: LogP promises nothing about
+        # delivery order, so hop k+1 can overtake hop k on the same link.
+        arrived: dict[int, Any] = {}
+        for hop in range(rounds * p):
+            yield Send(right, (hop, value), tag=7)
             if compute_per_hop:
                 yield Compute(compute_per_hop)
-            msg = yield Recv()
-            value = msg.payload
+            while hop not in arrived:
+                msg = yield Recv()
+                arrived[msg.payload[0]] = msg.payload[1]
+            value = arrived.pop(hop)
         return value
 
     return prog

@@ -1,0 +1,105 @@
+"""BSP checkpoint-and-retry: every example program finishes bit-identical
+to the clean run over a lossy exchange; only the cost ledger inflates."""
+
+import pytest
+
+from repro.bsp import BSPMachine
+from repro.errors import ProgramError, ProtocolError
+from repro.faults import FaultPlan
+from repro.models.params import BSPParams
+from repro.programs import (
+    bsp_fft_program,
+    bsp_matmul_program,
+    bsp_matvec_program,
+    bsp_prefix_program,
+    bsp_radix_sort_program,
+    bsp_sample_sort_program,
+)
+
+PARAMS = BSPParams(p=4, g=2, l=10)
+
+BSP_PROGRAMS = {
+    "prefix": lambda: bsp_prefix_program(),
+    "radix": lambda: bsp_radix_sort_program(keys_per_proc=8, key_bits=6, seed=3),
+    "sample-sort": lambda: bsp_sample_sort_program(keys_per_proc=8, seed=9),
+    "matvec": lambda: bsp_matvec_program(n=8, seed=4),
+    "fft": lambda: bsp_fft_program(points_per_proc=4, seed=5),
+    "matmul": lambda: bsp_matmul_program(n=4, seed=6),
+}
+
+
+@pytest.mark.parametrize("name", sorted(BSP_PROGRAMS))
+class TestEveryExampleSurvivesDrops:
+    PLAN = FaultPlan(seed=1996, drop_rate=0.1)
+
+    def test_results_bit_identical_cost_inflated(self, name):
+        clean = BSPMachine(PARAMS).run(BSP_PROGRAMS[name]())
+        faulty = BSPMachine(PARAMS, faults=self.PLAN).run(BSP_PROGRAMS[name]())
+        assert faulty.results == clean.results
+        assert faulty.num_supersteps == clean.num_supersteps
+        assert faulty.total_cost >= clean.total_cost
+        assert faulty.total_retry_cost == faulty.total_cost - clean.total_cost
+
+    def test_deterministic_for_fixed_seed(self, name):
+        def run():
+            return BSPMachine(PARAMS, faults=self.PLAN).run(BSP_PROGRAMS[name]())
+
+        a, b = run(), run()
+        assert a.results == b.results
+        assert [(r.cost, r.retries, r.retry_cost) for r in a.ledger] == [
+            (r.cost, r.retries, r.retry_cost) for r in b.ledger
+        ]
+
+
+class TestRecoveryAccounting:
+    def test_heavy_loss_recovers_with_many_rounds(self):
+        prog = lambda: bsp_sample_sort_program(keys_per_proc=16, seed=9)
+        clean = BSPMachine(PARAMS).run(prog())
+        faulty = BSPMachine(
+            PARAMS, faults=FaultPlan(seed=2, drop_rate=0.5)
+        ).run(prog())
+        assert faulty.results == clean.results
+        assert faulty.total_retries > 0
+        assert faulty.fault_log.summary()["bsp_lost"] > 0
+
+    def test_each_retry_round_charges_at_least_a_barrier(self):
+        faulty = BSPMachine(
+            PARAMS, faults=FaultPlan(seed=2, drop_rate=0.5)
+        ).run(bsp_sample_sort_program(keys_per_proc=16, seed=9))
+        assert faulty.total_retries > 0
+        for rec in faulty.ledger:
+            assert rec.retry_cost >= rec.retries * PARAMS.l
+
+    def test_zero_drop_rate_charges_nothing(self):
+        clean = BSPMachine(PARAMS).run(bsp_prefix_program())
+        faulty = BSPMachine(PARAMS, faults=FaultPlan(seed=2)).run(
+            bsp_prefix_program()
+        )
+        assert faulty.total_cost == clean.total_cost
+        assert faulty.total_retries == 0
+
+    def test_transient_crash_loses_one_exchange(self):
+        """crash[pid] = s on BSP: the processor's superstep-s sends are
+        lost once, then recovered — results unchanged."""
+        clean = BSPMachine(PARAMS).run(bsp_prefix_program())
+        faulty = BSPMachine(
+            PARAMS, faults=FaultPlan(seed=2, crash={1: 0})
+        ).run(bsp_prefix_program())
+        assert faulty.results == clean.results
+        assert faulty.total_retries >= 1
+        assert faulty.fault_log.bsp_lost
+
+
+class TestLimits:
+    def test_retry_budget_exhaustion_raises(self):
+        machine = BSPMachine(
+            PARAMS,
+            faults=FaultPlan(seed=2, drop_rate=0.9),
+            max_comm_retries=1,
+        )
+        with pytest.raises(ProtocolError):
+            machine.run(bsp_sample_sort_program(keys_per_proc=16, seed=9))
+
+    def test_bad_retry_budget_rejected(self):
+        with pytest.raises(ProgramError, match="max_comm_retries"):
+            BSPMachine(PARAMS, max_comm_retries=0)

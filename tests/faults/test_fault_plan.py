@@ -1,0 +1,127 @@
+"""FaultPlan: validation, seeded determinism, independent retransmission fates."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.faults import CRASHED, FaultPlan
+from repro.models.message import Message
+
+
+def _msg(src, dest):
+    return Message(src=src, dest=dest, payload=None)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(drop_rate=-0.1),
+            dict(drop_rate=1.5),
+            dict(dup_rate=2.0),
+            dict(delay_rate=-1e-9),
+            dict(reorder_rate=1.0001),
+            dict(max_extra_delay=-1),
+            dict(delay_rate=0.5, max_extra_delay=0),
+            dict(crash={-1: 5}),
+            dict(crash={True: 5}),
+            dict(crash={0: -1}),
+            dict(crash={0: 2.5}),
+            dict(slow={0: 0}),
+            dict(slow={0: "fast"}),
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            FaultPlan(seed=1, **kwargs)
+
+    def test_clean_plan_has_no_message_faults(self):
+        assert not FaultPlan(seed=1).message_faults
+        assert FaultPlan(seed=1, drop_rate=0.1).message_faults
+        assert FaultPlan(seed=1, dup_rate=0.1).message_faults
+
+    def test_crashed_is_a_singleton(self):
+        assert repr(CRASHED) == "CRASHED"
+        assert type(CRASHED)() is CRASHED
+
+
+class TestDeterminism:
+    PLAN = dict(
+        drop_rate=0.3, dup_rate=0.2, delay_rate=0.25, max_extra_delay=6,
+        reorder_rate=0.2,
+    )
+
+    def test_same_seed_same_fates(self):
+        plan = FaultPlan(seed=42, **self.PLAN)
+        draws = []
+        for _ in range(2):
+            active = plan.activate()
+            draws.append(
+                [active.fate(_msg(s, d)) for s in range(3) for d in range(3)
+                 for _ in range(20) if s != d]
+            )
+        assert draws[0] == draws[1]
+
+    def test_different_seeds_differ(self):
+        def fates(seed):
+            active = FaultPlan(seed=seed, **self.PLAN).activate()
+            return [active.fate(_msg(0, 1)) for _ in range(50)]
+
+        assert fates(1) != fates(2)
+
+    def test_links_have_independent_streams(self):
+        active = FaultPlan(seed=7, **self.PLAN).activate()
+        a = [active.fate(_msg(0, 1)) for _ in range(50)]
+        b = [active.fate(_msg(1, 0)) for _ in range(50)]
+        assert a != b
+
+    def test_retransmissions_draw_fresh_fates(self):
+        """A link with drop_rate < 1 cannot drop forever: successive draws
+        on the same link are independent, which is what lets the
+        ack/retransmit layer make progress."""
+        active = FaultPlan(seed=3, drop_rate=0.5).activate()
+        fates = [active.fate(_msg(0, 1)) for _ in range(64)]
+        assert any(f.drop for f in fates)
+        assert any(not f.drop for f in fates)
+
+    def test_zero_rates_always_clean(self):
+        active = FaultPlan(seed=11).activate()
+        assert all(active.fate(_msg(0, 1)).clean for _ in range(20))
+
+
+class TestBSPFates:
+    def test_seeded_and_repeatable(self):
+        plan = FaultPlan(seed=5, drop_rate=0.4)
+
+        def draw():
+            active = plan.activate()
+            return [
+                active.bsp_lost(src, dest, superstep, attempt)
+                for superstep in range(3)
+                for attempt in range(3)
+                for src in range(4)
+                for dest in range(4)
+            ]
+
+        first, second = draw(), draw()
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_retry_attempts_reroll_independently(self):
+        active = FaultPlan(seed=5, drop_rate=0.4).activate()
+        a0 = [active.bsp_lost(s, d, 0, 0) for s in range(8) for d in range(8)]
+        a1 = [active.bsp_lost(s, d, 0, 1) for s in range(8) for d in range(8)]
+        assert a0 != a1
+
+    def test_crash_superstep_loses_first_attempt_only(self):
+        active = FaultPlan(seed=5, crash={2: 1}).activate()
+        assert active.bsp_lost(2, 0, superstep=1, attempt=0)
+        assert not active.bsp_lost(2, 0, superstep=1, attempt=1)
+        assert not active.bsp_lost(2, 0, superstep=0, attempt=0)
+        assert not active.bsp_lost(1, 0, superstep=1, attempt=0)
+
+    def test_processor_fault_accessors(self):
+        active = FaultPlan(seed=5, crash={1: 9}, slow={2: 3}).activate()
+        assert active.crash_time(1) == 9
+        assert active.crash_time(0) is None
+        assert active.clock_scale(2) == 3
+        assert active.clock_scale(0) == 1

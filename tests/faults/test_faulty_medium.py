@@ -1,0 +1,113 @@
+"""FaultyMedium behaviour inside a running LogP machine: injected faults
+are logged, faulty runs are deterministic, unprotected programs deadlock
+with diagnostics, and processor faults (crash-stop, slow-clock) bite."""
+
+import pytest
+
+from repro.errors import DeadlockError, format_deadlock_diagnostics
+from repro.faults import CRASHED, FaultPlan, reliable
+from repro.logp.instructions import Compute, Recv, Send
+from repro.logp.machine import LogPMachine
+from repro.models.params import LogPParams
+from repro.programs import logp_sum_program
+
+PARAMS = LogPParams(p=4, L=8, o=1, G=2)
+
+HEAVY = FaultPlan(
+    seed=17, drop_rate=0.25, dup_rate=0.25, delay_rate=0.25,
+    max_extra_delay=8, reorder_rate=0.25,
+)
+
+
+def _run_faulty(plan):
+    machine = LogPMachine(PARAMS, faults=plan, record_trace=True)
+    return machine.run(reliable(logp_sum_program()))
+
+
+class TestInjection:
+    def test_fault_log_records_each_kind(self):
+        res = _run_faulty(HEAVY)
+        log = res.fault_log
+        summary = log.summary()
+        assert summary["dropped"] > 0
+        assert summary["duplicated"] > 0
+        assert summary["delayed"] > 0
+        assert summary["reordered"] > 0
+        # The ledger's uid sets refer to real traced messages.
+        delivered = {uid for _t, _d, uid in res.trace.deliveries}
+        assert log.ghost_uids() <= delivered
+        assert not (log.dropped_uids() & delivered)
+
+    def test_faulty_run_is_deterministic(self):
+        a, b = _run_faulty(HEAVY), _run_faulty(HEAVY)
+        assert a.results == b.results
+        assert a.makespan == b.makespan
+        assert a.fault_log.summary() == b.fault_log.summary()
+
+    def test_clean_plan_changes_nothing(self):
+        clean = LogPMachine(PARAMS).run(logp_sum_program())
+        faulty = LogPMachine(PARAMS, faults=FaultPlan(seed=17)).run(
+            logp_sum_program()
+        )
+        assert faulty.results == clean.results
+        assert faulty.makespan == clean.makespan
+
+
+class TestUnprotectedPrograms:
+    def test_drops_deadlock_a_bare_program(self):
+        """Without the ack/retransmit layer a dropped message means a Recv
+        that can never be satisfied."""
+        machine = LogPMachine(PARAMS, faults=FaultPlan(seed=3, drop_rate=0.8))
+        with pytest.raises(DeadlockError):
+            machine.run(logp_sum_program())
+
+    def test_deadlock_carries_diagnostics(self):
+        machine = LogPMachine(PARAMS, faults=FaultPlan(seed=3, drop_rate=0.8))
+        with pytest.raises(DeadlockError) as excinfo:
+            machine.run(logp_sum_program())
+        diag = excinfo.value.diagnostics
+        assert diag is not None
+        assert len(diag["processors"]) == PARAMS.p
+        assert any(proc["state"] == "blocked-recv" for proc in diag["processors"])
+        report = format_deadlock_diagnostics(diag)
+        assert "deadlock diagnostics" in report
+        assert "processor 0" in report
+
+
+class TestProcessorFaults:
+    def test_crash_stop_marks_result(self):
+        def local_only(ctx):
+            yield Compute(10)
+            return ctx.pid
+
+        res = LogPMachine(PARAMS, faults=FaultPlan(seed=1, crash={2: 4})).run(
+            local_only
+        )
+        assert res.results[2] is CRASHED
+        assert [res.results[pid] for pid in (0, 1, 3)] == [0, 1, 3]
+
+    def test_recv_from_crashed_peer_deadlocks(self):
+        """Crash-stop is not masked: no failure detector, so a blocking
+        receive from a dead peer is a genuine deadlock."""
+
+        def prog(ctx):
+            if ctx.pid == 1:
+                yield Send(0, "late")
+            if ctx.pid == 0:
+                msg = yield Recv()
+                return msg.payload
+            return None
+
+        machine = LogPMachine(
+            LogPParams(p=2, L=8, o=1, G=2), faults=FaultPlan(seed=1, crash={1: 0})
+        )
+        with pytest.raises(DeadlockError):
+            machine.run(prog)
+
+    def test_slow_clock_inflates_makespan(self):
+        clean = LogPMachine(PARAMS).run(logp_sum_program())
+        slowed = LogPMachine(PARAMS, faults=FaultPlan(seed=1, slow={0: 4})).run(
+            logp_sum_program()
+        )
+        assert slowed.results == clean.results
+        assert slowed.makespan > clean.makespan

@@ -1,0 +1,129 @@
+"""The execution-invariant checker: silent on honest runs (faulty or
+not), loud on deliberately corrupted traces."""
+
+import pytest
+
+from repro.errors import InvariantViolationError
+from repro.faults import FaultPlan, check_execution, reliable
+from repro.logp.machine import LogPMachine
+from repro.models.params import LogPParams
+from repro.programs import (
+    logp_alltoall_program,
+    logp_broadcast_program,
+    logp_ring_program,
+    logp_sum_program,
+)
+
+PARAMS = LogPParams(p=6, L=8, o=1, G=2)
+
+LOGP_PROGRAMS = {
+    "ring": logp_ring_program,
+    "broadcast": logp_broadcast_program,
+    "sum": logp_sum_program,
+    "alltoall": logp_alltoall_program,
+}
+
+
+def _traced_run(prog=None):
+    prog = prog if prog is not None else logp_sum_program()
+    return LogPMachine(PARAMS, record_trace=True).run(prog)
+
+
+def _rules(violations):
+    return {v.rule for v in violations}
+
+
+class TestCleanRunsPass:
+    @pytest.mark.parametrize("name", sorted(LOGP_PROGRAMS))
+    def test_every_example_clean(self, name):
+        assert check_execution(_traced_run(LOGP_PROGRAMS[name]())) == []
+
+    def test_needs_a_trace(self):
+        res = LogPMachine(PARAMS).run(logp_sum_program())
+        with pytest.raises(ValueError, match="trace"):
+            check_execution(res)
+
+
+class TestCorruptedTracesAreCaught:
+    def test_lost_delivery(self):
+        res = _traced_run()
+        res.trace.deliveries.pop()
+        violations = check_execution(res)
+        assert any(
+            v.rule == "conservation" and "never delivered" in v.detail
+            for v in violations
+        )
+
+    def test_phantom_delivery(self):
+        res = _traced_run()
+        t, dest, _uid = res.trace.deliveries[-1]
+        res.trace.deliveries.append((t + 1, dest, 10 ** 9))
+        violations = check_execution(res)
+        assert any(
+            v.rule in ("conservation", "phantom") and v.uid == 10 ** 9
+            for v in violations
+        )
+
+    def test_double_delivery(self):
+        res = _traced_run()
+        res.trace.deliveries.append(res.trace.deliveries[-1])
+        violations = check_execution(res)
+        assert any(
+            v.rule == "conservation" and "delivered 2 times" in v.detail
+            for v in violations
+        )
+
+    def test_backwards_clock(self):
+        res = _traced_run()
+        t, src, uid = res.trace.submissions[-1]
+        res.trace.submissions.append((t - 1, src, uid))
+        assert "monotone-clock" in _rules(check_execution(res))
+
+    def test_delivery_heap_running_backwards(self):
+        res = _traced_run()
+        res.trace.deliveries.reverse()
+        assert "monotone-clock" in _rules(check_execution(res))
+
+    def test_inflated_buffer_highwater(self):
+        res = _traced_run()
+        res.buffer_highwater[0] = res.buffer_highwater[0] + 100
+        violations = check_execution(res)
+        assert any(v.rule == "buffer-highwater" for v in violations)
+
+
+class TestFaultExcusal:
+    PLAN = FaultPlan(
+        seed=23, drop_rate=0.2, dup_rate=0.2, delay_rate=0.2, max_extra_delay=8
+    )
+
+    def _faulty_run(self):
+        machine = LogPMachine(PARAMS, faults=self.PLAN, record_trace=True)
+        return machine.run(reliable(logp_sum_program()))
+
+    def test_injected_faults_are_excused_with_the_log(self):
+        res = self._faulty_run()
+        assert res.fault_log.summary()["dropped"] > 0
+        assert check_execution(res, fault_log=res.fault_log) == []
+
+    def test_same_faults_flagged_without_the_log(self):
+        """Without the ledger, injected drops/ghosts/delays look like real
+        violations — exactly what makes the excusal precise."""
+        res = self._faulty_run()
+        rules = _rules(check_execution(res))
+        assert "conservation" in rules
+
+    def test_machine_flag_raises_on_violation(self, monkeypatch):
+        """check_invariants=True turns any reported violation into an
+        InvariantViolationError carrying the violation records."""
+        import repro.faults.invariants as inv
+        from repro.logp.trace import TraceViolation
+
+        monkeypatch.setattr(
+            inv,
+            "check_execution",
+            lambda result, fault_log=None: [TraceViolation("conservation", "forced")],
+        )
+        machine = LogPMachine(PARAMS, check_invariants=True)
+        with pytest.raises(InvariantViolationError) as excinfo:
+            machine.run(logp_sum_program())
+        assert [v.rule for v in excinfo.value.violations] == ["conservation"]

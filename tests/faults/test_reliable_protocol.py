@@ -1,0 +1,89 @@
+"""Acceptance criterion: with ``FaultPlan(drop_rate=0.1, seed=...)`` the
+ack/retransmit layer completes every LogP example program with correct
+results, deterministically — invariants checked throughout."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.faults import FaultPlan, reliable
+from repro.faults.protocol import default_timeout
+from repro.logp.machine import LogPMachine
+from repro.models.params import LogPParams
+from repro.programs import (
+    logp_alltoall_program,
+    logp_broadcast_program,
+    logp_ring_program,
+    logp_sum_program,
+)
+
+PARAMS = LogPParams(p=8, L=8, o=1, G=2)
+
+LOGP_PROGRAMS = {
+    "ring": logp_ring_program,
+    "broadcast": logp_broadcast_program,
+    "sum": logp_sum_program,
+    "alltoall": logp_alltoall_program,
+}
+
+
+@pytest.mark.parametrize("name", sorted(LOGP_PROGRAMS))
+class TestEveryExampleSurvivesDrops:
+    PLAN = FaultPlan(seed=1996, drop_rate=0.1)
+
+    def _faulty(self, name):
+        machine = LogPMachine(PARAMS, faults=self.PLAN, check_invariants=True)
+        return machine.run(reliable(LOGP_PROGRAMS[name]()))
+
+    def test_correct_results(self, name):
+        clean = LogPMachine(PARAMS).run(LOGP_PROGRAMS[name]())
+        assert self._faulty(name).results == clean.results
+
+    def test_deterministic_for_fixed_seed(self, name):
+        a, b = self._faulty(name), self._faulty(name)
+        assert a.results == b.results
+        assert a.makespan == b.makespan
+        assert a.total_messages == b.total_messages
+
+    def test_all_fault_kinds_together(self, name):
+        plan = FaultPlan(
+            seed=7, drop_rate=0.15, dup_rate=0.1, delay_rate=0.15,
+            max_extra_delay=PARAMS.L, reorder_rate=0.15,
+        )
+        clean = LogPMachine(PARAMS).run(LOGP_PROGRAMS[name]())
+        res = LogPMachine(PARAMS, faults=plan, check_invariants=True).run(
+            reliable(LOGP_PROGRAMS[name]())
+        )
+        assert res.results == clean.results
+
+
+class TestProtocolCost:
+    def test_faults_cost_time_not_correctness(self):
+        clean = LogPMachine(PARAMS).run(reliable(logp_sum_program()))
+        faulty = LogPMachine(
+            PARAMS, faults=FaultPlan(seed=5, drop_rate=0.3)
+        ).run(reliable(logp_sum_program()))
+        assert faulty.results == clean.results
+        assert faulty.makespan > clean.makespan
+        assert faulty.total_messages > clean.total_messages  # retransmissions
+
+    def test_wrapper_is_transparent_on_a_clean_machine(self):
+        bare = LogPMachine(PARAMS).run(logp_sum_program())
+        wrapped = LogPMachine(PARAMS, check_invariants=True).run(
+            reliable(logp_sum_program())
+        )
+        assert wrapped.results == bare.results
+
+    def test_default_timeout_covers_a_round_trip(self):
+        # data flight + receiver turnaround + ack flight, with slack
+        assert default_timeout(PARAMS) > 2 * PARAMS.L
+
+
+class TestValidation:
+    def test_bad_max_backoff_rejected(self):
+        with pytest.raises(ProtocolError, match="max_backoff"):
+            reliable(logp_sum_program(), max_backoff=0)
+
+    def test_bad_timeout_rejected_at_run(self):
+        prog = reliable(logp_sum_program(), timeout=0)
+        with pytest.raises(ProtocolError, match="timeout"):
+            LogPMachine(PARAMS).run(prog)

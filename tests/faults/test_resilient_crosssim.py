@@ -1,0 +1,65 @@
+"""The Section 3/4 cross-simulations end-to-end over a lossy substrate.
+
+* BSP-on-LogP with ``routing="resilient"``: the count-announce exchange
+  plus the ack/retransmit transport reproduce the native BSP results on a
+  dropping/duplicating/delaying LogP medium.
+* LogP-on-BSP with a lossy host: the host machine's checkpoint-and-retry
+  keeps the Theorem 1 simulation's outputs identical to native LogP.
+"""
+
+import pytest
+
+from repro.core.bsp_on_logp import simulate_bsp_on_logp
+from repro.core.logp_on_bsp import simulate_logp_on_bsp
+from repro.errors import ProgramError
+from repro.faults import FaultPlan
+from repro.models.params import LogPParams
+from repro.programs import bsp_prefix_program, logp_sum_program
+
+LOGP = LogPParams(p=4, L=8, o=1, G=2)
+
+PLAN = FaultPlan(seed=31, drop_rate=0.1, dup_rate=0.05, delay_rate=0.1,
+                 max_extra_delay=8)
+
+
+class TestBSPOnLogP:
+    def test_resilient_mode_matches_native_on_faulty_medium(self):
+        report = simulate_bsp_on_logp(
+            LOGP, bsp_prefix_program(), routing="resilient", faults=PLAN
+        )
+        assert report.outputs_match
+
+    def test_resilient_mode_slower_than_clean(self):
+        clean = simulate_bsp_on_logp(LOGP, bsp_prefix_program(), routing="resilient")
+        faulty = simulate_bsp_on_logp(
+            LOGP, bsp_prefix_program(), routing="resilient", faults=PLAN
+        )
+        assert clean.outputs_match and faulty.outputs_match
+        assert faulty.total_logp_time > clean.total_logp_time
+
+    def test_faults_require_resilient_routing(self):
+        for routing in ("deterministic", "randomized", "offline"):
+            with pytest.raises(ProgramError, match="resilient"):
+                simulate_bsp_on_logp(
+                    LOGP, bsp_prefix_program(), routing=routing, faults=PLAN
+                )
+
+    def test_deterministic_for_fixed_seed(self):
+        def run():
+            return simulate_bsp_on_logp(
+                LOGP, bsp_prefix_program(), routing="resilient", faults=PLAN
+            )
+
+        a, b = run(), run()
+        assert a.results == b.results
+        assert a.total_logp_time == b.total_logp_time
+
+
+class TestLogPOnBSP:
+    def test_lossy_host_matches_native(self):
+        report = simulate_logp_on_bsp(
+            LOGP, logp_sum_program(), faults=FaultPlan(seed=31, drop_rate=0.2)
+        )
+        assert report.outputs_match
+        assert report.bsp.total_retries > 0
+        assert report.bsp.fault_log.summary()["bsp_lost"] > 0

@@ -1,0 +1,60 @@
+"""Lossy links in the store-and-forward routing simulator: link-level
+retransmission delivers everything, deterministically, at a time cost."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.networks.hypercube import Hypercube
+from repro.networks.routing_sim import RoutingConfig, route_h_relation
+
+TOPO = Hypercube(16)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("rate", [-0.1, 1.0, 1.5])
+    def test_bad_rate_rejected(self, rate):
+        with pytest.raises(RoutingError, match="link_fault_rate"):
+            RoutingConfig(link_fault_rate=rate)
+
+    def test_rate_just_below_one_accepted(self):
+        assert RoutingConfig(link_fault_rate=0.999).link_fault_rate == 0.999
+
+
+class TestLossyRouting:
+    def _route(self, rate, **kwargs):
+        return route_h_relation(
+            TOPO, 4, seed=2,
+            config=RoutingConfig(link_fault_rate=rate, fault_seed=11, **kwargs),
+        )
+
+    def test_all_packets_still_delivered(self):
+        clean, faulty = self._route(0.0), self._route(0.3)
+        assert faulty.packets == clean.packets
+        assert faulty.total_hops == clean.total_hops
+
+    def test_faults_cost_steps(self):
+        clean, faulty = self._route(0.0), self._route(0.3)
+        assert faulty.retransmissions > 0
+        assert faulty.time > clean.time
+
+    def test_clean_config_never_retransmits(self):
+        assert self._route(0.0).retransmissions == 0
+
+    def test_deterministic_for_fixed_fault_seed(self):
+        a, b = self._route(0.2), self._route(0.2)
+        assert (a.time, a.retransmissions) == (b.time, b.retransmissions)
+
+    def test_fault_seed_changes_the_pattern(self):
+        a = self._route(0.2)
+        b = route_h_relation(
+            TOPO, 4, seed=2,
+            config=RoutingConfig(link_fault_rate=0.2, fault_seed=12),
+        )
+        assert (a.time, a.retransmissions) != (b.time, b.retransmissions)
+
+    def test_single_port_mode_survives_faults(self):
+        clean = self._route(0.0, single_port=True)
+        faulty = self._route(0.3, single_port=True)
+        assert faulty.packets == clean.packets
+        assert faulty.time > clean.time
+        assert faulty.retransmissions > 0

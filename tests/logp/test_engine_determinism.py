@@ -5,6 +5,7 @@ experiment in EXPERIMENTS.md depends on it); these tests pin it down at
 the trace level.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.logp import (
@@ -12,8 +13,19 @@ from repro.logp import (
     DeliverRandom,
     LogPMachine,
 )
+from repro.logp.scheduler import (
+    ACCEPTANCE_REGISTRY,
+    DELIVERY_REGISTRY,
+    make_acceptance,
+    make_delivery,
+)
 from repro.models.params import LogPParams
-from repro.programs import logp_alltoall_program, logp_sum_program
+from repro.programs import (
+    logp_alltoall_program,
+    logp_broadcast_program,
+    logp_ring_program,
+    logp_sum_program,
+)
 
 
 def _trace_tuple(res):
@@ -67,6 +79,78 @@ class TestDeterminism:
         ]
         assert all(r.results == runs[0].results for r in runs)
         assert len({r.makespan for r in runs}) > 1  # timing genuinely varies
+
+
+class TestAdversarialScheduleIndependence:
+    """Section 2's admissibility claim, mechanised: a correct LogP program
+    computes the same results under *every* delivery scheduler and
+    acceptance policy — including the adversarial ones — because the
+    model promises nothing about delivery order or timing beyond the
+    ``[1, L]`` window.  Every example program is run over the full
+    registry grid."""
+
+    PROGRAMS = {
+        "ring": logp_ring_program,
+        "broadcast": logp_broadcast_program,
+        "sum": logp_sum_program,
+        "alltoall": logp_alltoall_program,
+    }
+
+    @pytest.mark.parametrize("prog_name", sorted(PROGRAMS))
+    def test_results_invariant_over_the_scheduler_grid(self, prog_name):
+        params = LogPParams(p=6, L=8, o=1, G=2)
+        factory = self.PROGRAMS[prog_name]
+        baseline = LogPMachine(params).run(factory())
+        for delivery_name in DELIVERY_REGISTRY:
+            for acceptance_name in ACCEPTANCE_REGISTRY:
+                machine = LogPMachine(
+                    params,
+                    delivery=make_delivery(delivery_name, seed=3),
+                    acceptance=make_acceptance(acceptance_name, seed=4),
+                )
+                res = machine.run(factory())
+                assert res.results == baseline.results, (
+                    f"{prog_name} results depend on the schedule "
+                    f"({delivery_name} x {acceptance_name})"
+                )
+
+    @pytest.mark.parametrize("prog_name", sorted(PROGRAMS))
+    def test_adversarial_runs_are_repeatable(self, prog_name):
+        params = LogPParams(p=6, L=8, o=1, G=2)
+        factory = self.PROGRAMS[prog_name]
+
+        def run():
+            return LogPMachine(
+                params,
+                delivery=make_delivery("bimodal", seed=3),
+                acceptance=make_acceptance("random", seed=4),
+                record_trace=True,
+            ).run(factory())
+
+        a, b = run(), run()
+        assert _trace_tuple(a) == _trace_tuple(b)
+
+    def test_bsp_program_on_logp_schedule_independent(self):
+        """The Theorem 2 simulation of a BSP program is itself a LogP
+        program: its outputs must also be schedule-independent."""
+        from repro.core.bsp_on_logp import simulate_bsp_on_logp
+        from repro.programs import bsp_prefix_program
+
+        params = LogPParams(p=4, L=8, o=1, G=2)
+        for delivery_name, acceptance_name in [
+            ("bimodal", "lifo"),
+            ("alternating", "starve-low-pid"),
+            ("random", "random"),
+        ]:
+            report = simulate_bsp_on_logp(
+                params,
+                bsp_prefix_program(),
+                machine_kwargs=dict(
+                    delivery=make_delivery(delivery_name, seed=3),
+                    acceptance=make_acceptance(acceptance_name, seed=4),
+                ),
+            )
+            assert report.outputs_match, (delivery_name, acceptance_name)
 
 
 class TestBSPDeterminism:

@@ -71,3 +71,51 @@ class TestLogPParams:
         L = G * 3
         params = LogPParams(p=p, L=L, o=o, G=G)
         assert 1 <= params.capacity <= L
+
+
+class TestParameterTypeValidation:
+    """Non-integer parameters must fail fast with ParameterError, not as
+    an opaque TypeError deep inside the engine."""
+
+    @pytest.mark.parametrize("bad", [2.0, 2.5, "2", True, None, (2,)])
+    def test_logp_rejects_non_integers(self, bad):
+        with pytest.raises(ParameterError, match="must be an integer"):
+            LogPParams(p=bad, L=8, o=1, G=2)
+        with pytest.raises(ParameterError, match="must be an integer"):
+            LogPParams(p=4, L=bad, o=1, G=2)
+        with pytest.raises(ParameterError, match="must be an integer"):
+            LogPParams(p=4, L=8, o=bad, G=2)
+        with pytest.raises(ParameterError, match="must be an integer"):
+            LogPParams(p=4, L=8, o=1, G=bad)
+
+    @pytest.mark.parametrize("bad", [2.0, "2", True, None])
+    def test_bsp_rejects_non_integers(self, bad):
+        for kwargs in (
+            dict(p=bad, g=1, l=1),
+            dict(p=2, g=bad, l=1),
+            dict(p=2, g=1, l=bad),
+        ):
+            with pytest.raises(ParameterError, match="must be an integer"):
+                BSPParams(**kwargs)
+
+    def test_numpy_integers_are_coerced(self):
+        import numpy as np
+
+        params = LogPParams(p=np.int64(4), L=np.int32(8), o=np.int64(1), G=np.int64(2))
+        assert params.p == 4 and type(params.p) is int
+        bsp = BSPParams(p=np.int64(4), g=np.int64(2), l=np.int64(8))
+        assert bsp.l == 8 and type(bsp.l) is int
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(p=-1, L=8, o=1, G=2),
+            dict(p=0, L=8, o=1, G=2),
+            dict(p=4, L=0, o=1, G=2),
+            dict(p=4, L=-8, o=1, G=2),
+            dict(p=4, L=8, o=-1, G=2),
+        ],
+    )
+    def test_non_positive_rejected_consistently(self, kwargs):
+        with pytest.raises(ParameterError):
+            LogPParams(**kwargs)
