@@ -1,6 +1,6 @@
 # Convenience targets; everything also works as plain pytest invocations.
 
-.PHONY: install test bench bench-only faults experiments examples clean
+.PHONY: install test bench bench-only bench-kernel faults experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -13,6 +13,11 @@ bench:
 
 bench-only:
 	pytest benchmarks/ --benchmark-only
+
+# Event-kernel vs tick-kernel speedups; --check gates against the
+# committed BENCH_kernel.json (see docs/PERF.md).
+bench-kernel:
+	PYTHONPATH=src python benchmarks/bench_kernel.py --quick --check
 
 # Fault-resilience slowdown tables (reduced grid; see benchmarks/results/).
 # PYTHONPATH=src so the target also works without `make install`.

@@ -1,0 +1,222 @@
+"""Kernel throughput benchmark + CI regression gate.
+
+Measures events/second of the event-driven kernel (``kernel="event"``)
+against the per-tick scanning reference (``kernel="tick"``) on fixed
+workloads, and records both into ``BENCH_kernel.json`` at the repo root:
+
+* ``baseline`` — the tick kernel's numbers (the pre-event-queue loop);
+* ``current`` — the event kernel's numbers;
+* ``speedup`` — ``baseline.wall_s / current.wall_s`` (equivalently the
+  events/sec ratio: both kernels process the *same* events).
+
+The gate compares speedups, not absolute wall-clock, so it is robust to
+CI machines being faster or slower than the machine that produced the
+committed file: ``--check`` fails when any workload's measured speedup
+falls below ``0.8 x`` the committed speedup (a >20% events/sec
+regression of the event kernel relative to its own baseline).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py            # measure
+    PYTHONPATH=src python benchmarks/bench_kernel.py --update   # rewrite json
+    PYTHONPATH=src python benchmarks/bench_kernel.py --quick --check  # CI
+
+``--quick`` runs one repetition per measurement instead of three (same
+workload sizes, so speedups stay comparable to the committed file).
+
+This file is importable under pytest's ``bench_*.py`` collection but
+defines no tests; it is an argparse CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.core.bsp_on_logp import simulate_bsp_on_logp  # noqa: E402
+from repro.logp.machine import LogPMachine  # noqa: E402
+from repro.models.params import LogPParams  # noqa: E402
+from repro.networks import Hypercube  # noqa: E402
+from repro.networks.routing_sim import RoutingConfig, route_h_relation  # noqa: E402
+from repro.perf import clear_plan_caches  # noqa: E402
+from repro.programs import logp_broadcast_program, logp_sum_program  # noqa: E402
+
+BENCH_FILE = _REPO_ROOT / "BENCH_kernel.json"
+
+#: Regression tolerance: fail when measured speedup < RATIO * committed.
+GATE_RATIO = 0.8
+
+
+def _run_bsp_on_logp_sweep(kernel: str) -> int:
+    """The acceptance workload: 64-processor BSP-on-LogP over an (L, G)
+    sweep in the latency-dominated regime (offline Hall routing, so the
+    h-relations ride pinned slots and the clock is mostly idle air the
+    tick kernel has to scan through).  Returns events processed."""
+    events = 0
+    from repro.programs import bsp_prefix_program
+
+    for L, G in ((128, 8), (256, 8), (512, 8)):
+        params = LogPParams(p=64, L=L, o=2, G=G)
+        rep = simulate_bsp_on_logp(
+            params,
+            bsp_prefix_program(),
+            routing="offline",
+            machine_kwargs={"kernel": kernel},
+        )
+        events += rep.logp.kernel.events
+    return events
+
+
+def _run_logp_machine(kernel: str) -> int:
+    """Raw LogP machine: collectives at p=64 with large L."""
+    events = 0
+    for prog, params in (
+        (logp_sum_program(), LogPParams(p=64, L=64, o=2, G=2)),
+        (logp_broadcast_program(), LogPParams(p=64, L=96, o=2, G=3)),
+    ):
+        res = LogPMachine(params, kernel=kernel).run(prog)
+        events += res.kernel.events
+    return events
+
+
+def _run_routing_singleport_faulty(kernel: str) -> int:
+    """Single-port routing with a 0.9 link-fault rate: the long-tail
+    regime (most packets delivered, a few retried for hundreds of steps)
+    where the active-node set shrinks far below the node count."""
+    cfg = RoutingConfig(
+        single_port=True, link_fault_rate=0.9, fault_seed=9, kernel=kernel
+    )
+    out = route_h_relation(Hypercube(256), 8, seed=1, config=cfg)
+    return out.kernel.events
+
+
+def _run_routing_multiport_dense(kernel: str) -> int:
+    """Dense multi-port routing — the tick scan's best case (every
+    created edge stays busy); tracked to ensure the event kernel stays
+    within a constant factor where it has nothing to skip."""
+    cfg = RoutingConfig(kernel=kernel)
+    out = route_h_relation(Hypercube(64), 256, seed=1, config=cfg)
+    return out.kernel.events
+
+
+WORKLOADS = {
+    "bsp_on_logp_p64": _run_bsp_on_logp_sweep,
+    "logp_machine_p64": _run_logp_machine,
+    "routing_singleport_faulty": _run_routing_singleport_faulty,
+    "routing_multiport_dense": _run_routing_multiport_dense,
+}
+
+
+def measure(fn, kernel: str, repeats: int) -> dict:
+    """Best-of-``repeats`` wall clock for one workload on one kernel."""
+    best = float("inf")
+    events = 0
+    for _ in range(repeats):
+        clear_plan_caches()
+        t0 = time.perf_counter()
+        events = fn(kernel)
+        best = min(best, time.perf_counter() - t0)
+    return {
+        "kernel": kernel,
+        "events": events,
+        "wall_s": round(best, 4),
+        "events_per_s": round(events / best) if best else 0,
+    }
+
+
+def run_all(repeats: int) -> dict:
+    workloads = {}
+    for name, fn in WORKLOADS.items():
+        baseline = measure(fn, "tick", repeats)
+        current = measure(fn, "event", repeats)
+        if current["events"] != baseline["events"]:
+            raise AssertionError(
+                f"{name}: kernels diverged — event processed "
+                f"{current['events']} events, tick {baseline['events']}"
+            )
+        workloads[name] = {
+            "baseline": baseline,
+            "current": current,
+            "speedup": round(baseline["wall_s"] / current["wall_s"], 2)
+            if current["wall_s"]
+            else 0.0,
+        }
+    return {
+        "updated": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "gate_ratio": GATE_RATIO,
+        "workloads": workloads,
+    }
+
+
+def print_report(report: dict) -> None:
+    print(f"{'workload':24s} {'tick ev/s':>12s} {'event ev/s':>12s} {'speedup':>8s}")
+    for name, entry in report["workloads"].items():
+        print(
+            f"{name:24s} {entry['baseline']['events_per_s']:>12,d} "
+            f"{entry['current']['events_per_s']:>12,d} "
+            f"{entry['speedup']:>7.2f}x"
+        )
+
+
+def check(report: dict, committed: dict) -> int:
+    """Gate: measured speedup must stay within GATE_RATIO of committed."""
+    failures = 0
+    for name, entry in report["workloads"].items():
+        ref = committed.get("workloads", {}).get(name)
+        if ref is None:
+            print(f"WARN  {name}: not in committed {BENCH_FILE.name}, skipping")
+            continue
+        floor = GATE_RATIO * ref["speedup"]
+        status = "ok  " if entry["speedup"] >= floor else "FAIL"
+        if status == "FAIL":
+            failures += 1
+        print(
+            f"{status}  {name}: speedup {entry['speedup']:.2f}x "
+            f"(committed {ref['speedup']:.2f}x, floor {floor:.2f}x)"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="one repetition per measurement"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"fail on >{round((1 - GATE_RATIO) * 100)}%% speedup regression "
+        f"vs the committed {BENCH_FILE.name}",
+    )
+    parser.add_argument(
+        "--update", action="store_true", help=f"rewrite {BENCH_FILE.name}"
+    )
+    args = parser.parse_args(argv)
+
+    report = run_all(repeats=1 if args.quick else 3)
+    print_report(report)
+
+    rc = 0
+    if args.check:
+        if not BENCH_FILE.exists():
+            print(f"FAIL  committed {BENCH_FILE.name} missing")
+            rc = 1
+        else:
+            committed = json.loads(BENCH_FILE.read_text())
+            rc = 1 if check(report, committed) else 0
+    if args.update:
+        BENCH_FILE.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {BENCH_FILE}")
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

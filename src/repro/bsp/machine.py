@@ -35,6 +35,7 @@ from repro.errors import ProgramError, ProtocolError, SimulationLimitError
 from repro.faults.plan import ActiveFaults, FaultLog, FaultPlan
 from repro.models.message import Message
 from repro.models.params import BSPParams
+from repro.perf.counters import KernelCounters
 from repro.bsp.program import BSPContext, BSPProgram, Compute, Send, Sync
 
 __all__ = ["BSPMachine", "BSPResult", "SuperstepRecord"]
@@ -80,6 +81,12 @@ class BSPResult:
     message_log: list[list[tuple[int, int]]] | None = None
     #: Injected-fault ledger when the machine ran with a FaultPlan.
     fault_log: "FaultLog | None" = None
+    #: Work accounting: ``events`` counts program instructions executed,
+    #: ``batches`` supersteps driven, ``ticks_skipped`` the simulated
+    #: clock units crossed in one ``w + g*h + l`` jump (what a per-tick
+    #: clock would have scanned), ``queue_highwater`` the peak number of
+    #: messages pending across one exchange.
+    kernel: KernelCounters = field(default_factory=lambda: KernelCounters(kernel="superstep"))
 
     @property
     def total_cost(self) -> int:
@@ -219,17 +226,24 @@ class BSPMachine:
         message_log: list[list[tuple[int, int]]] | None = (
             [] if self.record_messages else None
         )
+        counters = KernelCounters(kernel="superstep")
         pending: list[list[Message]] = [[] for _ in range(p)]  # next inboxes
         superstep = 0
-        while any(g is not None for g in gens):
+        # Active-set scheduling: only processors whose generator is still
+        # running are driven; finished ones drop out of the scan instead
+        # of being re-checked every superstep.
+        live = list(range(p))
+        while live:
             if superstep >= self.max_supersteps:
                 raise SimulationLimitError(
                     f"exceeded max_supersteps={self.max_supersteps}"
                 )
             # Communication phase of the *previous* superstep delivered
-            # `pending`; hand fresh inboxes to all processors (discarding
-            # whatever they left unread, per the paper's pool semantics).
-            for pid in range(p):
+            # `pending`; hand fresh inboxes to the live processors
+            # (discarding whatever they left unread, per the paper's pool
+            # semantics — messages to finished processors are dropped with
+            # their pool).
+            for pid in live:
                 contexts[pid]._begin_superstep(superstep, pending[pid])
             pending = [[] for _ in range(p)]
 
@@ -239,27 +253,17 @@ class BSPMachine:
             step_sends: list[tuple[int, int]] | None = (
                 [] if message_log is not None else None
             )
-            any_alive = False
-            for pid in range(p):
-                gen = gens[pid]
-                if gen is None:
-                    continue
-                any_alive = True
-                self._run_local_phase(
-                    pid, gen, gens, results, w, sent, recvd, pending, step_sends
+            for pid in live:
+                counters.events += self._run_local_phase(
+                    pid, gens[pid], gens, results, w, sent, recvd, pending, step_sends
                 )
+            counters.batches += 1
+            live = [pid for pid in live if gens[pid] is not None]
 
-            if not any_alive:
-                break
             w_max = max(w)
             h_send = max(sent)
             h_recv = max(recvd)
-            if (
-                w_max == 0
-                and h_send == 0
-                and h_recv == 0
-                and all(g is None for g in gens)
-            ):
+            if w_max == 0 and h_send == 0 and h_recv == 0 and not live:
                 # Final drain: every processor returned without doing any
                 # work — there is no superstep to charge for.
                 break
@@ -279,6 +283,10 @@ class BSPMachine:
                     retry_cost=retry_cost,
                 )
             )
+            # The barrier advances the simulated clock by the full charge
+            # in one jump — a per-tick clock would have scanned every unit.
+            counters.ticks_skipped += max(0, cost - 1)
+            counters.queue_highwater = max(counters.queue_highwater, sum(sent))
             if message_log is not None:
                 message_log.append(step_sends if step_sends is not None else [])
             superstep += 1
@@ -289,6 +297,7 @@ class BSPMachine:
             ledger=ledger,
             message_log=message_log,
             fault_log=active.log if active is not None else None,
+            kernel=counters,
         )
 
     def _lossy_exchange(
@@ -345,18 +354,24 @@ class BSPMachine:
         recvd: list[int],
         pending: list[list[Message]],
         step_sends: list[tuple[int, int]] | None = None,
-    ) -> None:
-        """Drive one processor's generator until Sync or completion."""
+    ) -> int:
+        """Drive one processor's generator until Sync or completion.
+
+        Returns the number of instructions executed, for the kernel's
+        work counter.
+        """
         p = self.params.p
+        executed = 0
         while True:
             try:
                 instr = next(gen)
             except StopIteration as stop:
                 gens[pid] = None
                 results[pid] = stop.value
-                return
+                return executed
+            executed += 1
             if isinstance(instr, Sync):
-                return
+                return executed
             if isinstance(instr, Compute):
                 w[pid] += instr.ops
             elif isinstance(instr, Send):

@@ -55,6 +55,7 @@ from repro.logp.machine import LogPMachine, LogPResult
 from repro.models.cost import slowdown_S, theorem3_beta_hat, theorem3_num_batches
 from repro.models.message import Message
 from repro.models.params import BSPParams, LogPParams
+from repro.perf.memo import plan_cache
 from repro.routing.hall import decompose_h_relation, relation_degree
 from repro.util.rng import derive_seed
 
@@ -192,31 +193,19 @@ def simulate_bsp_on_logp(
 
     advance: list[dict] | None = None
     if need_log:
-        advance = []
-        for step_msgs in bsp_native.message_log or []:
-            h = relation_degree(step_msgs)
-            expected_in = [0] * p
-            out_counts = [0] * p
-            for src, dest in step_msgs:
-                expected_in[dest] += 1
-                out_counts[src] += 1
-            entry: dict = {
-                "h": h,
-                "expected_in": expected_in,
-                "out_counts": out_counts,
-            }
-            if routing == "offline":
-                classes = decompose_h_relation(step_msgs)
-                color_of = [0] * len(step_msgs)
-                for c, cls in enumerate(classes):
-                    for idx in cls:
-                        color_of[idx] = c
-                # Per-processor colors in the sender's issue order.
-                per_proc: list[list[int]] = [[] for _ in range(p)]
-                for idx, (src, _dest) in enumerate(step_msgs):
-                    per_proc[src].append(color_of[idx])
-                entry["colors"] = per_proc
-            advance.append(entry)
+        # The per-superstep plan (degree, fan-in counts, and for the
+        # offline mode the Hall/König edge coloring) is a pure function
+        # of the relation; repeated runs of the same program — parameter
+        # sweeps, the benchmarks — keep re-deriving the same plans, so
+        # they are memoized process-wide.  Entries must be treated as
+        # read-only by the routing protocols.
+        advance = [
+            _ADVANCE_CACHE.get(
+                (routing, p, tuple(step_msgs)),
+                lambda msgs=step_msgs: _advance_plan(routing, p, msgs),
+            )
+            for step_msgs in bsp_native.message_log or []
+        ]
 
     def make_prog(pid: int):
         def prog(ctx: LogPContext):
@@ -345,6 +334,37 @@ def simulate_bsp_on_logp(
             "native BSP run"
         )
     return report
+
+
+_ADVANCE_CACHE = plan_cache("bsp-advance-plan")
+
+
+def _advance_plan(routing: str, p: int, step_msgs: Sequence[tuple[int, int]]) -> dict:
+    """Advance knowledge for one superstep's relation: degree, per-
+    processor fan-in/fan-out, and (offline mode) the Hall coloring."""
+    h = relation_degree(step_msgs)
+    expected_in = [0] * p
+    out_counts = [0] * p
+    for src, dest in step_msgs:
+        expected_in[dest] += 1
+        out_counts[src] += 1
+    entry: dict = {
+        "h": h,
+        "expected_in": expected_in,
+        "out_counts": out_counts,
+    }
+    if routing == "offline":
+        classes = decompose_h_relation(step_msgs)
+        color_of = [0] * len(step_msgs)
+        for c, cls in enumerate(classes):
+            for idx in cls:
+                color_of[idx] = c
+        # Per-processor colors in the sender's issue order.
+        per_proc: list[list[int]] = [[] for _ in range(p)]
+        for idx, (src, _dest) in enumerate(step_msgs):
+            per_proc[src].append(color_of[idx])
+        entry["colors"] = per_proc
+    return entry
 
 
 def _route_resilient(ctx: LogPContext, outgoing, tag_ns: int):

@@ -36,6 +36,7 @@ from repro.logp.instructions import Compute, LogPContext, Send, WaitUntil
 from repro.logp.machine import LogPMachine, LogPResult
 from repro.models.cost import cb_tree_arity
 from repro.models.params import LogPParams
+from repro.perf.memo import plan_cache
 
 __all__ = [
     "cb",
@@ -52,6 +53,20 @@ T = TypeVar("T")
 #: Tag offsets within a CB invocation's tag_base.
 _ASCEND = 0
 _DESCEND = 1
+
+#: The tree shape and descend bound are pure functions of ``(p, k)`` /
+#: the machine parameters, but every processor re-derives them on every
+#: CB invocation (one barrier per superstep in the Theorem 2 driver), so
+#: both are memoized process-wide.
+_TREE_CACHE = plan_cache("cb-tree-shape")
+_BOUND_CACHE = plan_cache("cb-descend-bound")
+
+
+def _tree_shape(p: int, k: int) -> list[list[int]]:
+    """``children[rank]`` for the complete k-ary tree on ``p`` nodes."""
+    return _TREE_CACHE.get(
+        (p, k), lambda: [kary_tree_children(r, k, p) for r in range(p)]
+    )
 
 
 def tree_depth(p: int, k: int) -> int:
@@ -74,12 +89,15 @@ def descend_bound(params: LogPParams) -> int:
     :func:`cb_with_deadline` to broadcast a time by which *every*
     processor is guaranteed to have finished the CB.
     """
-    p = params.p
-    if p == 1:
-        return 0
-    k = cb_tree_arity(params)
-    per_level = k * params.G + params.L + 3 * params.o + 2 * params.G
-    return tree_depth(p, k) * per_level
+    def compute() -> int:
+        p = params.p
+        if p == 1:
+            return 0
+        k = cb_tree_arity(params)
+        per_level = k * params.G + params.L + 3 * params.o + 2 * params.G
+        return tree_depth(p, k) * per_level
+
+    return _BOUND_CACHE.get(params, compute)
 
 
 def _cb_impl(
@@ -99,7 +117,7 @@ def _cb_impl(
     k = cb_tree_arity(params)
     slotted = params.capacity == 1
     rank = ctx.pid
-    children = kary_tree_children(rank, k, p)
+    children = _tree_shape(p, k)[rank]
     parent = None if rank == 0 else (rank - 1) // k
 
     # --- ascend -----------------------------------------------------------

@@ -50,10 +50,13 @@ class DeadlockError(ReproError, RuntimeError):
     ``Recv`` with no message in flight anywhere).
 
     ``diagnostics`` (when provided by the engine) is a dict snapshotting
-    the machine at the moment of deadlock — per-processor state, buffered
-    message counts, the medium's in-transit and pending queues — so that
-    fault-induced hangs can be debugged from the exception alone.  The
-    snapshot is also rendered into the message text.
+    the machine at the moment of deadlock — the event queue's front (the
+    next pending times the kernel would process, empty at a true drain
+    deadlock), the per-destination submit times still pending in the
+    medium, the kernel counters, and a compact record of the *blocked*
+    processors only — so that fault-induced and skip-ahead hangs can be
+    debugged from the exception alone.  The snapshot is also rendered
+    into the message text.
     """
 
     def __init__(self, message: str, *, diagnostics: dict | None = None) -> None:
@@ -68,7 +71,29 @@ def format_deadlock_diagnostics(diag: dict) -> str:
     lines = ["deadlock diagnostics:"]
     if "time" in diag:
         lines.append(f"  last event time: {diag['time']}")
-    for proc in diag.get("processors", []):
+    front = diag.get("queue_front")
+    if front is not None:
+        if front:
+            rendered = ", ".join(
+                f"t={ev['time']} {ev['kind']}@{ev['pid']}" for ev in front
+            )
+            lines.append(f"  event-queue front: {rendered}")
+        else:
+            lines.append("  event-queue front: <empty — no pending times>")
+    pending_times = diag.get("next_pending_times")
+    if pending_times:
+        rendered = ", ".join(
+            f"dest {d}: {times}" for d, times in sorted(pending_times.items())
+        )
+        lines.append(f"  pending submit times: {rendered}")
+    kernel = diag.get("kernel")
+    if kernel:
+        lines.append(
+            f"  kernel: {kernel.get('kernel')} events={kernel.get('events')} "
+            f"batches={kernel.get('batches')} "
+            f"ticks_skipped={kernel.get('ticks_skipped')}"
+        )
+    for proc in diag.get("blocked", diag.get("processors", [])):
         lines.append(
             "  processor {pid}: state={state} clock={clock} buffered={buffered}"
             " pending_send={pending_send!r}".format(**proc)

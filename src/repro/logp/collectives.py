@@ -25,6 +25,7 @@ from typing import Any, Callable, Generator, Iterable, TypeVar
 
 from repro.logp.instructions import Compute, LogPContext, Recv, Send, WaitUntil
 from repro.models.message import Message
+from repro.perf.memo import plan_cache
 
 __all__ = [
     "recv_tag",
@@ -152,26 +153,37 @@ def optimal_broadcast_schedule(
     ``L + 2o <= G`` it degenerates to a star, for large ``L`` it
     approaches the binomial tree, and in between it is the skewed tree
     that makes this broadcast strictly faster than binomial.
+
+    The tree is a pure function of ``(p, L, o, G)`` and every processor
+    rebuilds it per broadcast, so it is memoized process-wide; treat the
+    returned lists as read-only.
     """
     import heapq
 
     L = params.L if delivery_delay is None else delivery_delay
     o, G = params.o, params.G
-    children: list[list[int]] = [[] for _ in range(p)]
-    if p <= 1:
+
+    def build() -> list[list[int]]:
+        children: list[list[int]] = [[] for _ in range(p)]
+        if p <= 1:
+            return children
+        # heap of (next_submission_completion_time, rank)
+        heap = [(o, 0)]
+        informed = 1
+        while informed < p:
+            t_sub, rank = heapq.heappop(heap)
+            child = informed
+            informed += 1
+            children[rank].append(child)
+            ready = t_sub + L + o  # delivered by t_sub + L, acquired +o
+            heapq.heappush(heap, (ready + o, child))  # child's first submission
+            heapq.heappush(heap, (max(t_sub + G, t_sub + o), rank))
         return children
-    # heap of (next_submission_completion_time, rank)
-    heap = [(o, 0)]
-    informed = 1
-    while informed < p:
-        t_sub, rank = heapq.heappop(heap)
-        child = informed
-        informed += 1
-        children[rank].append(child)
-        ready = t_sub + L + o  # delivered by t_sub + L, acquired +o
-        heapq.heappush(heap, (ready + o, child))  # child's first submission
-        heapq.heappush(heap, (max(t_sub + G, t_sub + o), rank))
-    return children
+
+    return _BROADCAST_CACHE.get((p, L, o, G), build)
+
+
+_BROADCAST_CACHE = plan_cache("broadcast-tree")
 
 
 def optimal_broadcast(

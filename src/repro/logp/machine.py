@@ -9,11 +9,17 @@ Event ordering within a time step: deliveries are processed before
 submissions, which are processed before processor resumptions.  This makes
 the stalling rule's "messages in transit at time t" well defined — a
 message delivered at ``t`` is no longer in transit at ``t``.
+
+The engine is generic over the event queue (``kernel=``): the production
+``"event"`` kernel skips ahead to the next actionable timestamp and
+drains it as one batch, while the ``"tick"`` kernel is the per-tick
+scanning reference whose event order — and therefore every simulated
+clock, message order, and cost ledger — is identical by construction
+(see :mod:`repro.perf.event_queue` and ``docs/PERF.md``).
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import Any, Generator, Sequence
 
@@ -39,6 +45,8 @@ from repro.logp.instructions import (
     WaitUntil,
 )
 from repro.logp.network import Medium, StallRecord
+from repro.perf.counters import KernelCounters
+from repro.perf.event_queue import make_event_queue
 from repro.logp.scheduler import (
     AcceptancePolicy,
     AcceptFIFO,
@@ -120,6 +128,10 @@ class LogPResult:
     fault_log:
         Ledger of every fault the run's :class:`~repro.faults.plan.FaultPlan`
         actually injected (``None`` for a fault-free machine).
+    kernel:
+        :class:`~repro.perf.counters.KernelCounters` for the run: machine
+        events processed, distinct timestamps batched, clock ticks the
+        kernel skipped, and the event queue's high-water mark.
     """
 
     params: LogPParams
@@ -130,6 +142,7 @@ class LogPResult:
     total_messages: int
     trace: Trace | None = None
     fault_log: "FaultLog | None" = None
+    kernel: KernelCounters = field(default_factory=KernelCounters)
 
     @property
     def stall_free(self) -> bool:
@@ -175,6 +188,12 @@ class LogPMachine:
         :class:`~repro.errors.InvariantViolationError` on any violation.
         Implies trace recording internally; ``result.trace`` is still
         only populated when ``record_trace=True``.
+    kernel:
+        Event-queue implementation: ``"event"`` (default; indexed queue
+        with skip-ahead and per-timestamp batches) or ``"tick"`` (the
+        per-tick scanning reference kernel).  Both produce bit-identical
+        executions; ``"tick"`` exists as the equivalence oracle and the
+        benchmark baseline.
 
     Example
     -------
@@ -202,6 +221,7 @@ class LogPMachine:
         max_events: int = 50_000_000,
         faults: FaultPlan | None = None,
         check_invariants: bool = False,
+        kernel: str = "event",
     ) -> None:
         self.params = params
         self.delivery = delivery if delivery is not None else DeliverMaxLatency()
@@ -211,6 +231,7 @@ class LogPMachine:
         self.max_events = max_events
         self.faults = faults
         self.check_invariants = check_invariants
+        self.kernel = kernel
 
     # ------------------------------------------------------------------
 
@@ -240,13 +261,8 @@ class LogPMachine:
             procs.append(_Proc(pid=pid, gen=gen, ctx=ctx, scale=scale))
 
         trace = Trace(self.params) if (self.record_trace or self.check_invariants) else None
-        heap: list[tuple[int, int, int, int, Any]] = []
-        seq = 0
-
-        def push(time: int, kind: int, pid: int, data: Any = None) -> None:
-            nonlocal seq
-            seq += 1
-            heapq.heappush(heap, (time, kind, seq, pid, data))
+        queue = make_event_queue(self.kernel, p)
+        push = queue.push
 
         def schedule_delivery(msg: Message, t: int) -> None:
             push(t, _EV_DELIVER, msg.dest, msg)
@@ -290,15 +306,13 @@ class LogPMachine:
                 if t_crash is not None:
                     push(t_crash, _EV_CRASH, pid, None)
 
-        events = 0
         makespan = 0
         time = 0
         while True:
-            while heap:
-                events += 1
-                if events > self.max_events:
+            while queue:
+                if queue.counters.events >= self.max_events:
                     raise SimulationLimitError(f"exceeded max_events={self.max_events}")
-                time, kind, _seq, pid, data = heapq.heappop(heap)
+                time, kind, pid, data = queue.pop()
                 if kind == _EV_CRASH:
                     proc = procs[pid]
                     # proc.clock > time: the engine ran the processor's
@@ -388,7 +402,7 @@ class LogPMachine:
             raise DeadlockError(
                 f"simulation drained with processors {blocked} still blocked "
                 f"(waiting on messages that will never arrive)",
-                diagnostics=self._deadlock_diagnostics(procs, medium, active, time),
+                diagnostics=self._deadlock_diagnostics(procs, medium, active, time, queue),
             )
 
         result_obj = LogPResult(
@@ -400,6 +414,7 @@ class LogPMachine:
             total_messages=medium.total_accepted,
             trace=trace,
             fault_log=active.log if active is not None else None,
+            kernel=queue.counters,
         )
         if self.check_invariants:
             from repro.faults.invariants import check_execution
@@ -417,11 +432,33 @@ class LogPMachine:
         return result_obj
 
     @staticmethod
-    def _deadlock_diagnostics(procs, medium, active, time) -> dict:
-        """Snapshot machine state for a debuggable DeadlockError."""
+    def _deadlock_diagnostics(procs, medium, active, time, queue) -> dict:
+        """Snapshot machine state for a debuggable DeadlockError.
+
+        Centered on the *event queue's view*: the queue front (the next
+        pending times the kernel would skip ahead to — empty at a true
+        drain deadlock) and, per destination, the submit times still
+        pending in the medium, plus a compact record of only the blocked
+        processors.  Skip-ahead deadlocks are diagnosed from "what would
+        the kernel do next", not from a raw dump of every processor.
+        """
+        kind_names = {_EV_CRASH: "crash", _EV_DELIVER: "deliver",
+                      _EV_SUBMIT: "submit", _EV_RESUME: "resume"}
+        front = [
+            {"time": ev["time"], "kind": kind_names.get(ev["kind"], str(ev["kind"])),
+             "pid": ev["pid"]}
+            for ev in queue.front_snapshot(8)
+        ]
         return {
             "time": time,
-            "processors": [
+            "kernel": queue.counters.as_dict(),
+            "queue_front": front,
+            "next_pending_times": {
+                d: sorted(t for t, _seq, _sender, _m in q)
+                for d, q in enumerate(medium.pending)
+                if q
+            },
+            "blocked": [
                 {
                     "pid": pr.pid,
                     "state": _STATE_NAMES.get(pr.state, str(pr.state)),
@@ -430,6 +467,7 @@ class LogPMachine:
                     "pending_send": pr.pending_send,
                 }
                 for pr in procs
+                if pr.state in (_BLOCKED_RECV, _STALLING)
             ],
             "medium": {
                 "in_transit": list(medium.in_transit),

@@ -29,6 +29,8 @@ import numpy as np
 
 from repro.errors import RoutingError
 from repro.networks.topology import Topology
+from repro.perf.counters import KernelCounters
+from repro.perf.event_queue import KERNELS
 from repro.routing.workloads import balanced_h_relation
 from repro.util.rng import make_rng
 
@@ -48,6 +50,11 @@ class RoutingConfig:
     a later step — a lossy link with link-level retransmission).  Faults
     are drawn from a stream seeded by ``fault_seed``, so a fixed seed
     reproduces the exact same fault pattern.
+    ``kernel``: ``"event"`` visits only edges/nodes with queued packets
+    each step (active-set scheduling); ``"tick"`` is the reference scan
+    over every edge ever created.  Both execute bit-identically — same
+    transmission order, same fault-stream draws — the kernel only changes
+    how the next actionable work is *found*.
     """
 
     single_port: bool = False
@@ -56,12 +63,17 @@ class RoutingConfig:
     max_steps: int = 1_000_000
     link_fault_rate: float = 0.0
     fault_seed: int = 0
+    kernel: str = "event"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.link_fault_rate < 1.0:
             raise RoutingError(
                 f"link_fault_rate must be in [0, 1), got {self.link_fault_rate}"
                 " (at 1.0 no packet ever advances)"
+            )
+        if self.kernel not in KERNELS:
+            raise RoutingError(
+                f"unknown kernel {self.kernel!r}; expected one of {KERNELS}"
             )
 
 
@@ -71,6 +83,12 @@ class RoutingOutcome:
 
     ``retransmissions`` counts transmission attempts that a faulty link
     swallowed (always 0 when ``link_fault_rate == 0``).
+
+    ``kernel`` accounts for the simulator's own work: ``events`` counts
+    transmission attempts, ``batches`` synchronous steps driven,
+    ``ticks_skipped`` the idle edge (or node, under single-port) scans
+    the event kernel avoided relative to a full per-step scan, and
+    ``queue_highwater`` the peak edge-queue length (== ``max_queue``).
     """
 
     time: int
@@ -78,6 +96,7 @@ class RoutingOutcome:
     total_hops: int
     max_queue: int
     retransmissions: int = 0
+    kernel: KernelCounters = field(default_factory=KernelCounters)
 
     @property
     def avg_path(self) -> float:
@@ -95,9 +114,164 @@ def route_packets(
     destination node).  Returns timing statistics; raises
     :class:`~repro.errors.RoutingError` if ``max_steps`` is exceeded.
     """
+    if config.priority not in ("fifo", "farthest"):
+        raise RoutingError(f"unknown priority {config.priority!r}")
+    if config.kernel == "tick":
+        return _route_packets_tick(paths, config)
+    return _route_packets_event(paths, config)
+
+
+def _route_packets_event(
+    paths: list[list[int]], config: RoutingConfig
+) -> RoutingOutcome:
+    """Active-set kernel: per step, visit only edges that hold packets.
+
+    Equivalence with the tick scan: edges are numbered in creation order,
+    and each step iterates the *sorted* set of non-empty edge numbers —
+    exactly the sequence the reference scan produces by walking every
+    edge and skipping empty queues.  Under single-port the same holds for
+    nodes, with the per-node rotation untouched.  Transmission order and
+    fault-stream draws are therefore identical by construction.
+    """
+    pos = [0] * len(paths)
+    total_hops = 0
+    counters = KernelCounters(kernel="event")
+    # Edge state, indexed by creation sequence number.
+    eseq: dict[tuple[int, int], int] = {}
+    equeues: list[deque[int]] = []
+    edge_node: list[int] = []
+    active: set[int] = set()  # seqs of non-empty edge queues
+    # Node state (single-port arbitration), indexed by creation order.
+    node_idx: dict[int, int] = {}
+    node_edges: list[list[int]] = []  # per node: its edge seqs, in creation order
+    node_pending: list[int] = []  # per node: packets queued on its out-edges
+    active_nodes: set[int] = set()
+    max_queue = 0
+    sp = config.single_port  # node bookkeeping only matters under single-port
+
+    def enqueue(pkt: int) -> bool:
+        """Queue packet ``pkt`` on its next edge; False if already home."""
+        nonlocal max_queue
+        path = paths[pkt]
+        i = pos[pkt]
+        if i + 1 >= len(path):
+            return False
+        edge = (path[i], path[i + 1])
+        s = eseq.get(edge)
+        if s is None:
+            s = eseq[edge] = len(equeues)
+            equeues.append(deque())
+            if sp:
+                ni = node_idx.get(edge[0])
+                if ni is None:
+                    ni = node_idx[edge[0]] = len(node_edges)
+                    node_edges.append([])
+                    node_pending.append(0)
+                node_edges[ni].append(s)
+                edge_node.append(ni)
+        q = equeues[s]
+        q.append(pkt)
+        if len(q) > max_queue:
+            max_queue = len(q)
+        if sp:
+            ni = edge_node[s]
+            node_pending[ni] += 1
+            active_nodes.add(ni)
+        else:
+            active.add(s)
+        return True
+
+    def note_pop(s: int) -> None:
+        """Deactivate drained edges/nodes after a successful transmission."""
+        if sp:
+            ni = edge_node[s]
+            node_pending[ni] -= 1
+            if not node_pending[ni]:
+                active_nodes.discard(ni)
+        elif not equeues[s]:
+            active.discard(s)
+
+    live = 0
+    for pkt, path in enumerate(paths):
+        total_hops += len(path) - 1
+        if enqueue(pkt):
+            live += 1
+
+    farthest = config.priority == "farthest"
+    fault_rate = config.link_fault_rate
+    fault_rng = make_rng(config.fault_seed) if fault_rate > 0 else None
+    retransmissions = 0
+
+    def link_ok() -> bool:
+        return fault_rng is None or fault_rng.random() >= fault_rate
+
+    time = 0
+    while live:
+        time += 1
+        if time > config.max_steps:
+            raise RoutingError(f"routing exceeded max_steps={config.max_steps}")
+        counters.batches += 1
+        moved: list[int] = []
+        attempted = 0
+        if config.single_port:
+            order = sorted(active_nodes)
+            counters.ticks_skipped += len(node_edges) - len(order)
+            for ni in order:
+                edges = node_edges[ni]
+                n_e = len(edges)
+                for off in range(n_e):
+                    s = edges[(time + off) % n_e]
+                    q = equeues[s]
+                    if q:
+                        attempted += 1
+                        if link_ok():
+                            moved.append(_pop(q, paths, pos, farthest))
+                            note_pop(s)
+                        else:
+                            retransmissions += 1
+                        break
+        else:
+            n_edges = len(equeues)
+            if len(active) == n_edges:
+                order = range(n_edges)  # everything active: no sort needed
+            else:
+                order = sorted(active)
+                counters.ticks_skipped += n_edges - len(active)
+            for s in order:
+                q = equeues[s]
+                attempted += 1
+                if link_ok():
+                    moved.append(_pop(q, paths, pos, farthest))
+                    note_pop(s)
+                else:
+                    retransmissions += 1
+        if not attempted:
+            raise RoutingError("routing deadlock: live packets but no moves")
+        counters.events += attempted
+        for pkt in moved:
+            pos[pkt] += 1
+            if not enqueue(pkt):
+                live -= 1
+
+    counters.queue_highwater = max_queue
+    return RoutingOutcome(
+        time=time,
+        packets=len(paths),
+        total_hops=total_hops,
+        max_queue=max_queue,
+        retransmissions=retransmissions,
+        kernel=counters,
+    )
+
+
+def _route_packets_tick(
+    paths: list[list[int]], config: RoutingConfig
+) -> RoutingOutcome:
+    """Reference kernel: scan every created edge (or node) each step."""
     # Packet state: index into its path (position of current node).
     pos = [0] * len(paths)
     total_hops = 0
+    counters = KernelCounters(kernel="tick")
     queues: dict[tuple[int, int], deque[int]] = {}
     node_out: dict[int, list[tuple[int, int]]] = {}
 
@@ -123,9 +297,6 @@ def route_packets(
     max_queue = max((len(q) for q in queues.values()), default=0)
 
     farthest = config.priority == "farthest"
-    if config.priority not in ("fifo", "farthest"):
-        raise RoutingError(f"unknown priority {config.priority!r}")
-
     fault_rate = config.link_fault_rate
     fault_rng = make_rng(config.fault_seed) if fault_rate > 0 else None
     retransmissions = 0
@@ -138,6 +309,7 @@ def route_packets(
         time += 1
         if time > config.max_steps:
             raise RoutingError(f"routing exceeded max_steps={config.max_steps}")
+        counters.batches += 1
         moved: list[int] = []
         attempted = 0
         if config.single_port:
@@ -166,6 +338,7 @@ def route_packets(
                         retransmissions += 1
         if not attempted:
             raise RoutingError("routing deadlock: live packets but no moves")
+        counters.events += attempted
         for pkt in moved:
             pos[pkt] += 1
             if not enqueue(pkt):
@@ -173,12 +346,14 @@ def route_packets(
         if queues:
             max_queue = max(max_queue, max(len(q) for q in queues.values()))
 
+    counters.queue_highwater = max_queue
     return RoutingOutcome(
         time=time,
         packets=len(paths),
         total_hops=total_hops,
         max_queue=max_queue,
         retransmissions=retransmissions,
+        kernel=counters,
     )
 
 
@@ -213,11 +388,13 @@ def build_paths(
         u, v = hosts[src], hosts[dst]
         if valiant and u != v:
             w = hosts[int(rng.integers(0, len(hosts)))]
-            first = topo.route(u, w)
-            second = topo.route(w, v)
+            first = topo.route_cached(u, w)
+            second = topo.route_cached(w, v)
             paths.append(first + second[1:])
         else:
-            paths.append(topo.route(u, v))
+            # Copy: the simulator's packets may share endpoint pairs, and
+            # cached paths are shared read-only structure.
+            paths.append(list(topo.route_cached(u, v)))
     return paths
 
 

@@ -39,6 +39,7 @@ class Topology:
         self.adj: list[list[int]] = [[] for _ in range(num_nodes)]
         self._edge_set: set[tuple[int, int]] = set()
         self.hosts: list[int] = list(hosts) if hosts is not None else list(range(num_nodes))
+        self._route_cache: dict[tuple[int, int], list[int]] = {}
 
     # -- construction helpers ------------------------------------------------
 
@@ -68,6 +69,19 @@ class Topology:
         """Deterministic oblivious path from node ``u`` to node ``v``
         (inclusive of both endpoints).  Subclasses override."""
         raise NotImplementedError
+
+    def route_cached(self, u: int, v: int) -> list[int]:
+        """Like :meth:`route`, but memoized per instance.
+
+        Routes are oblivious — a pure function of ``(u, v)`` — yet an
+        h-relation asks for the same endpoint pairs over and over (and a
+        Valiant pass routinely revisits intermediate hosts).  Callers
+        must not mutate the returned path.
+        """
+        path = self._route_cache.get((u, v))
+        if path is None:
+            path = self._route_cache[(u, v)] = self.route(u, v)
+        return path
 
     # -- generic graph utilities ----------------------------------------------
 

@@ -1,0 +1,86 @@
+"""Keyed plan caches with hit/miss accounting.
+
+The cross-simulations recompute the same pure *plans* over and over —
+CB tree shapes, bitonic sorting schedules, optimal broadcast trees,
+h-relation edge colorings, oblivious routes — once per processor per
+superstep, although each is a pure function of its key.  A
+:class:`PlanCache` memoizes such plans process-wide and counts hits and
+misses so benchmarks can report how much recomputation the caches absorb.
+
+Caches are bounded (FIFO eviction) and registered by name;
+:func:`plan_cache_stats` snapshots all of them and
+:func:`clear_plan_caches` resets them (tests use this to measure cold
+behavior).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["PlanCache", "plan_cache", "plan_cache_stats", "clear_plan_caches"]
+
+
+class PlanCache:
+    """A named, bounded, insertion-order-evicting memo table."""
+
+    def __init__(self, name: str, maxsize: int = 4096) -> None:
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._table: dict[Any, Any] = {}
+
+    def get(self, key: Any, factory: Callable[[], Any]) -> Any:
+        """The cached plan for ``key``, computing it via ``factory()`` on
+        the first request."""
+        try:
+            value = self._table[key]
+        except KeyError:
+            self.misses += 1
+            value = factory()
+            if len(self._table) >= self.maxsize:
+                # FIFO eviction: drop the oldest insertion.
+                self._table.pop(next(iter(self._table)))
+            self._table[key] = value
+            return value
+        self.hits += 1
+        return value
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        self._table.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._table),
+            "maxsize": self.maxsize,
+        }
+
+
+_REGISTRY: dict[str, PlanCache] = {}
+
+
+def plan_cache(name: str, maxsize: int = 4096) -> PlanCache:
+    """The process-wide cache registered under ``name`` (created on first
+    use)."""
+    cache = _REGISTRY.get(name)
+    if cache is None:
+        cache = _REGISTRY[name] = PlanCache(name, maxsize=maxsize)
+    return cache
+
+
+def plan_cache_stats() -> dict[str, dict]:
+    """Hit/miss/size snapshot of every registered cache."""
+    return {name: cache.stats() for name, cache in sorted(_REGISTRY.items())}
+
+
+def clear_plan_caches() -> None:
+    """Empty every registered cache and zero its counters."""
+    for cache in _REGISTRY.values():
+        cache.clear()

@@ -22,6 +22,7 @@ Both satisfy the 0/1-principle, which the property tests exercise.
 from __future__ import annotations
 
 from repro.errors import RoutingError
+from repro.perf.memo import plan_cache
 from repro.util.intmath import is_power_of_two
 
 __all__ = ["bitonic_schedule", "odd_even_transposition_schedule", "schedule_depth"]
@@ -85,9 +86,21 @@ def schedule_depth(schedule: list[Round]) -> int:
     return len(schedule)
 
 
+_SCHEDULE_CACHE = plan_cache("sorting-schedule")
+
+
 def sorting_schedule(p: int) -> list[Round]:
     """The schedule the routing protocol uses: bitonic when ``p`` is a
-    power of two, odd-even transposition otherwise."""
-    if is_power_of_two(p):
-        return bitonic_schedule(p)
-    return odd_even_transposition_schedule(p)
+    power of two, odd-even transposition otherwise.
+
+    The schedule is a pure function of ``p`` but is re-derived once per
+    processor per routed superstep, so it is memoized process-wide;
+    callers must treat the returned rounds as read-only.
+    """
+
+    def build() -> list[Round]:
+        if is_power_of_two(p):
+            return bitonic_schedule(p)
+        return odd_even_transposition_schedule(p)
+
+    return _SCHEDULE_CACHE.get(p, build)

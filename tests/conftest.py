@@ -2,9 +2,30 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.models.params import BSPParams, LogPParams
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # "ci" is fully derandomized so the property suite is reproducible in
+    # CI (select with HYPOTHESIS_PROFILE=ci); "dev" keeps random
+    # exploration for local runs.  Simulation examples are slow by
+    # pytest-function standards, so deadlines are off in both.
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("dev", deadline=None, max_examples=50)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - property tests skip themselves
+    pass
 
 
 @pytest.fixture

@@ -67,11 +67,21 @@ class TestUnprotectedPrograms:
             machine.run(logp_sum_program())
         diag = excinfo.value.diagnostics
         assert diag is not None
-        assert len(diag["processors"]) == PARAMS.p
-        assert any(proc["state"] == "blocked-recv" for proc in diag["processors"])
+        # The snapshot is event-queue-centric: the queue front holds the
+        # next pending times (empty at a drain deadlock), and only the
+        # blocked processors are listed.
+        assert diag["queue_front"] == []  # drained: no pending times left
+        assert "next_pending_times" in diag
+        assert diag["blocked"], "deadlock must report blocked processors"
+        assert all(
+            proc["state"] in ("blocked-recv", "stalling") for proc in diag["blocked"]
+        )
+        assert any(proc["state"] == "blocked-recv" for proc in diag["blocked"])
+        assert diag["kernel"]["events"] > 0
         report = format_deadlock_diagnostics(diag)
         assert "deadlock diagnostics" in report
-        assert "processor 0" in report
+        assert "event-queue front" in report
+        assert "processor" in report
 
 
 class TestProcessorFaults:

@@ -1,0 +1,44 @@
+"""Golden-trace regression tests.
+
+Every canonical seeded run must reproduce its committed JSON document
+bit-for-bit under *both* queue kernels.  This pins two properties at
+once:
+
+* **kernel equivalence** — the event-driven kernel and the per-tick
+  scanning reference produce identical simulated-clock observables
+  (clocks, message orders, cost ledgers), faults on and off;
+* **cross-commit stability** — any change to the engines that shifts a
+  clock, reorders a delivery, or re-prices a superstep fails loudly
+  against the committed document instead of drifting silently.
+
+Regenerate after an *intentional* semantic change with::
+
+    PYTHONPATH=src python tests/golden/generate.py
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.golden.cases import CASES, golden_path, normalize
+from repro.perf.event_queue import KERNELS
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_file_committed(name):
+    assert golden_path(name).exists(), (
+        f"missing golden {name}.json — run tests/golden/generate.py"
+    )
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_run_matches_golden(name, kernel):
+    committed = json.loads(golden_path(name).read_text())
+    produced = normalize(CASES[name](kernel))
+    assert produced == committed, (
+        f"{name} under kernel={kernel!r} diverged from the committed "
+        f"golden trace"
+    )

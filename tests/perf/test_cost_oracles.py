@@ -1,0 +1,94 @@
+"""Cost oracles: closed-form model costs vs simulated executions.
+
+The models' headline cost formulas have exact closed forms for simple
+workloads; these tests pin the engines to them over a parameter grid.
+
+* BSP: one superstep of ``w`` local ops sending an ``h``-relation costs
+  exactly ``w + g*h + l`` (paper eq. for superstep cost, §2.1).
+* LogP: an uncontended point-to-point message completes in ``L + 2o``
+  (submit overhead ``o``, flight time ``L``, acquire overhead ``o``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bsp import BSPMachine, Sync
+from repro.bsp import Compute as BCompute
+from repro.bsp import Send as BSend
+from repro.logp.instructions import Recv, Send
+from repro.logp.machine import LogPMachine
+from repro.models.params import BSPParams
+
+from tests.conftest import LOGP_GRID, logp_grid_ids
+
+BSP_PARAMS = [
+    BSPParams(p=4, g=1, l=0),
+    BSPParams(p=4, g=2, l=10),
+    BSPParams(p=8, g=3, l=7),
+    BSPParams(p=5, g=2, l=1),  # odd p
+]
+
+W_H_GRID = [(0, 0), (0, 1), (5, 0), (5, 1), (9, 3), (1, 3)]
+
+
+def ring_shift_program(w: int, h: int, rounds: int = 1):
+    """Every processor computes ``w`` ops then sends to its ``h``
+    successors on the ring, so ``h_send == h_recv == h`` exactly."""
+
+    def prog(ctx):
+        for _ in range(rounds):
+            if w:
+                yield BCompute(w)
+            for j in range(1, h + 1):
+                yield BSend((ctx.pid + j) % ctx.p, ctx.pid)
+            yield Sync()
+        return len(ctx.inbox)
+
+    return prog
+
+
+@pytest.mark.parametrize("params", BSP_PARAMS, ids=lambda q: f"p{q.p}-g{q.g}-l{q.l}")
+@pytest.mark.parametrize("w,h", W_H_GRID)
+def test_bsp_superstep_cost_formula(params, w, h):
+    res = BSPMachine(params).run(ring_shift_program(w, h))
+    # The post-Sync drain (no work, no traffic, all programs finished)
+    # must not be charged as a superstep.
+    assert len(res.ledger) == 1
+    rec = res.ledger[0]
+    assert (rec.w, rec.h_send, rec.h_recv) == (w, h, h)
+    assert rec.cost == w + params.g * h + params.l
+    assert rec.cost == params.superstep_cost(w, h)
+    assert res.results == [h] * params.p
+
+
+@pytest.mark.parametrize("params", BSP_PARAMS, ids=lambda q: f"p{q.p}-g{q.g}-l{q.l}")
+def test_bsp_cost_adds_across_supersteps(params):
+    w, h, rounds = 4, 2, 3
+    res = BSPMachine(params).run(ring_shift_program(w, h, rounds=rounds))
+    assert len(res.ledger) == rounds
+    assert res.total_cost == rounds * params.superstep_cost(w, h)
+
+
+@pytest.mark.parametrize("params", LOGP_GRID, ids=logp_grid_ids())
+@pytest.mark.parametrize("kernel", ("event", "tick"))
+def test_logp_point_to_point_is_L_plus_2o(params, kernel):
+    """With no contention, a lone message's end-to-end makespan is
+    exactly ``o + L + o``: the receiver finishes acquiring at L + 2o."""
+
+    def sender(ctx):
+        yield Send(1, "ping")
+
+    def receiver(ctx):
+        msg = yield Recv()
+        return msg.payload
+
+    def idle(ctx):
+        return None
+        yield  # pragma: no cover - makes this a generator
+
+    programs = [sender, receiver] + [idle] * (params.p - 2)
+    res = LogPMachine(params, kernel=kernel).run(programs)
+    assert res.makespan == params.L + 2 * params.o
+    assert res.results[1] == "ping"
+    assert res.stalls == []

@@ -1,0 +1,214 @@
+"""Unit tests for the kernel substrate: queues, counters, plan caches.
+
+The two queues' ordering contract — events pop in ``(time, kind, seq)``
+order, same-time mid-batch pushes slot into the undrained remainder,
+past pushes are legal only at quiescence — is what makes the machines
+kernel-agnostic, so it is pinned directly here against a plain heap
+reference.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+import pytest
+
+from repro.perf import (
+    KERNELS,
+    IndexedEventQueue,
+    KernelCounters,
+    PlanCache,
+    TickScanQueue,
+    clear_plan_caches,
+    make_event_queue,
+    plan_cache,
+    plan_cache_stats,
+)
+
+
+def drain(queue):
+    out = []
+    while True:
+        ev = queue.pop()
+        if ev is None:
+            return out
+        out.append(ev)
+
+
+class TestOrderingContract:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_matches_heap_reference(self, kernel):
+        rng = random.Random(7)
+        pushes = [
+            (rng.randrange(0, 40), rng.randrange(-1, 3), rng.randrange(0, 4))
+            for _ in range(200)
+        ]
+        queue = make_event_queue(kernel, 4)
+        heap = []
+        for seq, (t, kind, pid) in enumerate(pushes):
+            queue.push(t, kind, pid, data=seq)
+            heapq.heappush(heap, (t, kind, seq, pid))
+        expected = [
+            (t, kind, pid, seq) for t, kind, seq, pid in sorted(heap)
+        ]
+        assert drain(queue) == expected
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_mid_batch_same_time_push_sorts_into_remainder(self, kernel):
+        queue = make_event_queue(kernel, 2)
+        queue.push(5, 1, 0, "a")
+        queue.push(5, 2, 1, "b")
+        t, kind, pid, data = queue.pop()
+        assert (t, data) == (5, "a")
+        # Pushed while t=5 is being drained: kind 0 outranks the pending
+        # kind-2 event even though it was pushed last.
+        queue.push(5, 0, 1, "c")
+        assert [ev[3] for ev in drain(queue)] == ["c", "b"]
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_mid_batch_past_push_raises(self, kernel):
+        queue = make_event_queue(kernel, 2)
+        queue.push(5, 1, 0)
+        queue.push(5, 2, 1)
+        queue.pop()  # batch t=5 still holds an undrained event
+        with pytest.raises(ValueError, match="past"):
+            queue.push(4, 0, 0)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_quiescence_rewind(self, kernel):
+        """Once drained, the queue accepts pushes behind the last popped
+        time (the machine re-seeds lingering processors at their own,
+        older clocks)."""
+        queue = make_event_queue(kernel, 2)
+        queue.push(10, 1, 0, "late")
+        assert queue.pop()[0] == 10
+        assert queue.pop() is None
+        queue.push(3, 1, 1, "rewound")
+        assert queue.pop() == (3, 1, 1, "rewound")
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_len_tracks_size(self, kernel):
+        queue = make_event_queue(kernel, 2)
+        assert len(queue) == 0
+        queue.push(1, 0, 0)
+        queue.push(1, 1, 1)
+        assert len(queue) == 2
+        queue.pop()
+        assert len(queue) == 1
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            make_event_queue("bogus", 2)
+
+
+class TestCounters:
+    def test_event_queue_skips_idle_ticks(self):
+        queue = IndexedEventQueue(2)
+        queue.push(0, 0, 0)
+        queue.push(100, 0, 1)
+        drain(queue)
+        c = queue.counters
+        assert c.kernel == "event"
+        assert c.events == 2
+        assert c.batches == 2
+        assert c.ticks_skipped == 99  # jumped 1..99 without scanning
+        assert c.queue_highwater == 2
+
+    def test_tick_queue_scans_every_tick(self):
+        queue = TickScanQueue(2)
+        queue.push(0, 0, 0)
+        queue.push(100, 0, 1)
+        drain(queue)
+        c = queue.counters
+        assert c.kernel == "tick"
+        assert c.events == 2
+        assert c.batches == 101  # visited every tick 0..100
+        assert c.ticks_skipped == 0
+        assert c.queue_highwater == 2
+
+    def test_batched_same_time_events_count_one_batch(self):
+        queue = IndexedEventQueue(4)
+        for pid in range(4):
+            queue.push(7, 0, pid)
+        drain(queue)
+        assert queue.counters.batches == 1
+        assert queue.counters.events == 4
+        assert queue.counters.events_per_batch == 4.0
+
+    def test_as_dict_round_trips(self):
+        c = KernelCounters(kernel="event", events=3, batches=2)
+        assert c.as_dict() == {
+            "kernel": "event",
+            "events": 3,
+            "batches": 2,
+            "ticks_skipped": 0,
+            "queue_highwater": 0,
+        }
+
+
+class TestFrontSnapshot:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_snapshot_lists_pending_in_order(self, kernel):
+        queue = make_event_queue(kernel, 4)
+        queue.push(9, 1, 2)
+        queue.push(4, 0, 1)
+        queue.push(4, 1, 3)
+        front = queue.front_snapshot(n=2)
+        assert [ev["time"] for ev in front] == [4, 4]
+        assert [ev["pid"] for ev in front] == [1, 3]
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_snapshot_empty_queue(self, kernel):
+        assert make_event_queue(kernel, 2).front_snapshot() == []
+
+
+class TestPlanCache:
+    def test_hit_miss_accounting(self):
+        cache = PlanCache("t", maxsize=8)
+        calls = []
+        assert cache.get(1, lambda: calls.append(1) or "a") == "a"
+        assert cache.get(1, lambda: calls.append(2) or "b") == "a"
+        assert calls == [1]
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_fifo_eviction(self):
+        cache = PlanCache("t", maxsize=2)
+        cache.get("a", lambda: 1)
+        cache.get("b", lambda: 2)
+        cache.get("c", lambda: 3)  # evicts "a"
+        assert len(cache) == 2
+        cache.get("a", lambda: 99)
+        assert cache.get("a", lambda: 0) == 99
+
+    def test_clear_resets(self):
+        cache = PlanCache("t")
+        cache.get(1, lambda: "x")
+        cache.get(1, lambda: "x")
+        cache.clear()
+        assert (cache.hits, cache.misses, len(cache)) == (0, 0, 0)
+
+    def test_registry_returns_same_instance(self):
+        a = plan_cache("test-registry-cache")
+        b = plan_cache("test-registry-cache")
+        assert a is b
+        a.get("k", lambda: 1)
+        stats = plan_cache_stats()["test-registry-cache"]
+        assert stats["misses"] >= 1
+        clear_plan_caches()
+        assert plan_cache_stats()["test-registry-cache"]["misses"] == 0
+
+    def test_plans_are_memoized_across_machine_runs(self):
+        """End to end: repeated CB runs hit the tree-shape cache."""
+        from repro.core.cb import measure_cb
+        from repro.models.params import LogPParams
+
+        clear_plan_caches()
+        params = LogPParams(p=8, L=8, o=1, G=2)
+        measure_cb(params, list(range(8)), lambda a, b: a + b)
+        first = plan_cache_stats()["cb-tree-shape"]
+        measure_cb(params, list(range(8)), lambda a, b: a + b)
+        second = plan_cache_stats()["cb-tree-shape"]
+        assert second["misses"] == first["misses"]
+        assert second["hits"] > first["hits"]

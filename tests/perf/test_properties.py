@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) for the LogP engine semantics.
+
+Random send/compute/wait programs over random admissible parameters,
+checked against the paper's §2.2 rules reconstructed *from the trace*:
+
+* **capacity** — at no instant does any destination hold more than
+  ``ceil(L/G)`` accepted-but-undelivered messages;
+* **stalling rule, soundness** — a stalled submission is accepted
+  exactly when a delivery frees a slot at its destination;
+* **stalling rule, completeness** — a submission accepted without
+  stalling really had a free slot at its acceptance instant;
+* **gap rule** — a processor's consecutive submissions (and
+  acquisitions) are at least ``G`` apart;
+* **kernel equivalence** — the event-driven and per-tick kernels drive
+  bit-identical executions on every generated program.
+
+The CI profile (``HYPOTHESIS_PROFILE=ci``, registered in
+``tests/conftest.py``) is derandomized so failures reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.logp.instructions import Compute, Send, WaitUntil  # noqa: E402
+from repro.logp.machine import LogPMachine  # noqa: E402
+from repro.logp.trace import accept_times_from_result  # noqa: E402
+from repro.models.params import LogPParams  # noqa: E402
+
+
+@st.composite
+def logp_params(draw) -> LogPParams:
+    """Admissible §2.2 parameters: ``max{2, o} <= G <= L``."""
+    p = draw(st.integers(2, 6))
+    o = draw(st.integers(0, 3))
+    G = draw(st.integers(max(2, o), 6))
+    L = draw(st.integers(G, 3 * G))
+    return LogPParams(p=p, L=L, o=o, G=G)
+
+
+#: One program step, as data: ("send", dest_offset) | ("compute", ops)
+#: | ("wait", dt).  Receive-free programs cannot deadlock, so every
+#: generated case runs to quiescence.
+step = st.one_of(
+    st.tuples(st.just("send"), st.integers(0, 4)),
+    st.tuples(st.just("compute"), st.integers(1, 5)),
+    st.tuples(st.just("wait"), st.integers(1, 10)),
+)
+
+program_steps = st.lists(st.lists(step, max_size=6), min_size=2, max_size=6)
+
+
+def build_programs(steps_per_pid, p: int):
+    def make(pid: int, steps):
+        def prog(ctx):
+            for op, arg in steps:
+                if op == "send":
+                    yield Send((pid + 1 + arg % (p - 1)) % p, arg)
+                elif op == "compute":
+                    yield Compute(arg)
+                else:
+                    yield WaitUntil(ctx.clock + arg)
+            return pid
+
+        return prog
+
+    padded = (steps_per_pid * p)[:p]
+    return [make(pid, padded[pid]) for pid in range(p)]
+
+
+def run_traced(params: LogPParams, programs, kernel: str = "event"):
+    machine = LogPMachine(
+        params, record_trace=True, check_invariants=True, kernel=kernel
+    )
+    return machine.run(programs)
+
+
+def in_transit_intervals(res):
+    """Per destination: [accept, delivery) interval per message."""
+    accept = accept_times_from_result(res)
+    deliver = {uid: t for t, _dest, uid in res.trace.deliveries}
+    by_dest: dict[int, list[tuple[int, int]]] = {}
+    for _t, dest, uid in res.trace.deliveries:
+        by_dest.setdefault(dest, []).append((accept[uid], deliver[uid]))
+    return by_dest
+
+
+def concurrent_peak(intervals):
+    """Max overlap of [a, b) intervals; a slot freed at t is reusable at t."""
+    events = []
+    for a, b in intervals:
+        events.append((a, 1))
+        events.append((b, -1))
+    peak = cur = 0
+    for _t, d in sorted(events, key=lambda e: (e[0], e[1])):
+        cur += d
+        peak = max(peak, cur)
+    return peak
+
+
+@given(params=logp_params(), steps=program_steps)
+@settings(max_examples=40)
+def test_capacity_never_exceeded(params, steps):
+    res = run_traced(params, build_programs(steps, params.p))
+    assert params.capacity == -(-params.L // params.G)
+    for dest, intervals in in_transit_intervals(res).items():
+        assert concurrent_peak(intervals) <= params.capacity, (
+            f"destination {dest} exceeded capacity {params.capacity}"
+        )
+
+
+@given(params=logp_params(), steps=program_steps)
+@settings(max_examples=40)
+def test_stalling_rule_soundness(params, steps):
+    """A stalled submission unblocks exactly when a delivery to its
+    destination frees a slot, and stalls only under a full destination."""
+    res = run_traced(params, build_programs(steps, params.p))
+    delivery_times = {(t, dest) for t, dest, _uid in res.trace.deliveries}
+    intervals = in_transit_intervals(res)
+    for s in res.stalls:
+        assert s.accept_time > s.submit_time
+        assert (s.accept_time, s.dest) in delivery_times, (
+            "stall resolved without a delivery freeing a slot"
+        )
+        # While stalled, the destination sat at full capacity.
+        blocking = [
+            (a, b)
+            for a, b in intervals.get(s.dest, [])
+            if a <= s.submit_time and b > s.submit_time
+        ]
+        assert len(blocking) >= params.capacity
+
+
+@given(params=logp_params(), steps=program_steps)
+@settings(max_examples=40)
+def test_stalling_rule_completeness(params, steps):
+    """Every acceptance had a free slot at its instant: fewer than
+    ``capacity`` messages accepted strictly earlier were still in
+    transit (deliveries at the instant itself free their slot first)."""
+    res = run_traced(params, build_programs(steps, params.p))
+    accept = accept_times_from_result(res)
+    deliver = {uid: t for t, _dest, uid in res.trace.deliveries}
+    dest_of = {uid: dest for _t, dest, uid in res.trace.deliveries}
+    for uid, t in accept.items():
+        dest = dest_of[uid]
+        occupied = sum(
+            1
+            for other, a in accept.items()
+            if other != uid
+            and dest_of[other] == dest
+            and a < t
+            and deliver[other] > t
+        )
+        assert occupied < params.capacity, (
+            f"message accepted at t={t} into a full destination {dest}"
+        )
+
+
+@given(params=logp_params(), steps=program_steps)
+@settings(max_examples=40)
+def test_gap_rule_on_submissions_and_acquisitions(params, steps):
+    """Consecutive submissions (resp. acquisitions) by one processor are
+    >= G apart.  Note the rule binds *submissions*, not acceptances — a
+    stalled message's delayed acceptance may land within G of the
+    destination's other traffic."""
+    res = run_traced(params, build_programs(steps, params.p))
+    by_src: dict[int, list[int]] = {}
+    for t, src, _uid in res.trace.submissions:
+        by_src.setdefault(src, []).append(t)
+    by_acq: dict[int, list[int]] = {}
+    for t_start, _t_end, pid, _uid in res.trace.acquisitions:
+        by_acq.setdefault(pid, []).append(t_start)
+    for label, groups in (("submitted", by_src), ("acquired", by_acq)):
+        for pid, times in groups.items():
+            times.sort()
+            for earlier, later in zip(times, times[1:]):
+                assert later - earlier >= params.G, (
+                    f"processor {pid} {label} twice within the gap"
+                )
+
+
+@given(params=logp_params(), steps=program_steps)
+@settings(max_examples=25)
+def test_kernels_bit_identical(params, steps):
+    """The tentpole guarantee, as a property: both queue kernels drive
+    the same execution on arbitrary programs (uid-free projections)."""
+    programs = build_programs(steps, params.p)
+    a = run_traced(params, programs, kernel="event")
+    b = run_traced(params, programs, kernel="tick")
+    assert a.results == b.results
+    assert a.makespan == b.makespan
+    assert a.total_messages == b.total_messages
+    assert a.buffer_highwater == b.buffer_highwater
+    assert [(s.sender, s.dest, s.submit_time, s.accept_time) for s in a.stalls] == [
+        (s.sender, s.dest, s.submit_time, s.accept_time) for s in b.stalls
+    ]
+    for field in ("submissions", "deliveries"):
+        assert [
+            (t, ep) for t, ep, _uid in getattr(a.trace, field)
+        ] == [(t, ep) for t, ep, _uid in getattr(b.trace, field)]
+    assert [(x, y, pid) for x, y, pid, _ in a.trace.acquisitions] == [
+        (x, y, pid) for x, y, pid, _ in b.trace.acquisitions
+    ]
