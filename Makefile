@@ -1,12 +1,16 @@
 # Convenience targets; everything also works as plain pytest invocations.
 
-.PHONY: install test bench bench-only bench-kernel faults experiments examples clean
+.PHONY: install test lint bench bench-only bench-kernel faults experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# Config lives in pyproject.toml ([tool.ruff]).
+lint:
+	ruff check src tests benchmarks examples
 
 bench:
 	pytest benchmarks/

@@ -14,8 +14,6 @@
    robustness.
 """
 
-import pytest
-
 from repro.bsp.machine import BSPMachine
 from repro.models.params import BSPParams
 from repro.networks import Hypercube

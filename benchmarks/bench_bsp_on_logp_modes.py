@@ -21,7 +21,9 @@ MODES = ("deterministic", "randomized", "offline")
 
 @pytest.fixture(scope="module")
 def runs():
-    prog = lambda: bsp_radix_sort_program(keys_per_proc=8, key_bits=8, seed=17)
+    def prog():
+        return bsp_radix_sort_program(keys_per_proc=8, key_bits=8, seed=17)
+
     out = {}
     for mode in MODES:
         out[mode] = simulate_bsp_on_logp(PARAMS, prog(), routing=mode, seed=29)

@@ -4,8 +4,6 @@ Not a paper experiment — housekeeping numbers so regressions in the
 simulators themselves are visible.  Reported via pytest-benchmark.
 """
 
-import pytest
-
 from repro.bsp.machine import BSPMachine
 from repro.logp import LogPMachine
 from repro.models.params import BSPParams, LogPParams

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import os
 
-import pytest
 
 from repro.bsp import BSPMachine
 from repro.faults import FaultPlan, reliable

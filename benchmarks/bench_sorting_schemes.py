@@ -8,8 +8,6 @@ cost scale, showing the same who-wins structure.
 
 import random
 
-import pytest
-
 from repro.models.cost import t_seq_sort, t_sort_aks, t_sort_cubesort
 from repro.models.params import LogPParams
 from repro.sorting import bitonic_schedule, columnsort, run_schedule_locally

@@ -7,8 +7,6 @@ technique), whose per-cycle cost exhibits the ``O(((l+g)/G) log p)``
 flavour (log^2 with our Batcher network).
 """
 
-import pytest
-
 from repro.core.stalling import (
     measure_hotspot,
     measure_stall_storm,

@@ -7,7 +7,6 @@ asymptotic forms (constants depend on our store-and-forward substrate;
 the paper's claim is the asymptotic class).
 """
 
-import math
 
 import pytest
 

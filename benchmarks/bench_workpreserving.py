@@ -8,10 +8,7 @@ the processor-time product p' * T_BSP falling toward the sequential work
 as p' shrinks, while per-host slowdown follows (p/p') * O(1 + g/G + l/L).
 """
 
-import pytest
-
 from repro.core.logp_on_bsp import (
-    simulate_logp_on_bsp,
     simulate_logp_on_bsp_workpreserving,
 )
 from repro.models.params import LogPParams

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The paper's architecture as one runnable tower of models.
+
+BSP vs LogP is an argument about *layers*: a routed point-to-point
+network supports a LogP abstraction (Section 5), and LogP and BSP
+simulate each other with bounded slowdown (Theorems 1-3).  The
+:class:`repro.engine.Stack` API composes those layers declaratively;
+this example runs the same BSP program
+
+1. natively, on the matched abstract BSP machine,
+2. on the LogP machine via the Theorem 2 deterministic simulation,
+3. on LogP whose deliveries are routed hop-by-hop over a hypercube —
+   the full three-layer tower (BSP -> LogP -> network), and
+4. directly network-backed (Section 5's measured-cost pricing),
+
+then compares costs: each layer of realism you add shows up as
+measured slowdown on top of the abstract cost.
+
+Run:  python examples/layer_stack.py
+"""
+
+from repro import LogPParams
+from repro.engine import Stack
+from repro.networks import Hypercube
+from repro.programs import bsp_prefix_program
+from repro.util.tables import render_table
+
+P = 8
+# Generous L so the hypercube's store-and-forward latencies stay
+# admissible (every delivery within L) under the LogP layer.
+HOST = LogPParams(p=P, L=64, o=2, G=2)
+
+
+def main() -> None:
+    prog = bsp_prefix_program
+
+    # 1. Native BSP on the machine matched to the LogP host (g=G, l=L).
+    native = Stack(prog()).on_bsp(HOST.matching_bsp()).run()
+
+    # 2. Two layers: BSP simulated on LogP (Theorem 2, deterministic).
+    two = Stack(prog()).on_logp(HOST).run()
+    assert two.outputs_match
+
+    # 3. Three layers: the LogP host's deliveries are themselves routed
+    #    on a hypercube, edge contention and all.
+    topo = Hypercube(P)
+    three = Stack(prog()).on_logp(HOST).on_network(topo).run()
+    assert three.outputs_match
+    assert three.results == two.results  # semantics survive every layer
+
+    # 4. Network-backed BSP: Section 5's measured superstep pricing.
+    backed = Stack(prog()).on_network(topo).run()
+
+    rows = [
+        ("bsp", native.total_cost, "abstract w + g h + l"),
+        (
+            "bsp -> logp",
+            two.total_logp_time,
+            f"Theorem 2 slowdown {two.slowdown:.2f} (predicted {two.predicted_slowdown:.2f})",
+        ),
+        (
+            "bsp -> logp -> network",
+            three.total_logp_time,
+            f"+ hop-by-hop routing on {topo.name}",
+        ),
+        (
+            "bsp -> network",
+            backed.network_cost,
+            "measured route + barrier charges",
+        ),
+    ]
+    print(
+        render_table(
+            ["stack", "cost", "what the number is"],
+            rows,
+            title=f"One prefix-sum program, every layer of the tower (p={P})",
+        )
+    )
+    print(f"results, identical at every layer: {two.results}")
+
+
+if __name__ == "__main__":
+    main()

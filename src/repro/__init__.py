@@ -16,7 +16,11 @@ The package provides:
   h-relation machinery the protocols are built from;
 * :mod:`repro.models` — machine parameters and every closed-form cost
   expression in the paper;
-* :mod:`repro.programs` — ready-made example programs for both models.
+* :mod:`repro.programs` — ready-made example programs for both models;
+* :mod:`repro.engine` — the shared simulation engine: one drive loop,
+  the ``MachineResult``/``TraceEvent`` result vocabulary, and the
+  :class:`~repro.engine.stack.Stack` layer-composition API
+  (``Stack(prog).on_logp(P).on_network(topo).run()``).
 
 Quickstart::
 
@@ -30,6 +34,7 @@ from repro.models.message import Message
 from repro.models.params import BSPParams, LogPParams
 from repro.bsp.machine import BSPMachine, BSPResult
 from repro.logp.machine import LogPMachine, LogPResult
+from repro.engine import MachineResult, Stack, TraceEvent
 
 __version__ = "1.0.0"
 
@@ -41,5 +46,8 @@ __all__ = [
     "BSPResult",
     "LogPMachine",
     "LogPResult",
+    "MachineResult",
+    "Stack",
+    "TraceEvent",
     "__version__",
 ]

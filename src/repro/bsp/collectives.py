@@ -20,7 +20,6 @@ import operator
 from typing import Any, Callable, Generator, Sequence, TypeVar
 
 from repro.bsp.program import BSPContext, Compute, Send, Sync
-from repro.util.intmath import ceil_div
 
 __all__ = [
     "bsp_broadcast",

@@ -31,6 +31,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Generator, Sequence
 
+from repro.engine.core import coerce_programs, counters_for, spawn_generator
+from repro.engine.result import MachineResult, TraceEvent
 from repro.errors import ProgramError, ProtocolError, SimulationLimitError
 from repro.faults.plan import ActiveFaults, FaultLog, FaultPlan
 from repro.models.message import Message
@@ -65,7 +67,7 @@ class SuperstepRecord:
 
 
 @dataclass
-class BSPResult:
+class BSPResult(MachineResult):
     """Outcome of a BSP run: per-processor results and the cost ledger.
 
     ``message_log`` (only populated when the machine was built with
@@ -86,7 +88,39 @@ class BSPResult:
     #: clock units crossed in one ``w + g*h + l`` jump (what a per-tick
     #: clock would have scanned), ``queue_highwater`` the peak number of
     #: messages pending across one exchange.
-    kernel: KernelCounters = field(default_factory=lambda: KernelCounters(kernel="superstep"))
+    kernel: KernelCounters = field(default_factory=lambda: counters_for("superstep"))
+
+    row_fields = (
+        "total_cost",
+        "num_supersteps",
+        "total_messages",
+        "total_retries",
+        "total_retry_cost",
+    )
+
+    def trace_events(self) -> list[TraceEvent]:
+        """The cost ledger in the shared cross-layer vocabulary: one
+        ``"superstep"`` event per barrier, timed at the running total
+        cost (the BSP simulated clock)."""
+        events: list[TraceEvent] = []
+        clock = 0
+        for rec in self.ledger:
+            clock += rec.cost
+            events.append(
+                TraceEvent(
+                    "superstep",
+                    clock,
+                    -1,
+                    {
+                        "index": rec.index,
+                        "w": rec.w,
+                        "h": rec.h,
+                        "cost": rec.cost,
+                        "retries": rec.retries,
+                    },
+                )
+            )
+        return events
 
     @property
     def total_cost(self) -> int:
@@ -139,6 +173,10 @@ class BSPMachine:
     max_comm_retries:
         Recovery-round budget per superstep before the machine gives up
         with :class:`~repro.errors.ProtocolError`.
+    layer:
+        Name of this machine's position in a simulation stack (e.g.
+        ``"guest LogP on host BSP"``); limit diagnostics are prefixed
+        with it so errors from nested engines identify their owner.
 
     Example
     -------
@@ -176,10 +214,12 @@ class BSPMachine:
         h_convention: str = "max",
         faults: FaultPlan | None = None,
         max_comm_retries: int = 64,
+        layer: str = "BSP",
     ) -> None:
         self.params = params
         self.max_supersteps = max_supersteps
         self.record_messages = record_messages
+        self.layer = layer
         if h_convention not in self.H_CONVENTIONS:
             raise ProgramError(
                 f"unknown h_convention {h_convention!r}; "
@@ -198,27 +238,13 @@ class BSPMachine:
         """Run ``program`` on every processor (or one program per processor
         if a sequence of length ``p`` is given) to completion."""
         p = self.params.p
-        programs: list[BSPProgram]
-        if callable(program):
-            programs = [program] * p
-        else:
-            programs = list(program)
-            if len(programs) != p:
-                raise ProgramError(
-                    f"need exactly p={p} programs, got {len(programs)}"
-                )
+        programs = coerce_programs(program, p)
 
         contexts = [BSPContext(pid, p) for pid in range(p)]
         gens: list[Generator | None] = []
         results: list[Any] = [None] * p
         for pid in range(p):
-            gen = programs[pid](contexts[pid])
-            if not isinstance(gen, Generator):
-                raise ProgramError(
-                    f"BSP program for processor {pid} is not a generator "
-                    f"function (did you forget to yield?)"
-                )
-            gens.append(gen)
+            gens.append(spawn_generator(programs[pid], contexts[pid], pid, model="BSP"))
 
         active = self.faults.activate() if self.faults is not None else None
 
@@ -226,7 +252,7 @@ class BSPMachine:
         message_log: list[list[tuple[int, int]]] | None = (
             [] if self.record_messages else None
         )
-        counters = KernelCounters(kernel="superstep")
+        counters = counters_for("superstep")
         pending: list[list[Message]] = [[] for _ in range(p)]  # next inboxes
         superstep = 0
         # Active-set scheduling: only processors whose generator is still
@@ -236,7 +262,7 @@ class BSPMachine:
         while live:
             if superstep >= self.max_supersteps:
                 raise SimulationLimitError(
-                    f"exceeded max_supersteps={self.max_supersteps}"
+                    f"[{self.layer}] exceeded max_supersteps={self.max_supersteps}"
                 )
             # Communication phase of the *previous* superstep delivered
             # `pending`; hand fresh inboxes to the live processors

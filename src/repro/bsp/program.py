@@ -21,7 +21,7 @@ The generator's ``return`` value becomes the processor's result.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, Iterable
+from typing import Any, Callable, Generator
 
 from repro.errors import ProgramError
 from repro.models.message import Message

@@ -46,6 +46,8 @@ from repro.bsp.machine import BSPMachine, BSPResult
 from repro.bsp.program import BSPContext, BSPProgram, Compute as BCompute, Send as BSend, Sync
 from repro.core.cb import cb, cb_with_deadline
 from repro.core.det_routing import TAG_STRIDE, deterministic_route, _pinned_send
+from repro.engine.core import coerce_programs
+from repro.engine.result import MachineResult
 from repro.errors import ProgramError
 from repro.faults.plan import FaultPlan
 from repro.faults.protocol import reliable
@@ -54,7 +56,7 @@ from repro.logp.instructions import Compute, LogPContext, Send, WaitUntil
 from repro.logp.machine import LogPMachine, LogPResult
 from repro.models.cost import slowdown_S, theorem3_beta_hat, theorem3_num_batches
 from repro.models.message import Message
-from repro.models.params import BSPParams, LogPParams
+from repro.models.params import LogPParams
 from repro.perf.memo import plan_cache
 from repro.routing.hall import decompose_h_relation, relation_degree
 from repro.util.rng import derive_seed
@@ -85,8 +87,17 @@ class SuperstepTiming:
 
 
 @dataclass
-class Theorem2Report:
+class Theorem2Report(MachineResult):
     """Outcome of one BSP-on-LogP simulation."""
+
+    row_fields = (
+        "routing",
+        "total_logp_time",
+        "bsp_cost",
+        "slowdown",
+        "predicted_slowdown",
+        "outputs_match",
+    )
 
     logp_params: LogPParams
     routing: str
@@ -177,18 +188,16 @@ def simulate_bsp_on_logp(
             f"routing='resilient'"
         )
     p = logp_params.p
-    programs: list[BSPProgram]
-    if callable(program):
-        programs = [program] * p
-    else:
-        programs = list(program)
-        if len(programs) != p:
-            raise ProgramError(f"need p={p} programs, got {len(programs)}")
+    programs = coerce_programs(program, p)
 
     # Native pre-run: matched BSP machine, with message structure recorded
     # when a routing mode needs advance knowledge.
     need_log = routing in ("randomized", "offline")
-    bsp_machine = BSPMachine(logp_params.matching_bsp(), record_messages=need_log)
+    bsp_machine = BSPMachine(
+        logp_params.matching_bsp(),
+        record_messages=need_log,
+        layer="native BSP reference",
+    )
     bsp_native = bsp_machine.run(programs)
 
     advance: list[dict] | None = None
@@ -313,8 +322,9 @@ def simulate_bsp_on_logp(
         return prog
 
     forbid = routing in ("deterministic", "offline")
+    mkwargs = {"layer": "guest BSP on host LogP", **(machine_kwargs or {})}
     machine = LogPMachine(
-        logp_params, forbid_stalling=forbid, faults=faults, **(machine_kwargs or {})
+        logp_params, forbid_stalling=forbid, faults=faults, **mkwargs
     )
     progs = [make_prog(pid) for pid in range(p)]
     if routing == "resilient":

@@ -40,6 +40,8 @@ from typing import Any, Sequence
 
 from repro.bsp.machine import BSPMachine, BSPResult
 from repro.bsp.program import Compute as BCompute, Send as BSend, Sync
+from repro.engine.core import coerce_programs
+from repro.engine.result import MachineResult
 from repro.errors import ProgramError
 from repro.faults.plan import FaultPlan
 from repro.logp.instructions import (
@@ -179,8 +181,18 @@ class CycleInterpreter:
 
 
 @dataclass
-class Theorem1Report:
+class Theorem1Report(MachineResult):
     """Outcome of one Theorem 1 simulation run."""
+
+    row_fields = (
+        "window",
+        "windows",
+        "virtual_time",
+        "slowdown",
+        "predicted_slowdown",
+        "max_window_h",
+        "outputs_match",
+    )
 
     logp_params: LogPParams
     bsp_params: BSPParams
@@ -238,17 +250,9 @@ class Theorem1Report:
         return self.native is None or list(self.native.results) == list(self.results)
 
 
-def _as_programs(program, p: int) -> list[LogPProgram]:
-    if callable(program):
-        return [program] * p
-    programs = list(program)
-    if len(programs) != p:
-        raise ProgramError(f"need p={p} programs, got {len(programs)}")
-    return programs
-
-
 def _run_native(logp_params, programs, machine_kwargs) -> LogPResult:
-    machine = LogPMachine(logp_params, forbid_stalling=True, **(machine_kwargs or {}))
+    kwargs = {"layer": "native LogP reference", **(machine_kwargs or {})}
+    machine = LogPMachine(logp_params, forbid_stalling=True, **kwargs)
     return machine.run(programs)
 
 
@@ -280,7 +284,7 @@ def simulate_logp_on_bsp(
     bsp = bsp_params if bsp_params is not None else logp_params.matching_bsp()
     if bsp.p != p:
         raise ProgramError(f"BSP p={bsp.p} != LogP p={p}")
-    programs = _as_programs(program, p)
+    programs = coerce_programs(program, p)
     W = window_length(logp_params)
 
     def make_wrapper(pid: int):
@@ -300,7 +304,12 @@ def simulate_logp_on_bsp(
 
         return wrapper
 
-    machine = BSPMachine(bsp, max_supersteps=max_supersteps, faults=faults)
+    machine = BSPMachine(
+        bsp,
+        max_supersteps=max_supersteps,
+        faults=faults,
+        layer="guest LogP on host BSP",
+    )
     bsp_result = machine.run([make_wrapper(pid) for pid in range(p)])
 
     native = _run_native(logp_params, programs, machine_kwargs) if compare_native else None
@@ -350,7 +359,7 @@ def simulate_logp_on_bsp_workpreserving(
     )
     if bsp.p != bsp_p:
         raise ProgramError(f"bsp_params.p={bsp.p} != bsp_p={bsp_p}")
-    programs = _as_programs(program, p)
+    programs = coerce_programs(program, p)
     W = window_length(logp_params)
 
     def host_of(lpid: int) -> int:
@@ -389,7 +398,12 @@ def simulate_logp_on_bsp_workpreserving(
 
         return host
 
-    machine = BSPMachine(bsp, max_supersteps=max_supersteps, faults=faults)
+    machine = BSPMachine(
+        bsp,
+        max_supersteps=max_supersteps,
+        faults=faults,
+        layer="guest LogP on host BSP (work-preserving)",
+    )
     bsp_result = machine.run([make_host(b) for b in range(bsp_p)])
 
     native = _run_native(logp_params, programs, machine_kwargs) if compare_native else None

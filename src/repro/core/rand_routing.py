@@ -30,8 +30,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Generator, Sequence
 
-import numpy as np
-
 from repro.errors import ProgramError
 from repro.logp.collectives import recv_n_tagged
 from repro.logp.instructions import LogPContext, Send, WaitUntil

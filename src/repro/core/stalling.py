@@ -37,7 +37,7 @@ from repro.bsp.program import BSPContext, Compute as BCompute, Send as BSend, Sy
 from repro.bsp.collectives import bsp_allreduce
 from repro.errors import ProgramError
 from repro.logp.collectives import recv_n_tagged
-from repro.logp.instructions import LogPContext, Send, WaitUntil
+from repro.logp.instructions import LogPContext, Send
 from repro.logp.machine import LogPMachine, LogPResult
 from repro.models.cost import hotspot_delivery_time, stalling_worst_case
 from repro.models.params import BSPParams, LogPParams

@@ -1,0 +1,33 @@
+"""The shared simulation engine: one drive loop, one result vocabulary,
+and first-class layer composition for every simulator in the repo.
+
+* :mod:`repro.engine.core` — the :class:`Engine` run loop plus the
+  shared program-intake and counter helpers all machines use.
+* :mod:`repro.engine.result` — :class:`MachineResult` / :class:`TraceEvent`,
+  the cross-layer result projection and trace vocabulary.
+* :mod:`repro.engine.stack` — :class:`Stack`, the declarative
+  composition API (``Stack(prog).on_logp(params).on_network(topo)``).
+"""
+
+from repro.engine.core import (
+    KNOWN_KERNELS,
+    Engine,
+    coerce_programs,
+    counters_for,
+    spawn_generator,
+)
+from repro.engine.result import MachineResult, TraceEvent
+from repro.engine.stack import SUPPORTED_CHAINS, Stack, StackLayer
+
+__all__ = [
+    "Engine",
+    "coerce_programs",
+    "counters_for",
+    "spawn_generator",
+    "KNOWN_KERNELS",
+    "MachineResult",
+    "TraceEvent",
+    "Stack",
+    "StackLayer",
+    "SUPPORTED_CHAINS",
+]

@@ -1,0 +1,90 @@
+"""Shared result and trace vocabulary for every simulation layer.
+
+The paper's architecture is a stack of models related by simulations
+(network under LogP under BSP).  Before this module existed, each layer's
+engine returned a bespoke result object with its own ad-hoc reporting;
+now every run outcome derives from :class:`MachineResult`, which fixes
+
+* one machine-readable projection — :meth:`MachineResult.as_row` — used
+  by the experiment runner's ``--json`` mode and the stack equivalence
+  tests, and
+* one trace vocabulary — :class:`TraceEvent` via
+  :meth:`MachineResult.trace_events` — so a BSP superstep ledger, a LogP
+  event trace, and a packet-routing run can all be inspected with the
+  same tools regardless of which layer of a :class:`~repro.engine.stack.
+  Stack` produced them.
+
+The legacy attributes of each concrete result class are untouched: the
+golden-trace suite keeps reading ``LogPResult.trace.submissions`` etc.,
+and this module only adds the shared projection on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+__all__ = ["MachineResult", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observable event of a simulated execution, layer-independent.
+
+    ``kind`` is drawn from a small shared vocabulary:
+
+    * LogP machines emit ``"submit"``, ``"deliver"``, ``"acquire"``;
+    * BSP machines emit ``"superstep"`` (time = the simulated clock at
+      the superstep's barrier, i.e. the running total cost);
+    * stacked runs concatenate their layers' events unchanged — the
+      vocabulary is what makes the concatenation meaningful.
+
+    ``pid`` is the acting processor (or ``-1`` for machine-wide events
+    such as a BSP barrier); ``data`` carries kind-specific detail and is
+    always JSON-serializable.
+    """
+
+    kind: str
+    time: int
+    pid: int
+    data: Any = None
+
+
+@dataclass
+class MachineResult:
+    """Base class for every layer's run outcome.
+
+    Subclasses declare their own fields (the base contributes none, so
+    dataclass field ordering is unaffected) and opt into the shared
+    vocabulary by setting ``row_fields`` — the attribute/property names
+    whose values form the machine-readable row — and, where a trace
+    exists, overriding :meth:`trace_events`.
+    """
+
+    #: Names of scalar (JSON-serializable) observables for :meth:`as_row`.
+    row_fields: ClassVar[tuple[str, ...]] = ()
+
+    def as_row(self) -> dict:
+        """Machine-readable projection of the run: one flat dict.
+
+        Collects ``row_fields``, then appends the two cross-layer
+        standards when present: the kernel's work counters
+        (:class:`~repro.perf.counters.KernelCounters`) and the fault
+        ledger summary.
+        """
+        row: dict[str, Any] = {name: getattr(self, name) for name in self.row_fields}
+        kernel = getattr(self, "kernel", None)
+        if kernel is not None:
+            row["kernel"] = kernel.as_dict()
+        fault_log = getattr(self, "fault_log", None)
+        if fault_log is not None:
+            row["fault_summary"] = fault_log.summary()
+        return row
+
+    def trace_events(self) -> list[TraceEvent]:
+        """The run as a flat, chronological list of :class:`TraceEvent`.
+
+        The base implementation returns an empty list (not every layer
+        records a trace); subclasses with richer records override it.
+        """
+        return []

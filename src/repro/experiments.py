@@ -2,7 +2,11 @@
 
 ``python -m repro.experiments list`` shows the experiment ids (matching
 DESIGN.md's index); ``python -m repro.experiments run <id> [...]`` or
-``run all`` prints the corresponding tables.  The pytest benchmarks in
+``run all`` prints the corresponding tables.  Add ``--json`` to emit one
+machine-readable JSON document per experiment alongside each pretty
+table — rows built on the shared
+:meth:`~repro.engine.result.MachineResult.as_row` projection where the
+experiment's underlying reports provide it.  The pytest benchmarks in
 ``benchmarks/`` run the same code with shape assertions and persistence;
 this runner is the zero-dependency way to eyeball results.
 """
@@ -10,16 +14,45 @@ this runner is the zero-dependency way to eyeball results.
 from __future__ import annotations
 
 import argparse
+import json
 import operator
 import sys
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.util.tables import render_table
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "ExperimentTable"]
 
 
-def _exp_table1() -> str:
+@dataclass
+class ExperimentTable:
+    """One experiment's outcome: a pretty table plus machine-readable rows.
+
+    ``rows`` holds the display tuples exactly as :func:`render_table`
+    shows them; ``records``, when supplied, holds richer per-row dicts —
+    typically a :meth:`MachineResult.as_row` projection merged with the
+    experiment's configuration axes.  When absent, records are derived
+    by zipping the display columns.
+    """
+
+    id: str
+    title: str
+    columns: list[str]
+    rows: list[tuple]
+    records: list[dict] | None = field(default=None)
+
+    def render(self) -> str:
+        return render_table(self.columns, self.rows, title=self.title)
+
+    def as_json(self) -> dict:
+        records = self.records
+        if records is None:
+            records = [dict(zip(self.columns, row)) for row in self.rows]
+        return {"id": self.id, "title": self.title, "rows": records}
+
+
+def _exp_table1() -> ExperimentTable:
     from repro.models.cost import TABLE1
     from repro.networks.params import TOPOLOGY_BUILDERS, measure_network_params
 
@@ -42,20 +75,22 @@ def _exp_table1() -> str:
                     f"{th_d:.1f} ~ {costs.delta_expr}",
                 )
             )
-    return render_table(
+    return ExperimentTable(
+        "T1",
+        "T1 — Table 1: fitted T(h) = gamma h + delta per topology",
         ["topology", "p", "gamma fit", "gamma Table 1", "delta fit", "delta Table 1"],
         rows,
-        title="T1 — Table 1: fitted T(h) = gamma h + delta per topology",
     )
 
 
-def _exp_theorem1() -> str:
+def _exp_theorem1() -> ExperimentTable:
     from repro.core.logp_on_bsp import simulate_logp_on_bsp
     from repro.models.params import BSPParams, LogPParams
     from repro.programs import logp_alltoall_program
 
     logp = LogPParams(p=16, L=8, o=1, G=2)
     rows = []
+    records = []
     for gs, ls in ((1, 1), (4, 1), (1, 4), (4, 4)):
         bsp = BSPParams(p=logp.p, g=logp.G * gs, l=logp.L * ls)
         rep = simulate_logp_on_bsp(logp, logp_alltoall_program(), bsp_params=bsp)
@@ -70,14 +105,17 @@ def _exp_theorem1() -> str:
                 rep.outputs_match,
             )
         )
-    return render_table(
+        records.append({"g": bsp.g, "l": bsp.l, **rep.as_row()})
+    return ExperimentTable(
+        "TH1",
+        "TH1 — Theorem 1: stall-free LogP (all-to-all) on BSP  [LogP p=16, L=8, o=1, G=2]",
         ["BSP machine", "cycles", "max h", "ceil(L/G)", "slowdown", "predicted", "outputs match"],
         rows,
-        title="TH1 — Theorem 1: stall-free LogP (all-to-all) on BSP  [LogP p=16, L=8, o=1, G=2]",
+        records=records,
     )
 
 
-def _exp_cb() -> str:
+def _exp_cb() -> ExperimentTable:
     from repro.core.cb import measure_cb
     from repro.models.cost import cb_time_lower, cb_time_upper
     from repro.models.params import LogPParams
@@ -96,14 +134,15 @@ def _exp_cb() -> str:
                     f"{cb_time_upper(params):.0f}",
                 )
             )
-    return render_table(
+    return ExperimentTable(
+        "P1",
+        "P1 — Propositions 1/2: Combine-and-Broadcast cost (o=1)",
         ["p", "ceil(L/G)", "T_CB", "Prop1 lower", "paper upper"],
         rows,
-        title="P1 — Propositions 1/2: Combine-and-Broadcast cost (o=1)",
     )
 
 
-def _exp_theorem2() -> str:
+def _exp_theorem2() -> ExperimentTable:
     from repro.core.det_routing import measure_det_routing
     from repro.models.cost import t_route_small
     from repro.models.params import LogPParams
@@ -122,14 +161,15 @@ def _exp_theorem2() -> str:
                 f"{m.total_time / (params.G * h + params.L):.1f}",
             )
         )
-    return render_table(
+    return ExperimentTable(
+        "TH2",
+        "TH2 — Theorem 2: deterministic h-relation routing (p=16, L=8, o=1, G=2)",
         ["h", "scheme", "T total", "optimal", "T/(Gh+L)"],
         rows,
-        title="TH2 — Theorem 2: deterministic h-relation routing (p=16, L=8, o=1, G=2)",
     )
 
 
-def _exp_theorem3() -> str:
+def _exp_theorem3() -> ExperimentTable:
     from repro.core.rand_routing import measure_rand_routing
     from repro.models.params import LogPParams
     from repro.routing.workloads import balanced_h_relation
@@ -148,14 +188,15 @@ def _exp_theorem3() -> str:
                 params.G * 16,
             )
         )
-    return render_table(
+    return ExperimentTable(
+        "TH3",
+        "TH3 — Theorem 3: randomized routing, stall probability vs batch budget",
         ["R", "stalled", "clean", "T max", "G h"],
         rows,
-        title="TH3 — Theorem 3: randomized routing, stall probability vs batch budget",
     )
 
 
-def _exp_stalling() -> str:
+def _exp_stalling() -> ExperimentTable:
     from repro.core.stalling import measure_hotspot, measure_stall_storm
     from repro.models.params import LogPParams
 
@@ -167,14 +208,15 @@ def _exp_stalling() -> str:
     for h in (4, 8, 16):
         rep = measure_stall_storm(params, h)
         rows.append(("convoy", h, rep.makespan, rep.worst_case_bound, len(rep.result.stalls)))
-    return render_table(
+    return ExperimentTable(
+        "ST",
+        "ST — stalling: hot-spot drain rate and the O(Gh^2) worst case (p=32, L=8, o=1, G=2)",
         ["workload", "k / h", "makespan", "bound", "stalls"],
         rows,
-        title="ST — stalling: hot-spot drain rate and the O(Gh^2) worst case (p=32, L=8, o=1, G=2)",
     )
 
 
-def _exp_observation1() -> str:
+def _exp_observation1() -> ExperimentTable:
     from repro.core.network_support import survey_observation1
 
     rows = [
@@ -193,34 +235,39 @@ def _exp_observation1() -> str:
             (16, 64),
         )
     ]
-    return render_table(
+    return ExperimentTable(
+        "OB1",
+        "OB1 — Observation 1: best attainable parameters per network",
         ["topology", "p", "g*", "l*", "G*", "L*", "G*/g*", "L*/(l*+g*)"],
         rows,
-        title="OB1 — Observation 1: best attainable parameters per network",
     )
 
 
-def _exp_workpreserving() -> str:
+def _exp_workpreserving() -> ExperimentTable:
     from repro.core.logp_on_bsp import simulate_logp_on_bsp_workpreserving
     from repro.models.params import LogPParams
     from repro.programs import logp_sum_program
 
     params = LogPParams(p=16, L=8, o=1, G=2)
     rows = []
+    records = []
     for bsp_p in (16, 8, 4, 2, 1):
         rep = simulate_logp_on_bsp_workpreserving(params, logp_sum_program(), bsp_p)
         rows.append(
             (bsp_p, params.p // bsp_p, rep.bsp.total_cost, rep.work,
              f"{rep.slowdown:.1f}", rep.outputs_match)
         )
-    return render_table(
+        records.append({"bsp_p": bsp_p, "work": rep.work, **rep.as_row()})
+    return ExperimentTable(
+        "WP",
+        "WP — footnote 1: work-preserving Theorem 1 simulation (LogP p=16)",
         ["p'", "charges/host", "T_BSP", "work p'*T", "slowdown", "outputs match"],
         rows,
-        title="WP — footnote 1: work-preserving Theorem 1 simulation (LogP p=16)",
+        records=records,
     )
 
 
-EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
+EXPERIMENTS: dict[str, tuple[str, Callable[[], ExperimentTable]]] = {
     "T1": ("Table 1: network bandwidth/latency parameters", _exp_table1),
     "TH1": ("Theorem 1: LogP on BSP", _exp_theorem1),
     "P1": ("Propositions 1/2: Combine-and-Broadcast", _exp_cb),
@@ -241,6 +288,13 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list", help="list experiment ids")
     run = sub.add_parser("run", help="run experiments by id (or 'all')")
     run.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON document per experiment "
+        "after its table (rows use the shared MachineResult.as_row "
+        "projection where available)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -254,7 +308,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment ids: {unknown}; try 'list'", file=sys.stderr)
         return 2
     for i in ids:
-        print(EXPERIMENTS[i][1]())
+        table = EXPERIMENTS[i][1]()
+        print(table.render())
+        if args.json:
+            print(json.dumps(table.as_json(), default=str))
         print()
     return 0
 

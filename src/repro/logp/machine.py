@@ -10,12 +10,16 @@ submissions, which are processed before processor resumptions.  This makes
 the stalling rule's "messages in transit at time t" well defined — a
 message delivered at ``t`` is no longer in transit at ``t``.
 
-The engine is generic over the event queue (``kernel=``): the production
-``"event"`` kernel skips ahead to the next actionable timestamp and
-drains it as one batch, while the ``"tick"`` kernel is the per-tick
-scanning reference whose event order — and therefore every simulated
-clock, message order, and cost ledger — is identical by construction
-(see :mod:`repro.perf.event_queue` and ``docs/PERF.md``).
+The drive loop itself — queue construction, fault activation, the
+``max_events`` guard, quiescence release, layer-labelled diagnostics —
+is the shared :class:`~repro.engine.core.Engine`; this module supplies
+only the LogP *dispatch* (the model semantics for deliver/submit/resume
+events).  The engine is generic over the event queue (``kernel=``): the
+production ``"event"`` kernel skips ahead to the next actionable
+timestamp and drains it as one batch, while the ``"tick"`` kernel is the
+per-tick scanning reference whose event order — and therefore every
+simulated clock, message order, and cost ledger — is identical by
+construction (see :mod:`repro.perf.event_queue` and ``docs/PERF.md``).
 """
 
 from __future__ import annotations
@@ -23,8 +27,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Generator, Sequence
 
+from repro.engine.core import Engine, coerce_programs, spawn_generator
+from repro.engine.result import MachineResult, TraceEvent
 from repro.errors import (
-    DeadlockError,
     InvariantViolationError,
     ProgramError,
     SimulationLimitError,
@@ -46,7 +51,6 @@ from repro.logp.instructions import (
 )
 from repro.logp.network import Medium, StallRecord
 from repro.perf.counters import KernelCounters
-from repro.perf.event_queue import make_event_queue
 from repro.logp.scheduler import (
     AcceptancePolicy,
     AcceptFIFO,
@@ -106,7 +110,7 @@ class _Proc:
 
 
 @dataclass
-class LogPResult:
+class LogPResult(MachineResult):
     """Outcome of a LogP run.
 
     Attributes
@@ -143,6 +147,27 @@ class LogPResult:
     trace: Trace | None = None
     fault_log: "FaultLog | None" = None
     kernel: KernelCounters = field(default_factory=KernelCounters)
+
+    row_fields = ("makespan", "total_messages", "total_stall_time", "buffer_highwater")
+
+    def trace_events(self) -> list[TraceEvent]:
+        """The recorded trace in the shared cross-layer vocabulary."""
+        if self.trace is None:
+            return []
+        events = [
+            TraceEvent("submit", t, src, {"uid": uid})
+            for t, src, uid in self.trace.submissions
+        ]
+        events += [
+            TraceEvent("deliver", t, dest, {"uid": uid})
+            for t, dest, uid in self.trace.deliveries
+        ]
+        events += [
+            TraceEvent("acquire", t_start, pid, {"uid": uid, "end": t_end})
+            for t_start, t_end, pid, uid in self.trace.acquisitions
+        ]
+        events.sort(key=lambda ev: ev.time)
+        return events
 
     @property
     def stall_free(self) -> bool:
@@ -194,6 +219,11 @@ class LogPMachine:
         per-tick scanning reference kernel).  Both produce bit-identical
         executions; ``"tick"`` exists as the equivalence oracle and the
         benchmark baseline.
+    layer:
+        Name of this machine's position in a simulation stack (e.g.
+        ``"guest BSP on host LogP"``).  Deadlock and limit diagnostics
+        are prefixed with it, so errors escaping nested engines identify
+        their owner.
 
     Example
     -------
@@ -222,6 +252,7 @@ class LogPMachine:
         faults: FaultPlan | None = None,
         check_invariants: bool = False,
         kernel: str = "event",
+        layer: str = "LogP",
     ) -> None:
         self.params = params
         self.delivery = delivery if delivery is not None else DeliverMaxLatency()
@@ -232,6 +263,7 @@ class LogPMachine:
         self.faults = faults
         self.check_invariants = check_invariants
         self.kernel = kernel
+        self.layer = layer
 
     # ------------------------------------------------------------------
 
@@ -239,30 +271,27 @@ class LogPMachine:
         """Run ``program`` on every processor (or one per processor when a
         length-``p`` sequence is given) to completion."""
         p = self.params.p
-        programs: list[LogPProgram]
-        if callable(program):
-            programs = [program] * p
-        else:
-            programs = list(program)
-            if len(programs) != p:
-                raise ProgramError(f"need exactly p={p} programs, got {len(programs)}")
+        programs = coerce_programs(program, p)
 
-        active = self.faults.activate() if self.faults is not None else None
+        engine = Engine(
+            kernel=self.kernel,
+            p=p,
+            max_events=self.max_events,
+            layer=self.layer,
+            faults=self.faults,
+        )
+        active = engine.active
 
         procs: list[_Proc] = []
         for pid in range(p):
             ctx = LogPContext(pid, p, self.params)
-            gen = programs[pid](ctx)
-            if not isinstance(gen, Generator):
-                raise ProgramError(
-                    f"LogP program for processor {pid} is not a generator function"
-                )
+            gen = spawn_generator(programs[pid], ctx, pid, model="LogP")
             scale = active.clock_scale(pid) if active is not None else 1
             procs.append(_Proc(pid=pid, gen=gen, ctx=ctx, scale=scale))
 
         trace = Trace(self.params) if (self.record_trace or self.check_invariants) else None
-        queue = make_event_queue(self.kernel, p)
-        push = queue.push
+        queue = engine.queue
+        push = engine.push
 
         def schedule_delivery(msg: Message, t: int) -> None:
             push(t, _EV_DELIVER, msg.dest, msg)
@@ -307,102 +336,108 @@ class LogPMachine:
                     push(t_crash, _EV_CRASH, pid, None)
 
         makespan = 0
-        time = 0
-        while True:
-            while queue:
-                if queue.counters.events >= self.max_events:
-                    raise SimulationLimitError(f"exceeded max_events={self.max_events}")
-                time, kind, pid, data = queue.pop()
-                if kind == _EV_CRASH:
-                    proc = procs[pid]
-                    # proc.clock > time: the engine ran the processor's
-                    # local computation optimistically past the crash
-                    # instant, so the "finish" never actually happened.
-                    if proc.state != _DONE or proc.clock > time:
-                        proc.state = _DONE
-                        proc.result = CRASHED
-                        proc.pending_send = None
-                        active.log.crashes.append((pid, time))
-                elif kind == _EV_DELIVER:
-                    msg: Message = data
-                    proc = procs[pid]
-                    if not medium.deliverable(msg):
-                        # Dropped in flight: free the capacity slot, never
-                        # buffer (the fault log already has the record).
-                        medium.on_delivered(msg, time)
-                        continue
-                    proc.buffer.append((time, msg))
-                    proc.buffer_highwater = max(proc.buffer_highwater, proc.buffered())
-                    if trace is not None:
-                        trace.on_delivered(msg, time)
-                    medium.on_delivered(msg, time)
-                    if proc.state in (_BLOCKED_RECV, _LINGERING):
-                        self._start_acquire(proc, time, push, trace)
-                elif kind == _EV_SUBMIT:
-                    proc = procs[pid]
-                    if proc.state == _DONE or proc.pending_send is None:
-                        continue  # sender crashed between prepare and submit
-                    msg = proc.pending_send
-                    proc.pending_send = None
-                    if trace is not None:
-                        trace.on_submitted(msg, time)
-                    accepted_at = medium.submit(pid, msg, time)
-                    if accepted_at is not None:
-                        proc.state = _RUNNING
-                        push(accepted_at, _EV_RESUME, pid, ("sent", accepted_at))
-                    else:
-                        proc.state = _STALLING
-                        if self.forbid_stalling:
-                            raise StallError(
-                                f"processor {pid} stalled submitting {msg!r} at t={time} "
-                                f"(forbid_stalling=True)"
-                            )
-                else:  # _EV_RESUME
-                    proc = procs[pid]
-                    if proc.state == _DONE:
-                        continue
-                    tag, value = data
-                    if tag == "tryrecv":
-                        # Deferred poll: the processor's clock ran ahead of
-                        # event time; now (time == clock) the buffer reflects
-                        # every delivery up to it.
-                        if proc.buffered():
-                            self._start_acquire(proc, time, push, trace)
-                            continue
-                        proc.clock += 1
-                        proc.state = _IDLE
-                        push(proc.clock, _EV_RESUME, pid, ("poll", None))
-                        continue
-                    result: Any
-                    if tag == "recv":
-                        result = value
-                    elif tag == "sent":
-                        result = value
-                    else:
-                        result = None
-                    proc.clock = max(proc.clock, time)
-                    makespan = max(makespan, proc.clock)
-                    self._step(
-                        proc, result, first=(tag == "start"), push=push, trace=trace, now=time
-                    )
-                    makespan = max(makespan, proc.clock)
 
+        def dispatch(time: int, kind: int, pid: int, data: Any) -> None:
+            """LogP model semantics for one popped event.  The intra-step
+            phase order (crash < deliver < submit < resume) is encoded in
+            the event-kind numbering; the engine's queue delivers it."""
+            nonlocal makespan
+            if kind == _EV_CRASH:
+                proc = procs[pid]
+                # proc.clock > time: the engine ran the processor's
+                # local computation optimistically past the crash
+                # instant, so the "finish" never actually happened.
+                if proc.state != _DONE or proc.clock > time:
+                    proc.state = _DONE
+                    proc.result = CRASHED
+                    proc.pending_send = None
+                    active.log.crashes.append((pid, time))
+            elif kind == _EV_DELIVER:
+                msg: Message = data
+                proc = procs[pid]
+                if not medium.deliverable(msg):
+                    # Dropped in flight: free the capacity slot, never
+                    # buffer (the fault log already has the record).
+                    medium.on_delivered(msg, time)
+                    return
+                proc.buffer.append((time, msg))
+                proc.buffer_highwater = max(proc.buffer_highwater, proc.buffered())
+                if trace is not None:
+                    trace.on_delivered(msg, time)
+                medium.on_delivered(msg, time)
+                if proc.state in (_BLOCKED_RECV, _LINGERING):
+                    self._start_acquire(proc, time, push, trace)
+            elif kind == _EV_SUBMIT:
+                proc = procs[pid]
+                if proc.state == _DONE or proc.pending_send is None:
+                    return  # sender crashed between prepare and submit
+                msg = proc.pending_send
+                proc.pending_send = None
+                if trace is not None:
+                    trace.on_submitted(msg, time)
+                accepted_at = medium.submit(pid, msg, time)
+                if accepted_at is not None:
+                    proc.state = _RUNNING
+                    push(accepted_at, _EV_RESUME, pid, ("sent", accepted_at))
+                else:
+                    proc.state = _STALLING
+                    if self.forbid_stalling:
+                        raise StallError(
+                            f"processor {pid} stalled submitting {msg!r} at t={time} "
+                            f"(forbid_stalling=True)"
+                        )
+            else:  # _EV_RESUME
+                proc = procs[pid]
+                if proc.state == _DONE:
+                    return
+                tag, value = data
+                if tag == "tryrecv":
+                    # Deferred poll: the processor's clock ran ahead of
+                    # event time; now (time == clock) the buffer reflects
+                    # every delivery up to it.
+                    if proc.buffered():
+                        self._start_acquire(proc, time, push, trace)
+                        return
+                    proc.clock += 1
+                    proc.state = _IDLE
+                    push(proc.clock, _EV_RESUME, pid, ("poll", None))
+                    return
+                result: Any
+                if tag == "recv":
+                    result = value
+                elif tag == "sent":
+                    result = value
+                else:
+                    result = None
+                proc.clock = max(proc.clock, time)
+                makespan = max(makespan, proc.clock)
+                self._step(
+                    proc, result, first=(tag == "start"), push=push, trace=trace, now=time
+                )
+                makespan = max(makespan, proc.clock)
+
+        def release_lingerers(time: int) -> bool:
             # Quiescence: nothing in flight, nobody runnable.  Release
             # lingering processors (Linger resolves to None) and keep
             # draining whatever their final actions generate.
             lingerers = [pr for pr in procs if pr.state == _LINGERING]
             if not lingerers:
-                break
+                return False
             for pr in lingerers:
                 pr.state = _IDLE
                 push(pr.clock, _EV_RESUME, pr.pid, ("recv", None))
+            return True
+
+        engine.run(dispatch, on_quiescence=release_lingerers)
 
         blocked = [pr.pid for pr in procs if pr.state in (_BLOCKED_RECV, _STALLING)]
         if blocked:
-            raise DeadlockError(
+            raise engine.deadlock_error(
                 f"simulation drained with processors {blocked} still blocked "
                 f"(waiting on messages that will never arrive)",
-                diagnostics=self._deadlock_diagnostics(procs, medium, active, time, queue),
+                diagnostics=self._deadlock_diagnostics(
+                    procs, medium, active, engine.last_time, queue
+                ),
             )
 
         result_obj = LogPResult(
@@ -496,7 +531,7 @@ class LogPMachine:
             inline += 1
             if inline > self.max_events:
                 raise SimulationLimitError(
-                    f"processor {proc.pid} executed more than "
+                    f"[{self.layer}] processor {proc.pid} executed more than "
                     f"max_events={self.max_events} instructions without "
                     f"touching the network (runaway local loop?)"
                 )

@@ -24,7 +24,7 @@ moments, and the rule above is enforced at each.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import CapacityViolationError

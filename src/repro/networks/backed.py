@@ -22,6 +22,7 @@ from typing import Sequence
 
 from repro.bsp.machine import BSPMachine, BSPResult
 from repro.bsp.program import BSPProgram
+from repro.engine.result import MachineResult
 from repro.errors import TopologyError
 from repro.models.params import BSPParams
 from repro.networks.routing_sim import RoutingConfig, build_paths, route_packets
@@ -51,8 +52,10 @@ class SuperstepComm:
 
 
 @dataclass
-class NetworkBackedRun:
+class NetworkBackedRun(MachineResult):
     """A BSP execution priced on a concrete topology."""
+
+    row_fields = ("topology_name", "p", "network_cost", "total_route_time")
 
     topology_name: str
     p: int
@@ -141,7 +144,11 @@ def run_on_network(
     p = topo.p
     # Semantics first: parameters don't affect results (§2.1), so run on
     # a unit machine while recording the communication structure.
-    machine = BSPMachine(BSPParams(p=p, g=1, l=0), record_messages=True)
+    machine = BSPMachine(
+        BSPParams(p=p, g=1, l=0),
+        record_messages=True,
+        layer="guest BSP on host network",
+    )
     bsp = machine.run(program)
     if bsp.message_log is None:
         raise TopologyError("internal: message recording disabled")

@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engine.core import counters_for
+from repro.engine.result import MachineResult
 from repro.errors import RoutingError
 from repro.networks.topology import Topology
 from repro.perf.counters import KernelCounters
@@ -78,7 +80,7 @@ class RoutingConfig:
 
 
 @dataclass
-class RoutingOutcome:
+class RoutingOutcome(MachineResult):
     """Result of routing one packet set.
 
     ``retransmissions`` counts transmission attempts that a faulty link
@@ -97,6 +99,15 @@ class RoutingOutcome:
     max_queue: int
     retransmissions: int = 0
     kernel: KernelCounters = field(default_factory=KernelCounters)
+
+    row_fields = (
+        "time",
+        "packets",
+        "total_hops",
+        "max_queue",
+        "retransmissions",
+        "avg_path",
+    )
 
     @property
     def avg_path(self) -> float:
@@ -135,7 +146,7 @@ def _route_packets_event(
     """
     pos = [0] * len(paths)
     total_hops = 0
-    counters = KernelCounters(kernel="event")
+    counters = counters_for("event")
     # Edge state, indexed by creation sequence number.
     eseq: dict[tuple[int, int], int] = {}
     equeues: list[deque[int]] = []
@@ -271,7 +282,7 @@ def _route_packets_tick(
     # Packet state: index into its path (position of current node).
     pos = [0] * len(paths)
     total_hops = 0
-    counters = KernelCounters(kernel="tick")
+    counters = counters_for("tick")
     queues: dict[tuple[int, int], deque[int]] = {}
     node_out: dict[int, list[tuple[int, int]]] = {}
 

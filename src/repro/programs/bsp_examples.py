@@ -9,7 +9,7 @@ precisely why simulating it via the Section 4.2 protocol is interesting).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -56,7 +56,6 @@ def bsp_radix_sort_program(keys_per_proc: int, key_bits: int, seed: int = 0):
         p = ctx.p
         rng = make_rng((seed * 1_000_003 + ctx.pid))
         keys = [int(k) for k in rng.integers(0, 1 << key_bits, size=keys_per_proc)]
-        n_total = keys_per_proc * p
 
         shift = 0
         while shift < key_bits:

@@ -17,7 +17,6 @@ from repro.logp.collectives import (
     binary_tree_reduce,
     binomial_broadcast,
     recv_n_tagged,
-    recv_tag,
 )
 from repro.logp.instructions import Compute, LogPContext, Recv, Send
 

@@ -7,7 +7,6 @@ Theorem 3 batch assignment, workload generators) takes an explicit seed or
 
 from __future__ import annotations
 
-from typing import Sequence
 
 import numpy as np
 

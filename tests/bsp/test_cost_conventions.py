@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bsp import BSPMachine, Compute, Send, Sync
+from repro.bsp import BSPMachine, Send, Sync
 from repro.errors import ProgramError
 from repro.models.params import BSPParams
 from repro.programs import bsp_prefix_program

@@ -6,7 +6,7 @@ import operator
 from hypothesis import given, settings, strategies as st
 
 from repro.bsp import BSPMachine, Compute, Send, Sync
-from repro.bsp.collectives import bsp_allreduce, bsp_prefix
+from repro.bsp.collectives import bsp_allreduce
 from repro.models.params import BSPParams
 from repro.programs import bsp_prefix_program, bsp_radix_sort_program
 

@@ -6,7 +6,6 @@ import operator
 import pytest
 
 from repro.core.cb import (
-    cb,
     cb_barrier,
     cb_with_deadline,
     descend_bound,

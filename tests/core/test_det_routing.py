@@ -1,7 +1,7 @@
 """The Section 4.2 deterministic routing protocol, end to end."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.det_routing import (
     RunSummary,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.bsp.program import Compute as BCompute
 from repro.core.logp_on_bsp import simulate_logp_on_bsp, window_length
 from repro.logp import Compute, Recv, Send, TryRecv, WaitUntil
 from repro.models.params import BSPParams, LogPParams

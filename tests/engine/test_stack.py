@@ -1,0 +1,170 @@
+"""Stack composition: the declarative layer API reproduces the legacy
+entry points exactly, and the three-layer tower runs end to end."""
+
+import pytest
+
+from repro.core.bsp_on_logp import simulate_bsp_on_logp
+from repro.core.logp_on_bsp import (
+    simulate_logp_on_bsp,
+    simulate_logp_on_bsp_workpreserving,
+)
+from repro.engine import SUPPORTED_CHAINS, Stack
+from repro.errors import ProgramError
+from repro.faults import FaultPlan
+from repro.logp.machine import LogPMachine
+from repro.models.params import BSPParams, LogPParams
+from repro.networks import Hypercube
+from repro.networks.backed import NetworkDelivery, run_on_network
+from repro.programs import (
+    bsp_prefix_program,
+    bsp_radix_sort_program,
+    logp_alltoall_program,
+    logp_sum_program,
+)
+
+PARAMS = LogPParams(p=8, L=8, o=2, G=2)
+
+
+class TestEquivalence:
+    """New Stack paths == legacy adapters, outputs and total cost."""
+
+    @pytest.mark.parametrize("routing", ["deterministic", "randomized", "resilient"])
+    def test_bsp_on_logp(self, routing):
+        legacy = simulate_bsp_on_logp(
+            PARAMS, bsp_radix_sort_program(4, 4, seed=1), routing=routing, seed=7
+        )
+        stacked = (
+            Stack(bsp_radix_sort_program(4, 4, seed=1))
+            .on_logp(PARAMS, routing=routing, seed=7)
+            .run()
+        )
+        assert stacked.results == legacy.results
+        assert stacked.total_logp_time == legacy.total_logp_time
+        assert stacked.bsp_cost == legacy.bsp_cost
+        assert stacked.as_row() == legacy.as_row()
+
+    def test_bsp_on_logp_with_faults(self):
+        plan = FaultPlan(seed=5, drop_rate=0.2, delay_rate=0.2, max_extra_delay=4)
+        legacy = simulate_bsp_on_logp(
+            PARAMS, bsp_prefix_program(), routing="resilient", faults=plan
+        )
+        stacked = (
+            Stack(bsp_prefix_program())
+            .on_logp(PARAMS, routing="resilient", faults=plan)
+            .run()
+        )
+        assert stacked.results == legacy.results
+        assert stacked.total_logp_time == legacy.total_logp_time
+
+    def test_logp_on_bsp(self):
+        legacy = simulate_logp_on_bsp(PARAMS, logp_alltoall_program())
+        stacked = (
+            Stack(logp_alltoall_program(), model="logp", params=PARAMS)
+            .on_bsp()
+            .run()
+        )
+        assert stacked.results == legacy.results
+        assert stacked.virtual_time == legacy.virtual_time
+        assert stacked.as_row() == legacy.as_row()
+
+    def test_logp_on_bsp_custom_host_params(self):
+        bsp = BSPParams(p=PARAMS.p, g=PARAMS.G * 4, l=PARAMS.L)
+        legacy = simulate_logp_on_bsp(PARAMS, logp_sum_program(), bsp_params=bsp)
+        stacked = (
+            Stack(logp_sum_program(), model="logp", params=PARAMS)
+            .on_bsp(bsp)
+            .run()
+        )
+        assert stacked.as_row() == legacy.as_row()
+
+    def test_logp_on_bsp_workpreserving(self):
+        legacy = simulate_logp_on_bsp_workpreserving(PARAMS, logp_sum_program(), 4)
+        stacked = (
+            Stack(logp_sum_program(), model="logp", params=PARAMS)
+            .on_bsp(p=4)
+            .run()
+        )
+        assert stacked.results == legacy.results
+        assert stacked.as_row() == legacy.as_row()
+
+    def test_bsp_on_network(self):
+        topo_a, topo_b = Hypercube(8), Hypercube(8)
+        legacy = run_on_network(topo_a, bsp_prefix_program(), seed=3)
+        stacked = Stack(bsp_prefix_program()).on_network(topo_b, seed=3).run()
+        assert stacked.results == legacy.results
+        assert stacked.network_cost == legacy.network_cost
+        assert stacked.as_row() == legacy.as_row()
+
+    def test_native_chains(self):
+        native = LogPMachine(PARAMS).run(logp_sum_program())
+        stacked = Stack(logp_sum_program(), model="logp").on_logp(PARAMS).run()
+        assert stacked.makespan == native.makespan
+        assert stacked.results == native.results
+
+
+class TestThreeLayer:
+    """BSP program -> LogP simulation -> routed network, end to end."""
+
+    HOST = LogPParams(p=8, L=64, o=2, G=2)
+
+    def test_smoke(self):
+        rep = (
+            Stack(bsp_prefix_program())
+            .on_logp(self.HOST)
+            .on_network(Hypercube(8))
+            .run()
+        )
+        assert rep.outputs_match
+        assert rep.total_logp_time > 0
+        row = rep.as_row()
+        assert row["outputs_match"] is True
+
+    def test_matches_machine_kwargs_spelling(self):
+        """The stack is sugar for the delivery-scheduler injection."""
+        stacked = (
+            Stack(bsp_prefix_program())
+            .on_logp(self.HOST)
+            .on_network(Hypercube(8))
+            .run()
+        )
+        legacy = simulate_bsp_on_logp(
+            self.HOST,
+            bsp_prefix_program(),
+            machine_kwargs={"delivery": NetworkDelivery(Hypercube(8))},
+        )
+        assert stacked.results == legacy.results
+        assert stacked.total_logp_time == legacy.total_logp_time
+
+    def test_logp_guest_on_network(self):
+        direct = LogPMachine(
+            self.HOST, delivery=NetworkDelivery(Hypercube(8))
+        ).run(logp_sum_program())
+        stacked = (
+            Stack(logp_sum_program(), model="logp", params=self.HOST)
+            .on_network(Hypercube(8))
+            .run()
+        )
+        assert stacked.makespan == direct.makespan
+        assert stacked.results == direct.results
+
+
+class TestAPI:
+    def test_immutable_chaining(self):
+        base = Stack(bsp_prefix_program())
+        grown = base.on_logp(PARAMS)
+        assert base.chain == ("bsp",)
+        assert grown.chain == ("bsp", "logp")
+        assert grown.describe() == "bsp -> logp"
+
+    def test_supported_chains_registry(self):
+        assert ("bsp", "logp", "network") in SUPPORTED_CHAINS
+
+    def test_unsupported_chain_lists_supported(self):
+        with pytest.raises(ProgramError, match="supported stacks"):
+            Stack(bsp_prefix_program()).run()
+        with pytest.raises(ProgramError, match="unsupported stack"):
+            Stack(bsp_prefix_program()).on_network(Hypercube(8)).on_logp(PARAMS).run()
+
+    def test_logp_guest_requires_params(self):
+        with pytest.raises(ProgramError, match="LogPParams"):
+            Stack(logp_sum_program(), model="logp").on_bsp().run()

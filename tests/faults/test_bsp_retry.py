@@ -53,7 +53,9 @@ class TestEveryExampleSurvivesDrops:
 
 class TestRecoveryAccounting:
     def test_heavy_loss_recovers_with_many_rounds(self):
-        prog = lambda: bsp_sample_sort_program(keys_per_proc=16, seed=9)
+        def prog():
+            return bsp_sample_sort_program(keys_per_proc=16, seed=9)
+
         clean = BSPMachine(PARAMS).run(prog())
         faulty = BSPMachine(
             PARAMS, faults=FaultPlan(seed=2, drop_rate=0.5)

@@ -60,7 +60,9 @@ class TestRoundTrip:
 
 class TestMatvecNumerics:
     def test_matvec_identical_across_machines(self):
-        prog = lambda: bsp_matvec_program(16, seed=5)
+        def prog():
+            return bsp_matvec_program(16, seed=5)
+
         native = BSPMachine(BSPParams(p=4, g=1, l=4)).run(prog()).results
         via_logp = simulate_bsp_on_logp(
             LogPParams(p=4, L=8, o=1, G=2), prog(), routing="offline"

@@ -2,7 +2,6 @@
 programs (random superstep counts, message fan-outs, payloads) must
 produce identical results natively and through every routing mode."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.bsp.program import Compute, Send, Sync

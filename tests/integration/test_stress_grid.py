@@ -7,8 +7,6 @@ routing modes); they stay in the suite as a standing patrol.
 
 import random
 
-import pytest
-
 from repro.core.bsp_on_logp import simulate_bsp_on_logp
 from repro.core.columnsort_logp import logp_columnsort
 from repro.core.det_routing import measure_det_routing

@@ -2,7 +2,7 @@ import operator
 
 import pytest
 
-from repro.logp import LogPMachine, Recv, Send
+from repro.logp import LogPMachine, Send
 from repro.logp.collectives import (
     binary_tree_reduce,
     binomial_broadcast,

@@ -78,7 +78,7 @@ class TestTiming:
             if ctx.pid == 0:
                 yield Send(1, list(range(n)), size=n)
             else:
-                msg = yield Recv()
+                yield Recv()
                 return ctx.clock
 
         t_singles = LogPMachine(params).run(singles).results[1]

@@ -33,7 +33,7 @@ class TestSendTiming:
             if ctx.pid == 0:
                 t_acc = yield Send(1, None)
                 return t_acc
-            msg = yield Recv()
+            yield Recv()
             return None
 
         res = LogPMachine(params(o=3, G=4)).run(prog)

@@ -7,16 +7,12 @@ incorrect one — because the *admissible execution set* depends on the
 parameters.
 """
 
-import pytest
-
 from repro.logp import (
     DeliverEager,
     DeliverMaxLatency,
     LogPMachine,
-    Recv,
     Send,
     TryRecv,
-    WaitUntil,
 )
 from repro.logp.collectives import recv_n_tagged
 from repro.logp.validate import validate_program

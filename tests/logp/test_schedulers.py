@@ -56,7 +56,7 @@ class TestDeliverySchedulers:
             if ctx.pid == 0:
                 yield Send(1, "x")
             else:
-                msg = yield Recv()
+                yield Recv()
                 return ctx.clock
 
         res = LogPMachine(params, delivery=Silly(), record_trace=True).run(prog)

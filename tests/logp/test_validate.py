@@ -1,4 +1,4 @@
-from repro.logp import LogPMachine, Recv, Send, TryRecv
+from repro.logp import Recv, Send, TryRecv
 from repro.logp.validate import default_ensemble, validate_program
 from repro.models.params import LogPParams
 from repro.programs import logp_broadcast_program, logp_sum_program
@@ -69,7 +69,7 @@ class TestValidateProgram:
             if ctx.pid == 1:
                 yield Send(0, "a")
             else:
-                got = yield TryRecv()  # timing probe: 1 step
+                yield TryRecv()  # timing probe: 1 step
                 yield Send(0, "b")
             return None
 

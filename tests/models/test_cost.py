@@ -1,8 +1,6 @@
 import math
 
 import pytest
-from hypothesis import given, strategies as st
-
 from repro.models import cost
 from repro.models.params import BSPParams, LogPParams
 

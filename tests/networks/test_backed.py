@@ -1,12 +1,9 @@
 """Network-backed BSP pricing (the executable side of §5)."""
 
-import pytest
-
 from repro.bsp.machine import BSPMachine
 from repro.models.params import BSPParams
 from repro.networks import ArrayND, Hypercube
 from repro.networks.backed import run_on_network
-from repro.networks.routing_sim import RoutingConfig
 from repro.programs import bsp_prefix_program, bsp_radix_sort_program
 
 

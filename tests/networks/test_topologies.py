@@ -1,6 +1,5 @@
 """Structural and routing correctness of the Table 1 topologies."""
 
-import math
 import random
 
 import pytest

@@ -1,6 +1,6 @@
 """The experiment runner CLI (python -m repro.experiments)."""
 
-import pytest
+import json
 
 from repro.experiments import EXPERIMENTS, main
 
@@ -21,6 +21,21 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "work-preserving" in out
         assert "yes" in out  # outputs match column
+
+    def test_run_json_emits_machine_rows(self, capsys):
+        """--json prints one parseable document per experiment, with rows
+        drawn from the shared MachineResult.as_row projection."""
+        assert main(["run", "WP", "--json"]) == 0
+        out = capsys.readouterr().out
+        json_lines = [line for line in out.splitlines() if line.startswith("{")]
+        assert len(json_lines) == 1
+        doc = json.loads(json_lines[0])
+        assert doc["id"] == "WP"
+        assert len(doc["rows"]) == 5
+        row = doc["rows"][0]
+        # as_row() fields of the underlying Theorem1Report:
+        assert row["outputs_match"] is True
+        assert {"slowdown", "virtual_time", "bsp_p"} <= set(row)
 
     def test_registry_complete(self):
         """Every DESIGN.md experiment id is runnable."""
