@@ -1,6 +1,6 @@
 # Convenience targets; everything also works as plain pytest invocations.
 
-.PHONY: install test lint bench bench-only bench-kernel faults experiments examples clean
+.PHONY: install test lint bench bench-only bench-kernel trace-demo faults experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -19,9 +19,14 @@ bench-only:
 	pytest benchmarks/ --benchmark-only
 
 # Event-kernel vs tick-kernel speedups; --check gates against the
-# committed BENCH_kernel.json (see docs/PERF.md).
+# committed BENCH_kernel.json, --obs-check gates disabled-instrumentation
+# overhead (see docs/PERF.md and docs/OBSERVABILITY.md).
 bench-kernel:
-	PYTHONPATH=src python benchmarks/bench_kernel.py --quick --check
+	PYTHONPATH=src python benchmarks/bench_kernel.py --quick --check --obs-check
+
+# Three-layer run with metrics + a Perfetto-loadable trace (trace.json).
+trace-demo:
+	PYTHONPATH=src python -m repro.experiments inspect bsp-on-logp-on-network --metrics --trace trace.json
 
 # Fault-resilience slowdown tables (reduced grid; see benchmarks/results/).
 # PYTHONPATH=src so the target also works without `make install`.

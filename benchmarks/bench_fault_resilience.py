@@ -162,7 +162,7 @@ def test_routing_link_faults_slowdown(publish, benchmark):
     benchmark.pedantic(
         lambda: route_h_relation(
             topo, h, seed=2,
-            config=RoutingConfig(link_fault_rate=0.1, fault_seed=SEED),
+            config=RoutingConfig(link_fault_rate=0.1, seed=SEED),
         ),
         rounds=1,
         iterations=1,
@@ -171,7 +171,7 @@ def test_routing_link_faults_slowdown(publish, benchmark):
     for rate in RATES:
         out = route_h_relation(
             topo, h, seed=2,
-            config=RoutingConfig(link_fault_rate=rate, fault_seed=SEED),
+            config=RoutingConfig(link_fault_rate=rate, seed=SEED),
         )
         assert out.packets == clean.packets
         rows.append(

@@ -55,7 +55,7 @@ BENCH_FILE = _REPO_ROOT / "BENCH_kernel.json"
 GATE_RATIO = 0.8
 
 
-def _run_bsp_on_logp_sweep(kernel: str) -> int:
+def _run_bsp_on_logp_sweep(kernel: str, obs=None) -> int:
     """The acceptance workload: 64-processor BSP-on-LogP over an (L, G)
     sweep in the latency-dominated regime (offline Hall routing, so the
     h-relations ride pinned slots and the clock is mostly idle air the
@@ -70,6 +70,7 @@ def _run_bsp_on_logp_sweep(kernel: str) -> int:
             bsp_prefix_program(),
             routing="offline",
             machine_kwargs={"kernel": kernel},
+            obs=obs,
         )
         events += rep.logp.kernel.events
     return events
@@ -92,7 +93,7 @@ def _run_routing_singleport_faulty(kernel: str) -> int:
     regime (most packets delivered, a few retried for hundreds of steps)
     where the active-node set shrinks far below the node count."""
     cfg = RoutingConfig(
-        single_port=True, link_fault_rate=0.9, fault_seed=9, kernel=kernel
+        single_port=True, link_fault_rate=0.9, seed=9, kernel=kernel
     )
     out = route_h_relation(Hypercube(256), 8, seed=1, config=cfg)
     return out.kernel.events
@@ -166,6 +167,43 @@ def print_report(report: dict) -> None:
         )
 
 
+#: Disabled-instrumentation overhead gate (--obs-check): running with
+#: ``Observation(enabled=False)`` must cost < 5% extra wall clock vs no
+#: observation at all — a disabled observation is normalized to ``None``
+#: at every constructor boundary, so the hot loops are byte-identical.
+OBS_OVERHEAD_LIMIT = 0.05
+
+
+def obs_check(repeats: int) -> int:
+    from repro.obs import Observation
+
+    repeats = max(repeats, 3)  # wall-clock ratio: keep jitter down
+    base = measure(_run_bsp_on_logp_sweep, "event", repeats)
+    disabled = measure(
+        lambda kernel: _run_bsp_on_logp_sweep(
+            kernel, obs=Observation(enabled=False)
+        ),
+        "event",
+        repeats,
+    )
+    if disabled["events"] != base["events"]:
+        print(
+            f"FAIL  obs-check: event counts diverged "
+            f"({disabled['events']} with disabled obs vs {base['events']})"
+        )
+        return 1
+    overhead = (
+        disabled["wall_s"] / base["wall_s"] - 1.0 if base["wall_s"] else 0.0
+    )
+    ok = overhead < OBS_OVERHEAD_LIMIT
+    print(
+        f"{'ok  ' if ok else 'FAIL'}  obs-check: bsp_on_logp_p64 disabled-"
+        f"instrumentation overhead {overhead * 100:+.1f}% "
+        f"(limit {OBS_OVERHEAD_LIMIT * 100:.0f}%)"
+    )
+    return 0 if ok else 1
+
+
 def check(report: dict, committed: dict) -> int:
     """Gate: measured speedup must stay within GATE_RATIO of committed."""
     failures = 0
@@ -199,19 +237,30 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--update", action="store_true", help=f"rewrite {BENCH_FILE.name}"
     )
+    parser.add_argument(
+        "--obs-check",
+        action="store_true",
+        help=f"fail when a disabled Observation adds >="
+        f"{round(OBS_OVERHEAD_LIMIT * 100)}%% wall clock on bsp_on_logp_p64",
+    )
     args = parser.parse_args(argv)
+
+    if args.obs_check and not (args.check or args.update):
+        return obs_check(repeats=1 if args.quick else 3)
 
     report = run_all(repeats=1 if args.quick else 3)
     print_report(report)
 
     rc = 0
+    if args.obs_check:
+        rc = max(rc, obs_check(repeats=1 if args.quick else 3))
     if args.check:
         if not BENCH_FILE.exists():
             print(f"FAIL  committed {BENCH_FILE.name} missing")
             rc = 1
         else:
             committed = json.loads(BENCH_FILE.read_text())
-            rc = 1 if check(report, committed) else 0
+            rc = max(rc, 1 if check(report, committed) else 0)
     if args.update:
         BENCH_FILE.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {BENCH_FILE}")

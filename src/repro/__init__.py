@@ -1,7 +1,23 @@
 """repro — an executable reproduction of *BSP vs LogP* (Bilardi, Herley,
 Pietracaprina, Pucci, Spirakis; SPAA 1996 / Algorithmica 1999).
 
-The package provides:
+The canonical entry point is the :class:`Stack` API — compose the
+paper's layers by name and run the chain::
+
+    from repro import Stack, BSPParams, LogPParams
+
+    Stack(prog).on_bsp(BSPParams(p=8, g=2, l=16)).run()    # native BSP
+    Stack(prog).on_logp(LogPParams(p=8, L=8, o=1, G=2)).run()  # Thm 2/3
+    Stack(prog, model="logp", params=P).on_bsp().run()     # Theorem 1
+    Stack(prog).on_logp(P).on_network(topo).run()          # three layers
+
+Every run returns a :class:`MachineResult` subclass (shared ``as_row``
+/ ``trace_events`` vocabulary); pass ``obs=Observation(...)`` to any
+``run()`` to collect metrics, layer-labelled traces (Chrome/Perfetto
+JSON), and predicted-vs-observed cost residuals
+(:class:`CostModelCheck`) — see ``docs/OBSERVABILITY.md``.
+
+The package layout underneath:
 
 * :mod:`repro.bsp` — a BSP virtual machine (supersteps, ``w + g h + l``);
 * :mod:`repro.logp` — an event-accurate LogP machine (``L, o, G, P``,
@@ -16,16 +32,12 @@ The package provides:
   h-relation machinery the protocols are built from;
 * :mod:`repro.models` — machine parameters and every closed-form cost
   expression in the paper;
+* :mod:`repro.faults` — deterministic fault injection + resilience;
 * :mod:`repro.programs` — ready-made example programs for both models;
 * :mod:`repro.engine` — the shared simulation engine: one drive loop,
-  the ``MachineResult``/``TraceEvent`` result vocabulary, and the
-  :class:`~repro.engine.stack.Stack` layer-composition API
-  (``Stack(prog).on_logp(P).on_network(topo).run()``).
-
-Quickstart::
-
-    from repro import BSPParams, LogPParams, BSPMachine, LogPMachine
-    from repro.core import simulate_logp_on_bsp, simulate_bsp_on_logp
+  the result vocabulary, and the Stack adapters;
+* :mod:`repro.obs` — the observability layer (metrics, tracer, cost
+  checks).
 
 See ``examples/quickstart.py`` for a guided tour.
 """
@@ -35,19 +47,44 @@ from repro.models.params import BSPParams, LogPParams
 from repro.bsp.machine import BSPMachine, BSPResult
 from repro.logp.machine import LogPMachine, LogPResult
 from repro.engine import MachineResult, Stack, TraceEvent
+from repro.faults import FaultPlan, FaultLog, CRASHED
+from repro.networks.routing_sim import RoutingConfig
+from repro.networks.topology import Topology
+from repro.obs import (
+    CostCheckReport,
+    CostModelCheck,
+    MetricsRegistry,
+    Observation,
+    Tracer,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "Message",
+    # Stack-first public API
+    "Stack",
+    "MachineResult",
+    "TraceEvent",
+    # model parameters
     "BSPParams",
     "LogPParams",
+    "RoutingConfig",
+    "Topology",
+    "Message",
+    # machines and their results (for native single-layer runs)
     "BSPMachine",
     "BSPResult",
     "LogPMachine",
     "LogPResult",
-    "MachineResult",
-    "Stack",
-    "TraceEvent",
+    # fault injection
+    "FaultPlan",
+    "FaultLog",
+    "CRASHED",
+    # observability
+    "Observation",
+    "MetricsRegistry",
+    "Tracer",
+    "CostModelCheck",
+    "CostCheckReport",
     "__version__",
 ]

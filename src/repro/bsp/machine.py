@@ -177,6 +177,12 @@ class BSPMachine:
         Name of this machine's position in a simulation stack (e.g.
         ``"guest LogP on host BSP"``); limit diagnostics are prefixed
         with it so errors from nested engines identify their owner.
+    obs:
+        Optional :class:`~repro.obs.Observation`.  The run's cost ledger
+        (per-superstep ``w``/``h``/cost decomposition, retries, kernel
+        work, faults) is published under this machine's ``layer`` label
+        once at the end of the run — BSP needs no inline hooks because
+        the ledger already is the full observable record.
 
     Example
     -------
@@ -215,11 +221,13 @@ class BSPMachine:
         faults: FaultPlan | None = None,
         max_comm_retries: int = 64,
         layer: str = "BSP",
+        obs: Any | None = None,
     ) -> None:
         self.params = params
         self.max_supersteps = max_supersteps
         self.record_messages = record_messages
         self.layer = layer
+        self.obs = obs if (obs is not None and obs.enabled) else None
         if h_convention not in self.H_CONVENTIONS:
             raise ProgramError(
                 f"unknown h_convention {h_convention!r}; "
@@ -317,7 +325,7 @@ class BSPMachine:
                 message_log.append(step_sends if step_sends is not None else [])
             superstep += 1
 
-        return BSPResult(
+        result = BSPResult(
             params=self.params,
             results=results,
             ledger=ledger,
@@ -325,6 +333,9 @@ class BSPMachine:
             fault_log=active.log if active is not None else None,
             kernel=counters,
         )
+        if self.obs is not None:
+            self.obs.observe_bsp(result, layer=self.layer)
+        return result
 
     def _lossy_exchange(
         self,

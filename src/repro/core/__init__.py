@@ -8,26 +8,79 @@
 * :mod:`repro.core.stalling` — Sections 2/3 stalling analysis,
 * :mod:`repro.core.network_support` — Section 5 / Observation 1.
 
-Submodules are imported lazily so that ``import repro.core.cb`` does not
-pull in the heavier simulation drivers.
+The package-level entry points below are **deprecated** in favour of the
+:class:`~repro.engine.stack.Stack` API (``repro.Stack``), which names
+the same compositions declaratively::
+
+    Stack(prog).on_logp(params).run()                    # Theorem 2/3
+    Stack(prog, model="logp", params=P).on_bsp().run()   # Theorem 1
+
+They remain as thin wrappers that emit :class:`DeprecationWarning` at
+call time and delegate to the engine-backed drivers — a wrapped call and
+the equivalent stacked run are the same computation.  The submodule
+functions (``repro.core.bsp_on_logp.simulate_bsp_on_logp`` etc.) stay
+undeprecated: they are the drivers the Stack adapters themselves use.
 """
 
-from typing import TYPE_CHECKING
+import warnings
 
-__all__ = ["simulate_logp_on_bsp", "simulate_bsp_on_logp"]
+__all__ = [
+    "simulate_logp_on_bsp",
+    "simulate_logp_on_bsp_workpreserving",
+    "simulate_bsp_on_logp",
+]
 
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.bsp_on_logp import simulate_bsp_on_logp
-    from repro.core.logp_on_bsp import simulate_logp_on_bsp
+
+def _deprecated(legacy: str, stack_chain: str) -> None:
+    warnings.warn(
+        f"repro.core.{legacy}() is deprecated; use the Stack API: "
+        f"{stack_chain}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
-def __getattr__(name: str):
-    if name == "simulate_logp_on_bsp":
-        from repro.core.logp_on_bsp import simulate_logp_on_bsp
+def simulate_logp_on_bsp(logp_params, program, **kwargs):
+    """Deprecated wrapper for :func:`repro.core.logp_on_bsp.simulate_logp_on_bsp`.
 
-        return simulate_logp_on_bsp
-    if name == "simulate_bsp_on_logp":
-        from repro.core.bsp_on_logp import simulate_bsp_on_logp
+    Prefer ``Stack(program, model="logp", params=logp_params).on_bsp().run()``.
+    """
+    from repro.core.logp_on_bsp import simulate_logp_on_bsp as _impl
 
-        return simulate_bsp_on_logp
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    _deprecated(
+        "simulate_logp_on_bsp",
+        "Stack(program, model='logp', params=logp_params).on_bsp().run()",
+    )
+    return _impl(logp_params, program, **kwargs)
+
+
+def simulate_logp_on_bsp_workpreserving(logp_params, program, bsp_p, **kwargs):
+    """Deprecated wrapper for
+    :func:`repro.core.logp_on_bsp.simulate_logp_on_bsp_workpreserving`.
+
+    Prefer ``Stack(program, model="logp", params=logp_params)
+    .on_bsp(p=bsp_p).run()``.
+    """
+    from repro.core.logp_on_bsp import (
+        simulate_logp_on_bsp_workpreserving as _impl,
+    )
+
+    _deprecated(
+        "simulate_logp_on_bsp_workpreserving",
+        "Stack(program, model='logp', params=logp_params).on_bsp(p=bsp_p).run()",
+    )
+    return _impl(logp_params, program, bsp_p, **kwargs)
+
+
+def simulate_bsp_on_logp(logp_params, program, **kwargs):
+    """Deprecated wrapper for :func:`repro.core.bsp_on_logp.simulate_bsp_on_logp`.
+
+    Prefer ``Stack(program).on_logp(logp_params).run()``.
+    """
+    from repro.core.bsp_on_logp import simulate_bsp_on_logp as _impl
+
+    _deprecated(
+        "simulate_bsp_on_logp",
+        "Stack(program).on_logp(logp_params).run()",
+    )
+    return _impl(logp_params, program, **kwargs)

@@ -169,6 +169,7 @@ def simulate_bsp_on_logp(
     c2: float = 1.0,
     faults: FaultPlan | None = None,
     machine_kwargs: dict | None = None,
+    obs=None,
 ) -> Theorem2Report:
     """Run ``program`` on the LogP machine via the Theorem 2/3 simulation.
 
@@ -178,6 +179,12 @@ def simulate_bsp_on_logp(
     ``c1, c2``-derived value).  ``faults`` makes the LogP substrate lossy
     and requires ``routing="resilient"`` — the model-optimal protocols
     are correct only under admissible (fault-free) semantics.
+
+    ``obs`` (an enabled :class:`~repro.obs.Observation`) is threaded
+    into the host LogP machine and additionally receives the native
+    reference ledger, the measured/predicted slowdowns, and — when
+    tracing — the guest's per-superstep local/sync/route phase spans on
+    the host clock.
     """
     if routing not in ("deterministic", "randomized", "offline", "resilient"):
         raise ProgramError(f"unknown routing mode {routing!r}")
@@ -322,7 +329,10 @@ def simulate_bsp_on_logp(
         return prog
 
     forbid = routing in ("deterministic", "offline")
+    if obs is not None and not obs.enabled:
+        obs = None
     mkwargs = {"layer": "guest BSP on host LogP", **(machine_kwargs or {})}
+    mkwargs.setdefault("obs", obs)
     machine = LogPMachine(
         logp_params, forbid_stalling=forbid, faults=faults, **mkwargs
     )
@@ -343,6 +353,8 @@ def simulate_bsp_on_logp(
             "BSP-on-LogP simulation produced different results than the "
             "native BSP run"
         )
+    if obs is not None:
+        obs.observe_theorem2(report)
     return report
 
 

@@ -265,6 +265,7 @@ def simulate_logp_on_bsp(
     max_supersteps: int = 1_000_000,
     faults: FaultPlan | None = None,
     machine_kwargs: dict | None = None,
+    obs=None,
 ) -> Theorem1Report:
     """Run a stall-free LogP program via the Theorem 1 BSP simulation.
 
@@ -279,6 +280,11 @@ def simulate_logp_on_bsp(
     identical while the cost ledger absorbs the recovery rounds, so the
     whole Section 3 construction runs end-to-end over a misbehaving
     substrate.  (The native comparison run stays fault-free.)
+
+    ``obs`` (an enabled :class:`~repro.obs.Observation`) instruments the
+    *host* BSP machine and receives the window/slowdown summary; the
+    native comparison run stays unobserved, contributing only its
+    makespan gauge.
     """
     p = logp_params.p
     bsp = bsp_params if bsp_params is not None else logp_params.matching_bsp()
@@ -304,16 +310,19 @@ def simulate_logp_on_bsp(
 
         return wrapper
 
+    if obs is not None and not obs.enabled:
+        obs = None
     machine = BSPMachine(
         bsp,
         max_supersteps=max_supersteps,
         faults=faults,
         layer="guest LogP on host BSP",
+        obs=obs,
     )
     bsp_result = machine.run([make_wrapper(pid) for pid in range(p)])
 
     native = _run_native(logp_params, programs, machine_kwargs) if compare_native else None
-    return Theorem1Report(
+    report = Theorem1Report(
         logp_params=logp_params,
         bsp_params=bsp,
         bsp=bsp_result,
@@ -321,6 +330,9 @@ def simulate_logp_on_bsp(
         window=W,
         hosts=p,
     )
+    if obs is not None:
+        obs.observe_theorem1(report)
+    return report
 
 
 def simulate_logp_on_bsp_workpreserving(
@@ -333,6 +345,7 @@ def simulate_logp_on_bsp_workpreserving(
     max_supersteps: int = 1_000_000,
     faults: FaultPlan | None = None,
     machine_kwargs: dict | None = None,
+    obs=None,
 ) -> Theorem1Report:
     """Footnote-1 variant: ``p`` LogP processors on ``p' = bsp_p`` BSP
     processors (``p'`` must divide ``p``).
@@ -398,16 +411,19 @@ def simulate_logp_on_bsp_workpreserving(
 
         return host
 
+    if obs is not None and not obs.enabled:
+        obs = None
     machine = BSPMachine(
         bsp,
         max_supersteps=max_supersteps,
         faults=faults,
         layer="guest LogP on host BSP (work-preserving)",
+        obs=obs,
     )
     bsp_result = machine.run([make_host(b) for b in range(bsp_p)])
 
     native = _run_native(logp_params, programs, machine_kwargs) if compare_native else None
-    return Theorem1Report(
+    report = Theorem1Report(
         logp_params=logp_params,
         bsp_params=bsp,
         bsp=bsp_result,
@@ -416,3 +432,6 @@ def simulate_logp_on_bsp_workpreserving(
         hosts=bsp_p,
         hosted=True,
     )
+    if obs is not None:
+        obs.observe_theorem1(report)
+    return report

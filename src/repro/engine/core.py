@@ -110,6 +110,12 @@ class Engine:
     faults:
         Optional :class:`~repro.faults.plan.FaultPlan`; the engine owns
         its activation so each run draws fresh RNG streams.
+    obs:
+        Optional :class:`~repro.obs.Observation`; at drain time the
+        engine publishes the queue's :class:`KernelCounters` into it
+        under this engine's ``layer`` label.  A disabled observation is
+        normalized to ``None`` here, so the drive loop itself carries no
+        instrumentation branches at all.
 
     The machine supplies a ``dispatch(time, kind, pid, data)`` callable
     holding the model semantics and, optionally, an ``on_quiescence``
@@ -125,6 +131,7 @@ class Engine:
         max_events: int,
         layer: str = "machine",
         faults: Any | None = None,
+        obs: Any | None = None,
     ) -> None:
         self.kernel_name = kernel
         self.layer = layer
@@ -132,6 +139,7 @@ class Engine:
         self.queue = make_event_queue(kernel, p)
         self.push = self.queue.push
         self.active = faults.activate() if faults is not None else None
+        self.obs = obs if (obs is not None and obs.enabled) else None
         #: Time of the last event processed (diagnostics anchor).
         self.last_time = 0
 
@@ -168,6 +176,8 @@ class Engine:
             if on_quiescence is None or not on_quiescence(time):
                 break
         self.last_time = time
+        if self.obs is not None:
+            self.obs.publish_kernel(self.layer, counters)
         return counters
 
     # -- layer-labelled diagnostics ------------------------------------

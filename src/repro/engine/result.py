@@ -88,3 +88,16 @@ class MachineResult:
         records a trace); subclasses with richer records override it.
         """
         return []
+
+    def observe(self, obs: Any, layer: str | None = None) -> "MachineResult":
+        """Publish this result into an :class:`~repro.obs.Observation`.
+
+        Post-hoc entry point for runs that were executed without an
+        attached observation: the observation reads the result's existing
+        records (ledger, trace, counters) and never re-executes anything.
+        Dispatches on the result's shape via
+        :meth:`~repro.obs.Observation.observe_result`; returns ``self``
+        for chaining.
+        """
+        obs.observe_result(self, layer=layer)
+        return self

@@ -210,10 +210,12 @@ def _run_logp_on_network(stack: Stack, opts: dict) -> Any:
 
     (layer,) = stack.layers
     guest = stack._guest_logp_params()
+    obs = opts.get("obs")
     opts.setdefault("layer", "LogP on host network")
-    return LogPMachine(
-        guest, delivery=NetworkDelivery(layer.spec), **opts
-    ).run(stack.program)
+    delivery = NetworkDelivery(layer.spec, obs=obs)
+    result = LogPMachine(guest, delivery=delivery, **opts).run(stack.program)
+    delivery.publish(layer="network")
+    return result
 
 
 def _run_bsp_on_logp_on_network(stack: Stack, opts: dict) -> Any:
@@ -224,11 +226,17 @@ def _run_bsp_on_logp_on_network(stack: Stack, opts: dict) -> Any:
     if not isinstance(logp_layer.spec, LogPParams):
         raise ProgramError("Stack(...).on_logp(params) needs host LogPParams")
     machine_kwargs = dict(opts.pop("machine_kwargs", None) or {})
-    machine_kwargs.setdefault("delivery", NetworkDelivery(net_layer.spec))
+    delivery = machine_kwargs.get("delivery")
+    if delivery is None:
+        delivery = NetworkDelivery(net_layer.spec, obs=opts.get("obs"))
+        machine_kwargs["delivery"] = delivery
     machine_kwargs.setdefault("layer", "guest BSP on host LogP on network")
-    return simulate_bsp_on_logp(
+    report = simulate_bsp_on_logp(
         logp_layer.spec, stack.program, machine_kwargs=machine_kwargs, **opts
     )
+    if isinstance(delivery, NetworkDelivery):
+        delivery.publish(layer="network")
+    return report
 
 
 _ADAPTERS: dict[tuple[str, ...], Callable[[Stack, dict], Any]] = {

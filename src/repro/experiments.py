@@ -2,13 +2,28 @@
 
 ``python -m repro.experiments list`` shows the experiment ids (matching
 DESIGN.md's index); ``python -m repro.experiments run <id> [...]`` or
-``run all`` prints the corresponding tables.  Add ``--json`` to emit one
-machine-readable JSON document per experiment alongside each pretty
-table — rows built on the shared
-:meth:`~repro.engine.result.MachineResult.as_row` projection where the
-experiment's underlying reports provide it.  The pytest benchmarks in
-``benchmarks/`` run the same code with shape assertions and persistence;
-this runner is the zero-dependency way to eyeball results.
+``run all`` prints the corresponding tables.  ``python -m
+repro.experiments inspect <chain>`` runs a demo program through a named
+:class:`~repro.engine.stack.Stack` chain (``bsp-on-logp-on-network``,
+``logp-on-bsp``, ...) and prints its result row, cost-model residuals,
+and — with the shared observability flags — metrics and traces.
+
+Shared flags (``run`` and ``inspect``):
+
+* ``--json`` — emit one machine-readable JSON document per experiment
+  alongside each pretty table, rows built on the shared
+  :meth:`~repro.engine.result.MachineResult.as_row` projection where the
+  underlying reports provide it;
+* ``--metrics`` — attach an :class:`~repro.obs.Observation` and print
+  its metric registry after the run;
+* ``--trace OUT.json`` — additionally record layer-labelled spans and
+  write a Chrome ``trace_event`` file loadable in Perfetto
+  (``run`` with several ids writes one file per id, the id spliced in
+  before the extension).
+
+The pytest benchmarks in ``benchmarks/`` run the same code with shape
+assertions and persistence; this runner is the zero-dependency way to
+eyeball results.
 """
 
 from __future__ import annotations
@@ -33,7 +48,8 @@ class ExperimentTable:
     shows them; ``records``, when supplied, holds richer per-row dicts —
     typically a :meth:`MachineResult.as_row` projection merged with the
     experiment's configuration axes.  When absent, records are derived
-    by zipping the display columns.
+    by zipping the display columns.  ``extras`` holds pre-rendered
+    blocks (cost-check reports, ...) printed after the main table.
     """
 
     id: str
@@ -41,9 +57,13 @@ class ExperimentTable:
     columns: list[str]
     rows: list[tuple]
     records: list[dict] | None = field(default=None)
+    extras: list[str] = field(default_factory=list)
 
     def render(self) -> str:
-        return render_table(self.columns, self.rows, title=self.title)
+        out = render_table(self.columns, self.rows, title=self.title)
+        for block in self.extras:
+            out += "\n\n" + block
+        return out
 
     def as_json(self) -> dict:
         records = self.records
@@ -52,7 +72,7 @@ class ExperimentTable:
         return {"id": self.id, "title": self.title, "rows": records}
 
 
-def _exp_table1() -> ExperimentTable:
+def _exp_table1(obs=None) -> ExperimentTable:
     from repro.models.cost import TABLE1
     from repro.networks.params import TOPOLOGY_BUILDERS, measure_network_params
 
@@ -61,7 +81,8 @@ def _exp_table1() -> ExperimentTable:
         for p in (16, 64):
             topo, config = builder(p)
             meas = measure_network_params(
-                topo, table_name=name, hs=(1, 2, 4, 8), seeds=(0, 1), config=config
+                topo, table_name=name, hs=(1, 2, 4, 8), seeds=(0, 1),
+                config=config, obs=obs,
             )
             th_g, th_d = meas.theory()
             costs = TABLE1[name]
@@ -83,17 +104,22 @@ def _exp_table1() -> ExperimentTable:
     )
 
 
-def _exp_theorem1() -> ExperimentTable:
+def _exp_theorem1(obs=None) -> ExperimentTable:
     from repro.core.logp_on_bsp import simulate_logp_on_bsp
     from repro.models.params import BSPParams, LogPParams
+    from repro.obs import CostModelCheck
     from repro.programs import logp_alltoall_program
 
     logp = LogPParams(p=16, L=8, o=1, G=2)
     rows = []
     records = []
+    extras = []
     for gs, ls in ((1, 1), (4, 1), (1, 4), (4, 4)):
         bsp = BSPParams(p=logp.p, g=logp.G * gs, l=logp.L * ls)
-        rep = simulate_logp_on_bsp(logp, logp_alltoall_program(), bsp_params=bsp)
+        rep = simulate_logp_on_bsp(
+            logp, logp_alltoall_program(), bsp_params=bsp, obs=obs
+        )
+        check = CostModelCheck.check(rep)
         rows.append(
             (
                 f"g={bsp.g}, l={bsp.l}",
@@ -103,19 +129,26 @@ def _exp_theorem1() -> ExperimentTable:
                 f"{rep.slowdown:.2f}",
                 f"{rep.predicted_slowdown:.2f}",
                 rep.outputs_match,
+                check.ok(),
             )
         )
-        records.append({"g": bsp.g, "l": bsp.l, **rep.as_row()})
+        records.append(
+            {"g": bsp.g, "l": bsp.l, **rep.as_row(), "cost_check": check.as_dict()}
+        )
+        if not extras:  # full residual detail for the matched machine
+            extras.append(check.render())
     return ExperimentTable(
         "TH1",
         "TH1 — Theorem 1: stall-free LogP (all-to-all) on BSP  [LogP p=16, L=8, o=1, G=2]",
-        ["BSP machine", "cycles", "max h", "ceil(L/G)", "slowdown", "predicted", "outputs match"],
+        ["BSP machine", "cycles", "max h", "ceil(L/G)", "slowdown", "predicted",
+         "outputs match", "residuals ok"],
         rows,
         records=records,
+        extras=extras,
     )
 
 
-def _exp_cb() -> ExperimentTable:
+def _exp_cb(obs=None) -> ExperimentTable:
     from repro.core.cb import measure_cb
     from repro.models.cost import cb_time_lower, cb_time_upper
     from repro.models.params import LogPParams
@@ -142,7 +175,7 @@ def _exp_cb() -> ExperimentTable:
     )
 
 
-def _exp_theorem2() -> ExperimentTable:
+def _exp_theorem2(obs=None) -> ExperimentTable:
     from repro.core.det_routing import measure_det_routing
     from repro.models.cost import t_route_small
     from repro.models.params import LogPParams
@@ -169,7 +202,7 @@ def _exp_theorem2() -> ExperimentTable:
     )
 
 
-def _exp_theorem3() -> ExperimentTable:
+def _exp_theorem3(obs=None) -> ExperimentTable:
     from repro.core.rand_routing import measure_rand_routing
     from repro.models.params import LogPParams
     from repro.routing.workloads import balanced_h_relation
@@ -196,7 +229,7 @@ def _exp_theorem3() -> ExperimentTable:
     )
 
 
-def _exp_stalling() -> ExperimentTable:
+def _exp_stalling(obs=None) -> ExperimentTable:
     from repro.core.stalling import measure_hotspot, measure_stall_storm
     from repro.models.params import LogPParams
 
@@ -216,7 +249,7 @@ def _exp_stalling() -> ExperimentTable:
     )
 
 
-def _exp_observation1() -> ExperimentTable:
+def _exp_observation1(obs=None) -> ExperimentTable:
     from repro.core.network_support import survey_observation1
 
     rows = [
@@ -243,7 +276,7 @@ def _exp_observation1() -> ExperimentTable:
     )
 
 
-def _exp_workpreserving() -> ExperimentTable:
+def _exp_workpreserving(obs=None) -> ExperimentTable:
     from repro.core.logp_on_bsp import simulate_logp_on_bsp_workpreserving
     from repro.models.params import LogPParams
     from repro.programs import logp_sum_program
@@ -252,7 +285,9 @@ def _exp_workpreserving() -> ExperimentTable:
     rows = []
     records = []
     for bsp_p in (16, 8, 4, 2, 1):
-        rep = simulate_logp_on_bsp_workpreserving(params, logp_sum_program(), bsp_p)
+        rep = simulate_logp_on_bsp_workpreserving(
+            params, logp_sum_program(), bsp_p, obs=obs
+        )
         rows.append(
             (bsp_p, params.p // bsp_p, rep.bsp.total_cost, rep.work,
              f"{rep.slowdown:.1f}", rep.outputs_match)
@@ -267,7 +302,10 @@ def _exp_workpreserving() -> ExperimentTable:
     )
 
 
-EXPERIMENTS: dict[str, tuple[str, Callable[[], ExperimentTable]]] = {
+#: id -> (description, builder).  Builders accept an optional
+#: ``obs=Observation(...)``; experiments whose drivers support it (T1,
+#: TH1, WP) publish metrics/spans into it, the rest ignore it.
+EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentTable]]] = {
     "T1": ("Table 1: network bandwidth/latency parameters", _exp_table1),
     "TH1": ("Theorem 1: LogP on BSP", _exp_theorem1),
     "P1": ("Propositions 1/2: Combine-and-Broadcast", _exp_cb),
@@ -279,6 +317,128 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], ExperimentTable]]] = {
 }
 
 
+# -- inspect: run a demo program through a named Stack chain -------------
+
+
+def _parse_chain(spec: str) -> tuple[str, list[str]]:
+    """``"bsp-on-logp-on-network"`` -> ``("bsp", ["logp", "network"])``.
+
+    A bare model name (``"bsp"``, ``"logp"``) means a native run on that
+    model's own machine.
+    """
+    tokens = spec.strip().lower().replace("_", "-").split("-on-")
+    guest, hosts = tokens[0], tokens[1:]
+    if guest not in ("bsp", "logp"):
+        raise ValueError(f"unknown guest model {guest!r} (use 'bsp' or 'logp')")
+    bad = [t for t in hosts if t not in ("bsp", "logp", "network")]
+    if bad:
+        raise ValueError(f"unknown host layer(s) {bad} (use bsp/logp/network)")
+    return guest, hosts or [guest]
+
+
+def _build_inspect_stack(guest: str, hosts: list[str], p: int, topology: str):
+    """A demo Stack for ``inspect``: canonical programs and parameters."""
+    from repro.engine.stack import Stack
+    from repro.models.params import BSPParams, LogPParams
+    from repro.networks.params import make_topology
+    from repro.programs import bsp_prefix_program, logp_sum_program
+
+    topo = None
+    if "network" in hosts:
+        topo, _config = make_topology(topology, p)
+        p = topo.p  # arrays &c. round to their natural grid
+    logp = LogPParams(p=p, L=8, o=1, G=2)
+    if guest == "bsp":
+        stack = Stack(bsp_prefix_program())
+    else:
+        stack = Stack(logp_sum_program(), model="logp", params=logp)
+    for kind in hosts:
+        if kind == "bsp":
+            stack = stack.on_bsp(BSPParams(p=p, g=2, l=16) if guest == "bsp" else None)
+        elif kind == "logp":
+            stack = stack.on_logp(logp)
+        else:
+            stack = stack.on_network(topo)
+    return stack
+
+
+def _inspect(args) -> int:
+    from repro.errors import ProgramError
+    from repro.obs import CostModelCheck, Observation
+
+    try:
+        guest, hosts = _parse_chain(args.chain)
+        stack = _build_inspect_stack(guest, hosts, args.p, args.topology)
+    except (ValueError, KeyError) as exc:
+        print(f"inspect: {exc}", file=sys.stderr)
+        return 2
+    obs = Observation(trace=bool(args.trace))
+    try:
+        result = stack.run(obs=obs)
+    except ProgramError as exc:
+        print(f"inspect: {exc}", file=sys.stderr)
+        return 2
+
+    row = result.as_row()
+    doc: dict = {"chain": stack.describe(), "result": row}
+    print(f"stack: {stack.describe()}  ->  {type(result).__name__}")
+    print(render_table(
+        ["field", "value"],
+        [(k, json.dumps(v, default=str) if isinstance(v, dict) else v)
+         for k, v in row.items()],
+    ))
+    try:
+        check = CostModelCheck.check(result)
+    except TypeError:
+        check = None
+    if check is not None:
+        print()
+        print(check.render())
+        doc["cost_check"] = check.as_dict()
+    if args.metrics:
+        print()
+        print(obs.render_metrics(title=f"metrics — {stack.describe()}"))
+        doc["metrics"] = obs.metrics.as_dict()
+    if args.trace:
+        obs.write_trace(args.trace)
+        print(f"\ntrace written to {args.trace} "
+              f"({len(obs.tracer.spans)} spans; load in Perfetto / chrome://tracing)")
+        if args.metrics:
+            print()
+            print(obs.flamegraph())
+    if args.json:
+        print(json.dumps(doc, default=str))
+    return 0
+
+
+def _trace_path(base: str, exp_id: str, multi: bool) -> str:
+    if not multi:
+        return base
+    stem, dot, ext = base.rpartition(".")
+    return f"{stem}.{exp_id}.{ext}" if dot else f"{base}.{exp_id}"
+
+
+def _add_obs_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON document per experiment "
+        "after its table (rows use the shared MachineResult.as_row "
+        "projection where available)",
+    )
+    sub.add_argument(
+        "--metrics",
+        action="store_true",
+        help="attach an Observation and print its metric registry",
+    )
+    sub.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        help="record layer-labelled spans and write a Chrome trace_event "
+        "file (loadable in Perfetto)",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -288,30 +448,61 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list", help="list experiment ids")
     run = sub.add_parser("run", help="run experiments by id (or 'all')")
     run.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
-    run.add_argument(
-        "--json",
-        action="store_true",
-        help="emit one machine-readable JSON document per experiment "
-        "after its table (rows use the shared MachineResult.as_row "
-        "projection where available)",
+    _add_obs_flags(run)
+    inspect_p = sub.add_parser(
+        "inspect",
+        help="run a demo program through a Stack chain "
+        "(e.g. bsp-on-logp-on-network) and report on it",
     )
+    inspect_p.add_argument(
+        "chain",
+        help="layer chain, guest first: bsp, logp, logp-on-bsp, "
+        "bsp-on-logp, bsp-on-network, logp-on-network, "
+        "bsp-on-logp-on-network",
+    )
+    inspect_p.add_argument(
+        "--p", type=int, default=8, help="processor count (default 8)"
+    )
+    inspect_p.add_argument(
+        "--topology",
+        default="hypercube (multi-port)",
+        help="Table 1 topology name for network layers "
+        "(default: 'hypercube (multi-port)')",
+    )
+    _add_obs_flags(inspect_p)
     args = parser.parse_args(argv)
 
     if args.command == "list":
         for key, (desc, _fn) in EXPERIMENTS.items():
             print(f"{key:5s} {desc}")
         return 0
+    if args.command == "inspect":
+        return _inspect(args)
 
     ids = list(EXPERIMENTS) if "all" in args.ids else args.ids
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment ids: {unknown}; try 'list'", file=sys.stderr)
         return 2
+    observing = args.metrics or args.trace
     for i in ids:
-        table = EXPERIMENTS[i][1]()
+        from repro.obs import Observation
+
+        obs = Observation(trace=bool(args.trace)) if observing else None
+        table = EXPERIMENTS[i][1](obs=obs)
         print(table.render())
         if args.json:
-            print(json.dumps(table.as_json(), default=str))
+            doc = table.as_json()
+            if obs is not None:
+                doc["metrics"] = obs.metrics.as_dict()
+            print(json.dumps(doc, default=str))
+        if args.metrics:
+            print()
+            print(obs.render_metrics(title=f"metrics — {i}"))
+        if args.trace:
+            path = _trace_path(args.trace, i, multi=len(ids) > 1)
+            obs.write_trace(path)
+            print(f"trace written to {path} ({len(obs.tracer.spans)} spans)")
         print()
     return 0
 

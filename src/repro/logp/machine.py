@@ -224,6 +224,16 @@ class LogPMachine:
         ``"guest BSP on host LogP"``).  Deadlock and limit diagnostics
         are prefixed with it, so errors escaping nested engines identify
         their owner.
+    obs:
+        Optional :class:`~repro.obs.Observation`.  The run's metrics
+        (makespan, messages, stalls, kernel work, faults) are published
+        under this machine's ``layer`` label; with ``obs.trace`` on, the
+        machine records its event trace internally (exactly the
+        ``check_invariants`` mechanism, which the golden-trace suite
+        proves changes no execution) and emits per-processor
+        submit/acquire/stall spans plus one async span per message
+        lifetime.  A disabled observation is normalized to ``None`` and
+        the machine runs its uninstrumented path.
 
     Example
     -------
@@ -253,6 +263,7 @@ class LogPMachine:
         check_invariants: bool = False,
         kernel: str = "event",
         layer: str = "LogP",
+        obs: Any | None = None,
     ) -> None:
         self.params = params
         self.delivery = delivery if delivery is not None else DeliverMaxLatency()
@@ -264,6 +275,7 @@ class LogPMachine:
         self.check_invariants = check_invariants
         self.kernel = kernel
         self.layer = layer
+        self.obs = obs if (obs is not None and obs.enabled) else None
 
     # ------------------------------------------------------------------
 
@@ -279,6 +291,7 @@ class LogPMachine:
             max_events=self.max_events,
             layer=self.layer,
             faults=self.faults,
+            obs=self.obs,
         )
         active = engine.active
 
@@ -289,7 +302,12 @@ class LogPMachine:
             scale = active.clock_scale(pid) if active is not None else 1
             procs.append(_Proc(pid=pid, gen=gen, ctx=ctx, scale=scale))
 
-        trace = Trace(self.params) if (self.record_trace or self.check_invariants) else None
+        want_trace = (
+            self.record_trace
+            or self.check_invariants
+            or (self.obs is not None and self.obs.tracing)
+        )
+        trace = Trace(self.params) if want_trace else None
         queue = engine.queue
         push = engine.push
 
@@ -462,6 +480,11 @@ class LogPMachine:
                     f"LogP execution violated {len(violations)} model invariant(s)",
                     violations,
                 )
+        if self.obs is not None:
+            # Publish before the trace is stripped: the observer's spans
+            # are derived from it, but result.trace stays contractual —
+            # populated only under record_trace=True.
+            self.obs.observe_logp(result_obj, layer=self.layer)
         if not self.record_trace:
             result_obj.trace = None
         return result_obj

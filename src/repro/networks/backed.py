@@ -99,26 +99,48 @@ class NetworkDelivery:
     supports ``(L, G)`` for a traffic class iff such runs stay
     violation-free — the executable form of Section 5's "any machine that
     supports ..." statements.
+
+    With an enabled :class:`~repro.obs.Observation` (``obs=``) the
+    scheduler additionally counts per-link occupancy and — when tracing
+    — records each store-and-forward hop (in the host LogP clock); call
+    :meth:`publish` once the machine run finished.  The recording never
+    affects the proposed delays.
     """
 
-    def __init__(self, topo: Topology, *, start_time: int = 0) -> None:
+    def __init__(self, topo: Topology, *, start_time: int = 0, obs=None) -> None:
         self.topo = topo
         self._edge_free: dict[tuple[int, int], int] = {}
         self.violations = 0
         self.delays: list[int] = []
+        self._obs = obs if (obs is not None and obs.enabled) else None
+        self.occupancy: dict[tuple[int, int], int] = {}
+        #: (depart_step, u, v, msg_uid) per hop, recorded only when tracing.
+        self.hops: list[tuple[int, int, int, int]] = []
+        self._record_hops = self._obs is not None and self._obs.tracing
 
     def propose_delay(self, msg, accept_time: int, L: int) -> int:
         path = self.topo.route(self.topo.hosts[msg.src], self.topo.hosts[msg.dest])
         t = accept_time
+        observe = self._obs is not None
         for u, v in zip(path, path[1:]):
             depart = max(t, self._edge_free.get((u, v), 0))
             self._edge_free[(u, v)] = depart + 1
             t = depart + 1
+            if observe:
+                self.occupancy[(u, v)] = self.occupancy.get((u, v), 0) + 1
+                if self._record_hops:
+                    self.hops.append((depart, u, v, msg.uid))
         delay = max(1, t - accept_time)
         self.delays.append(delay)
         if delay > L:
             self.violations += 1
         return delay  # the engine clamps to [1, L]
+
+    def publish(self, layer: str = "network") -> None:
+        """Publish the co-simulation's record into the attached
+        observation (no-op without one)."""
+        if self._obs is not None:
+            self._obs.observe_network_delivery(self, layer=layer)
 
     @property
     def max_delay(self) -> int:
@@ -132,6 +154,7 @@ def run_on_network(
     config: RoutingConfig = RoutingConfig(),
     seed: int = 0,
     barrier_factor: int = 2,
+    obs=None,
 ) -> NetworkBackedRun:
     """Execute ``program`` with BSP semantics and network-measured costs.
 
@@ -140,8 +163,16 @@ def run_on_network(
     packet simulator (Valiant per ``config``) and its completion time
     becomes the superstep's communication charge.  The barrier costs
     ``barrier_factor * diameter`` (tree up + down).
+
+    With an enabled :class:`~repro.obs.Observation` (``obs=``), the
+    per-superstep router runs publish link-occupancy metrics (spans
+    suppressed — each router invocation has its own time base) and the
+    re-priced superstep decomposition is published on the measured
+    clock.
     """
     p = topo.p
+    if obs is not None and not obs.enabled:
+        obs = None
     # Semantics first: parameters don't affect results (§2.1), so run on
     # a unit machine while recording the communication structure.
     machine = BSPMachine(
@@ -156,13 +187,14 @@ def run_on_network(
     barrier = barrier_factor * topo.diameter(
         sample=None if topo.num_nodes <= 1024 else topo.hosts[:: max(1, p // 16)]
     )
+    route_obs = obs.metrics_only() if obs is not None else None
     supersteps: list[SuperstepComm] = []
     for rec, msgs in zip(bsp.ledger, bsp.message_log):
         if msgs:
             paths = build_paths(
                 topo, msgs, valiant=config.valiant, seed=seed + rec.index
             )
-            route_time = route_packets(topo, paths, config).time
+            route_time = route_packets(topo, paths, config, obs=route_obs).time
         else:
             route_time = 0
         supersteps.append(
@@ -174,6 +206,9 @@ def run_on_network(
                 barrier_time=barrier,
             )
         )
-    return NetworkBackedRun(
+    run = NetworkBackedRun(
         topology_name=topo.name, p=p, bsp=bsp, supersteps=supersteps
     )
+    if obs is not None:
+        obs.observe_network_run(run)
+    return run

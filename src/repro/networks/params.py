@@ -46,13 +46,21 @@ def measure_network_params(
     seeds: tuple[int, ...] = (0, 1, 2),
     config: RoutingConfig = RoutingConfig(),
     exact_diameter: bool = True,
+    obs=None,
 ) -> NetworkParams:
-    """Fit ``T(h) = gamma h + delta`` on the measured routing times."""
+    """Fit ``T(h) = gamma h + delta`` on the measured routing times.
+
+    ``obs`` (an enabled :class:`~repro.obs.Observation`) collects the
+    individual routing runs' metrics under ``layer=table_name`` (spans
+    suppressed — each run has its own time base)."""
+    route_obs = obs.metrics_only() if (obs is not None and obs.enabled) else None
     xs: list[float] = []
     ys: list[float] = []
     for h in hs:
         for seed in seeds:
-            out = route_h_relation(topo, h, seed=seed, config=config)
+            out = route_h_relation(
+                topo, h, seed=seed, config=config, obs=route_obs, layer=table_name
+            )
             xs.append(float(h))
             ys.append(float(out.time))
     fit: AffineFit = affine_fit(xs, ys)

@@ -30,6 +30,7 @@ import numpy as np
 from repro.engine.core import counters_for
 from repro.engine.result import MachineResult
 from repro.errors import RoutingError
+from repro.models.params import _bind_fields, resolve_aliases
 from repro.networks.topology import Topology
 from repro.perf.counters import KernelCounters
 from repro.perf.event_queue import KERNELS
@@ -39,7 +40,7 @@ from repro.util.rng import make_rng
 __all__ = ["RoutingConfig", "RoutingOutcome", "route_packets", "route_h_relation"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, init=False)
 class RoutingConfig:
     """Simulator knobs.
 
@@ -50,8 +51,10 @@ class RoutingConfig:
     ``link_fault_rate``: probability in ``[0, 1)`` that any single
     transmission attempt fails (the packet stays queued and is retried on
     a later step — a lossy link with link-level retransmission).  Faults
-    are drawn from a stream seeded by ``fault_seed``, so a fixed seed
-    reproduces the exact same fault pattern.
+    are drawn from a stream seeded by ``seed``, so a fixed seed
+    reproduces the exact same fault pattern.  (``fault_seed=`` is the
+    deprecated spelling — the unified keyword vocabulary uses one
+    ``seed`` everywhere; see docs/ARCHITECTURE.md.)
     ``kernel``: ``"event"`` visits only edges/nodes with queued packets
     each step (active-set scheduling); ``"tick"`` is the reference scan
     over every edge ever created.  Both execute bit-identically — same
@@ -64,8 +67,28 @@ class RoutingConfig:
     valiant: bool = False
     max_steps: int = 1_000_000
     link_fault_rate: float = 0.0
-    fault_seed: int = 0
+    seed: int = 0
     kernel: str = "event"
+
+    _SPEC = (
+        ("single_port", False),
+        ("priority", "fifo"),
+        ("valiant", False),
+        ("max_steps", 1_000_000),
+        ("link_fault_rate", 0.0),
+        ("seed", 0),
+        ("kernel", "event"),
+    )
+
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs = resolve_aliases(
+            "RoutingConfig",
+            kwargs,
+            aliases={},
+            deprecated={"fault_seed": "seed"},
+        )
+        _bind_fields(self, self._SPEC, args, kwargs)
+        self.__post_init__()
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.link_fault_rate < 1.0:
@@ -77,6 +100,11 @@ class RoutingConfig:
             raise RoutingError(
                 f"unknown kernel {self.kernel!r}; expected one of {KERNELS}"
             )
+
+    @property
+    def fault_seed(self) -> int:
+        """Deprecated read alias for :attr:`seed`."""
+        return self.seed
 
 
 @dataclass
@@ -118,23 +146,37 @@ def route_packets(
     topo: Topology,
     paths: list[list[int]],
     config: RoutingConfig = RoutingConfig(),
+    *,
+    obs=None,
+    layer: str = "network",
 ) -> RoutingOutcome:
     """Simulate the synchronous delivery of packets along ``paths``.
 
     Each path is a node sequence (from the packet's source node to its
     destination node).  Returns timing statistics; raises
     :class:`~repro.errors.RoutingError` if ``max_steps`` is exceeded.
+
+    ``obs`` (an enabled :class:`~repro.obs.Observation`) additionally
+    collects per-link occupancy counts and — when tracing — one span per
+    successful hop; the recording is purely additive and never alters
+    transmission order (the golden-trace suite pins this).
     """
     if config.priority not in ("fifo", "farthest"):
         raise RoutingError(f"unknown priority {config.priority!r}")
+    if obs is not None and not obs.enabled:
+        obs = None
     if config.kernel == "tick":
-        return _route_packets_tick(paths, config)
-    return _route_packets_event(paths, config)
+        outcome, occupancy, hops = _route_packets_tick(paths, config, obs)
+    else:
+        outcome, occupancy, hops = _route_packets_event(paths, config, obs)
+    if obs is not None:
+        obs.observe_routing(outcome, occupancy, hops, layer=layer)
+    return outcome
 
 
 def _route_packets_event(
-    paths: list[list[int]], config: RoutingConfig
-) -> RoutingOutcome:
+    paths: list[list[int]], config: RoutingConfig, obs=None
+):
     """Active-set kernel: per step, visit only edges that hold packets.
 
     Equivalence with the tick scan: edges are numbered in creation order,
@@ -147,9 +189,15 @@ def _route_packets_event(
     pos = [0] * len(paths)
     total_hops = 0
     counters = counters_for("event")
+    # Observation recording (inactive: everything below is None-guarded).
+    occupancy: dict[tuple[int, int], int] | None = {} if obs is not None else None
+    hops: list[tuple[int, int, int, int]] | None = (
+        [] if (obs is not None and obs.tracing) else None
+    )
     # Edge state, indexed by creation sequence number.
     eseq: dict[tuple[int, int], int] = {}
     equeues: list[deque[int]] = []
+    edge_of: list[tuple[int, int]] = []
     edge_node: list[int] = []
     active: set[int] = set()  # seqs of non-empty edge queues
     # Node state (single-port arbitration), indexed by creation order.
@@ -172,6 +220,7 @@ def _route_packets_event(
         if s is None:
             s = eseq[edge] = len(equeues)
             equeues.append(deque())
+            edge_of.append(edge)
             if sp:
                 ni = node_idx.get(edge[0])
                 if ni is None:
@@ -210,11 +259,17 @@ def _route_packets_event(
 
     farthest = config.priority == "farthest"
     fault_rate = config.link_fault_rate
-    fault_rng = make_rng(config.fault_seed) if fault_rate > 0 else None
+    fault_rng = make_rng(config.seed) if fault_rate > 0 else None
     retransmissions = 0
 
     def link_ok() -> bool:
         return fault_rng is None or fault_rng.random() >= fault_rate
+
+    def note_obs(s: int, pkt: int, time: int) -> None:
+        edge = edge_of[s]
+        occupancy[edge] = occupancy.get(edge, 0) + 1
+        if hops is not None:
+            hops.append((time, pkt, edge[0], edge[1]))
 
     time = 0
     while live:
@@ -236,8 +291,11 @@ def _route_packets_event(
                     if q:
                         attempted += 1
                         if link_ok():
-                            moved.append(_pop(q, paths, pos, farthest))
+                            pkt = _pop(q, paths, pos, farthest)
+                            moved.append(pkt)
                             note_pop(s)
+                            if occupancy is not None:
+                                note_obs(s, pkt, time)
                         else:
                             retransmissions += 1
                         break
@@ -252,8 +310,11 @@ def _route_packets_event(
                 q = equeues[s]
                 attempted += 1
                 if link_ok():
-                    moved.append(_pop(q, paths, pos, farthest))
+                    pkt = _pop(q, paths, pos, farthest)
+                    moved.append(pkt)
                     note_pop(s)
+                    if occupancy is not None:
+                        note_obs(s, pkt, time)
                 else:
                     retransmissions += 1
         if not attempted:
@@ -265,7 +326,7 @@ def _route_packets_event(
                 live -= 1
 
     counters.queue_highwater = max_queue
-    return RoutingOutcome(
+    outcome = RoutingOutcome(
         time=time,
         packets=len(paths),
         total_hops=total_hops,
@@ -273,16 +334,21 @@ def _route_packets_event(
         retransmissions=retransmissions,
         kernel=counters,
     )
+    return outcome, occupancy, hops
 
 
 def _route_packets_tick(
-    paths: list[list[int]], config: RoutingConfig
-) -> RoutingOutcome:
+    paths: list[list[int]], config: RoutingConfig, obs=None
+):
     """Reference kernel: scan every created edge (or node) each step."""
     # Packet state: index into its path (position of current node).
     pos = [0] * len(paths)
     total_hops = 0
     counters = counters_for("tick")
+    occupancy: dict[tuple[int, int], int] | None = {} if obs is not None else None
+    hops: list[tuple[int, int, int, int]] | None = (
+        [] if (obs is not None and obs.tracing) else None
+    )
     queues: dict[tuple[int, int], deque[int]] = {}
     node_out: dict[int, list[tuple[int, int]]] = {}
 
@@ -309,11 +375,16 @@ def _route_packets_tick(
 
     farthest = config.priority == "farthest"
     fault_rate = config.link_fault_rate
-    fault_rng = make_rng(config.fault_seed) if fault_rate > 0 else None
+    fault_rng = make_rng(config.seed) if fault_rate > 0 else None
     retransmissions = 0
 
     def link_ok() -> bool:
         return fault_rng is None or fault_rng.random() >= fault_rate
+
+    def note_obs(edge: tuple[int, int], pkt: int, time: int) -> None:
+        occupancy[edge] = occupancy.get(edge, 0) + 1
+        if hops is not None:
+            hops.append((time, pkt, edge[0], edge[1]))
 
     time = 0
     while live:
@@ -335,7 +406,10 @@ def _route_packets_tick(
                     if q:
                         attempted += 1
                         if link_ok():
-                            moved.append(_pop(q, paths, pos, farthest))
+                            pkt = _pop(q, paths, pos, farthest)
+                            moved.append(pkt)
+                            if occupancy is not None:
+                                note_obs(edge, pkt, time)
                         else:
                             retransmissions += 1
                         break
@@ -344,7 +418,10 @@ def _route_packets_tick(
                 if q:
                     attempted += 1
                     if link_ok():
-                        moved.append(_pop(q, paths, pos, farthest))
+                        pkt = _pop(q, paths, pos, farthest)
+                        moved.append(pkt)
+                        if occupancy is not None:
+                            note_obs(edge, pkt, time)
                     else:
                         retransmissions += 1
         if not attempted:
@@ -358,7 +435,7 @@ def _route_packets_tick(
             max_queue = max(max_queue, max(len(q) for q in queues.values()))
 
     counters.queue_highwater = max_queue
-    return RoutingOutcome(
+    outcome = RoutingOutcome(
         time=time,
         packets=len(paths),
         total_hops=total_hops,
@@ -366,6 +443,7 @@ def _route_packets_tick(
         retransmissions=retransmissions,
         kernel=counters,
     )
+    return outcome, occupancy, hops
 
 
 def _pop(q: deque, paths: list[list[int]], pos: list[int], farthest: bool) -> int:
@@ -415,8 +493,10 @@ def route_h_relation(
     *,
     seed: int = 0,
     config: RoutingConfig = RoutingConfig(),
+    obs=None,
+    layer: str = "network",
 ) -> RoutingOutcome:
     """Generate a balanced h-relation on the topology's hosts and route it."""
     pairs = balanced_h_relation(topo.p, h, seed=seed)
     paths = build_paths(topo, pairs, valiant=config.valiant, seed=seed + 1)
-    return route_packets(topo, paths, config)
+    return route_packets(topo, paths, config, obs=obs, layer=layer)

@@ -1,0 +1,33 @@
+"""repro.obs — observability for the simulation stack.
+
+One import surface for the three tentpole pieces (see
+``docs/OBSERVABILITY.md``):
+
+* :class:`Observation` — the metrics + trace sink a run publishes into
+  (``BSPMachine(params, obs=obs)``, ``Stack(...).run(obs=obs)``, ...);
+* :class:`MetricsRegistry` / :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` — the metric primitives;
+* :class:`Tracer` / :class:`Span` — layer-labelled spans with the Chrome
+  ``trace_event`` exporter and text flamegraph;
+* :class:`CostModelCheck` / :class:`CostCheckReport` /
+  :class:`CostResidual` — predicted-vs-observed residuals against the
+  paper's closed-form bounds.
+"""
+
+from repro.obs.check import CostCheckReport, CostModelCheck, CostResidual
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.observation import Observation
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "Observation",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "Span",
+    "CostModelCheck",
+    "CostCheckReport",
+    "CostResidual",
+]

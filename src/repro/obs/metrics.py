@@ -1,0 +1,175 @@
+"""Metrics primitives: counters, gauges, histograms, and their registry.
+
+The observability layer's design rule is that *instrumentation never
+changes execution*: every metric is either published once per run from
+data the machines already record (cost ledgers, kernel counters, stall
+ledgers, traces), or incremented behind an ``if obs is not None`` guard
+cheap enough for the perf-smoke gate's < 5 % disabled-overhead budget
+(see ``docs/OBSERVABILITY.md``).  The golden-trace suite pins the
+stronger property: simulated clocks and message orders are bit-identical
+with observation enabled and disabled.
+
+Metrics are identified by ``(name, labels)`` — by convention every
+machine labels its metrics with its ``layer`` (the same label the
+engine's diagnostics carry), so a stacked run's registry separates the
+guest BSP's supersteps from the host LogP's messages from the network's
+link occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (events drained, messages sent)."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...] = ()
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """A point-in-time level (queue high-water, makespan, slowdown)."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...] = ()
+    value: float = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+    def track_max(self, v: float) -> None:
+        """Keep the maximum over repeated runs sharing one registry."""
+        self.value = max(self.value, v)
+
+
+@dataclass
+class Histogram:
+    """A scalar distribution (per-superstep ``w``/``h``, message latency,
+    per-link occupancy) summarized as count/sum/min/max."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...] = ()
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": round(self.mean, 4),
+        }
+
+
+def _label_key(labels: dict) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _fmt_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    return "{" + ", ".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of every metric one observed run produced.
+
+    ``counter`` / ``gauge`` / ``histogram`` return the live metric object
+    for ``(name, labels)``, creating it on first use — callers hold the
+    returned object and mutate it directly, so the registry adds no cost
+    to the hot path beyond the initial lookup.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, str, tuple], Counter | Gauge | Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get(self, kind: str, cls, name: str, labels: dict):
+        key = (kind, name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = cls(name=name, labels=key[2])
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get("counter", Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get("gauge", Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get("histogram", Histogram, name, labels)
+
+    # -- reporting -----------------------------------------------------
+
+    def rows(self) -> list[tuple]:
+        """Display rows ``(metric, kind, value, detail)``, sorted by name."""
+        out: list[tuple] = []
+        for (kind, name, labels), metric in sorted(self._metrics.items(), key=lambda kv: (kv[0][1], kv[0][2], kv[0][0])):
+            ident = f"{name}{_fmt_labels(labels)}"
+            if isinstance(metric, Histogram):
+                d = metric.as_dict()
+                out.append(
+                    (
+                        ident,
+                        kind,
+                        d["count"],
+                        f"sum={d['sum']:g} min={d['min']:g} "
+                        f"mean={d['mean']:g} max={d['max']:g}"
+                        if d["count"]
+                        else "empty",
+                    )
+                )
+            else:
+                value = metric.value
+                if isinstance(value, float) and not value.is_integer():
+                    value = round(value, 4)
+                out.append((ident, kind, value, ""))
+        return out
+
+    def render(self, title: str = "metrics") -> str:
+        """Pretty table of every metric (the ``--metrics`` CLI output)."""
+        from repro.util.tables import render_table
+
+        return render_table(
+            ["metric", "kind", "value", "detail"], self.rows(), title=title
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-serializable projection, grouped by metric kind."""
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for (kind, name, labels), metric in self._metrics.items():
+            ident = f"{name}{_fmt_labels(labels)}"
+            if isinstance(metric, Histogram):
+                out["histograms"][ident] = metric.as_dict()
+            elif isinstance(metric, Gauge):
+                out["gauges"][ident] = metric.value
+            else:
+                out["counters"][ident] = metric.value
+        return out

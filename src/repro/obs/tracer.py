@@ -1,0 +1,210 @@
+"""Layer-labelled execution spans and the Chrome ``trace_event`` exporter.
+
+A :class:`Tracer` collects :class:`Span` records — supersteps, message
+lifetimes (submit → acquire), routing hops — each labelled with the
+*layer* that produced it (the same labels the engine's diagnostics use:
+``"guest BSP on host LogP"``, ``"network"``, ...).  Time is the layer's
+simulated clock; in a stacked run every layer reports in the host
+machine's clock, so the spans of all layers line up on one axis.
+
+Two exports:
+
+* :meth:`Tracer.to_chrome` / :meth:`Tracer.write_chrome` — the Chrome
+  ``trace_event`` JSON object format.  Load the file at
+  ``chrome://tracing`` or https://ui.perfetto.dev: each *layer* becomes a
+  process row (named via ``process_name`` metadata), each processor a
+  thread row, point-to-point spans are complete (``"X"``) events and
+  message lifetimes async (``"b"``/``"e"``) events keyed by message uid.
+  One simulated time unit is exported as one microsecond.
+* :meth:`Tracer.flamegraph` — a compact per-layer text summary
+  aggregating total span duration by name, for terminal inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One observed interval of a simulated execution.
+
+    ``tid`` is the acting processor (0 for machine-wide events such as a
+    BSP barrier); ``async_id`` marks a message-lifetime span that may
+    overlap others on the same processor row and is exported as a Chrome
+    async event instead of a complete one.
+    """
+
+    layer: str
+    name: str
+    start: int
+    end: int
+    tid: int = 0
+    cat: str = "sim"
+    args: dict | None = None
+    async_id: int | None = None
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects spans and instants; layers are registered on first use."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.instants: list[tuple[str, str, int, int, dict | None]] = []
+        self._layers: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.instants)
+
+    def layer_id(self, layer: str) -> int:
+        """Stable numeric id (Chrome ``pid``) for a layer label."""
+        pid = self._layers.get(layer)
+        if pid is None:
+            pid = self._layers[layer] = len(self._layers) + 1
+        return pid
+
+    @property
+    def layers(self) -> tuple[str, ...]:
+        return tuple(self._layers)
+
+    def span(
+        self,
+        layer: str,
+        name: str,
+        start: int,
+        end: int,
+        *,
+        tid: int = 0,
+        cat: str = "sim",
+        args: dict | None = None,
+        async_id: int | None = None,
+    ) -> None:
+        self.layer_id(layer)
+        self.spans.append(
+            Span(
+                layer=layer,
+                name=name,
+                start=start,
+                end=max(start, end),
+                tid=tid,
+                cat=cat,
+                args=args,
+                async_id=async_id,
+            )
+        )
+
+    def instant(
+        self, layer: str, name: str, time: int, *, tid: int = 0, args: dict | None = None
+    ) -> None:
+        self.layer_id(layer)
+        self.instants.append((layer, name, time, tid, args))
+
+    # -- Chrome trace_event export -------------------------------------
+
+    def to_chrome(self) -> dict:
+        """The trace as a Chrome ``trace_event`` JSON object document."""
+        events: list[dict] = []
+        for layer, pid in self._layers.items():
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": layer},
+                }
+            )
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_sort_index",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"sort_index": pid},
+                }
+            )
+        for s in self.spans:
+            pid = self._layers[s.layer]
+            common = {
+                "name": s.name,
+                "cat": s.cat,
+                "pid": pid,
+                "tid": s.tid,
+            }
+            if s.args:
+                common["args"] = s.args
+            if s.async_id is None:
+                events.append({**common, "ph": "X", "ts": s.start, "dur": s.duration})
+            else:
+                ident = f"0x{s.async_id:x}"
+                events.append({**common, "ph": "b", "id": ident, "ts": s.start})
+                events.append(
+                    {
+                        "name": s.name,
+                        "cat": s.cat,
+                        "pid": pid,
+                        "tid": s.tid,
+                        "ph": "e",
+                        "id": ident,
+                        "ts": s.end,
+                    }
+                )
+        for layer, name, time, tid, args in self.instants:
+            ev = {
+                "name": name,
+                "cat": "sim",
+                "ph": "i",
+                "ts": time,
+                "pid": self._layers[layer],
+                "tid": tid,
+                "s": "t",
+            }
+            if args:
+                ev["args"] = args
+            events.append(ev)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro.obs",
+                "time_unit": "1 simulated step == 1us",
+            },
+        }
+
+    def write_chrome(self, path: str | Path) -> Path:
+        """Write :meth:`to_chrome` to ``path``; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome()) + "\n")
+        return path
+
+    # -- text summary --------------------------------------------------
+
+    def flamegraph(self, width: int = 40) -> str:
+        """Per-layer aggregate of span time by name, widest bar first."""
+        lines: list[str] = []
+        for layer in self._layers:
+            totals: dict[str, tuple[int, int]] = {}
+            for s in self.spans:
+                if s.layer != layer:
+                    continue
+                dur, n = totals.get(s.name, (0, 0))
+                totals[s.name] = (dur + s.duration, n + 1)
+            if not totals:
+                continue
+            lines.append(f"[{layer}]")
+            peak = max(dur for dur, _n in totals.values()) or 1
+            for name, (dur, n) in sorted(
+                totals.items(), key=lambda kv: -kv[1][0]
+            ):
+                bar = "#" * max(1, round(width * dur / peak))
+                lines.append(f"  {name:<24s} {dur:>10d} x{n:<6d} {bar}")
+        return "\n".join(lines) if lines else "(no spans recorded)"

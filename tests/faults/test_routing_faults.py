@@ -24,7 +24,7 @@ class TestLossyRouting:
     def _route(self, rate, **kwargs):
         return route_h_relation(
             TOPO, 4, seed=2,
-            config=RoutingConfig(link_fault_rate=rate, fault_seed=11, **kwargs),
+            config=RoutingConfig(link_fault_rate=rate, seed=11, **kwargs),
         )
 
     def test_all_packets_still_delivered(self):
@@ -48,7 +48,7 @@ class TestLossyRouting:
         a = self._route(0.2)
         b = route_h_relation(
             TOPO, 4, seed=2,
-            config=RoutingConfig(link_fault_rate=0.2, fault_seed=12),
+            config=RoutingConfig(link_fault_rate=0.2, seed=12),
         )
         assert (a.time, a.retransmissions) != (b.time, b.retransmissions)
 

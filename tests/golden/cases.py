@@ -139,7 +139,7 @@ def case_routing(kernel: str) -> dict:
         cfg = RoutingConfig(
             single_port=single_port,
             link_fault_rate=fr,
-            fault_seed=11,
+            seed=11,
             kernel=kernel,
         )
         o = route_h_relation(Hypercube(16), 4, seed=2, config=cfg)

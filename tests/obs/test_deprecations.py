@@ -1,0 +1,142 @@
+"""Legacy entry points and keyword spellings: wrapped, warned, equivalent."""
+
+import warnings
+
+import pytest
+
+import repro.core as core
+from repro import BSPParams, LogPParams, RoutingConfig, Stack
+from repro.errors import ParameterError
+from repro.programs import bsp_prefix_program, logp_sum_program
+
+PARAMS = LogPParams(p=4, L=8, o=1, G=2)
+
+
+def assert_deprecated(fn, match: str):
+    with pytest.warns(DeprecationWarning, match=match):
+        return fn()
+
+
+class TestLegacyWrappers:
+    """Every package-level cross-simulation entry point warns and points
+    at the equivalent Stack chain — and still computes the same result."""
+
+    def test_simulate_bsp_on_logp(self):
+        rep = assert_deprecated(
+            lambda: core.simulate_bsp_on_logp(PARAMS, bsp_prefix_program()),
+            match=r"Stack\(program\)\.on_logp",
+        )
+        via_stack = Stack(bsp_prefix_program()).on_logp(PARAMS).run()
+        assert rep.total_logp_time == via_stack.total_logp_time
+        assert rep.results == via_stack.results
+
+    def test_simulate_logp_on_bsp(self):
+        rep = assert_deprecated(
+            lambda: core.simulate_logp_on_bsp(PARAMS, logp_sum_program()),
+            match=r"model='logp'.*\.on_bsp\(\)",
+        )
+        via_stack = Stack(logp_sum_program(), model="logp", params=PARAMS).on_bsp().run()
+        assert rep.virtual_time == via_stack.virtual_time
+        assert rep.results == via_stack.results
+
+    def test_simulate_logp_on_bsp_workpreserving(self):
+        rep = assert_deprecated(
+            lambda: core.simulate_logp_on_bsp_workpreserving(
+                PARAMS, logp_sum_program(), 2
+            ),
+            match=r"on_bsp\(p=bsp_p\)",
+        )
+        via_stack = (
+            Stack(logp_sum_program(), model="logp", params=PARAMS).on_bsp(p=2).run()
+        )
+        assert rep.bsp.total_cost == via_stack.bsp.total_cost
+        assert rep.results == via_stack.results
+
+    def test_submodule_drivers_do_not_warn(self):
+        """The Stack adapters' own entry points stay undeprecated."""
+        from repro.core.bsp_on_logp import simulate_bsp_on_logp
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            simulate_bsp_on_logp(PARAMS, bsp_prefix_program())
+
+
+class TestParamAliases:
+    def test_bsp_canonical_aliases_are_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            p = BSPParams(processors=4, gap=2, latency=16)
+        assert (p.p, p.g, p.l) == (4, 2, 16)
+
+    def test_logp_canonical_aliases_are_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            p = LogPParams(processors=4, latency=8, overhead=1, gap=2, word_gap=1)
+        assert (p.p, p.L, p.o, p.G, p.Gb) == (4, 8, 1, 2, 1)
+
+    def test_bsp_cross_model_spellings_warn(self):
+        with pytest.warns(DeprecationWarning, match=r"BSPParams\(G=\.\.\.\)"):
+            p = BSPParams(p=4, G=2, l=16)
+        assert p.g == 2
+        with pytest.warns(DeprecationWarning, match=r"BSPParams\(L=\.\.\.\)"):
+            p = BSPParams(p=4, g=2, L=16)
+        assert p.l == 16
+
+    def test_logp_cross_model_spellings_warn(self):
+        with pytest.warns(DeprecationWarning, match=r"LogPParams\(g=\.\.\.\)"):
+            p = LogPParams(p=4, L=8, o=1, g=2)
+        assert p.G == 2
+        with pytest.warns(DeprecationWarning, match=r"LogPParams\(l=\.\.\.\)"):
+            p = LogPParams(p=4, l=8, o=1, G=2)
+        assert p.L == 8
+
+    def test_alias_plus_canonical_is_an_error(self):
+        with pytest.raises(ParameterError):
+            BSPParams(p=4, g=2, gap=2, l=16)
+        with pytest.raises(ParameterError):
+            LogPParams(p=4, L=8, latency=8, o=1, G=2)
+
+    def test_aliased_params_equal_canonical(self):
+        assert BSPParams(processors=4, gap=2, latency=16) == BSPParams(p=4, g=2, l=16)
+        assert LogPParams(processors=4, latency=8, overhead=1, gap=2) == LogPParams(
+            p=4, L=8, o=1, G=2
+        )
+
+    def test_positional_construction_still_works(self):
+        assert BSPParams(4, 2, 16) == BSPParams(p=4, g=2, l=16)
+        assert LogPParams(4, 8, 1, 2) == LogPParams(p=4, L=8, o=1, G=2)
+
+    def test_validation_still_enforced(self):
+        with pytest.raises(ParameterError):
+            BSPParams(processors=0, gap=2, latency=16)
+        with pytest.raises(ParameterError):
+            LogPParams(p=4, latency=0, o=1, G=2)
+
+
+class TestRoutingConfigSeed:
+    def test_fault_seed_keyword_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match=r"RoutingConfig\(fault_seed=\.\.\.\)"):
+            cfg = RoutingConfig(link_fault_rate=0.2, fault_seed=7)
+        assert cfg.seed == 7
+        assert cfg.fault_seed == 7  # compat read property
+
+    def test_canonical_seed_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            cfg = RoutingConfig(seed=7)
+        assert cfg.seed == 7
+
+    def test_same_faults_either_spelling(self):
+        from repro.networks import Hypercube
+        from repro.networks.routing_sim import route_h_relation
+
+        new = RoutingConfig(link_fault_rate=0.3, seed=11)
+        with pytest.warns(DeprecationWarning):
+            old = RoutingConfig(link_fault_rate=0.3, fault_seed=11)
+        a = route_h_relation(Hypercube(8), 2, seed=1, config=new)
+        b = route_h_relation(Hypercube(8), 2, seed=1, config=old)
+        assert (a.time, a.total_hops, a.retransmissions) == (
+            b.time,
+            b.total_hops,
+            b.retransmissions,
+        )

@@ -1,0 +1,131 @@
+"""Chrome trace_event export: schema validation on real stacked runs."""
+
+import json
+
+from repro import LogPParams, Observation, Stack
+from repro.networks import Hypercube
+from repro.obs.tracer import Tracer
+from repro.programs import bsp_prefix_program
+
+#: Every ph value the exporter may legally emit.
+VALID_PH = {"M", "X", "b", "e", "i"}
+
+
+def validate_chrome(doc: dict) -> None:
+    """Structural validation of the trace_event object format."""
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    events = doc["traceEvents"]
+    assert isinstance(events, list) and events
+    async_open: dict[tuple, int] = {}
+    pids_named = set()
+    for ev in events:
+        assert ev["ph"] in VALID_PH
+        assert isinstance(ev["name"], str) and ev["name"]
+        assert isinstance(ev["pid"], int)
+        assert isinstance(ev["tid"], int)
+        if ev["ph"] == "M":
+            if ev["name"] == "process_name":
+                assert ev["args"]["name"]
+                pids_named.add(ev["pid"])
+        else:
+            assert isinstance(ev["ts"], int) and ev["ts"] >= 0
+        if ev["ph"] == "X":
+            assert isinstance(ev["dur"], int) and ev["dur"] >= 0
+        if ev["ph"] == "b":
+            key = (ev["pid"], ev["cat"], ev["id"])
+            async_open[key] = async_open.get(key, 0) + 1
+        if ev["ph"] == "e":
+            key = (ev["pid"], ev["cat"], ev["id"])
+            assert async_open.get(key, 0) > 0, f"e without b: {key}"
+            async_open[key] -= 1
+    assert all(n == 0 for n in async_open.values()), "unclosed async spans"
+    # every event's pid has a process_name metadata row
+    assert {ev["pid"] for ev in events if ev["ph"] != "M"} <= pids_named
+
+
+class TestTracer:
+    def test_layer_ids_are_stable_and_ordered(self):
+        tr = Tracer()
+        assert tr.layer_id("a") == 1
+        assert tr.layer_id("b") == 2
+        assert tr.layer_id("a") == 1
+        assert tr.layers == ("a", "b")
+
+    def test_span_clamps_negative_duration(self):
+        tr = Tracer()
+        tr.span("a", "x", 10, 7)
+        assert tr.spans[0].end == 10
+        assert tr.spans[0].duration == 0
+
+    def test_async_spans_pair_b_and_e(self):
+        tr = Tracer()
+        tr.span("a", "msg", 0, 5, cat="msg", async_id=42)
+        doc = tr.to_chrome()
+        phs = [ev["ph"] for ev in doc["traceEvents"]]
+        assert phs.count("b") == 1 and phs.count("e") == 1
+        b = next(ev for ev in doc["traceEvents"] if ev["ph"] == "b")
+        e = next(ev for ev in doc["traceEvents"] if ev["ph"] == "e")
+        assert b["id"] == e["id"] == "0x2a"
+        validate_chrome(doc)
+
+    def test_instants(self):
+        tr = Tracer()
+        tr.instant("a", "fault", 3, tid=1, args={"kind": "drop"})
+        doc = tr.to_chrome()
+        inst = next(ev for ev in doc["traceEvents"] if ev["ph"] == "i")
+        assert inst["ts"] == 3 and inst["s"] == "t"
+        validate_chrome(doc)
+
+    def test_flamegraph_aggregates_by_name(self):
+        tr = Tracer()
+        tr.span("L", "work", 0, 10)
+        tr.span("L", "work", 10, 30)
+        tr.span("L", "idle", 30, 35)
+        text = tr.flamegraph(width=10)
+        assert "[L]" in text
+        assert "work" in text and "x2" in text
+
+    def test_empty_flamegraph(self):
+        assert "no spans" in Tracer().flamegraph()
+
+
+class TestStackTraceExport:
+    def test_three_layer_trace_is_valid_and_layer_labelled(self, tmp_path):
+        obs = Observation(trace=True)
+        Stack(bsp_prefix_program()).on_logp(
+            LogPParams(p=8, L=8, o=1, G=2), obs=obs
+        ).on_network(Hypercube(8)).run()
+        path = obs.write_trace(tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        validate_chrome(doc)
+        layers = {
+            ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "process_name"
+        }
+        assert layers == {
+            "guest BSP on host LogP on network",
+            "guest BSP supersteps",
+            "native BSP reference",
+            "network",
+        }
+
+    def test_all_layers_share_one_time_axis(self):
+        """Stacked layers report in the host clock: the guest's last
+        route end equals the host machine's makespan."""
+        obs = Observation(trace=True)
+        report = Stack(bsp_prefix_program()).on_logp(
+            LogPParams(p=8, L=8, o=1, G=2), obs=obs
+        ).run()
+        guest_end = max(
+            s.end for s in obs.tracer.spans if s.layer == "guest BSP supersteps"
+        )
+        assert guest_end == report.total_logp_time
+
+    def test_trace_off_records_nothing(self):
+        obs = Observation(trace=False)
+        Stack(bsp_prefix_program()).on_logp(
+            LogPParams(p=8, L=8, o=1, G=2), obs=obs
+        ).run()
+        assert len(obs.tracer.spans) == 0
+        assert len(obs.metrics) > 0  # metrics still collected
