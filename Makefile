@@ -1,6 +1,6 @@
 # Convenience targets; everything also works as plain pytest invocations.
 
-.PHONY: install test lint bench bench-only bench-kernel trace-demo faults experiments examples clean
+.PHONY: install test lint bench bench-only bench-kernel campaign-smoke trace-demo faults experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -24,6 +24,17 @@ bench-only:
 bench-kernel:
 	PYTHONPATH=src python benchmarks/bench_kernel.py --quick --check --obs-check
 
+# Campaign runner end to end (see docs/CAMPAIGN.md): run the Theorem-1
+# grid on 2 workers, kill it after 8 points, resume from the store, and
+# gate the residual fits against the committed baseline.  The resumed
+# run must report the first 8 points as cached.
+campaign-smoke:
+	PYTHONPATH=src python -m repro.experiments campaign th1-grid \
+		--store campaigns/th1-grid --parallel 2 --force --stop-after 8
+	PYTHONPATH=src python -m repro.experiments campaign th1-grid \
+		--store campaigns/th1-grid --parallel 2 --metrics \
+		--gate benchmarks/baselines/campaign_th1.json
+
 # Three-layer run with metrics + a Perfetto-loadable trace (trace.json).
 trace-demo:
 	PYTHONPATH=src python -m repro.experiments inspect bsp-on-logp-on-network --metrics --trace trace.json
@@ -40,5 +51,5 @@ examples:
 	for ex in examples/*.py; do echo "== $$ex =="; python $$ex || exit 1; done
 
 clean:
-	rm -rf .pytest_cache .hypothesis benchmarks/results build *.egg-info
+	rm -rf .pytest_cache .hypothesis benchmarks/results campaigns build *.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

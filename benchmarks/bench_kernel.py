@@ -31,7 +31,6 @@ defines no tests; it is an argparse CLI.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from datetime import datetime, timezone
@@ -41,6 +40,7 @@ _REPO_ROOT = Path(__file__).resolve().parents[1]
 if str(_REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(_REPO_ROOT / "src"))
 
+from repro.campaign.io import dump_json, load_json  # noqa: E402
 from repro.core.bsp_on_logp import simulate_bsp_on_logp  # noqa: E402
 from repro.logp.machine import LogPMachine  # noqa: E402
 from repro.models.params import LogPParams  # noqa: E402
@@ -50,6 +50,9 @@ from repro.perf import clear_plan_caches  # noqa: E402
 from repro.programs import logp_broadcast_program, logp_sum_program  # noqa: E402
 
 BENCH_FILE = _REPO_ROOT / "BENCH_kernel.json"
+
+#: Schema stamp of the committed benchmark file (see repro.campaign.io).
+BENCH_KIND = "repro.bench.kernel"
 
 #: Regression tolerance: fail when measured speedup < RATIO * committed.
 GATE_RATIO = 0.8
@@ -259,10 +262,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"FAIL  committed {BENCH_FILE.name} missing")
             rc = 1
         else:
-            committed = json.loads(BENCH_FILE.read_text())
+            committed = load_json(BENCH_FILE, kind=BENCH_KIND, allow_legacy=True)
             rc = max(rc, 1 if check(report, committed) else 0)
     if args.update:
-        BENCH_FILE.write_text(json.dumps(report, indent=2) + "\n")
+        dump_json(BENCH_FILE, BENCH_KIND, report)
         print(f"wrote {BENCH_FILE}")
     return rc
 

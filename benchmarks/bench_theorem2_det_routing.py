@@ -1,18 +1,18 @@
 """Experiment TH2 — **Theorem 2**: deterministic BSP-on-LogP routing.
 
-Sweeps the relation degree ``h`` through the Section 4.2 protocol and
-compares the measured slowdown against the paper's ``S(L, G, p, h)``:
-``O(log p)`` for small ``h``, approaching ``O(1)`` as ``h`` grows (the
-``h = Omega(p^eps + L log p)`` regime), with the sorting phase dominating
-exactly where the paper says it does.
+Sweeps the relation degree ``h`` through the Section 4.2 protocol as a
+:class:`~repro.campaign.CampaignSpec` (the ``theorem2`` campaign target;
+records flow out of :func:`~repro.campaign.run_campaign`'s result
+store) and compares the measured slowdown against the paper's
+``S(L, G, p, h)``: ``O(log p)`` for small ``h``, approaching ``O(1)``
+as ``h`` grows (the ``h = Omega(p^eps + L log p)`` regime), with the
+sorting phase dominating exactly where the paper says it does.
 """
 
 import pytest
 
-from repro.core.det_routing import measure_det_routing
-from repro.models.cost import slowdown_S, t_route_small
+from repro.campaign import CampaignSpec, run_campaign, run_point
 from repro.models.params import LogPParams
-from repro.routing.workloads import balanced_h_relation
 from repro.util.tables import render_table
 
 PARAMS = LogPParams(p=16, L=8, o=1, G=2)
@@ -22,38 +22,45 @@ PARAMS = LogPParams(p=16, L=8, o=1, G=2)
 # paper's small-r/large-r regime change.
 HS = (1, 2, 4, 8, 16, 32, 64, 256, 512)
 
+SPEC = CampaignSpec(
+    name="bench-theorem2",
+    target="theorem2",
+    grid=(("h", HS),),
+    base={"p": PARAMS.p, "L": PARAMS.L, "o": PARAMS.o, "G": PARAMS.G},
+    seeds=(1,),
+    description="Theorem 2 h-sweep: deterministic routing slowdown vs S(L,G,p,h)",
+)
+
 
 @pytest.fixture(scope="module")
-def sweep():
-    out = {}
-    for h in HS:
-        pairs = balanced_h_relation(PARAMS.p, h, seed=h)
-        out[h] = measure_det_routing(PARAMS, pairs)
-    return out
+def sweep(tmp_path_factory):
+    report = run_campaign(
+        SPEC, store_dir=tmp_path_factory.mktemp("bench-theorem2"), parallel=2
+    )
+    assert report.failed == 0 and not report.interrupted
+    records = report.records()
+    assert len(records) == len(SPEC)
+    return {point["h"]: rec for point, rec in zip(SPEC.points(), records)}
 
 
-def test_theorem2_report(sweep, publish, benchmark):
+def test_theorem2_report(sweep, publish, publish_json, benchmark):
     benchmark.pedantic(
-        lambda: measure_det_routing(
-            PARAMS, balanced_h_relation(PARAMS.p, 8, seed=99)
-        ),
+        lambda: run_point("theorem2", {**dict(SPEC.base), "h": 8, "seed": 99}),
         rounds=1,
         iterations=1,
     )
     rows = []
-    for h, m in sweep.items():
-        ideal = t_route_small(h, PARAMS)  # 2o + G(h-1) + L: the optimum
-        s_meas = m.total_time / max(1, PARAMS.G * h + PARAMS.L)
+    for h, rec in sweep.items():
         rows.append(
             (
                 h,
-                m.outcomes[0].sort_scheme,
-                m.total_time,
-                m.phase_time("sorted") - m.phase_time("r_known"),
-                m.phase_time("done") - m.phase_time("s_known"),
-                ideal,
-                f"{s_meas:.1f}",
-                f"{slowdown_S(PARAMS, h):.1f}",
+                rec["scheme"],
+                rec["total_time"],
+                rec["t_sort"],
+                rec["t_cycles"],
+                rec["ideal"],
+                f"{rec['observed_slowdown']:.1f}",
+                f"{rec['predicted_slowdown']:.1f}",
             )
         )
     publish(
@@ -67,31 +74,30 @@ def test_theorem2_report(sweep, publish, benchmark):
             ),
         ),
     )
+    publish_json(
+        "theorem2_det_routing",
+        {"campaign": SPEC.as_dict(), "records": list(sweep.values())},
+    )
 
 
 def test_slowdown_decreases_with_h(sweep):
     """The crossover shape: per-unit cost falls as h grows, with a
     visible drop when the large-r scheme (Columnsort) takes over."""
-    ratios = [sweep[h].total_time / (PARAMS.G * h + PARAMS.L) for h in HS]
+    ratios = [sweep[h]["observed_slowdown"] for h in HS]
     assert ratios[-1] < 0.65 * ratios[0]
     # the scheme switch happens inside the sweep
-    schemes = [sweep[h].outcomes[0].sort_scheme for h in HS]
+    schemes = [sweep[h]["scheme"] for h in HS]
     assert "bitonic" in schemes and "columnsort" in schemes
 
 
 def test_protocol_discovers_degree(sweep):
-    for h, m in sweep.items():
-        assert m.h == h
+    for h, rec in sweep.items():
+        assert rec["h_discovered"] == h
 
 
 def test_sort_dominates_small_h_cycles_dominate_large_h(sweep):
-    small = sweep[1]
-    large = sweep[64]
-    sort_small = small.phase_time("sorted") - small.phase_time("r_known")
-    cyc_small = small.phase_time("done") - small.phase_time("s_known")
-    assert sort_small > cyc_small
-    cyc_large = large.phase_time("done") - large.phase_time("s_known")
-    assert cyc_large >= 0.5 * (PARAMS.G * 64)
+    assert sweep[1]["t_sort"] > sweep[1]["t_cycles"]
+    assert sweep[64]["t_cycles"] >= 0.5 * (PARAMS.G * 64)
 
 
 def test_small_h_slowdown_grows_polylog_in_p(publish):
@@ -102,10 +108,11 @@ def test_small_h_slowdown_grows_polylog_in_p(publish):
     rows = []
     ratios = {}
     for p in (4, 16, 64):
-        params = LogPParams(p=p, L=8, o=1, G=2)
-        m = measure_det_routing(params, balanced_h_relation(p, h, seed=1))
-        ratios[p] = m.total_time / (params.G * h + params.L)
-        rows.append((p, m.total_time, f"{ratios[p]:.1f}", f"{slowdown_S(params, h):.1f}"))
+        rec = run_point("theorem2", {"p": p, "L": 8, "o": 1, "G": 2, "h": h, "seed": 1})
+        ratios[p] = rec["observed_slowdown"]
+        rows.append(
+            (p, rec["total_time"], f"{ratios[p]:.1f}", f"{rec['predicted_slowdown']:.1f}")
+        )
     publish(
         "theorem2_p_growth",
         render_table(
@@ -125,12 +132,8 @@ def test_large_h_within_constant_of_optimal(sweep):
     measured/optimal ratio must be bounded (paper: S = O(1) there;
     Columnsort's 4 half-again-sized rounds put the constant near ~15)."""
     h = HS[-1]
-    ratio = sweep[h].total_time / t_route_small(h, PARAMS)
-    assert ratio <= 20.0
+    assert sweep[h]["total_time"] / sweep[h]["ideal"] <= 20.0
     # and strictly better than what the log^2 p network scheme gives at
     # the largest h it is still selected for
-    h_bitonic = max(h for h in HS if sweep[h].outcomes[0].sort_scheme == "bitonic")
-    assert (
-        sweep[HS[-1]].total_time / (PARAMS.G * HS[-1] + PARAMS.L)
-        < sweep[h_bitonic].total_time / (PARAMS.G * h_bitonic + PARAMS.L)
-    )
+    h_bitonic = max(h for h in HS if sweep[h]["scheme"] == "bitonic")
+    assert sweep[HS[-1]]["observed_slowdown"] < sweep[h_bitonic]["observed_slowdown"]

@@ -32,3 +32,22 @@ def publish(results_dir, capsys):
         (results_dir / f"{name}.txt").write_text(text + "\n")
 
     return _publish
+
+
+@pytest.fixture
+def publish_json(results_dir):
+    """Persist a schema-versioned JSON artifact under benchmarks/results/.
+
+    Stamped via :func:`repro.campaign.io.dump_json`, so downstream
+    consumers can validate ``{"schema": {"name", "version"}}`` with
+    :func:`repro.campaign.io.load_json` instead of sniffing shapes.
+    """
+
+    def _publish(name: str, payload: dict, *, kind: str | None = None):
+        from repro.campaign.io import dump_json
+
+        return dump_json(
+            results_dir / f"{name}.json", kind or f"repro.bench.{name}", payload
+        )
+
+    return _publish

@@ -37,11 +37,15 @@ The package layout underneath:
 * :mod:`repro.engine` — the shared simulation engine: one drive loop,
   the result vocabulary, and the Stack adapters;
 * :mod:`repro.obs` — the observability layer (metrics, tracer, cost
-  checks).
+  checks);
+* :mod:`repro.campaign` — parallel, resumable, cache-backed experiment
+  sweeps (:class:`CampaignSpec` + :func:`run_campaign`); see
+  ``docs/CAMPAIGN.md``.
 
 See ``examples/quickstart.py`` for a guided tour.
 """
 
+from repro.campaign import CampaignReport, CampaignSpec, run_campaign
 from repro.models.message import Message
 from repro.models.params import BSPParams, LogPParams
 from repro.bsp.machine import BSPMachine, BSPResult
@@ -80,6 +84,10 @@ __all__ = [
     "FaultPlan",
     "FaultLog",
     "CRASHED",
+    # campaign sweeps
+    "CampaignSpec",
+    "CampaignReport",
+    "run_campaign",
     # observability
     "Observation",
     "MetricsRegistry",

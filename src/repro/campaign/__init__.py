@@ -1,0 +1,55 @@
+"""repro.campaign — parallel, resumable, cache-backed experiment sweeps.
+
+The layer above :class:`~repro.engine.stack.Stack`: where a Stack runs
+one composed simulation, a campaign runs a *grid* of them — sharded
+across a multiprocessing worker pool, persisted point-by-point to an
+on-disk store, skipped when cached, resumed when killed, and gated
+against the paper's closed-form bounds afterwards.  See
+``docs/CAMPAIGN.md``.
+
+The pieces:
+
+* :class:`CampaignSpec` — the declarative sweep (target + grid + seeds)
+  with deterministic content-addressed point keys
+  (:mod:`~repro.campaign.spec`, :mod:`~repro.campaign.fingerprint`);
+* :func:`run_campaign` / :class:`CampaignReport` — orchestration over
+  the worker pool and store (:mod:`~repro.campaign.runner`,
+  :mod:`~repro.campaign.pool`);
+* :class:`ResultStore` — JSONL + index persistence with resume and
+  invalidation semantics (:mod:`~repro.campaign.store`);
+* :class:`RegressionGate` / :func:`fit_bounds` — the bound-fit gate
+  over the sweep's cost-check residuals (:mod:`~repro.campaign.gate`);
+* :data:`TARGETS` — what a grid point runs
+  (:mod:`~repro.campaign.targets`);
+* :data:`CAMPAIGNS` — the built-in sweeps the CLI and benchmarks share
+  (:mod:`~repro.campaign.builtin`);
+* :func:`dump_json` / :func:`load_json` — the schema-versioned JSON
+  emitter every result artifact goes through (:mod:`~repro.campaign.io`).
+"""
+
+from repro.campaign.builtin import CAMPAIGNS
+from repro.campaign.fingerprint import code_fingerprint
+from repro.campaign.gate import GateResult, RegressionGate, fit_bounds
+from repro.campaign.io import dump_json, load_json
+from repro.campaign.runner import CampaignReport, run_campaign
+from repro.campaign.spec import CampaignSpec, point_key
+from repro.campaign.store import ResultStore
+from repro.campaign.targets import TARGETS, resolve_target, run_point
+
+__all__ = [
+    "CampaignSpec",
+    "CampaignReport",
+    "run_campaign",
+    "ResultStore",
+    "RegressionGate",
+    "GateResult",
+    "fit_bounds",
+    "CAMPAIGNS",
+    "TARGETS",
+    "resolve_target",
+    "run_point",
+    "point_key",
+    "code_fingerprint",
+    "dump_json",
+    "load_json",
+]

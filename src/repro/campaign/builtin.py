@@ -1,0 +1,71 @@
+"""Built-in campaign specs: the paper's sweeps, declared once.
+
+These are the grids the benchmarks and the CLI share (``python -m
+repro.experiments campaign <name>``).  Each is a plain
+:class:`~repro.campaign.spec.CampaignSpec`; benchmarks wrap them rather
+than re-looping, so a sweep's definition lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.spec import CampaignSpec
+
+__all__ = ["CAMPAIGNS"]
+
+#: Theorem 1 across BSP machines: 3 kernels x 4 gap scalings x 2 latency
+#: scalings = 24 points on the LogP(p=16, L=8, o=1, G=2) guest.
+TH1_GRID = CampaignSpec(
+    name="th1-grid",
+    target="theorem1",
+    grid=(
+        ("kernel", ("sum", "ring", "alltoall")),
+        ("gs", (1, 2, 4, 8)),
+        ("ls", (1, 4)),
+    ),
+    base=(("p", 16), ("L", 8), ("o", 1), ("G", 2)),
+    description="Theorem 1: LogP-on-BSP slowdown across g/l scalings (24 points)",
+)
+
+#: Theorem 2 across relation degrees and machine sizes; the sweep
+#: crosses the bitonic/columnsort scheme boundary.
+TH2_GRID = CampaignSpec(
+    name="th2-grid",
+    target="theorem2",
+    grid=(
+        ("p", (8, 16)),
+        ("h", (1, 4, 16, 64, 256)),
+    ),
+    base=(("L", 8), ("o", 1), ("G", 2)),
+    seeds=(1, 2),
+    description="Theorem 2: deterministic routing slowdown vs S(L,G,p,h) (20 points)",
+)
+
+#: Propositions 1/2 across machine sizes and (L, G) regimes.
+CB_GRID = CampaignSpec(
+    name="cb-grid",
+    target="cb",
+    grid=(
+        ("p", (8, 64, 512)),
+        ("L", (8, 16)),
+        ("G", (2, 8)),
+    ),
+    base=(("o", 1),),
+    description="Propositions 1/2: Combine-and-Broadcast cost bounds (12 points)",
+)
+
+#: CI smoke: the Theorem 1 grid trimmed to seconds of work.
+TH1_SMOKE = CampaignSpec(
+    name="th1-smoke",
+    target="theorem1",
+    grid=(
+        ("kernel", ("sum", "alltoall")),
+        ("gs", (1, 4)),
+        ("ls", (1, 4)),
+    ),
+    base=(("p", 16), ("L", 8), ("o", 1), ("G", 2)),
+    description="Theorem 1 smoke grid for CI (8 points)",
+)
+
+CAMPAIGNS: dict[str, CampaignSpec] = {
+    spec.name: spec for spec in (TH1_GRID, TH2_GRID, CB_GRID, TH1_SMOKE)
+}

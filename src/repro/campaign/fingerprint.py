@@ -1,0 +1,56 @@
+"""Code fingerprinting: hash the package source into cache keys.
+
+A cached campaign point is only valid while the simulator that produced
+it is unchanged, so every point key folds in a **code fingerprint** —
+the SHA-256 over the sorted ``(relative path, contents)`` of every
+``.py`` file in the installed :mod:`repro` package.  Editing any module
+changes the fingerprint, which changes every key, which makes a rerun
+recompute everything; an untouched tree reuses the cache byte-for-byte.
+
+The walk is cheap (a couple of hundred small files) but not free, so the
+result is memoized per process; tests and tools that want explicit cache
+control pass ``fingerprint=...`` straight to the runner instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+__all__ = ["code_fingerprint", "clear_fingerprint_cache"]
+
+_CACHE: dict[str, str] = {}
+
+
+def code_fingerprint(root: str | Path | None = None) -> str:
+    """Hex digest over the package's ``.py`` sources (memoized).
+
+    ``root`` defaults to the :mod:`repro` package directory; passing an
+    explicit directory fingerprints that tree instead (used by tests).
+    """
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+    root = Path(root)
+    cache_key = str(root)
+    cached = _CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if "__pycache__" in rel:
+            continue
+        digest.update(rel.encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    out = digest.hexdigest()[:20]
+    _CACHE[cache_key] = out
+    return out
+
+
+def clear_fingerprint_cache() -> None:
+    """Forget memoized fingerprints (tests that rewrite sources)."""
+    _CACHE.clear()

@@ -1,0 +1,201 @@
+"""On-disk campaign result store: append-only JSONL plus an index.
+
+Layout (one directory per campaign)::
+
+    <dir>/campaign.json   # schema + spec + fingerprint of the last run
+    <dir>/results.jsonl   # one entry per completed point, append-only
+    <dir>/index.json      # key -> status summary, rebuilt at close
+
+``results.jsonl`` is the source of truth and is written one line per
+completed point *as results arrive*, so a killed campaign keeps
+everything it finished: reopening the store replays the file (tolerating
+a truncated final line from a mid-write kill), keeps the **latest**
+entry per key, and the runner skips every key whose entry is ``ok``.
+``index.json`` and ``campaign.json`` are conveniences for humans and CI
+artifacts; they are never read back as truth.
+
+Entries are content-addressed by the spec's point keys, so resume,
+``--force``, and fingerprint invalidation all reduce to set algebra on
+keys.  :meth:`ResultStore.canonical` is the determinism contract: the
+completed entries in grid order with the volatile fields (wall clock,
+worker id) stripped — a resumed store and an uninterrupted store of the
+same campaign render identical canonical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.campaign.spec import CampaignSpec
+
+__all__ = ["ResultStore", "STORE_SCHEMA"]
+
+#: Schema stamp written into campaign.json / index.json.
+STORE_SCHEMA = {"name": "repro.campaign.store", "version": 1}
+
+#: Entry fields excluded from the canonical projection (timing and
+#: placement jitter; everything else must be deterministic).
+VOLATILE_FIELDS = ("wall_s", "worker")
+
+
+class ResultStore:
+    """One campaign's persisted results under ``directory``."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.results_path = self.directory / "results.jsonl"
+        self.meta_path = self.directory / "campaign.json"
+        self.index_path = self.directory / "index.json"
+        self._entries: dict[str, dict] = {}
+        self._fh = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def open(
+        self,
+        spec: CampaignSpec,
+        fingerprint: str,
+        *,
+        force: bool = False,
+    ) -> "ResultStore":
+        """Load prior results (unless ``force``) and start appending."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if force and self.results_path.exists():
+            self.results_path.unlink()
+        self._entries = self._load()
+        self.meta_path.write_text(
+            json.dumps(
+                {
+                    "schema": STORE_SCHEMA,
+                    "spec": spec.as_dict(),
+                    "fingerprint": fingerprint,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        self._fh = self.results_path.open("a", encoding="utf-8")
+        return self
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        self.write_index()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reading -------------------------------------------------------
+
+    def _load(self) -> dict[str, dict]:
+        entries: dict[str, dict] = {}
+        if not self.results_path.exists():
+            return entries
+        with self.results_path.open(encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # truncated final line from a killed run
+                key = entry.get("key")
+                if key:
+                    entries[key] = entry
+        return entries
+
+    def entries(self) -> dict[str, dict]:
+        """Latest entry per key (all statuses)."""
+        return dict(self._entries)
+
+    def completed(self) -> dict[str, dict]:
+        """Keys that finished successfully — the resume skip set.
+        Failed/timeout/crashed points are *not* in it: a resumed
+        campaign retries them."""
+        return {
+            key: entry
+            for key, entry in self._entries.items()
+            if entry.get("status") == "ok"
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- writing -------------------------------------------------------
+
+    def append(self, entry: dict) -> None:
+        """Persist one point outcome immediately (crash durability)."""
+        if self._fh is None:
+            raise RuntimeError("ResultStore.append before open()")
+        self._entries[entry["key"]] = entry
+        self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def compact(self, valid_keys) -> int:
+        """Rewrite the JSONL keeping only the latest entry per key in
+        ``valid_keys``, ordered by grid index.  Returns the number of
+        stale entries dropped (superseded duplicates + invalidated
+        keys)."""
+        valid = set(valid_keys)
+        keep = [e for k, e in self._entries.items() if k in valid]
+        keep.sort(key=lambda e: (e.get("index", 0), e.get("key", "")))
+        was_open = self._fh is not None
+        if was_open:
+            self._fh.close()
+        raw_lines = 0
+        if self.results_path.exists():
+            with self.results_path.open(encoding="utf-8") as fh:
+                raw_lines = sum(1 for line in fh if line.strip())
+        with self.results_path.open("w", encoding="utf-8") as fh:
+            for entry in keep:
+                fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._entries = {e["key"]: e for e in keep}
+        if was_open:
+            self._fh = self.results_path.open("a", encoding="utf-8")
+        return raw_lines - len(keep)
+
+    def write_index(self) -> Path:
+        statuses: dict[str, int] = {}
+        for entry in self._entries.values():
+            status = entry.get("status", "unknown")
+            statuses[status] = statuses.get(status, 0) + 1
+        self.index_path.write_text(
+            json.dumps(
+                {
+                    "schema": STORE_SCHEMA,
+                    "points": len(self._entries),
+                    "statuses": statuses,
+                    "keys": {
+                        key: entry.get("status", "unknown")
+                        for key, entry in sorted(self._entries.items())
+                    },
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        return self.index_path
+
+    # -- determinism contract ------------------------------------------
+
+    def canonical(self) -> str:
+        """Deterministic projection of the completed entries: grid
+        order, volatile fields stripped.  Two stores of the same
+        campaign — one uninterrupted, one killed and resumed — must
+        render byte-identical canonical text."""
+        entries = sorted(
+            self.completed().values(),
+            key=lambda e: (e.get("index", 0), e.get("key", "")),
+        )
+        cleaned = [
+            {k: v for k, v in entry.items() if k not in VOLATILE_FIELDS}
+            for entry in entries
+        ]
+        return json.dumps(cleaned, sort_keys=True, indent=1) + "\n"

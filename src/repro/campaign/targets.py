@@ -1,0 +1,238 @@
+"""Campaign targets: the functions a grid point is applied to.
+
+A target takes one **point** — a plain dict of parameters produced by
+:meth:`CampaignSpec.points` — and returns one JSON-serializable
+**record**.  Records carry the fields the paper's tables plot plus,
+where a closed form exists, a ``cost_check`` block in the
+:meth:`~repro.obs.check.CostCheckReport.as_dict` shape so the
+regression gate (:mod:`repro.campaign.gate`) can fit and compare
+residuals without re-running anything.
+
+Three addressing forms resolve through :func:`resolve_target`:
+
+* a bare id from :data:`TARGETS` (``"theorem1"``, ``"theorem2"``,
+  ``"cb"``, ``"demo"``);
+* ``"experiment:TH1"`` — run that CLI experiment's whole table per
+  point (the point's parameters are ignored beyond the seed);
+* ``"chain:bsp-on-logp-on-network"`` — run the named Stack chain on the
+  demo programs, ``p``/``topology`` drawn from the point.
+
+Targets run inside worker processes, so they import lazily, take only
+JSON-serializable input, and must be deterministic in the point (that is
+what makes cached records bit-identical across reruns).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ParameterError
+
+__all__ = ["TARGETS", "resolve_target", "run_point"]
+
+
+def _logp_params(point: dict):
+    from repro.models.params import LogPParams
+
+    return LogPParams(
+        p=int(point.get("p", 16)),
+        L=int(point.get("L", 8)),
+        o=int(point.get("o", 1)),
+        G=int(point.get("G", 2)),
+    )
+
+
+def _target_theorem1(point: dict, obs=None) -> dict:
+    """One Theorem-1 run: LogP kernel on a BSP machine with ``g = gs*G``,
+    ``l = ls*L``; the record is the shared ``as_row`` projection plus
+    the grid coordinates and the full cost-check block."""
+    from repro.core.logp_on_bsp import simulate_logp_on_bsp
+    from repro.models.params import BSPParams
+    from repro.obs import CostModelCheck
+    from repro.programs import (
+        logp_alltoall_program,
+        logp_broadcast_program,
+        logp_ring_program,
+        logp_sum_program,
+    )
+
+    kernels = {
+        "sum": logp_sum_program,
+        "ring": logp_ring_program,
+        "alltoall": logp_alltoall_program,
+        "broadcast": logp_broadcast_program,
+    }
+    kernel = str(point.get("kernel", "alltoall"))
+    if kernel not in kernels:
+        raise ParameterError(f"theorem1: unknown kernel {kernel!r}")
+    logp = _logp_params(point)
+    bsp = BSPParams(
+        p=logp.p,
+        g=logp.G * int(point.get("gs", 1)),
+        l=logp.L * int(point.get("ls", 1)),
+    )
+    rep = simulate_logp_on_bsp(logp, kernels[kernel](), bsp_params=bsp, obs=obs)
+    check = CostModelCheck.check(rep)
+    return {
+        "kernel": kernel,
+        "p": logp.p,
+        "g": bsp.g,
+        "l": bsp.l,
+        "capacity": logp.capacity,
+        **rep.as_row(),
+        "cost_check": check.as_dict(),
+    }
+
+
+def _target_theorem2(point: dict, obs=None) -> dict:
+    """One Theorem-2 run: a balanced ``h``-relation through the Section
+    4.2 deterministic protocol, with the measured slowdown checked as a
+    ``factor`` residual against the paper's ``S(L, G, p, h)``."""
+    from repro.core.det_routing import measure_det_routing
+    from repro.models.cost import slowdown_S, t_route_small
+    from repro.obs.check import CostCheckReport
+    from repro.routing.workloads import balanced_h_relation
+
+    params = _logp_params(point)
+    h = int(point.get("h", 4))
+    seed = int(point.get("seed", 0))
+    m = measure_det_routing(params, balanced_h_relation(params.p, h, seed=seed))
+    ideal = t_route_small(h, params)
+    observed = m.total_time / max(1, params.G * h + params.L)
+    predicted = slowdown_S(params, h)
+    check = CostCheckReport(model=f"Theorem 2 (p={params.p}, h={h})")
+    check.add("slowdown vs predicted S", observed, predicted, "factor")
+    check.add("T total >= 2o+G(h-1)+L", -m.total_time, -ideal, "upper")
+    return {
+        "p": params.p,
+        "h": h,
+        "h_discovered": m.h,
+        "scheme": m.outcomes[0].sort_scheme,
+        "total_time": m.total_time,
+        "t_sort": m.phase_time("sorted") - m.phase_time("r_known"),
+        "t_cycles": m.phase_time("done") - m.phase_time("s_known"),
+        "ideal": ideal,
+        "observed_slowdown": round(observed, 6),
+        "predicted_slowdown": round(predicted, 6),
+        "cost_check": check.as_dict(),
+    }
+
+
+def _target_cb(point: dict, obs=None) -> dict:
+    """One Combine-and-Broadcast run checked against Propositions 1/2."""
+    import operator
+
+    from repro.core.cb import measure_cb
+    from repro.models.cost import cb_time_lower, cb_time_upper
+    from repro.obs.check import CostCheckReport
+
+    params = _logp_params(point)
+    m = measure_cb(params, [1] * params.p, operator.add, op_cost=0)
+    lower = cb_time_lower(params)
+    upper = cb_time_upper(params)
+    check = CostCheckReport(model=f"CB (p={params.p}, L={params.L}, G={params.G})")
+    check.add("T_CB >= Prop1 lower", -m.t_cb, -lower, "upper")
+    check.add("T_CB <= paper upper", m.t_cb, upper, "upper")
+    return {
+        "p": params.p,
+        "L": params.L,
+        "G": params.G,
+        "capacity": params.capacity,
+        "t_cb": m.t_cb,
+        "lower": lower,
+        "upper": upper,
+        "cost_check": check.as_dict(),
+    }
+
+
+def _target_demo(point: dict, obs=None) -> dict:
+    """Deterministic micro-target for tests, docs, and the smoke make
+    target: squares ``x``; ``mode`` forces the failure paths the pool
+    must isolate (``fail`` raises, ``crash`` kills the worker process,
+    ``timeout`` sleeps past any reasonable per-point budget)."""
+    mode = str(point.get("mode", "ok"))
+    if mode == "fail":
+        raise RuntimeError("demo target asked to fail")
+    if mode == "crash":
+        import os
+
+        os._exit(17)
+    if mode == "timeout":
+        import time
+
+        time.sleep(float(point.get("sleep_s", 60.0)))
+    x = int(point.get("x", 0))
+    return {"x": x, "y": x * x, "seed": point.get("seed", 0)}
+
+
+def _target_experiment(exp_id: str) -> Callable[[dict], dict]:
+    def run(point: dict, obs=None) -> dict:
+        from repro.experiments import EXPERIMENTS
+
+        entry = EXPERIMENTS.get(exp_id)
+        if entry is None:
+            raise ParameterError(f"experiment:{exp_id}: unknown experiment id")
+        table = entry[1](obs=obs)
+        return table.as_json()
+
+    return run
+
+
+def _target_chain(chain: str) -> Callable[[dict], dict]:
+    def run(point: dict, obs=None) -> dict:
+        from repro.experiments import _build_inspect_stack, _parse_chain
+        from repro.obs import CostModelCheck
+
+        guest, hosts = _parse_chain(chain)
+        stack = _build_inspect_stack(
+            guest,
+            hosts,
+            int(point.get("p", 8)),
+            str(point.get("topology", "hypercube (multi-port)")),
+        )
+        result = stack.run(obs=obs)
+        record = {"chain": stack.describe(), **result.as_row()}
+        try:
+            record["cost_check"] = CostModelCheck.check(result).as_dict()
+        except TypeError:
+            pass
+        return record
+
+    return run
+
+
+#: Bare target ids.  ``experiment:<ID>`` and ``chain:<spec>`` are
+#: resolved dynamically by :func:`resolve_target`.
+TARGETS: dict[str, Callable[[dict], dict]] = {
+    "theorem1": _target_theorem1,
+    "theorem2": _target_theorem2,
+    "cb": _target_cb,
+    "demo": _target_demo,
+}
+
+
+def resolve_target(name: str) -> Callable[[dict], dict]:
+    """Resolve a spec's ``target`` string to its runner callable."""
+    if name.startswith("experiment:"):
+        return _target_experiment(name.split(":", 1)[1])
+    if name.startswith("chain:"):
+        return _target_chain(name.split(":", 1)[1])
+    fn = TARGETS.get(name)
+    if fn is None:
+        known = ", ".join(sorted(TARGETS))
+        raise ParameterError(
+            f"unknown campaign target {name!r} (known: {known}, "
+            f"experiment:<ID>, chain:<spec>)"
+        )
+    return fn
+
+
+def run_point(target: str, point: dict, obs=None) -> dict:
+    """Resolve and run one point (the serial path and the CLI reuse).
+
+    ``obs`` threads an :class:`~repro.obs.Observation` into targets that
+    support one — the CLI's ``--metrics``/``--trace`` path.  Campaign
+    workers always pass ``None``: per-point observation would entangle
+    records with registry state and break their bit-identical caching.
+    """
+    return resolve_target(target)(point, obs=obs)

@@ -1,12 +1,17 @@
 """Command-line experiment runner: regenerate the paper's tables.
 
 ``python -m repro.experiments list`` shows the experiment ids (matching
-DESIGN.md's index); ``python -m repro.experiments run <id> [...]`` or
-``run all`` prints the corresponding tables.  ``python -m
-repro.experiments inspect <chain>`` runs a demo program through a named
-:class:`~repro.engine.stack.Stack` chain (``bsp-on-logp-on-network``,
-``logp-on-bsp``, ...) and prints its result row, cost-model residuals,
-and — with the shared observability flags — metrics and traces.
+DESIGN.md's index) and the built-in campaign names; ``python -m
+repro.experiments run <id> [...]`` or ``run all`` prints the
+corresponding tables (``--parallel N`` shards the ids over worker
+processes).  ``python -m repro.experiments inspect <chain>`` runs a
+demo program through a named :class:`~repro.engine.stack.Stack` chain
+(``bsp-on-logp-on-network``, ``logp-on-bsp``, ...) and prints its
+result row, cost-model residuals, and — with the shared observability
+flags — metrics and traces.  ``python -m repro.experiments campaign
+<name>`` runs a resumable, cache-backed parameter sweep over a
+multiprocessing pool (``--parallel``, ``--resume``, ``--force``,
+``--gate``; see :mod:`repro.campaign` and ``docs/CAMPAIGN.md``).
 
 Shared flags (``run`` and ``inspect``):
 
@@ -105,36 +110,33 @@ def _exp_table1(obs=None) -> ExperimentTable:
 
 
 def _exp_theorem1(obs=None) -> ExperimentTable:
-    from repro.core.logp_on_bsp import simulate_logp_on_bsp
-    from repro.models.params import BSPParams, LogPParams
-    from repro.obs import CostModelCheck
-    from repro.programs import logp_alltoall_program
+    """Thin wrapper over the ``theorem1`` campaign target: the CLI table
+    and a :class:`~repro.campaign.CampaignSpec` sweep run the exact same
+    per-point code, so their records are interchangeable."""
+    from repro.campaign.targets import run_point
+    from repro.obs.check import CostCheckReport
 
-    logp = LogPParams(p=16, L=8, o=1, G=2)
     rows = []
     records = []
     extras = []
     for gs, ls in ((1, 1), (4, 1), (1, 4), (4, 4)):
-        bsp = BSPParams(p=logp.p, g=logp.G * gs, l=logp.L * ls)
-        rep = simulate_logp_on_bsp(
-            logp, logp_alltoall_program(), bsp_params=bsp, obs=obs
-        )
-        check = CostModelCheck.check(rep)
+        point = {"kernel": "alltoall", "p": 16, "L": 8, "o": 1, "G": 2,
+                 "gs": gs, "ls": ls, "seed": 0}
+        rec = run_point("theorem1", point, obs=obs)
+        check = CostCheckReport.from_dict(rec["cost_check"])
         rows.append(
             (
-                f"g={bsp.g}, l={bsp.l}",
-                rep.windows,
-                rep.max_window_h,
-                logp.capacity,
-                f"{rep.slowdown:.2f}",
-                f"{rep.predicted_slowdown:.2f}",
-                rep.outputs_match,
+                f"g={rec['g']}, l={rec['l']}",
+                rec["windows"],
+                rec["max_window_h"],
+                rec["capacity"],
+                f"{rec['slowdown']:.2f}",
+                f"{rec['predicted_slowdown']:.2f}",
+                rec["outputs_match"],
                 check.ok(),
             )
         )
-        records.append(
-            {"g": bsp.g, "l": bsp.l, **rep.as_row(), "cost_check": check.as_dict()}
-        )
+        records.append(rec)
         if not extras:  # full residual detail for the matched machine
             extras.append(check.render())
     return ExperimentTable(
@@ -395,17 +397,15 @@ def _inspect(args) -> int:
         print()
         print(check.render())
         doc["cost_check"] = check.as_dict()
-    if args.metrics:
+    for block in _obs_blocks(
+        obs, doc, metrics=args.metrics, trace_path=args.trace,
+        title=stack.describe(),
+    ):
         print()
-        print(obs.render_metrics(title=f"metrics — {stack.describe()}"))
-        doc["metrics"] = obs.metrics.as_dict()
-    if args.trace:
-        obs.write_trace(args.trace)
-        print(f"\ntrace written to {args.trace} "
-              f"({len(obs.tracer.spans)} spans; load in Perfetto / chrome://tracing)")
-        if args.metrics:
-            print()
-            print(obs.flamegraph())
+        print(block)
+    if args.trace and args.metrics:
+        print()
+        print(obs.flamegraph())
     if args.json:
         print(json.dumps(doc, default=str))
     return 0
@@ -416,6 +416,202 @@ def _trace_path(base: str, exp_id: str, multi: bool) -> str:
         return base
     stem, dot, ext = base.rpartition(".")
     return f"{stem}.{exp_id}.{ext}" if dot else f"{base}.{exp_id}"
+
+
+def _obs_blocks(obs, doc: dict, *, metrics: bool, trace_path: str | None,
+                title: str) -> list[str]:
+    """The shared ``--metrics`` / ``--trace`` epilogue every subcommand
+    used to hand-roll: render the registry, write the Chrome trace, and
+    fold both into the JSON document.  Returns printable text blocks."""
+    blocks: list[str] = []
+    if obs is None:
+        return blocks
+    if metrics:
+        blocks.append(obs.render_metrics(title=f"metrics — {title}"))
+        doc["metrics"] = obs.metrics.as_dict()
+    if trace_path:
+        obs.write_trace(trace_path)
+        blocks.append(
+            f"trace written to {trace_path} ({len(obs.tracer.spans)} spans; "
+            f"load in Perfetto / chrome://tracing)"
+        )
+        doc["trace"] = trace_path
+    return blocks
+
+
+def _experiment_output(exp_id: str, *, as_json: bool, metrics: bool,
+                       trace_path: str | None) -> str:
+    """Run one experiment id and return its full printable output —
+    table, optional JSON document, metrics, trace notice.  One code path
+    for serial ``run``, parallel ``run``, and the campaign targets."""
+    from repro.obs import Observation
+
+    obs = Observation(trace=bool(trace_path)) if (metrics or trace_path) else None
+    table = EXPERIMENTS[exp_id][1](obs=obs)
+    parts = [table.render()]
+    doc = table.as_json()
+    blocks = _obs_blocks(
+        obs, doc, metrics=metrics, trace_path=trace_path, title=exp_id
+    )
+    if as_json:
+        parts.append(json.dumps(doc, default=str))
+    parts.extend(blocks)
+    return "\n\n".join(parts)
+
+
+def _run_experiments(args) -> int:
+    ids = list(EXPERIMENTS) if "all" in args.ids else args.ids
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; try 'list'", file=sys.stderr)
+        return 2
+    multi = len(ids) > 1
+    jobs = [
+        (
+            i,
+            {
+                "as_json": args.json,
+                "metrics": args.metrics,
+                "trace_path": _trace_path(args.trace, i, multi) if args.trace else None,
+            },
+        )
+        for i in ids
+    ]
+    workers = max(1, getattr(args, "parallel", 1) or 1)
+    if workers > 1 and len(jobs) > 1:
+        import multiprocessing as mp
+
+        with mp.get_context().Pool(min(workers, len(jobs))) as pool:
+            outputs = pool.starmap(_experiment_job, jobs)
+    else:
+        outputs = [_experiment_job(i, kwargs) for i, kwargs in jobs]
+    for text in outputs:
+        print(text)
+        print()
+    return 0
+
+
+def _experiment_job(exp_id: str, kwargs: dict) -> str:
+    """Picklable wrapper for the ``run --parallel`` worker pool."""
+    return _experiment_output(exp_id, **kwargs)
+
+
+# -- campaign: resumable, cache-backed sweeps over a worker pool --------
+
+
+def _parse_value(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_axes(pairs: list[str]) -> list[tuple[str, tuple]]:
+    out = []
+    for pair in pairs or ():
+        name, eq, values = pair.partition("=")
+        if not eq:
+            raise ValueError(f"expected axis=v1,v2,... got {pair!r}")
+        out.append((name, tuple(_parse_value(v) for v in values.split(","))))
+    return out
+
+
+def _campaign_spec(args):
+    """Resolve the positional name: a built-in campaign, or an ad-hoc
+    spec assembled from a target id plus ``--grid``/``--base`` axes."""
+    from repro.campaign import CAMPAIGNS, CampaignSpec
+
+    overrides = {}
+    if args.seeds:
+        overrides["seeds"] = tuple(int(s) for s in args.seeds.split(","))
+    if args.timeout is not None:
+        overrides["timeout_s"] = args.timeout
+    spec = CAMPAIGNS.get(args.name)
+    if spec is not None:
+        if args.grid or args.base:
+            raise ValueError(
+                f"{args.name!r} is a built-in campaign; --grid/--base only "
+                f"apply to ad-hoc targets"
+            )
+        if overrides:
+            doc = spec.as_dict()
+            doc.update(
+                {"seeds": list(overrides.get("seeds", spec.seeds)),
+                 "timeout_s": overrides.get("timeout_s", spec.timeout_s)}
+            )
+            spec = CampaignSpec.from_dict(doc)
+        return spec
+    grid = _parse_axes(args.grid)
+    base = [(name, values[0]) for name, values in _parse_axes(args.base)]
+    return CampaignSpec(
+        name=args.store_name or args.name.replace(":", "-"),
+        target=args.name,
+        grid=tuple(grid),
+        base=tuple(base),
+        seeds=overrides.get("seeds", (0,)),
+        timeout_s=overrides.get("timeout_s"),
+        description="ad-hoc CLI campaign",
+    )
+
+
+def _campaign(args) -> int:
+    from repro.campaign import RegressionGate, run_campaign
+    from repro.errors import ParameterError
+    from repro.obs import Observation
+
+    try:
+        spec = _campaign_spec(args)
+    except (ValueError, ParameterError) as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    obs = Observation(trace=bool(args.trace)) if (args.metrics or args.trace) else None
+    try:
+        report = run_campaign(
+            spec,
+            store_dir=args.store,
+            parallel=args.parallel,
+            force=args.force,
+            stop_after=args.stop_after,
+            obs=obs,
+            progress=lambda msg: print(msg, file=sys.stderr),
+        )
+    except (ValueError, ParameterError) as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    doc = report.as_dict()
+    rc = 0 if (report.ok or report.interrupted) else 1
+    if args.gate or args.update_gate:
+        gate = RegressionGate()
+        records = report.records()
+        if args.update_gate:
+            path = gate.update(records, args.update_gate, campaign=spec.name)
+            print(f"\ngate baseline written to {path}")
+        if args.gate:
+            result = gate.check(records, args.gate)
+            print()
+            print(result.render())
+            doc["gate"] = {"ok": result.ok, "failures": result.failures}
+            if not result.ok:
+                rc = 1
+    blocks = _obs_blocks(
+        obs, doc, metrics=args.metrics, trace_path=args.trace,
+        title=f"campaign {spec.name}",
+    )
+    if args.json:
+        print()
+        print(json.dumps(doc, default=str))
+    for block in blocks:
+        print()
+        print(block)
+    if report.interrupted:
+        print(
+            f"\ninterrupted after {report.ran} point(s); rerun to resume "
+            f"from {report.store_dir}",
+        )
+    return rc
 
 
 def _add_obs_flags(sub: argparse.ArgumentParser) -> None:
@@ -445,10 +641,83 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the paper's quantitative artifacts.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list experiment ids")
+    sub.add_parser("list", help="list experiment ids and built-in campaigns")
     run = sub.add_parser("run", help="run experiments by id (or 'all')")
     run.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
+    run.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the listed experiments across N worker processes",
+    )
     _add_obs_flags(run)
+    camp = sub.add_parser(
+        "campaign",
+        help="run a resumable, cache-backed parameter sweep over a "
+        "worker pool (see docs/CAMPAIGN.md)",
+    )
+    camp.add_argument(
+        "name",
+        help="a built-in campaign name (see 'list'), or a target id "
+        "(theorem1, theorem2, cb, experiment:<ID>, chain:<spec>) "
+        "combined with --grid",
+    )
+    camp.add_argument(
+        "--grid",
+        action="append",
+        metavar="AXIS=V1,V2,...",
+        help="add a grid axis to an ad-hoc campaign (repeatable)",
+    )
+    camp.add_argument(
+        "--base",
+        action="append",
+        metavar="KEY=VALUE",
+        help="fixed parameter merged under every point (repeatable)",
+    )
+    camp.add_argument("--seeds", metavar="S1,S2,...", help="per-point seeds")
+    camp.add_argument(
+        "--parallel", type=int, default=1, metavar="N", help="worker processes"
+    )
+    camp.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the store's cached points (the default; spelled "
+        "out for scripts that want to be explicit)",
+    )
+    camp.add_argument(
+        "--force",
+        action="store_true",
+        help="drop every cached point and recompute from scratch",
+    )
+    camp.add_argument(
+        "--store", metavar="DIR", help="store directory (default campaigns/<name>)"
+    )
+    camp.add_argument(
+        "--store-name", metavar="NAME", help="store/campaign name for ad-hoc targets"
+    )
+    camp.add_argument(
+        "--timeout", type=float, metavar="SECONDS", help="per-point timeout"
+    )
+    camp.add_argument(
+        "--stop-after",
+        type=int,
+        metavar="N",
+        help="abandon the run after N completed points (simulated kill; "
+        "the store keeps them and the next run resumes)",
+    )
+    camp.add_argument(
+        "--gate",
+        metavar="BASELINE.json",
+        help="fit the sweep's cost-model residuals and fail on shape "
+        "regressions vs this committed baseline",
+    )
+    camp.add_argument(
+        "--update-gate",
+        metavar="BASELINE.json",
+        help="(re)write the gate baseline from this sweep",
+    )
+    _add_obs_flags(camp)
     inspect_p = sub.add_parser(
         "inspect",
         help="run a demo program through a Stack chain "
@@ -473,38 +742,19 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "list":
+        from repro.campaign import CAMPAIGNS
+
         for key, (desc, _fn) in EXPERIMENTS.items():
             print(f"{key:5s} {desc}")
+        print()
+        for name, spec in CAMPAIGNS.items():
+            print(f"{name:10s} {spec.description} [campaign]")
         return 0
     if args.command == "inspect":
         return _inspect(args)
-
-    ids = list(EXPERIMENTS) if "all" in args.ids else args.ids
-    unknown = [i for i in ids if i not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiment ids: {unknown}; try 'list'", file=sys.stderr)
-        return 2
-    observing = args.metrics or args.trace
-    for i in ids:
-        from repro.obs import Observation
-
-        obs = Observation(trace=bool(args.trace)) if observing else None
-        table = EXPERIMENTS[i][1](obs=obs)
-        print(table.render())
-        if args.json:
-            doc = table.as_json()
-            if obs is not None:
-                doc["metrics"] = obs.metrics.as_dict()
-            print(json.dumps(doc, default=str))
-        if args.metrics:
-            print()
-            print(obs.render_metrics(title=f"metrics — {i}"))
-        if args.trace:
-            path = _trace_path(args.trace, i, multi=len(ids) > 1)
-            obs.write_trace(path)
-            print(f"trace written to {path} ({len(obs.tracer.spans)} spans)")
-        print()
-    return 0
+    if args.command == "campaign":
+        return _campaign(args)
+    return _run_experiments(args)
 
 
 if __name__ == "__main__":

@@ -131,6 +131,20 @@ class CostCheckReport:
             title=f"CostModelCheck — {self.model}",
         )
 
+    @classmethod
+    def from_dict(cls, doc: dict) -> "CostCheckReport":
+        """Rebuild a report from :meth:`as_dict` output — how campaign
+        records round-trip their cost checks through JSON."""
+        report = cls(model=doc.get("model", "?"))
+        for row in doc.get("residuals", ()):
+            report.add(
+                row["name"],
+                row["observed"],
+                row["predicted"],
+                row.get("kind", "exact"),
+            )
+        return report
+
     def as_dict(self) -> dict:
         return {
             "model": self.model,

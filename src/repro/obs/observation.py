@@ -347,6 +347,31 @@ class Observation:
                 )
             clock += s.cost
 
+    def observe_campaign(self, report, layer: str = "campaign") -> None:
+        """Publish a :class:`~repro.campaign.runner.CampaignReport`:
+        point totals, throughput, cache hit rate, and pool utilization.
+        Called once per campaign from :func:`~repro.campaign.runner.
+        run_campaign` — never from workers, whose records must stay
+        bit-identical across cached reruns."""
+        if not self.enabled:
+            return
+        m = self.metrics
+        m.counter("campaign.points", layer=layer).inc(report.total)
+        m.counter("campaign.ran", layer=layer).inc(report.ran)
+        m.counter("campaign.cached", layer=layer).inc(report.cached)
+        if report.failed:
+            m.counter("campaign.failed", layer=layer).inc(report.failed)
+        m.gauge("campaign.workers", layer=layer).set(report.workers)
+        m.gauge("campaign.points_per_s", layer=layer).set(
+            round(report.points_per_s, 6)
+        )
+        m.gauge("campaign.cache_hit_rate", layer=layer).set(
+            round(report.cache_hit_rate, 6)
+        )
+        m.gauge("campaign.worker_utilization", layer=layer).set(
+            round(report.utilization, 6)
+        )
+
     # -- dispatch ------------------------------------------------------
 
     def observe_result(self, result, layer: str | None = None) -> None:

@@ -1,0 +1,67 @@
+"""Satellite acceptance: cache invalidation re-runs exactly the points
+whose keys changed — one point for a parameter edit, everything for a
+code-fingerprint change or ``--force``."""
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.campaign.fingerprint import clear_fingerprint_cache, code_fingerprint
+
+
+def spec(xs=(1, 2, 3, 4)) -> CampaignSpec:
+    return CampaignSpec(name="inv-test", target="demo", grid=(("x", tuple(xs)),))
+
+
+def test_param_change_reruns_exactly_the_affected_point(tmp_path):
+    store = tmp_path / "store"
+    first = run_campaign(spec(), store_dir=store, fingerprint="fp")
+    assert first.ran == 4
+
+    changed = run_campaign(spec((1, 2, 3, 5)), store_dir=store, fingerprint="fp")
+    assert changed.cached == 3  # x=1,2,3 keys unchanged
+    assert changed.ran == 1  # only x=5 computed
+    assert changed.stale_dropped == 1  # x=4's entry compacted away
+
+    # and the changed point really is the new one
+    assert changed.entries[-1]["point"]["x"] == 5
+
+
+def test_grid_growth_runs_only_new_points(tmp_path):
+    store = tmp_path / "store"
+    run_campaign(spec((1, 2)), store_dir=store, fingerprint="fp")
+    grown = run_campaign(spec((1, 2, 3)), store_dir=store, fingerprint="fp")
+    assert grown.cached == 2 and grown.ran == 1
+
+
+def test_fingerprint_change_invalidates_everything(tmp_path):
+    store = tmp_path / "store"
+    run_campaign(spec(), store_dir=store, fingerprint="v1")
+    again = run_campaign(spec(), store_dir=store, fingerprint="v1")
+    assert again.cached == 4 and again.ran == 0
+
+    rebuilt = run_campaign(spec(), store_dir=store, fingerprint="v2")
+    assert rebuilt.cached == 0 and rebuilt.ran == 4
+    assert rebuilt.stale_dropped == 4  # every v1 entry compacted away
+
+
+def test_force_recomputes_a_warm_store(tmp_path):
+    store = tmp_path / "store"
+    run_campaign(spec(), store_dir=store, fingerprint="fp")
+    forced = run_campaign(spec(), store_dir=store, fingerprint="fp", force=True)
+    assert forced.cached == 0 and forced.ran == 4
+
+
+def test_code_fingerprint_tracks_source_bytes(tmp_path):
+    """The real fingerprint hashes the package tree: same tree, same
+    fingerprint; any byte changed anywhere, different fingerprint."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "a.py").write_text("x = 1\n")
+    (pkg / "sub").mkdir()
+    (pkg / "sub" / "b.py").write_text("y = 2\n")
+    clear_fingerprint_cache()
+    fp1 = code_fingerprint(pkg)
+    clear_fingerprint_cache()
+    assert code_fingerprint(pkg) == fp1
+    (pkg / "sub" / "b.py").write_text("y = 3\n")
+    clear_fingerprint_cache()
+    assert code_fingerprint(pkg) != fp1
+    clear_fingerprint_cache()

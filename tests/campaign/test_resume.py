@@ -1,0 +1,95 @@
+"""Satellite acceptance: kill a campaign mid-run, restart it, and the
+resumed store must equal a clean run's — byte-identically, modulo the
+volatile timing fields the canonical projection strips."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.campaign.store import ResultStore
+
+SPEC = CampaignSpec(
+    name="resume-test",
+    target="demo",
+    grid=(("x", tuple(range(4))),),
+    seeds=(0, 1),
+)
+FP = "fp-resume"
+
+
+def canonical(store_dir) -> str:
+    store = ResultStore(store_dir).open(SPEC, FP)
+    try:
+        return store.canonical()
+    finally:
+        store.close()
+
+
+@pytest.fixture(scope="module")
+def clean(tmp_path_factory):
+    store_dir = tmp_path_factory.mktemp("clean")
+    report = run_campaign(SPEC, store_dir=store_dir, fingerprint=FP)
+    assert report.ok and report.ran == 8
+    return canonical(store_dir)
+
+
+@pytest.mark.parametrize("parallel", [1, 2])
+def test_killed_then_resumed_store_equals_clean_run(clean, tmp_path, parallel):
+    store_dir = tmp_path / "killed"
+    first = run_campaign(
+        SPEC, store_dir=store_dir, fingerprint=FP, stop_after=3, parallel=parallel
+    )
+    assert first.interrupted
+    assert first.ran == 3 and first.failed == 0
+
+    resumed = run_campaign(
+        SPEC, store_dir=store_dir, fingerprint=FP, parallel=parallel
+    )
+    assert resumed.ok and not resumed.interrupted
+    assert resumed.cached == 3  # the killed run's points were not redone
+    assert resumed.ran == 5
+    assert canonical(store_dir) == clean
+
+
+def test_resume_retries_failed_points(tmp_path):
+    """Only ok entries are cache hits: a point that failed (or timed out,
+    or crashed) is re-run by the next invocation."""
+    flaky = CampaignSpec(
+        name="flaky", target="demo", grid=(("mode", ("ok", "fail")), ("x", (1, 2)))
+    )
+    store_dir = tmp_path / "flaky"
+    first = run_campaign(flaky, store_dir=store_dir, fingerprint=FP)
+    assert first.ran == 4 and first.failed == 2
+    second = run_campaign(flaky, store_dir=store_dir, fingerprint=FP)
+    assert second.cached == 2
+    assert second.ran == 2  # the two failures, retried
+    assert second.failed == 2  # deterministically fail again
+
+
+def test_truncated_store_line_resumes_cleanly(tmp_path):
+    """A kill mid-append leaves a torn JSONL tail; the resumed run
+    re-runs that point and the store converges to the clean bytes."""
+    store_dir = tmp_path / "torn"
+    report = run_campaign(SPEC, store_dir=store_dir, fingerprint=FP)
+    assert report.ok
+    path = store_dir / "results.jsonl"
+    lines = path.read_text().splitlines(keepends=True)
+    path.write_text("".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+    resumed = run_campaign(SPEC, store_dir=store_dir, fingerprint=FP)
+    assert resumed.ran == 1 and resumed.cached == 7
+    clean_dir = tmp_path / "clean"
+    run_campaign(SPEC, store_dir=clean_dir, fingerprint=FP)
+    assert canonical(store_dir) == canonical(clean_dir)
+
+
+def test_interrupted_run_skips_compaction(tmp_path):
+    """stop_after must not compact: compaction with a partial key set
+    would be indistinguishable from invalidation on the next open."""
+    store_dir = tmp_path / "int"
+    run_campaign(SPEC, store_dir=store_dir, fingerprint=FP, stop_after=2)
+    entries = [
+        json.loads(line)
+        for line in (store_dir / "results.jsonl").read_text().splitlines()
+    ]
+    assert len(entries) == 2

@@ -1,0 +1,110 @@
+"""ResultStore: durability, truncation tolerance, compaction, canonical."""
+
+import json
+
+from repro.campaign import CampaignSpec
+from repro.campaign.store import ResultStore
+
+
+SPEC = CampaignSpec(name="s", target="demo", grid=(("x", (1, 2, 3)),))
+
+
+def entry(key: str, index: int = 0, status: str = "ok", **extra) -> dict:
+    return {
+        "key": key,
+        "index": index,
+        "point": {"x": index},
+        "status": status,
+        "record": {"x": index},
+        "error": None,
+        "wall_s": 0.1 * index,
+        "worker": index % 2,
+        **extra,
+    }
+
+
+class TestPersistence:
+    def test_append_then_reopen_replays(self, tmp_path):
+        with ResultStore(tmp_path).open(SPEC, "fp") as store:
+            store.append(entry("a", 0))
+            store.append(entry("b", 1, status="failed"))
+        reopened = ResultStore(tmp_path).open(SPEC, "fp")
+        assert set(reopened.entries()) == {"a", "b"}
+        assert set(reopened.completed()) == {"a"}  # failed points retry
+        reopened.close()
+
+    def test_truncated_final_line_is_tolerated(self, tmp_path):
+        with ResultStore(tmp_path).open(SPEC, "fp") as store:
+            store.append(entry("a", 0))
+        with (tmp_path / "results.jsonl").open("a") as fh:
+            fh.write('{"key": "b", "status": "o')  # killed mid-write
+        reopened = ResultStore(tmp_path).open(SPEC, "fp")
+        assert set(reopened.entries()) == {"a"}
+        reopened.close()
+
+    def test_force_drops_prior_results(self, tmp_path):
+        with ResultStore(tmp_path).open(SPEC, "fp") as store:
+            store.append(entry("a", 0))
+        fresh = ResultStore(tmp_path).open(SPEC, "fp", force=True)
+        assert len(fresh) == 0
+        fresh.close()
+
+    def test_meta_and_index_written(self, tmp_path):
+        with ResultStore(tmp_path).open(SPEC, "fp") as store:
+            store.append(entry("a", 0))
+        meta = json.loads((tmp_path / "campaign.json").read_text())
+        assert meta["schema"]["name"] == "repro.campaign.store"
+        assert meta["fingerprint"] == "fp"
+        assert meta["spec"]["name"] == "s"
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert index["keys"] == {"a": "ok"}
+
+
+class TestCompaction:
+    def test_compact_keeps_latest_per_valid_key(self, tmp_path):
+        with ResultStore(tmp_path).open(SPEC, "fp") as store:
+            store.append(entry("a", 0, status="failed"))
+            store.append(entry("a", 0))  # retry superseded the failure
+            store.append(entry("stale", 9))
+            dropped = store.compact(["a", "b"])
+            assert dropped == 2  # superseded duplicate + invalidated key
+            assert set(store.entries()) == {"a"}
+            assert store.entries()["a"]["status"] == "ok"
+        lines = (tmp_path / "results.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+
+    def test_append_still_works_after_compact(self, tmp_path):
+        with ResultStore(tmp_path).open(SPEC, "fp") as store:
+            store.append(entry("a", 0))
+            store.compact(["a"])
+            store.append(entry("b", 1))
+        reopened = ResultStore(tmp_path).open(SPEC, "fp")
+        assert set(reopened.entries()) == {"a", "b"}
+        reopened.close()
+
+
+class TestCanonical:
+    def test_volatile_fields_stripped_and_order_is_grid_order(self, tmp_path):
+        with ResultStore(tmp_path).open(SPEC, "fp") as store:
+            store.append(entry("b", 1, wall_s=9.9, worker=3))
+            store.append(entry("a", 0, wall_s=0.1, worker=1))
+            text = store.canonical()
+        docs = json.loads(text)
+        assert [d["key"] for d in docs] == ["a", "b"]
+        assert all("wall_s" not in d and "worker" not in d for d in docs)
+
+    def test_canonical_ignores_timing_jitter(self, tmp_path):
+        with ResultStore(tmp_path / "1").open(SPEC, "fp") as one:
+            one.append(entry("a", 0, wall_s=0.5, worker=0))
+            first = one.canonical()
+        with ResultStore(tmp_path / "2").open(SPEC, "fp") as two:
+            two.append(entry("a", 0, wall_s=123.4, worker=7))
+            second = two.canonical()
+        assert first == second
+
+    def test_non_ok_entries_not_in_canonical(self, tmp_path):
+        with ResultStore(tmp_path).open(SPEC, "fp") as store:
+            store.append(entry("a", 0))
+            store.append(entry("b", 1, status="crashed"))
+            docs = json.loads(store.canonical())
+        assert [d["key"] for d in docs] == ["a"]
