@@ -1,6 +1,6 @@
 # Convenience targets; everything also works as plain pytest invocations.
 
-.PHONY: install test lint bench bench-only bench-kernel campaign-smoke trace-demo faults experiments examples clean
+.PHONY: install test lint bench bench-only bench-kernel campaign-smoke dist-smoke trace-demo faults experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -35,6 +35,20 @@ campaign-smoke:
 		--store campaigns/th1-grid --parallel 2 --metrics \
 		--gate benchmarks/baselines/campaign_th1.json
 
+# Real-process socket backend end to end (see docs/DIST.md): 2 worker
+# processes, one injected SIGKILL at superstep 1.  The CLI exits
+# nonzero unless the run matches the in-process reference AND the
+# merged Lamport-log audit is clean; the follow-up check asserts the
+# kill really fired (>= 1 restart), so recovery — not luck — passed.
+dist-smoke:
+	PYTHONPATH=src python -m repro.experiments dist ring --p 2 --rounds 3 \
+		--seed 1 --kill 1:1 --json > dist-smoke.out
+	PYTHONPATH=src python -c "import json; \
+		doc = json.loads(open('dist-smoke.out').read().strip().splitlines()[-1]); \
+		assert doc['reference_match'] and doc['audit']['clean'], doc['audit']; \
+		assert doc['result']['restarts'] >= 1, 'kill never fired'; \
+		print('dist-smoke ok:', doc['result'])"
+
 # Three-layer run with metrics + a Perfetto-loadable trace (trace.json).
 trace-demo:
 	PYTHONPATH=src python -m repro.experiments inspect bsp-on-logp-on-network --metrics --trace trace.json
@@ -51,5 +65,5 @@ examples:
 	for ex in examples/*.py; do echo "== $$ex =="; python $$ex || exit 1; done
 
 clean:
-	rm -rf .pytest_cache .hypothesis benchmarks/results campaigns build *.egg-info
+	rm -rf .pytest_cache .hypothesis benchmarks/results campaigns build *.egg-info dist-smoke.out
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,149 @@
+"""Measure the dist backend's real machine: L, o, g, and run overhead.
+
+Three measurements, all against real processes on localhost TCP:
+
+* **LogP fit** — :func:`repro.dist.measure.fit_logp` microbenchmarks
+  send overhead (``o``), ping-pong latency (``L``), and saturation gap
+  (``g``) through an echo subprocess, then
+  :func:`~repro.dist.measure.fit_logp_params` rounds them onto LogP's
+  integer-microsecond grid (respecting ``max(2, o) <= G <= L``).  The
+  resulting ``LogPParams`` is the bridge from the measured machine back
+  into the paper's simulators.
+
+* **Clean end-to-end runs** — wall clock of ``run_dist`` per program on
+  a clean wire, with per-round cost (supervision + barrier + relay
+  overhead the microbenchmarks cannot see).
+
+* **Faulty end-to-end run** — the same ring under a seeded kill plus
+  drops, reporting the recovery multiplier (faulty wall / clean wall).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dist.py            # full
+    PYTHONPATH=src python benchmarks/bench_dist.py --quick    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_dist.py --json     # machine-readable
+    PYTHONPATH=src python benchmarks/bench_dist.py --out fit.json
+
+This file is importable under pytest's ``bench_*.py`` collection but
+defines no tests; it is an argparse CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.dist import DistParams, run_dist, run_reference  # noqa: E402
+from repro.dist.measure import fit_logp, fit_logp_params  # noqa: E402
+from repro.faults.plan import FaultPlan  # noqa: E402
+
+#: End-to-end workloads: (name, program, p, kwargs).
+RUNS = [
+    ("ring_p3_r4", "ring", 3, {"rounds": 4}),
+    ("alltoall_p3_r3", "alltoall", 3, {"rounds": 3}),
+    ("flood_p2_r3", "flood", 2, {"rounds": 3, "burst": 8}),
+]
+
+FAULTY_PLAN = dict(seed=7, crash={1: 2}, drop_rate=0.2)
+
+
+def _timed_run(program: str, p: int, kwargs: dict, plan=None) -> dict:
+    params = DistParams(run_timeout_s=60.0, hb_timeout_s=1.0)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-dist-") as log_dir:
+        t0 = time.perf_counter()
+        result = run_dist(program, p, kwargs=kwargs, params=params,
+                          plan=plan, log_dir=log_dir)
+        wall = time.perf_counter() - t0
+        correct = result.results == run_reference(program, p, kwargs)
+        return {
+            "wall_s": round(wall, 4),
+            "wall_per_round_ms": round(wall / result.rounds * 1e3, 3),
+            "rounds": result.rounds,
+            "restarts": result.restarts,
+            "wire_faults": dict(result.wire_faults),
+            "retransmits": result.channel_stats["retransmits"],
+            "correct": correct,
+        }
+
+
+def run_bench(quick: bool) -> dict:
+    fit = fit_logp(quick=quick)
+    logp = fit_logp_params(fit, p=2)
+    runs = {}
+    for name, program, p, kwargs in RUNS:
+        runs[name] = _timed_run(program, p, kwargs)
+    clean_ring = runs["ring_p3_r4"]["wall_s"]
+    faulty = _timed_run("ring", 3, {"rounds": 4},
+                        plan=FaultPlan(**FAULTY_PLAN))
+    faulty["recovery_multiplier"] = (
+        round(faulty["wall_s"] / clean_ring, 2) if clean_ring else None
+    )
+    return {
+        "fit": fit,
+        "logp_params": {"p": logp.p, "L": logp.L, "o": logp.o, "G": logp.G},
+        "runs": runs,
+        "faulty_ring": faulty,
+    }
+
+
+def print_report(report: dict) -> None:
+    fit, lp = report["fit"], report["logp_params"]
+    print("measured machine (localhost TCP, real processes):")
+    print(f"  o = {fit['o_us']:8.1f} us   (send overhead, "
+          f"p90 {fit['spread']['o_p90_us']:.1f})")
+    print(f"  L = {fit['L_us']:8.1f} us   (one-way latency, "
+          f"rtt {fit['rtt_us']:.1f})")
+    print(f"  g = {fit['g_us']:8.1f} us   (gap at saturation, "
+          f"p90 {fit['spread']['gap_p90_us']:.1f})")
+    print(f"  LogP grid: p={lp['p']} L={lp['L']} o={lp['o']} G={lp['G']}")
+    print()
+    print(f"{'end-to-end run':18s} {'wall_s':>8s} {'ms/round':>9s} "
+          f"{'restarts':>8s} {'ok':>3s}")
+    for name, r in report["runs"].items():
+        print(f"{name:18s} {r['wall_s']:>8.3f} {r['wall_per_round_ms']:>9.2f} "
+              f"{r['restarts']:>8d} {'yes' if r['correct'] else 'NO':>3s}")
+    f = report["faulty_ring"]
+    print(f"{'ring+kill+drops':18s} {f['wall_s']:>8.3f} "
+          f"{f['wall_per_round_ms']:>9.2f} {f['restarts']:>8d} "
+          f"{'yes' if f['correct'] else 'NO':>3s}"
+          f"   ({f['recovery_multiplier']}x clean, "
+          f"{f['retransmits']} retransmits)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized sample counts")
+    parser.add_argument("--json", action="store_true",
+                        help="print the report as JSON instead of a table")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also write the JSON report to this path")
+    args = parser.parse_args(argv)
+
+    report = run_bench(quick=args.quick)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print_report(report)
+    if args.out is not None:
+        args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    bad = [n for n, r in report["runs"].items() if not r["correct"]]
+    if not report["faulty_ring"]["correct"]:
+        bad.append("faulty_ring")
+    if bad:
+        print(f"FAIL  incorrect results: {', '.join(bad)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

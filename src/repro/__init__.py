@@ -40,12 +40,17 @@ The package layout underneath:
   checks);
 * :mod:`repro.campaign` — parallel, resumable, cache-backed experiment
   sweeps (:class:`CampaignSpec` + :func:`run_campaign`); see
-  ``docs/CAMPAIGN.md``.
+  ``docs/CAMPAIGN.md``;
+* :mod:`repro.dist` — a fault-tolerant *real-process* backend: each
+  LogP processor is an OS process over TCP, supervised with heartbeats,
+  checkpointed restarts, seq/ack retransmission, and Lamport-stamped
+  event logs (``Stack(name).on_dist(p)``); see ``docs/DIST.md``.
 
 See ``examples/quickstart.py`` for a guided tour.
 """
 
 from repro.campaign import CampaignReport, CampaignSpec, run_campaign
+from repro.dist import DistParams, DistResult, run_dist
 from repro.models.message import Message
 from repro.models.params import BSPParams, LogPParams
 from repro.bsp.machine import BSPMachine, BSPResult
@@ -88,6 +93,10 @@ __all__ = [
     "CampaignSpec",
     "CampaignReport",
     "run_campaign",
+    # real-process distributed backend
+    "DistParams",
+    "DistResult",
+    "run_dist",
     # observability
     "Observation",
     "MetricsRegistry",

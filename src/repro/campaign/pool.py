@@ -10,7 +10,9 @@ Failure philosophy mirrors :mod:`repro.faults`, lifted to the harness:
 
 * a point that **raises** fails that point (``status="failed"``);
 * a point that exceeds the per-point **timeout** is interrupted inside
-  the worker via ``SIGALRM`` (``status="timeout"``);
+  the worker via ``SIGALRM`` (``status="timeout"``); where the alarm
+  cannot fire (non-main thread, no ``setitimer``) a watchdog thread
+  still times the point out, loudly warning that it cannot interrupt it;
 * a worker process that **dies** (segfault, ``os._exit``, OOM-kill)
   fails only the point it had started — the parent re-queues the rest
   of the dead worker's chunk, spawns a replacement (bounded by a respawn
@@ -36,16 +38,67 @@ __all__ = ["run_pool", "run_serial", "execute_point"]
 MAX_CHUNK = 8
 
 
+def _watchdog_execute(target_fn, point: dict, timeout_s: float, key: str):
+    """Timeout fallback where SIGALRM cannot fire (non-main thread, or a
+    platform without ``setitimer``): run the target in a daemon thread
+    and give up waiting after ``timeout_s``.  The point is reported as
+    ``timeout`` either way, but unlike the alarm path the target cannot
+    be *interrupted* — it keeps running in its thread until the process
+    exits, so the degradation is surfaced as a ``RuntimeWarning`` rather
+    than hidden.  Returns ``(status, record, error)``."""
+    import threading
+    import warnings
+
+    box: dict = {}
+
+    def _body() -> None:
+        try:
+            box["record"] = target_fn(point)
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            box["error"] = f"{type(exc).__name__}: {exc}"
+
+    thread = threading.Thread(
+        target=_body, daemon=True, name=f"campaign-watchdog-{key}"
+    )
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        warnings.warn(
+            f"point {key}: SIGALRM unavailable here, so the watchdog "
+            f"thread timed the point out after {timeout_s}s but cannot "
+            f"interrupt it; the target keeps running in a daemon thread "
+            f"until this process exits",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return "timeout", None, f"point {key} exceeded {timeout_s}s (watchdog)"
+    if "error" in box:
+        return "failed", None, box["error"]
+    return "ok", box.get("record"), None
+
+
 def execute_point(target_fn, item: dict, timeout_s: float | None) -> dict:
-    """Run one point under an optional SIGALRM timeout; never raises.
+    """Run one point under an optional timeout; never raises.
+
+    The timeout is enforced by ``SIGALRM``/``setitimer`` when possible
+    (main thread of a worker process — the normal pool path).  Called
+    from a non-main thread or a platform without ``setitimer``, it
+    degrades to a watchdog thread (:func:`_watchdog_execute`): same
+    ``timeout`` status, but with a visible ``RuntimeWarning`` because
+    the overrunning target cannot actually be interrupted.
 
     Returns the store entry: ``{key, index, point, status, record,
     error, wall_s}`` with ``status`` one of ``ok | failed | timeout``.
     """
     import signal
+    import threading
 
     key, index, point = item["key"], item["index"], item["point"]
-    use_alarm = timeout_s is not None and hasattr(signal, "setitimer")
+    use_alarm = (
+        timeout_s is not None
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
 
     def _on_alarm(signum, frame):
         raise TimeoutError(f"point {key} exceeded {timeout_s}s")
@@ -53,6 +106,17 @@ def execute_point(target_fn, item: dict, timeout_s: float | None) -> dict:
     t0 = time.perf_counter()
     status, record, error = "ok", None, None
     old_handler = None
+    if timeout_s is not None and not use_alarm:
+        status, record, error = _watchdog_execute(target_fn, point, timeout_s, key)
+        return {
+            "key": key,
+            "index": index,
+            "point": point,
+            "status": status,
+            "record": record,
+            "error": error,
+            "wall_s": round(time.perf_counter() - t0, 6),
+        }
     if use_alarm:
         old_handler = signal.signal(signal.SIGALRM, _on_alarm)
         signal.setitimer(signal.ITIMER_REAL, timeout_s)

@@ -7,10 +7,13 @@ Layout (one directory per campaign)::
     <dir>/index.json      # key -> status summary, rebuilt at close
 
 ``results.jsonl`` is the source of truth and is written one line per
-completed point *as results arrive*, so a killed campaign keeps
-everything it finished: reopening the store replays the file (tolerating
-a truncated final line from a mid-write kill), keeps the **latest**
-entry per key, and the runner skips every key whose entry is ``ok``.
+completed point *as results arrive* (flushed and fsynced), so a killed
+campaign keeps everything it finished: reopening the store replays the
+file, moves a torn final line from a mid-write kill into
+``results.quarantine`` and truncates back to the last good newline (so
+later appends cannot concatenate onto the fragment), keeps the
+**latest** entry per key, and the runner skips every key whose entry is
+``ok``.
 ``index.json`` and ``campaign.json`` are conveniences for humans and CI
 artifacts; they are never read back as truth.
 
@@ -25,6 +28,7 @@ same campaign render identical canonical bytes.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from repro.campaign.spec import CampaignSpec
@@ -47,6 +51,8 @@ class ResultStore:
         self.results_path = self.directory / "results.jsonl"
         self.meta_path = self.directory / "campaign.json"
         self.index_path = self.directory / "index.json"
+        self.quarantine_path = self.directory / "results.quarantine"
+        self.quarantined = 0  # torn tail fragments moved aside on load
         self._entries: dict[str, dict] = {}
         self._fh = None
 
@@ -93,22 +99,50 @@ class ResultStore:
     # -- reading -------------------------------------------------------
 
     def _load(self) -> dict[str, dict]:
+        """Replay the JSONL, healing the tail a mid-write kill leaves.
+
+        A process killed inside :meth:`append` leaves either a torn
+        final line (unparseable) or a complete final line with no
+        trailing newline.  Both would corrupt the *next* appended entry
+        by concatenation, so the tail is repaired before the file is
+        reopened for append: a torn fragment is moved to
+        ``results.quarantine`` and the file truncated back to the last
+        good newline; a newline-less good line gets its newline.
+        Mid-file garbage (not our crash mode) is skipped, never healed.
+        """
         entries: dict[str, dict] = {}
         if not self.results_path.exists():
             return entries
-        with self.results_path.open(encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
+        raw = self.results_path.read_bytes()
+        offset = 0
+        for chunk in raw.splitlines(keepends=True):
+            end = offset + len(chunk)
+            line = chunk.strip()
+            if line:
                 try:
                     entry = json.loads(line)
                 except json.JSONDecodeError:
-                    continue  # truncated final line from a killed run
+                    if end >= len(raw):  # torn tail from a killed append
+                        self._quarantine_tail(chunk, offset)
+                        break
+                    offset = end
+                    continue  # mid-file garbage: tolerated, not healed
                 key = entry.get("key")
                 if key:
                     entries[key] = entry
+            offset = end
+        if raw and not raw.endswith(b"\n") and self.quarantined == 0:
+            with self.results_path.open("ab") as fh:
+                fh.write(b"\n")  # complete line, interrupted before EOL
         return entries
+
+    def _quarantine_tail(self, fragment: bytes, offset: int) -> None:
+        """Move a torn trailing fragment aside and truncate to it."""
+        with self.quarantine_path.open("ab") as fh:
+            fh.write(fragment.rstrip(b"\n") + b"\n")
+        with self.results_path.open("r+b") as fh:
+            fh.truncate(offset)
+        self.quarantined += 1
 
     def entries(self) -> dict[str, dict]:
         """Latest entry per key (all statuses)."""
@@ -130,12 +164,15 @@ class ResultStore:
     # -- writing -------------------------------------------------------
 
     def append(self, entry: dict) -> None:
-        """Persist one point outcome immediately (crash durability)."""
+        """Persist one point outcome immediately (crash durability:
+        flushed *and* fsynced, so a power cut after ``append`` returns
+        cannot lose the entry, only ever tear a line mid-write)."""
         if self._fh is None:
             raise RuntimeError("ResultStore.append before open()")
         self._entries[entry["key"]] = entry
         self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
         self._fh.flush()
+        os.fsync(self._fh.fileno())
 
     def compact(self, valid_keys) -> int:
         """Rewrite the JSONL keeping only the latest entry per key in

@@ -165,6 +165,60 @@ def _target_demo(point: dict, obs=None) -> dict:
     return {"x": x, "y": x * x, "seed": point.get("seed", 0)}
 
 
+def _target_dist(point: dict, obs=None) -> dict:
+    """One real-process socket run (:mod:`repro.dist`), audited.
+
+    Point keys: ``program`` (ring/alltoall/pingpong/flood), ``p``,
+    ``rounds``, ``seed``, wire-fault rates ``drop``/``dup``/``delay``
+    (plus ``max_extra_delay``), and ``kill`` as a ``"pid:superstep"``
+    string.  The record keeps only the *deterministic* outcome — final
+    states, reference match, audit verdict — never wall-clock or retry
+    counts, so cached reruns stay bit-identical even though the wire
+    timing differs run to run.
+    """
+    import tempfile
+
+    from repro.dist import run_dist, run_reference
+    from repro.faults.plan import FaultPlan
+
+    program = str(point.get("program", "ring"))
+    p = int(point.get("p", 2))
+    rounds = int(point.get("rounds", 3))
+    seed = int(point.get("seed", 0))
+    rates = {
+        "drop_rate": float(point.get("drop", 0.0)),
+        "dup_rate": float(point.get("dup", 0.0)),
+        "delay_rate": float(point.get("delay", 0.0)),
+    }
+    if rates["delay_rate"]:
+        rates["max_extra_delay"] = int(point.get("max_extra_delay", 5))
+    crash = None
+    kill = str(point.get("kill", "") or "")
+    if kill:
+        pid_s, _, s_s = kill.partition(":")
+        crash = {int(pid_s): int(s_s)}
+    plan = None
+    if crash or any(rates.values()):
+        plan = FaultPlan(seed=seed, crash=crash, **rates)
+    log_dir = tempfile.mkdtemp(prefix="repro-dist-pt-")
+    kwargs = {"rounds": rounds}
+    result = run_dist(program, p, kwargs=kwargs, plan=plan, log_dir=log_dir)
+    report = result.analyze()
+    expected = run_reference(program, p, kwargs)
+    return {
+        "program": program,
+        "p": p,
+        "rounds": rounds,
+        "seed": seed,
+        "kill": kill,
+        **{k: v for k, v in point.items() if k in ("drop", "dup", "delay")},
+        "states": result.results,
+        "reference_match": result.results == expected,
+        "audit_clean": report["clean"],
+        "violations": report["protocol_violations"] + report["model_violations"],
+    }
+
+
 def _target_experiment(exp_id: str) -> Callable[[dict], dict]:
     def run(point: dict, obs=None) -> dict:
         from repro.experiments import EXPERIMENTS
@@ -208,6 +262,7 @@ TARGETS: dict[str, Callable[[dict], dict]] = {
     "theorem2": _target_theorem2,
     "cb": _target_cb,
     "demo": _target_demo,
+    "dist": _target_dist,
 }
 
 

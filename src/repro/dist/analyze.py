@@ -1,0 +1,284 @@
+"""Merged-log analysis: total order, invariants, and obs replay.
+
+This is the "trust, then verify" half of the dist backend.  The run
+produces per-process Lamport-stamped logs (:mod:`repro.dist.eventlog`);
+this module merges them and answers three questions:
+
+1. **Did the protocol keep its promises?**  :func:`check_merged`
+   verifies, from the logs alone, that every application message was
+   delivered *exactly once* at its destination (counting only effective
+   deliveries — a delivery replayed into a restarted incarnation whose
+   predecessor never committed the round is recovery, not duplication),
+   that every supervisor ``commit s`` is causally preceded by a
+   ``barrier s`` from every participating worker (superstep agreement),
+   and that each incarnation's Lamport stamps are strictly monotone.
+
+2. **Can I look at it?**  :func:`replay_to_tracer` renders the merged
+   order through the ordinary :class:`repro.obs.Tracer` — one lane per
+   process, a span per superstep, instants for sends/deliveries/commits/
+   faults/restarts — so ``chrome://tracing`` views a *real* faulty run
+   with the same tooling the simulators use.  Time is the Lamport stamp.
+
+3. **Does the simulator-grade checker agree?**  :func:`to_logp_result`
+   re-expresses the merged log as a genuine
+   :class:`~repro.logp.machine.LogPResult` (Lamport time scaled onto a
+   LogP step grid) and hands it to
+   :func:`repro.faults.invariants.check_execution` — the same machinery
+   that audits simulated runs audits the sockets.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+
+from repro.dist.eventlog import merge_logs
+from repro.errors import InvariantViolationError
+from repro.logp.machine import LogPResult
+from repro.logp.trace import Trace
+from repro.models.params import LogPParams
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "check_merged",
+    "replay_to_tracer",
+    "to_logp_result",
+    "analyze_run",
+]
+
+#: LogP step grid used when projecting Lamport time: one Lamport tick
+#: maps to G steps, so distinct local events land >= G apart and every
+#: gap invariant holds by construction.
+_G = 2
+_O = 1
+
+
+def check_merged(events: list[dict]) -> list[str]:
+    """Protocol invariants over one merged, totally ordered event list.
+
+    Returns human-readable violation strings (empty == clean).
+    """
+    violations: list[str] = []
+
+    sends: dict[str, dict] = {}
+    for e in events:
+        if e["ev"] == "send":
+            sends.setdefault(e["uid"], e)  # re-sends after restart: same uid
+
+    # -- exactly-once delivery -----------------------------------------
+    # Effective deliveries: per (uid, pid) keep only the delivery to the
+    # highest incarnation — earlier incarnations' rounds were discarded
+    # by the crash that caused the restart.  Within one incarnation a
+    # repeated uid is a real duplication (channel dedup failed).
+    per_uid_pid: dict[tuple[str, int], dict[int, int]] = defaultdict(dict)
+    for e in events:
+        if e["ev"] != "deliver":
+            continue
+        counts = per_uid_pid[(e["uid"], e["pid"])]
+        counts[e["inc"]] = counts.get(e["inc"], 0) + 1
+    delivered_to: dict[str, list[int]] = defaultdict(list)
+    for (uid, pid), by_inc in sorted(per_uid_pid.items()):
+        for inc, n in sorted(by_inc.items()):
+            if n > 1:
+                violations.append(
+                    f"exactly-once: message {uid} delivered {n} times to "
+                    f"worker {pid} incarnation {inc}"
+                )
+        delivered_to[uid].append(pid)
+    for uid, send in sorted(sends.items()):
+        dests = delivered_to.get(uid, [])
+        if not dests:
+            violations.append(
+                f"exactly-once: message {uid} sent by worker {send['pid']} "
+                f"but never delivered"
+            )
+        elif set(dests) != {send["dest"]}:
+            violations.append(
+                f"exactly-once: message {uid} addressed to {send['dest']} "
+                f"but delivered to {sorted(set(dests))}"
+            )
+    for uid in sorted(set(delivered_to) - set(sends)):
+        violations.append(f"exactly-once: message {uid} delivered but never sent")
+
+    # -- superstep agreement -------------------------------------------
+    # Supervisor `commit s` must be causally after `barrier s` from every
+    # worker that participated in round s; commits must advance in order.
+    barrier_lc: dict[tuple[int, int], int] = {}
+    participants: set[int] = set()
+    for e in events:
+        if e["ev"] == "barrier" and e["pid"] >= 0:
+            barrier_lc.setdefault((e["pid"], e["s"]), e["lc"])
+            participants.add(e["pid"])
+    last_commit = -1  # commits must start at round 0 and advance by one
+    for e in events:
+        if e["ev"] != "commit" or e["pid"] >= 0:
+            continue
+        s = e["s"]
+        if s != last_commit + 1:
+            violations.append(
+                f"superstep-agreement: supervisor committed round {s} after "
+                f"round {last_commit} (non-consecutive)"
+            )
+        last_commit = s
+        for pid in sorted(participants):
+            lc = barrier_lc.get((pid, s))
+            if lc is None:
+                violations.append(
+                    f"superstep-agreement: round {s} committed but worker "
+                    f"{pid} never logged its barrier"
+                )
+            elif lc >= e["lc"]:
+                violations.append(
+                    f"superstep-agreement: round {s} commit (lc={e['lc']}) "
+                    f"not causally after worker {pid}'s barrier (lc={lc})"
+                )
+
+    # -- monotone Lamport clocks ---------------------------------------
+    per_writer: dict[tuple[int, int], list[tuple[int, int]]] = defaultdict(list)
+    for e in events:
+        per_writer[(e["pid"], e["inc"])].append((e["n"], e["lc"]))
+    for (pid, inc), seq in sorted(per_writer.items()):
+        seq.sort()
+        for (n_a, lc_a), (n_b, lc_b) in zip(seq, seq[1:]):
+            if lc_b <= lc_a:
+                violations.append(
+                    f"monotone-clock: process {pid} inc {inc} logged "
+                    f"lc={lc_b} (line {n_b}) after lc={lc_a} (line {n_a})"
+                )
+                break
+    return violations
+
+
+def replay_to_tracer(events: list[dict], tracer: Tracer | None = None) -> Tracer:
+    """Render a merged log through the standard observability tracer.
+
+    One tid per logical process (supervisor on tid 0, worker ``pid`` on
+    ``pid + 1``), a span per executed superstep, instants for the rest.
+    Time axis = Lamport stamps (1 tick = 1 "µs" in the Chrome export).
+    """
+    tracer = tracer if tracer is not None else Tracer()
+    open_steps: dict[tuple[int, int], tuple[int, int]] = {}
+    for e in events:
+        pid, inc, lc, ev = e["pid"], e["inc"], e["lc"], e["ev"]
+        tid = 0 if pid < 0 else pid + 1
+        if ev == "step":
+            open_steps[(pid, inc)] = (e["s"], lc)
+        elif ev == "barrier" and pid >= 0:
+            opened = open_steps.pop((pid, inc), None)
+            if opened is not None:
+                s, start = opened
+                tracer.span(
+                    "dist", f"superstep {s}", start, lc, tid=tid, cat="dist",
+                    args={"pid": pid, "inc": inc, "s": s},
+                )
+        elif ev in ("send", "deliver"):
+            tracer.instant("dist", f"{ev} {e['uid']}", lc, tid=tid, args={
+                k: e[k] for k in ("uid", "src", "dest", "s") if k in e
+            })
+        elif ev in ("commit", "spawn", "restart", "worker_dead", "wire_fault",
+                    "kill_self", "done", "shutdown"):
+            args = {k: v for k, v in e.items()
+                    if k not in ("pid", "inc", "lc", "ev", "n")}
+            tracer.instant("dist", ev, lc, tid=tid, args=args or None)
+    # A crash can leave a step open; close it at its own start so the
+    # truncated superstep is still visible in the timeline.
+    for (pid, inc), (s, start) in sorted(open_steps.items()):
+        tracer.span("dist", f"superstep {s} (cut)", start, start + 1,
+                    tid=pid + 1, cat="dist", args={"pid": pid, "inc": inc})
+    return tracer
+
+
+def to_logp_result(events: list[dict], p: int) -> LogPResult:
+    """Project the merged log onto a LogP execution for the simulator-
+    grade invariant checker.
+
+    Mapping: every logged event at Lamport stamp ``lc`` happens at step
+    ``lc * G`` (G=2, o=1) — distinct local events are >= G apart, so the
+    gap rules hold; ``L`` is set to the largest observed send-to-deliver
+    stretch (at least G+1), so the latency rule bounds the run's *actual*
+    worst case.  Messages are numbered by first-send order; deliveries
+    use effective deliveries only (max incarnation per pid), matching
+    :func:`check_merged`.  The result carries a real
+    :class:`~repro.logp.trace.Trace` and empty stall/fault ledgers, so
+    :func:`repro.faults.invariants.check_execution` runs unmodified.
+    """
+    send_lc: dict[str, int] = {}
+    deliver: dict[str, tuple[int, int, int]] = {}  # uid -> (pid, inc, lc)
+    send_meta: dict[str, dict] = {}
+    for e in events:
+        if e["ev"] == "send" and e["uid"] not in send_lc:
+            send_lc[e["uid"]] = e["lc"]
+            send_meta[e["uid"]] = e
+        elif e["ev"] == "deliver":
+            prev = deliver.get(e["uid"])
+            if prev is None or e["inc"] >= prev[1]:
+                deliver[e["uid"]] = (e["pid"], e["inc"], e["lc"])
+
+    max_stretch = _G
+    for uid, lc_send in send_lc.items():
+        if uid in deliver:
+            max_stretch = max(max_stretch, (deliver[uid][2] - lc_send) * _G)
+    params = LogPParams(p=p, L=max(max_stretch, _G), o=_O, G=_G)
+
+    trace = Trace(params)
+    uid_int = {uid: i for i, uid in enumerate(sorted(send_lc, key=send_lc.get))}
+    max_lc = 0
+    for uid, lc in sorted(send_lc.items(), key=lambda kv: kv[1]):
+        e = send_meta[uid]
+        trace.submissions.append((lc * _G, e["pid"], uid_int[uid]))
+        max_lc = max(max_lc, lc)
+    for uid, (pid, _inc, lc) in sorted(deliver.items(), key=lambda kv: kv[1][2]):
+        if uid not in uid_int:
+            continue
+        trace.windows.append((uid_int[uid], pid, lc * _G, lc * _G))
+        trace.deliveries.append((lc * _G, pid, uid_int[uid]))
+        trace.acquisitions.append((lc * _G, lc * _G, pid, uid_int[uid]))
+        max_lc = max(max_lc, lc)
+    trace.deliveries.sort()
+
+    return LogPResult(
+        params=params,
+        results=[None] * p,
+        makespan=(max_lc + 1) * _G,
+        stalls=[],
+        buffer_highwater=[0] * p,
+        total_messages=len(uid_int),
+        trace=trace,
+    )
+
+
+def analyze_run(log_dir: str | Path, p: int, *, strict: bool = False) -> dict:
+    """One-call audit of a finished run's log directory.
+
+    Merges the logs, runs :func:`check_merged`, projects through
+    :func:`to_logp_result` into
+    :func:`repro.faults.invariants.check_execution`, and builds the
+    replay tracer.  Returns a report dict; with ``strict=True`` raises
+    :class:`~repro.errors.InvariantViolationError` on any violation.
+    """
+    from repro.faults.invariants import check_execution
+
+    events, meta = merge_logs(log_dir)
+    protocol = check_merged(events)
+    p_seen = {e["pid"] for e in events if e["pid"] >= 0}
+    p_eff = max(p, max(p_seen) + 1 if p_seen else 0)
+    result = to_logp_result(events, p_eff)
+    model = [str(v) for v in check_execution(result)]
+    tracer = replay_to_tracer(events)
+    report = {
+        "events": len(events),
+        "files": meta["files"],
+        "torn": meta["torn"],
+        "protocol_violations": protocol,
+        "model_violations": model,
+        "messages": result.total_messages,
+        "clean": not (protocol or model),
+    }
+    if strict and not report["clean"]:
+        raise InvariantViolationError(
+            "distributed run failed post-hoc log audit:\n"
+            + "\n".join(f"  - {v}" for v in protocol + model)
+        )
+    report["tracer"] = tracer
+    report["result"] = result
+    return report

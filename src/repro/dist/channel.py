@@ -1,0 +1,427 @@
+"""Reliable frame channel over one TCP socket.
+
+TCP already gives in-order bytes on a healthy connection; this layer
+adds what the fault model takes away.  The supervisor's fault injector
+(:mod:`repro.dist.injector`) drops, duplicates, and delays individual
+*frames* at the wire, exactly like the simulator's
+:class:`~repro.faults.medium.FaultyMedium` does to messages — so the
+channel implements the classic recovery machinery for real:
+
+* every reliable frame (see :data:`~repro.dist.frames.RELIABLE_TYPES`)
+  carries a per-connection sequence number ``q``;
+* the receiver delivers in sequence order exactly once — duplicates are
+  re-acked and discarded, out-of-order frames (a delayed original
+  overtaken by its retransmission) are held until the gap fills;
+* the receiver sends cumulative ``ack`` frames; the sender retransmits
+  unacked frames on a deadline with exponential backoff and
+  multiplicative jitter (a retransmission is a *new* wire transmission
+  and draws a fresh fault fate, which is what makes progress certain);
+* the outbound queue is bounded — a producer outrunning the wire blocks
+  (backpressure) instead of buffering without limit.
+
+Threads: one pump (outbound queue + retransmit + delayed-frame timers)
+and one receive loop per channel.  Both exit on close or socket error;
+``on_close`` fires exactly once with the terminating exception (or
+``None`` for a local close), which is how the supervisor notices a dead
+worker connection without polling.
+"""
+
+from __future__ import annotations
+
+import heapq
+import queue
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.dist.clock import LamportClock
+from repro.dist.frames import RELIABLE_TYPES, FrameReader, encode_frame
+from repro.errors import ProtocolError
+
+__all__ = ["ReliableChannel", "ChannelStats", "ChannelClosed"]
+
+
+class ChannelClosed(ProtocolError):
+    """Send attempted on (or blocked across) a closed channel."""
+
+
+@dataclass
+class ChannelStats:
+    """What the channel can say about the wire it survived."""
+
+    sent: int = 0
+    received: int = 0
+    retransmits: int = 0
+    dup_received: int = 0
+    out_of_order: int = 0
+    wire_dropped: int = 0
+    wire_duplicated: int = 0
+    wire_delayed: int = 0
+    acks_sent: int = 0
+    backpressure_waits: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "sent": self.sent,
+            "received": self.received,
+            "retransmits": self.retransmits,
+            "dup_received": self.dup_received,
+            "out_of_order": self.out_of_order,
+            "wire_dropped": self.wire_dropped,
+            "wire_duplicated": self.wire_duplicated,
+            "wire_delayed": self.wire_delayed,
+            "acks_sent": self.acks_sent,
+            "backpressure_waits": self.backpressure_waits,
+        }
+
+    def merge(self, other: "ChannelStats") -> None:
+        for name in (
+            "sent", "received", "retransmits", "dup_received", "out_of_order",
+            "wire_dropped", "wire_duplicated", "wire_delayed", "acks_sent",
+            "backpressure_waits",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+#: Frame types eligible for wire-fault injection.  Control-plane frames
+#: (hello/welcome/barrier/commit/ack/hb/...) are exempt so the fault
+#: schedule stays pinned to application-message traffic, matching the
+#: simulator's per-link message streams.
+FAULTABLE_TYPES = frozenset({"data", "deliver"})
+
+
+class ReliableChannel:
+    """Seq/ack/retransmit framing over an already-connected socket.
+
+    Parameters
+    ----------
+    sock:
+        Connected TCP socket; the channel owns it from here on.
+    name:
+        Label for diagnostics (``"sup->w0"``, ``"w3"``, ...).
+    clock:
+        The process's :class:`~repro.dist.clock.LamportClock`; every
+        delivered reliable frame merges its ``lc`` stamp.
+    on_frame:
+        Callback invoked (from the receive thread) for every in-order,
+        deduplicated frame, heartbeats included.
+    on_close:
+        Callback invoked exactly once when the channel dies, with the
+        terminating exception or ``None``.
+    rto_initial_s / rto_max_s / rto_jitter:
+        Retransmission timing (see :class:`~repro.dist.params.DistParams`).
+    queue_max:
+        Outbound queue bound (backpressure past it).
+    send_filter / recv_filter:
+        Optional fault hooks ``frame -> MessageFate | None`` consulted
+        per *transmission* (send side) or per *arrival* (receive side)
+        for :data:`FAULTABLE_TYPES` frames.  A receive-side drop is
+        honoured before any dedup/ack bookkeeping — the wire simply
+        never carried the frame.
+    delay_unit_s:
+        Seconds per unit of a fate's ``extra_delay``.
+    jitter_rng:
+        ``random.Random`` for backoff jitter (seedable in tests).
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        name: str,
+        clock: LamportClock,
+        on_frame,
+        on_close=None,
+        rto_initial_s: float = 0.05,
+        rto_max_s: float = 1.0,
+        rto_jitter: float = 0.25,
+        queue_max: int = 256,
+        send_filter=None,
+        recv_filter=None,
+        delay_unit_s: float = 0.002,
+        jitter_rng: random.Random | None = None,
+    ) -> None:
+        self.name = name
+        self.clock = clock
+        self.stats = ChannelStats()
+        self._sock = sock
+        self._on_frame = on_frame
+        self._on_close = on_close
+        self._rto_initial = rto_initial_s
+        self._rto_max = rto_max_s
+        self._jitter = rto_jitter
+        self._send_filter = send_filter
+        self._recv_filter = recv_filter
+        self._delay_unit = delay_unit_s
+        self._rng = jitter_rng if jitter_rng is not None else random.Random()
+
+        self._sendq: queue.Queue = queue.Queue(maxsize=queue_max)
+        self._next_seq = 0
+        #: seq -> [bytes, deadline, rto, frame] for in-flight frames.
+        self._unacked: dict[int, list] = {}
+        self._unacked_lock = threading.Lock()
+        #: (due_time, tiebreak, bytes) delayed transmissions.
+        self._delayed: list = []
+        self._delay_tiebreak = 0
+        self._recv_next = 0
+        self._recv_ooo: dict[int, dict] = {}
+        self._wlock = threading.Lock()
+        self._closed = threading.Event()
+        self._close_lock = threading.Lock()
+        self._close_exc: BaseException | None = None
+        self._close_reported = False
+
+        try:
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        self._pump = threading.Thread(
+            target=self._pump_loop, name=f"{name}-pump", daemon=True
+        )
+        self._recv = threading.Thread(
+            target=self._recv_loop, name=f"{name}-recv", daemon=True
+        )
+        self._pump.start()
+        self._recv.start()
+
+    # -- sending -------------------------------------------------------
+
+    def send(self, frame: dict, *, timeout: float | None = None) -> None:
+        """Enqueue ``frame`` for transmission.
+
+        Reliable types get a Lamport stamp and a sequence number here (in
+        call order) and are retransmitted until acked.  A full queue
+        blocks — backpressure — until space frees or the channel closes
+        (:class:`ChannelClosed`); ``timeout`` caps the total wait.
+        """
+        if self._closed.is_set():
+            raise ChannelClosed(f"channel {self.name} is closed")
+        if frame["t"] in RELIABLE_TYPES:
+            frame = dict(frame)
+            frame["q"] = self._next_seq
+            self._next_seq += 1
+            frame.setdefault("lc", self.clock.tick())
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                self._sendq.put(frame, timeout=0.1)
+                return
+            except queue.Full:
+                self.stats.backpressure_waits += 1
+                if self._closed.is_set():
+                    raise ChannelClosed(
+                        f"channel {self.name} closed while backpressured"
+                    ) from None
+                if deadline is not None and time.monotonic() > deadline:
+                    raise ChannelClosed(
+                        f"channel {self.name}: send blocked past {timeout}s "
+                        f"(queue full, peer not draining)"
+                    ) from None
+
+    def try_send(self, frame: dict) -> bool:
+        """Non-blocking send for liveness frames (heartbeats): drops the
+        frame instead of blocking when the queue is full."""
+        if self._closed.is_set():
+            return False
+        try:
+            self._sendq.put_nowait(frame)
+            return True
+        except queue.Full:
+            return False
+
+    @property
+    def unacked_count(self) -> int:
+        with self._unacked_lock:
+            return len(self._unacked)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self, exc: BaseException | None = None) -> None:
+        """Tear the channel down (idempotent) and report ``on_close``."""
+        with self._close_lock:
+            if self._closed.is_set():
+                return
+            self._close_exc = exc
+            self._closed.set()
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._report_close()
+
+    def _report_close(self) -> None:
+        with self._close_lock:
+            if self._close_reported:
+                return
+            self._close_reported = True
+            cb, exc = self._on_close, self._close_exc
+        if cb is not None:
+            cb(exc)
+
+    def join(self, timeout: float = 2.0) -> None:
+        self._pump.join(timeout)
+        self._recv.join(timeout)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    # -- internals: outbound -------------------------------------------
+
+    def _write(self, data: bytes) -> None:
+        with self._wlock:
+            self._sock.sendall(data)
+
+    def _transmit(self, frame: dict, data: bytes) -> None:
+        """One physical transmission attempt, through the fault filter."""
+        fate = None
+        if self._send_filter is not None and frame["t"] in FAULTABLE_TYPES:
+            fate = self._send_filter(frame)
+        if fate is None or fate.clean:
+            self._write(data)
+            return
+        if fate.drop:
+            self.stats.wire_dropped += 1
+            return  # the retransmit timer will try again
+        if fate.extra_delay:
+            self.stats.wire_delayed += 1
+            due = time.monotonic() + fate.extra_delay * self._delay_unit
+            self._delay_tiebreak += 1
+            heapq.heappush(self._delayed, (due, self._delay_tiebreak, data))
+            if fate.duplicate:
+                self.stats.wire_duplicated += 1
+                self._write(data)
+            return
+        self._write(data)
+        if fate.duplicate:
+            self.stats.wire_duplicated += 1
+            self._write(data)
+
+    def _pump_loop(self) -> None:
+        try:
+            while not self._closed.is_set():
+                now = time.monotonic()
+                wait = 0.02
+                if self._delayed:
+                    wait = min(wait, max(0.0, self._delayed[0][0] - now))
+                try:
+                    frame = self._sendq.get(timeout=max(wait, 0.001))
+                except queue.Empty:
+                    frame = None
+                if frame is not None:
+                    data = encode_frame(frame)
+                    if frame["t"] in RELIABLE_TYPES:
+                        rto = self._backoff(self._rto_initial)
+                        with self._unacked_lock:
+                            self._unacked[frame["q"]] = [
+                                data, time.monotonic() + rto, self._rto_initial,
+                                frame,
+                            ]
+                    self.stats.sent += 1
+                    self._transmit(frame, data)
+                now = time.monotonic()
+                while self._delayed and self._delayed[0][0] <= now:
+                    _due, _tb, data = heapq.heappop(self._delayed)
+                    self._write(data)
+                self._retransmit_due(now)
+        except (OSError, ValueError, ProtocolError) as exc:
+            self._fail(exc)
+
+    def _backoff(self, rto: float) -> float:
+        if not self._jitter:
+            return rto
+        return rto * (1.0 + self._jitter * (2.0 * self._rng.random() - 1.0))
+
+    def _retransmit_due(self, now: float) -> None:
+        due: list[tuple[int, list]] = []
+        with self._unacked_lock:
+            for seq, rec in self._unacked.items():
+                if rec[1] <= now:
+                    rec[2] = min(rec[2] * 2.0, self._rto_max)
+                    rec[1] = now + self._backoff(rec[2])
+                    due.append((seq, rec))
+        for _seq, rec in sorted(due):
+            self.stats.retransmits += 1
+            self._transmit(rec[3], rec[0])
+
+    # -- internals: inbound --------------------------------------------
+
+    def _recv_loop(self) -> None:
+        reader = FrameReader()
+        try:
+            while not self._closed.is_set():
+                try:
+                    chunk = self._sock.recv(65536)
+                except socket.timeout:
+                    continue
+                if not chunk:
+                    self._fail(ConnectionResetError(
+                        f"channel {self.name}: peer closed the connection"
+                    ))
+                    return
+                for frame in reader.feed(chunk):
+                    self._handle(frame)
+        except (OSError, ProtocolError) as exc:
+            self._fail(exc)
+
+    def _handle(self, frame: dict) -> None:
+        kind = frame["t"]
+        if kind == "ack":
+            cum = frame.get("a", -1)
+            with self._unacked_lock:
+                for seq in [s for s in self._unacked if s <= cum]:
+                    del self._unacked[seq]
+            return
+        if kind not in RELIABLE_TYPES:  # heartbeat-class traffic
+            self.stats.received += 1
+            self._on_frame(frame)
+            return
+        if self._recv_filter is not None and kind in FAULTABLE_TYPES:
+            fate = self._recv_filter(frame)
+            if fate is not None and fate.drop:
+                # The wire "lost" this arrival: no ack, no delivery; the
+                # peer's retransmission will carry a fresh fate.
+                self.stats.wire_dropped += 1
+                return
+        seq = frame.get("q")
+        if seq is None:
+            raise ProtocolError(
+                f"channel {self.name}: reliable frame {kind!r} without seq"
+            )
+        if seq < self._recv_next:
+            self.stats.dup_received += 1
+            self._send_ack()
+            return
+        if seq > self._recv_next:
+            self.stats.out_of_order += 1
+            self._recv_ooo[seq] = frame
+            self._send_ack()
+            return
+        self._deliver(frame)
+        while self._recv_next in self._recv_ooo:
+            self._deliver(self._recv_ooo.pop(self._recv_next))
+        self._send_ack()
+
+    def _deliver(self, frame: dict) -> None:
+        self._recv_next = frame["q"] + 1
+        self.stats.received += 1
+        self.clock.observe(frame.get("lc"))
+        self._on_frame(frame)
+
+    def _send_ack(self) -> None:
+        self.stats.acks_sent += 1
+        try:
+            self._write(encode_frame({"t": "ack", "a": self._recv_next - 1}))
+        except OSError as exc:
+            self._fail(exc)
+
+    def _fail(self, exc: BaseException) -> None:
+        if not self._closed.is_set():
+            self.close(exc)

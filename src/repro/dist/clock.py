@@ -1,0 +1,50 @@
+"""Thread-safe Lamport clock.
+
+Every process in a distributed run (workers and the supervisor) owns one
+:class:`LamportClock`.  The two rules (Lamport 1978):
+
+* a local event *ticks* the clock (``tick()`` returns the new value);
+* receiving a message stamped ``lc`` first merges (``observe(lc)``:
+  ``clock = max(clock, lc)``) and then ticks, so the receive event is
+  ordered after both its local predecessor and the send.
+
+Stamped into every wire frame and every event-log line, the clock gives
+the merged per-process logs a total order consistent with causality:
+sort by ``(lc, pid, n)`` where ``n`` is the per-process line number (see
+:mod:`repro.dist.eventlog`).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["LamportClock"]
+
+
+class LamportClock:
+    """Monotone logical clock shared by a process's threads."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, start: int = 0) -> None:
+        self._value = int(start)
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def tick(self) -> int:
+        """Advance for a local event; returns the event's timestamp."""
+        with self._lock:
+            self._value += 1
+            return self._value
+
+    def observe(self, other: int | None) -> int:
+        """Merge a received stamp and tick; returns the receive event's
+        timestamp.  ``None`` (unstamped frame) is an ordinary tick."""
+        with self._lock:
+            if other is not None and other > self._value:
+                self._value = int(other)
+            self._value += 1
+            return self._value

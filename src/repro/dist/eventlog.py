@@ -1,0 +1,154 @@
+"""Per-process JSONL event logs, Lamport-stamped and merge-ready.
+
+Every process in a distributed run — each worker and the supervisor —
+appends one JSON object per line to its own log file.  Lines are written
+whole and flushed per event (line-buffered), so a SIGKILL can lose or
+tear at most the final line; :func:`read_log` tolerates exactly that,
+returning the intact prefix and quarantining the torn tail instead of
+refusing the whole file.
+
+Every line carries:
+
+``n``    per-process line number (0, 1, 2, ...)
+``pid``  logical process id (worker pid, or ``-1`` for the supervisor)
+``inc``  incarnation (0 for the first spawn, +1 per restart)
+``lc``   Lamport stamp: the writer ticks its clock per event, and merges
+         peer stamps on receive, so sorting the union of all logs by
+         ``(lc, pid, n)`` yields a total order consistent with causality
+``ev``   event kind (``send``, ``deliver``, ``barrier``, ``commit``, ...)
+
+plus event-specific fields (``uid``, ``s``, ``src``, ``dest``, ...).
+:func:`merge_logs` produces that total order; :mod:`repro.dist.analyze`
+checks it and replays it through the observability stack.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+from repro.dist.clock import LamportClock
+
+__all__ = ["EventLogWriter", "read_log", "merge_logs", "worker_log_path"]
+
+
+def worker_log_path(log_dir: str | Path, pid: int) -> Path:
+    """Canonical log file location for one logical process."""
+    name = "supervisor.jsonl" if pid < 0 else f"worker-{pid}.jsonl"
+    return Path(log_dir) / name
+
+
+class EventLogWriter:
+    """Append-only, line-buffered JSONL event log for one process.
+
+    Not crash-proof — crash-*legible*: each event is one ``write`` of a
+    full line followed by a flush (and an ``fsync`` when asked), so the
+    file is valid JSONL up to at most one torn final line no matter when
+    the process dies.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        pid: int,
+        clock: LamportClock,
+        incarnation: int = 0,
+        fsync: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self.pid = pid
+        self.incarnation = incarnation
+        self._clock = clock
+        self._fsync = fsync
+        self._lock = threading.Lock()
+        self._n = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def log(self, ev: str, *, lc: int | None = None, **fields) -> int:
+        """Record one event; returns its Lamport stamp.
+
+        ``lc=None`` ticks the clock (a local event).  A receive event
+        passes the merged stamp it already obtained from
+        :meth:`~repro.dist.clock.LamportClock.observe` so the log line
+        and the clock agree.
+        """
+        if lc is None:
+            lc = self._clock.tick()
+        with self._lock:
+            rec = {"n": self._n, "pid": self.pid, "inc": self.incarnation,
+                   "lc": lc, "ev": ev}
+            rec.update(fields)
+            self._n += 1
+            self._fh.write(json.dumps(rec, separators=(",", ":")) + "\n")
+            self._fh.flush()
+            if self._fsync:
+                os.fsync(self._fh.fileno())
+        return lc
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._fh.flush()
+                self._fh.close()
+            except ValueError:  # already closed
+                pass
+
+
+def read_log(path: str | Path) -> tuple[list[dict], str | None]:
+    """Read one process log; returns ``(events, torn_tail)``.
+
+    A final line without a newline terminator, or one that fails to
+    parse, is the signature of a process killed mid-write: it is
+    returned as ``torn_tail`` (for diagnostics) rather than raised.  A
+    torn line anywhere *else* would mean real corruption and raises
+    ``ValueError``.
+    """
+    events: list[dict] = []
+    torn: str | None = None
+    raw = Path(path).read_bytes()
+    if not raw:
+        return events, torn
+    lines = raw.split(b"\n")
+    complete, tail = lines[:-1], lines[-1]
+    for i, line in enumerate(complete):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except ValueError as exc:
+            raise ValueError(
+                f"{path}: corrupt event-log line {i} (not the torn-tail "
+                f"case — line is newline-terminated): {exc}"
+            ) from exc
+    if tail.strip():
+        try:
+            events.append(json.loads(tail))
+        except ValueError:
+            torn = tail.decode("utf-8", errors="replace")
+    return events, torn
+
+
+def merge_logs(log_dir: str | Path) -> tuple[list[dict], dict]:
+    """Merge every ``*.jsonl`` log under ``log_dir`` into one totally
+    ordered event list.
+
+    Order: ``(lc, pid, n)`` — Lamport stamp first (causally consistent),
+    then pid and local line number as deterministic tie-breaks.  Returns
+    ``(events, meta)`` where ``meta`` records the files read and any
+    torn tails observed.
+    """
+    log_dir = Path(log_dir)
+    events: list[dict] = []
+    meta: dict = {"files": [], "torn": {}}
+    for path in sorted(log_dir.glob("*.jsonl")):
+        evs, torn = read_log(path)
+        meta["files"].append(path.name)
+        if torn is not None:
+            meta["torn"][path.name] = torn
+        events.extend(evs)
+    events.sort(key=lambda e: (e.get("lc", 0), e.get("pid", 0), e.get("n", 0)))
+    return events, meta

@@ -1,0 +1,113 @@
+"""Wire protocol: length-prefixed JSON frames.
+
+One frame = 4-byte big-endian payload length + UTF-8 JSON object.  JSON
+keeps the protocol debuggable (``xxd`` the stream, read the logs) and is
+plenty for the paper-scale payloads this backend moves; the length
+prefix makes framing exact under arbitrary TCP segmentation.
+
+Frame vocabulary (the ``t`` field):
+
+===========  ======  ====================================================
+type         dir     meaning
+===========  ======  ====================================================
+``hello``    w -> s  worker pid / incarnation / run-id handshake
+``welcome``  s -> w  program name+kwargs, resume superstep, state, inbox
+``data``     w -> s  one application message ``src -> dest`` of round
+                     ``s`` (uid ``"src:s:k"``)
+``barrier``  w -> s  end of round ``s``: checkpoint state, done flag
+``deliver``  s -> w  one committed message for the worker's next round
+``commit``   s -> w  round ``s`` committed globally; advance to ``s+1``
+``shutdown`` s -> w  run over; worker acks with ``bye`` and exits
+``bye``      w -> s  graceful exit notification
+``ack``      both    cumulative reliable-channel acknowledgement
+``hb``       w -> s  heartbeat (liveness only, unreliable)
+``err``      both    fatal peer-side failure, with a labelled reason
+===========  ======  ====================================================
+
+``hello``/``welcome``/``data``/``barrier``/``deliver``/``commit``/
+``shutdown``/``bye``/``err`` ride the reliable channel (sequence numbers,
+retransmission); ``ack`` and ``hb`` are fire-and-forget.  Every reliable
+frame carries a Lamport stamp ``lc``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "encode_frame",
+    "FrameReader",
+    "MAX_FRAME_BYTES",
+    "RELIABLE_TYPES",
+    "UNRELIABLE_TYPES",
+]
+
+_LEN = struct.Struct(">I")
+
+#: Upper bound on one frame's JSON payload; a peer announcing more is
+#: corrupt (or hostile) and the connection is torn down.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Frame types that get sequence numbers and retransmission.
+RELIABLE_TYPES = frozenset(
+    {"hello", "welcome", "data", "barrier", "deliver", "commit",
+     "shutdown", "bye", "err"}
+)
+#: Fire-and-forget frame types (no seq, never retransmitted).
+UNRELIABLE_TYPES = frozenset({"ack", "hb"})
+
+
+def encode_frame(frame: dict) -> bytes:
+    """Serialize one frame dict to its wire bytes."""
+    body = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES="
+            f"{MAX_FRAME_BYTES} (type {frame.get('t')!r})"
+        )
+    return _LEN.pack(len(body)) + body
+
+
+class FrameReader:
+    """Incremental decoder: feed raw socket bytes, get complete frames.
+
+    Tolerates arbitrary chunking (a frame split across many ``recv``
+    calls, many frames in one).  Corrupt input — an impossible length or
+    undecodable JSON — raises :class:`~repro.errors.ProtocolError`; the
+    reliable channel treats that as a dead connection.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, chunk: bytes) -> list[dict]:
+        """Append ``chunk``; return every frame completed by it."""
+        self._buf.extend(chunk)
+        frames: list[dict] = []
+        while True:
+            if len(self._buf) < _LEN.size:
+                return frames
+            (length,) = _LEN.unpack_from(self._buf)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"announced frame length {length} exceeds "
+                    f"MAX_FRAME_BYTES={MAX_FRAME_BYTES}"
+                )
+            if len(self._buf) < _LEN.size + length:
+                return frames
+            body = bytes(self._buf[_LEN.size : _LEN.size + length])
+            del self._buf[: _LEN.size + length]
+            try:
+                frame = json.loads(body)
+            except ValueError as exc:
+                raise ProtocolError(f"undecodable frame body: {exc}") from exc
+            if not isinstance(frame, dict) or "t" not in frame:
+                raise ProtocolError(f"frame is not a typed object: {frame!r}")
+            frames.append(frame)
+
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buf)

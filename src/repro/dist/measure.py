@@ -1,0 +1,250 @@
+"""Measure real L/o/g from wall-clock socket microbenchmarks.
+
+The paper's models parameterize machines; this module measures the
+"machine" the dist backend actually runs on (localhost TCP between real
+processes) and expresses it in LogP's own vocabulary:
+
+``o`` — **overhead**: processor time consumed handing one message to the
+wire.  Measured as the per-frame cost of encode+``sendall`` on a
+connected socket (the sender is occupied for exactly this long).
+
+``L`` — **latency**: one-way frame time between two *processes*.
+Measured by ping-pong against an echo subprocess over the reliable
+channel: ``RTT/2 - o`` (subtracting the sender-side overhead once, as
+in the model's ``o + L + o`` round decomposition).
+
+``g`` — **gap**: reciprocal bandwidth at saturation.  Measured by
+flooding a burst through the channel and dividing the drain time by the
+message count; by definition ``g >= o`` and the fit reports the max.
+
+All three are medians over repeated trials (timer noise on CI is heavy-
+tailed, so medians, not means).  ``fit_logp_params`` rounds the numbers
+onto an integer microsecond grid as a :class:`~repro.models.params.
+LogPParams` — the bridge that lets a *measured* machine drive the same
+simulators and theorems as the paper's hypothetical ones.
+
+The echo peer is this module run as ``python -m repro.dist.measure
+--echo``: one connection, every ``data`` frame bounced straight back.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import statistics
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.dist.channel import ReliableChannel
+from repro.dist.clock import LamportClock
+from repro.dist.frames import encode_frame
+from repro.errors import DistRunError
+
+__all__ = ["measure_overhead", "measure_pingpong", "measure_gap",
+           "fit_logp", "fit_logp_params"]
+
+
+def _spawn_echo(host: str = "127.0.0.1", timeout: float = 10.0):
+    """Start the echo subprocess; returns (proc, connected socket)."""
+    lsock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    lsock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    lsock.bind((host, 0))
+    lsock.listen(1)
+    port = lsock.getsockname()[1]
+    pkg_root = str(Path(__file__).resolve().parents[2])
+    import os
+
+    env = dict(os.environ)
+    prev = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = pkg_root + (os.pathsep + prev if prev else "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.dist.measure", "--echo",
+         "--host", host, "--port", str(port)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    lsock.settimeout(timeout)
+    try:
+        conn, _ = lsock.accept()
+    except socket.timeout:
+        proc.kill()
+        raise DistRunError("echo subprocess never connected",
+                           reason="echo-timeout") from None
+    finally:
+        lsock.close()
+    conn.settimeout(None)
+    return proc, conn
+
+
+def measure_overhead(n: int = 2000) -> list[float]:
+    """Per-frame send overhead (seconds) on a connected loopback pair."""
+    a, b = socket.socketpair()
+    # Drain b continuously so a's send buffer never fills.
+    stop = threading.Event()
+
+    b.settimeout(0.2)  # set before the thread starts: b may close early
+
+    def drain():
+        while not stop.is_set():
+            try:
+                if not b.recv(65536):
+                    return
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+
+    t = threading.Thread(target=drain, daemon=True)
+    t.start()
+    frame = {"t": "data", "uid": "0:0:0", "src": 0, "dest": 1, "k": 0,
+             "s": 0, "payload": 12345}
+    samples = []
+    try:
+        for _ in range(n):
+            t0 = time.perf_counter()
+            a.sendall(encode_frame(frame))
+            samples.append(time.perf_counter() - t0)
+    finally:
+        stop.set()
+        a.close()
+        b.close()
+    return samples
+
+
+def measure_pingpong(n: int = 200) -> list[float]:
+    """Round-trip times (seconds) through an echo *subprocess*."""
+    proc, conn = _spawn_echo()
+    got = threading.Event()
+    chan = ReliableChannel(
+        conn, name="pingpong", clock=LamportClock(),
+        on_frame=lambda f: got.set() if f["t"] == "data" else None,
+    )
+    rtts = []
+    try:
+        for i in range(n):
+            got.clear()
+            t0 = time.perf_counter()
+            chan.send({"t": "data", "uid": f"0:0:{i}", "src": 0, "dest": 1,
+                       "k": i, "s": 0, "payload": i})
+            if not got.wait(timeout=5.0):
+                raise DistRunError("echo peer stopped responding",
+                                   reason="echo-timeout")
+            rtts.append(time.perf_counter() - t0)
+    finally:
+        chan.close()
+        proc.kill()
+        proc.wait(timeout=2.0)
+    return rtts
+
+
+def measure_gap(n: int = 2000, burst: int = 200) -> list[float]:
+    """Per-message time (seconds) at saturation through the echo peer."""
+    proc, conn = _spawn_echo()
+    seen = {"count": 0}
+    done = threading.Event()
+
+    def on_frame(f):
+        if f["t"] == "data":
+            seen["count"] += 1
+            if seen["count"] % burst == 0:
+                done.set()
+
+    chan = ReliableChannel(conn, name="flood", clock=LamportClock(),
+                           on_frame=on_frame, queue_max=burst * 2)
+    gaps = []
+    try:
+        for _ in range(max(1, n // burst)):
+            done.clear()
+            t0 = time.perf_counter()
+            for i in range(burst):
+                chan.send({"t": "data", "uid": f"0:1:{i}", "src": 0,
+                           "dest": 1, "k": i, "s": 1, "payload": i})
+            if not done.wait(timeout=10.0):
+                raise DistRunError("flood echo never drained",
+                                   reason="echo-timeout")
+            gaps.append((time.perf_counter() - t0) / burst)
+    finally:
+        chan.close()
+        proc.kill()
+        proc.wait(timeout=2.0)
+    return gaps
+
+
+def fit_logp(*, quick: bool = False) -> dict:
+    """Measure and fit; returns a report dict (times in microseconds)."""
+    scale = 10 if quick else 1
+    o_samples = measure_overhead(n=max(200, 2000 // scale))
+    rtts = measure_pingpong(n=max(20, 200 // scale))
+    gaps = measure_gap(n=max(200, 2000 // scale), burst=max(20, 200 // scale))
+    o_s = statistics.median(o_samples)
+    rtt_s = statistics.median(rtts)
+    g_s = statistics.median(gaps)
+    latency_s = max(rtt_s / 2.0 - o_s, o_s)
+    return {
+        "o_us": o_s * 1e6,
+        "L_us": latency_s * 1e6,
+        "g_us": max(g_s, o_s) * 1e6,
+        "rtt_us": rtt_s * 1e6,
+        "samples": {
+            "overhead": len(o_samples),
+            "pingpong": len(rtts),
+            "flood_bursts": len(gaps),
+        },
+        "spread": {
+            "o_p90_us": _quantile(o_samples, 0.9) * 1e6,
+            "rtt_p90_us": _quantile(rtts, 0.9) * 1e6,
+            "gap_p90_us": _quantile(gaps, 0.9) * 1e6,
+        },
+    }
+
+
+def fit_logp_params(fit: dict, p: int = 2):
+    """Round a :func:`fit_logp` report onto LogP's integer-µs grid,
+    respecting the Section 2.2 constraint ``max(2, o) <= G <= L``."""
+    from repro.models.params import LogPParams
+
+    o = max(1, round(fit["o_us"]))
+    g = max(2, o, round(fit["g_us"]))
+    length = max(g, round(fit["L_us"]))
+    return LogPParams(p=p, L=length, o=o, G=g)
+
+
+def _quantile(xs: list[float], q: float) -> float:
+    ys = sorted(xs)
+    return ys[min(len(ys) - 1, int(q * len(ys)))]
+
+
+def _echo_main(host: str, port: int) -> int:
+    """Child mode: connect and bounce every data frame back."""
+    sock = socket.create_connection((host, port), timeout=5.0)
+    sock.settimeout(None)
+    chan_box = {}
+
+    def on_frame(f):
+        if f["t"] == "data":
+            chan_box["chan"].send(f)
+
+    chan = ReliableChannel(sock, name="echo", clock=LamportClock(),
+                           on_frame=on_frame, queue_max=1024)
+    chan_box["chan"] = chan
+    while not chan.closed:
+        time.sleep(0.05)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.dist.measure")
+    parser.add_argument("--echo", action="store_true")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    ns = parser.parse_args(argv)
+    if ns.echo:
+        return _echo_main(ns.host, ns.port)
+    parser.error("run via benchmarks/bench_dist.py, or pass --echo")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

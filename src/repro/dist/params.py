@@ -1,0 +1,117 @@
+"""Tunable parameters of the real-process distributed backend.
+
+Everything time-valued is wall-clock seconds (the dist backend measures
+real time; the simulators count abstract steps).  The defaults are sized
+for localhost CI runs: heartbeats every 50 ms, a 2 s liveness deadline,
+retransmission starting at 50 ms with exponential backoff, and a whole-
+run deadline that turns any hang into a labelled
+:class:`~repro.errors.DistRunError` instead of a stuck process tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = ["DistParams"]
+
+
+@dataclass(frozen=True)
+class DistParams:
+    """Knobs of the supervisor/worker runtime.
+
+    Attributes
+    ----------
+    host:
+        Interface the supervisor listens on (workers connect back to it).
+    hb_interval_s / hb_timeout_s:
+        Worker heartbeat period, and how long the supervisor waits
+        without hearing *any* frame from a worker before declaring it
+        dead (kill + restart from the last committed superstep).
+    connect_timeout_s / connect_backoff_s:
+        How long a worker keeps retrying the initial TCP connect, and
+        the starting backoff between attempts (doubled per retry).
+    rto_initial_s / rto_max_s / rto_jitter:
+        Reliable-channel retransmission: first timeout, cap, and the
+        multiplicative jitter fraction applied to every backoff step so
+        retransmit storms decorrelate.
+    send_queue_max:
+        Bound on each channel's outbound frame queue.  A full queue
+        blocks the producer (backpressure) instead of buffering without
+        limit.
+    io_timeout_s:
+        Worker-side cap on waiting for one expected frame (WELCOME /
+        DELIVER / SHUTDOWN); on expiry the worker exits nonzero rather
+        than hang forever on a dead supervisor.
+    run_timeout_s:
+        Whole-run deadline at the supervisor; on expiry every worker is
+        killed and :class:`~repro.errors.DistRunError` is raised with a
+        diagnosis of where the run was stuck.
+    restart_budget:
+        Total worker restarts the supervisor will perform before giving
+        up (budget shared across workers, mirroring the campaign pool's
+        respawn budget).
+    delay_unit_s:
+        Wall-clock seconds per unit of a fault plan's ``extra_delay``
+        when it is injected at the socket layer.
+    fsync_logs:
+        ``os.fsync`` every event-log line (slow; only for crash tests
+        that truncate logs mid-line).
+    """
+
+    host: str = "127.0.0.1"
+    hb_interval_s: float = 0.05
+    hb_timeout_s: float = 2.0
+    connect_timeout_s: float = 10.0
+    connect_backoff_s: float = 0.02
+    rto_initial_s: float = 0.05
+    rto_max_s: float = 1.0
+    rto_jitter: float = 0.25
+    send_queue_max: int = 256
+    io_timeout_s: float = 10.0
+    run_timeout_s: float = 60.0
+    restart_budget: int = 3
+    delay_unit_s: float = 0.002
+    fsync_logs: bool = False
+
+    def __post_init__(self) -> None:
+        positive = (
+            "hb_interval_s", "hb_timeout_s", "connect_timeout_s",
+            "connect_backoff_s", "rto_initial_s", "rto_max_s",
+            "io_timeout_s", "run_timeout_s", "delay_unit_s",
+        )
+        for name in positive:
+            if getattr(self, name) <= 0:
+                raise ParameterError(f"DistParams requires {name} > 0")
+        if self.hb_timeout_s <= self.hb_interval_s:
+            raise ParameterError(
+                "DistParams requires hb_timeout_s > hb_interval_s "
+                f"(got {self.hb_timeout_s} <= {self.hb_interval_s})"
+            )
+        if self.rto_max_s < self.rto_initial_s:
+            raise ParameterError("DistParams requires rto_max_s >= rto_initial_s")
+        if not 0.0 <= self.rto_jitter <= 1.0:
+            raise ParameterError("DistParams requires 0 <= rto_jitter <= 1")
+        if self.send_queue_max < 1:
+            raise ParameterError("DistParams requires send_queue_max >= 1")
+        if self.restart_budget < 0:
+            raise ParameterError("DistParams requires restart_budget >= 0")
+
+    def as_dict(self) -> dict:
+        """JSON projection shipped to workers inside the WELCOME frame."""
+        return {
+            "hb_interval_s": self.hb_interval_s,
+            "hb_timeout_s": self.hb_timeout_s,
+            "rto_initial_s": self.rto_initial_s,
+            "rto_max_s": self.rto_max_s,
+            "rto_jitter": self.rto_jitter,
+            "send_queue_max": self.send_queue_max,
+            "io_timeout_s": self.io_timeout_s,
+            "fsync_logs": self.fsync_logs,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "DistParams":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416 — py3.10 compat
+        return cls(**{k: v for k, v in doc.items() if k in known})

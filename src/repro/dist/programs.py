@@ -1,0 +1,202 @@
+"""Checkpointable superstep programs for the real-process backend.
+
+The simulators run generator coroutines, which cannot be snapshotted
+mid-yield and therefore cannot survive a SIGKILL.  The dist backend
+instead runs *state-function* programs — the BSP superstep made
+restartable:
+
+* ``init(ctx) -> state`` produces the round-0 state;
+* ``superstep(ctx, s, state, inbox) -> (state, outbox, done)`` advances
+  one round: consume the messages committed for round ``s``, emit an
+  outbox of ``(dest, payload)`` pairs, and say whether this worker is
+  finished.
+
+``state`` must be JSON-serializable — it *is* the checkpoint.  The
+supervisor stores each worker's ``(s, state)`` at every barrier; after a
+crash it respawns the worker with the committed state and the committed
+inbox, and the worker resumes at ``s+1`` as if nothing happened.  A
+superstep may therefore execute more than once (the attempt that died
+before its barrier), so supersteps must be deterministic functions of
+``(pid, s, state, inbox)`` — the same discipline every checkpoint/replay
+system imposes, and the reason message uids (``"src:s:k"``) are stable
+across re-execution.
+
+``inbox`` arrives sorted by ``(src, k)`` so re-executions see identical
+input order.  :func:`run_reference` executes the same program in-process
+with zero sockets — the oracle the chaos tests compare every recovered
+run against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProgramError
+
+__all__ = [
+    "DistContext",
+    "DIST_PROGRAMS",
+    "make_program",
+    "run_reference",
+    "MAX_REFERENCE_ROUNDS",
+]
+
+
+@dataclass(frozen=True)
+class DistContext:
+    """What a superstep is allowed to know about the machine."""
+
+    pid: int
+    p: int
+
+
+class _RingSum:
+    """Each round, pass your accumulator to ``(pid + 1) % p`` and absorb
+    what arrives.  After ``rounds`` rounds every accumulator equals the
+    sum of a rotating window — a cheap computation whose final value
+    depends on every round having happened exactly once."""
+
+    def __init__(self, rounds: int = 4) -> None:
+        self.rounds = int(rounds)
+
+    def init(self, ctx: DistContext) -> dict:
+        return {"acc": ctx.pid + 1}
+
+    def superstep(self, ctx, s, state, inbox):
+        last = s + 1 >= self.rounds
+        # Final round receives only: a message emitted in the last round
+        # would have no round to be delivered in.
+        outbox = [] if last or ctx.p == 1 else [((ctx.pid + 1) % ctx.p, state["acc"])]
+        acc = state["acc"] + sum(m["payload"] for m in inbox)
+        return {"acc": acc}, outbox, last
+
+
+class _AllToAll:
+    """Dense traffic: every round, send ``pid*1000 + s`` to every other
+    worker and fold everything received into a running checksum."""
+
+    def __init__(self, rounds: int = 3) -> None:
+        self.rounds = int(rounds)
+
+    def init(self, ctx: DistContext) -> dict:
+        return {"sum": 0}
+
+    def superstep(self, ctx, s, state, inbox):
+        last = s + 1 >= self.rounds
+        outbox = (
+            [] if last
+            else [(d, ctx.pid * 1000 + s) for d in range(ctx.p) if d != ctx.pid]
+        )
+        total = state["sum"] + sum(m["payload"] for m in inbox)
+        return {"sum": total}, outbox, last
+
+
+class _PingPong:
+    """Two workers bounce one token; everyone else idles.  The measured
+    round-trip drives the L and o fits in ``bench_dist``."""
+
+    def __init__(self, rounds: int = 8, payload: int = 0) -> None:
+        self.rounds = int(rounds)
+        self.payload = int(payload)
+
+    def init(self, ctx: DistContext) -> dict:
+        return {"hops": 0}
+
+    def superstep(self, ctx, s, state, inbox):
+        outbox = []
+        hops = state["hops"]
+        last = s + 1 >= self.rounds
+        if ctx.p == 1:
+            return {"hops": hops}, [], True
+        if not last:
+            if s == 0 and ctx.pid == 0:
+                outbox = [(1, self.payload)]
+                hops += 1
+            elif inbox and ctx.pid in (0, 1):
+                outbox = [(1 - ctx.pid, self.payload)]
+                hops += 1
+        return {"hops": hops}, outbox, last
+
+
+class _Flood:
+    """Worker 0 pushes ``burst`` messages per round at worker 1 — the
+    per-message cost at saturation is the bandwidth gap ``g``."""
+
+    def __init__(self, rounds: int = 3, burst: int = 16) -> None:
+        self.rounds = int(rounds)
+        self.burst = int(burst)
+
+    def init(self, ctx: DistContext) -> dict:
+        return {"got": 0}
+
+    def superstep(self, ctx, s, state, inbox):
+        last = s + 1 >= self.rounds
+        outbox = []
+        if ctx.pid == 0 and ctx.p > 1 and not last:
+            outbox = [(1, k) for k in range(self.burst)]
+        got = state["got"] + len(inbox)
+        return {"got": got}, outbox, last
+
+
+DIST_PROGRAMS = {
+    "ring": _RingSum,
+    "alltoall": _AllToAll,
+    "pingpong": _PingPong,
+    "flood": _Flood,
+}
+
+#: Safety rail for :func:`run_reference` on ``done``-driven programs.
+MAX_REFERENCE_ROUNDS = 10_000
+
+
+def make_program(name: str, kwargs: dict | None = None):
+    """Instantiate a registered program by name (worker-side entry)."""
+    try:
+        factory = DIST_PROGRAMS[name]
+    except KeyError:
+        raise ProgramError(
+            f"unknown dist program {name!r}; available: "
+            f"{', '.join(sorted(DIST_PROGRAMS))}"
+        ) from None
+    return factory(**(kwargs or {}))
+
+
+def run_reference(name: str, p: int, kwargs: dict | None = None) -> list:
+    """Execute a dist program in-process with perfect delivery.
+
+    Returns the per-worker final states — the ground truth any socket
+    run (faulty or not) must reproduce exactly.  The loop applies the
+    same semantics the supervisor implements: round ``s``'s outboxes are
+    delivered, sorted by ``(src, k)``, as round ``s+1``'s inboxes, and
+    the run ends when every worker has reported ``done``.
+    """
+    program = make_program(name, kwargs)
+    ctxs = [DistContext(pid=pid, p=p) for pid in range(p)]
+    states = [program.init(ctx) for ctx in ctxs]
+    inboxes: list[list[dict]] = [[] for _ in range(p)]
+    done = [False] * p
+    for s in range(MAX_REFERENCE_ROUNDS):
+        staged: list[list[tuple[int, int, dict]]] = [[] for _ in range(p)]
+        for pid in range(p):
+            if done[pid]:
+                continue
+            states[pid], outbox, fin = program.superstep(
+                ctxs[pid], s, states[pid], inboxes[pid]
+            )
+            for k, (dest, payload) in enumerate(outbox):
+                if not 0 <= dest < p:
+                    raise ProgramError(
+                        f"program {name!r} sent to nonexistent worker {dest}"
+                    )
+                staged[dest].append((pid, k, {"src": pid, "payload": payload}))
+            done[pid] = done[pid] or fin
+        inboxes = [[m for _src, _k, m in sorted(box)] for box in staged]
+        if all(done):
+            if any(inboxes):
+                raise ProgramError(
+                    f"program {name!r} finished with undelivered messages"
+                )
+            return states
+    raise ProgramError(
+        f"program {name!r} did not finish within {MAX_REFERENCE_ROUNDS} rounds"
+    )

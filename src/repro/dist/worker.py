@@ -1,0 +1,266 @@
+"""Worker process: one LogP processor as a real OS process.
+
+Spawned by the supervisor as ``python -m repro.dist.worker --config
+'<json>'``; connects back over TCP, handshakes, then runs the BSP-style
+round loop of its :mod:`~repro.dist.programs` program:
+
+1. receive WELCOME (program spec, resume round ``s0``, checkpointed
+   state, committed inbox);
+2. per round: execute the superstep, stream each outbox message as a
+   DATA frame, send BARRIER with the post-round state (the checkpoint),
+   then block until COMMIT — buffering DELIVER frames for the next
+   round as they arrive;
+3. on SHUTDOWN: reply BYE and exit 0.
+
+Everything the worker does is Lamport-stamped into its own JSONL log.
+Robustness posture: every blocking wait has a deadline (``io_timeout_s``)
+— a dead or wedged supervisor makes the worker *exit nonzero with a
+labelled log line*, never hang; a program exception is reported upstream
+as an ``err`` frame (restarting a deterministic failure is pointless, so
+the supervisor aborts the run with the diagnosis).  Chaos runs arrive
+here too: a ``kill_at`` directive in WELCOME makes the worker SIGKILL
+itself mid-round — after streaming its DATA, before its BARRIER — which
+is precisely the window where recovery is hardest.
+
+The module imports no numpy and only stdlib + the tiny dist modules, so
+worker startup stays cheap and fault-draw determinism stays entirely
+supervisor-side.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import queue
+import signal
+import socket
+import sys
+import threading
+import time
+
+from repro.dist.channel import ReliableChannel
+from repro.dist.clock import LamportClock
+from repro.dist.eventlog import EventLogWriter, worker_log_path
+from repro.dist.programs import DistContext, make_program
+
+__all__ = ["main", "WorkerRuntime"]
+
+EXIT_OK = 0
+EXIT_SUPERVISOR_LOST = 2
+EXIT_PROGRAM_ERROR = 3
+EXIT_PROTOCOL = 4
+
+
+class _SupervisorLost(Exception):
+    """The supervisor stopped talking (EOF, timeout, or channel error)."""
+
+
+class WorkerRuntime:
+    """The worker's state machine, factored for direct use in tests."""
+
+    def __init__(self, cfg: dict) -> None:
+        self.cfg = cfg
+        self.pid = int(cfg["pid"])
+        self.inc = int(cfg.get("inc", 0))
+        self.clock = LamportClock()
+        self.log = EventLogWriter(
+            worker_log_path(cfg["log_dir"], self.pid),
+            pid=self.pid,
+            clock=self.clock,
+            incarnation=self.inc,
+            fsync=bool(cfg.get("fsync_logs", False)),
+        )
+        self.io_timeout = float(cfg.get("io_timeout_s", 10.0))
+        self.hb_interval = float(cfg.get("hb_interval_s", 0.05))
+        self._inbound: queue.Queue = queue.Queue()
+        self._chan: ReliableChannel | None = None
+        self._stop_hb = threading.Event()
+
+    # -- plumbing ------------------------------------------------------
+
+    def connect(self) -> None:
+        cfg = self.cfg
+        deadline = time.monotonic() + float(cfg.get("connect_timeout_s", 10.0))
+        backoff = float(cfg.get("connect_backoff_s", 0.02))
+        last: Exception | None = None
+        while True:
+            try:
+                sock = socket.create_connection(
+                    (cfg["host"], int(cfg["port"])), timeout=2.0
+                )
+                sock.settimeout(None)
+                break
+            except OSError as exc:
+                last = exc
+                if time.monotonic() + backoff > deadline:
+                    raise _SupervisorLost(
+                        f"connect to {cfg['host']}:{cfg['port']} failed "
+                        f"past the deadline: {last}"
+                    ) from exc
+                time.sleep(backoff)
+                backoff = min(backoff * 2, 0.5)
+        self._chan = ReliableChannel(
+            sock,
+            name=f"w{self.pid}",
+            clock=self.clock,
+            on_frame=self._inbound.put,
+            on_close=lambda exc: self._inbound.put(
+                {"t": "_closed", "exc": repr(exc) if exc else None}
+            ),
+            rto_initial_s=float(cfg.get("rto_initial_s", 0.05)),
+            rto_max_s=float(cfg.get("rto_max_s", 1.0)),
+            rto_jitter=float(cfg.get("rto_jitter", 0.25)),
+            queue_max=int(cfg.get("send_queue_max", 256)),
+        )
+
+    def _next_frame(self, *, wanted: str) -> dict:
+        try:
+            frame = self._inbound.get(timeout=self.io_timeout)
+        except queue.Empty:
+            raise _SupervisorLost(
+                f"no frame from supervisor for {self.io_timeout}s "
+                f"while waiting for {wanted!r}"
+            ) from None
+        if frame["t"] == "_closed":
+            raise _SupervisorLost(
+                f"supervisor channel closed while waiting for {wanted!r}: "
+                f"{frame['exc']}"
+            )
+        return frame
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop_hb.wait(self.hb_interval):
+            self._chan.try_send({"t": "hb", "pid": self.pid, "inc": self.inc})
+
+    # -- the round loop ------------------------------------------------
+
+    def run(self) -> int:
+        self.log.log("boot", os_pid=os.getpid())
+        self.connect()
+        self._chan.send({"t": "hello", "pid": self.pid, "inc": self.inc,
+                         "run": self.cfg.get("run_id", ""),
+                         "os_pid": os.getpid()})
+        welcome = self._next_frame(wanted="welcome")
+        if welcome["t"] == "shutdown":  # raced a supervisor abort
+            self._chan.send({"t": "bye", "pid": self.pid})
+            return EXIT_OK
+        if welcome["t"] != "welcome":
+            self.log.log("err", detail=f"expected welcome, got {welcome['t']}")
+            return EXIT_PROTOCOL
+
+        program = make_program(welcome["program"], welcome.get("kwargs"))
+        ctx = DistContext(pid=self.pid, p=int(welcome["p"]))
+        s = int(welcome["s0"])
+        state = welcome.get("state")
+        if state is None:
+            state = program.init(ctx)
+        inbox = list(welcome.get("inbox") or [])
+        for m in inbox:
+            self.log.log("deliver", uid=m["uid"], src=m["src"], s=s)
+        kill_at = welcome.get("kill_at")
+        self.log.log("welcome", s0=s, resumed=welcome.get("state") is not None)
+
+        hb = threading.Thread(target=self._heartbeat_loop, daemon=True,
+                              name=f"w{self.pid}-hb")
+        hb.start()
+        try:
+            return self._rounds(program, ctx, s, state, inbox, kill_at)
+        finally:
+            self._stop_hb.set()
+
+    def _rounds(self, program, ctx, s, state, inbox, kill_at) -> int:
+        #: messages staged for a future round: s -> list of frames
+        staged: dict[int, list[dict]] = {}
+        done = False
+        while True:
+            self.log.log("step", s=s)
+            try:
+                state, outbox, done = program.superstep(ctx, s, state, inbox)
+            except Exception as exc:  # deterministic program bug
+                self.log.log("err", s=s, detail=repr(exc))
+                self._chan.send({"t": "err", "pid": self.pid, "s": s,
+                                 "reason": "program-error", "detail": repr(exc)})
+                return EXIT_PROGRAM_ERROR
+            for k, (dest, payload) in enumerate(outbox):
+                uid = f"{self.pid}:{s}:{k}"
+                self.log.log("send", uid=uid, src=self.pid, dest=dest, s=s)
+                self._chan.send({"t": "data", "uid": uid, "src": self.pid,
+                                 "dest": dest, "k": k, "s": s,
+                                 "payload": payload})
+            if kill_at is not None and s == kill_at:
+                # Chaos directive: die mid-round — data streamed, barrier
+                # never sent.  SIGKILL: no flushes, no goodbyes.
+                self.log.log("kill_self", s=s)
+                os.kill(os.getpid(), signal.SIGKILL)
+            self.log.log("barrier", s=s, done=done)
+            self._chan.send({"t": "barrier", "pid": self.pid, "s": s,
+                             "state": state, "done": done})
+
+            inbox = None
+            while inbox is None:
+                frame = self._next_frame(wanted=f"commit {s}")
+                kind = frame["t"]
+                if kind == "deliver":
+                    self.log.log("deliver", uid=frame["uid"], src=frame["src"],
+                                 s=frame["for_s"])
+                    staged.setdefault(frame["for_s"], []).append(frame)
+                elif kind == "commit":
+                    if frame["s"] != s:
+                        continue  # stale commit replayed across a restart
+                    self.log.log("commit", s=s)
+                    batch = staged.pop(s + 1, [])
+                    batch.sort(key=lambda f: (f["src"], f["k"]))
+                    inbox = [{"uid": f["uid"], "src": f["src"],
+                              "payload": f["payload"]} for f in batch]
+                elif kind == "shutdown":
+                    self.log.log("shutdown")
+                    self._chan.send({"t": "bye", "pid": self.pid})
+                    self._drain_unacked()
+                    return EXIT_OK
+                elif kind == "hb":
+                    continue
+                else:
+                    self.log.log("err", detail=f"unexpected frame {kind!r}")
+                    return EXIT_PROTOCOL
+            s += 1
+            if done:
+                # Final round committed; nothing left to execute — park
+                # until the supervisor's global shutdown.
+                while True:
+                    frame = self._next_frame(wanted="shutdown")
+                    if frame["t"] == "shutdown":
+                        self.log.log("shutdown")
+                        self._chan.send({"t": "bye", "pid": self.pid})
+                        self._drain_unacked()
+                        return EXIT_OK
+
+    def _drain_unacked(self, timeout: float = 2.0) -> None:
+        deadline = time.monotonic() + timeout
+        while self._chan.unacked_count and time.monotonic() < deadline:
+            time.sleep(0.005)
+
+    def close(self) -> None:
+        if self._chan is not None:
+            self._chan.close()
+        self.log.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.dist.worker")
+    parser.add_argument("--config", required=True,
+                        help="JSON runtime config from the supervisor")
+    ns = parser.parse_args(argv)
+    cfg = json.loads(ns.config)
+    rt = WorkerRuntime(cfg)
+    try:
+        return rt.run()
+    except _SupervisorLost as exc:
+        rt.log.log("err", reason="supervisor-lost", detail=str(exc))
+        return EXIT_SUPERVISOR_LOST
+    finally:
+        rt.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -101,6 +101,19 @@ class Stack:
             StackLayer("network", topology, tuple(sorted(options.items())))
         )
 
+    def on_dist(self, p: int, **options: Any) -> "Stack":
+        """Host the stack on ``p`` real OS processes over TCP sockets
+        (:mod:`repro.dist`) — the terminal backend where failures are
+        SIGKILLs and latency is wall-clock.
+
+        The guest ``program`` must be a *name* from
+        :data:`repro.dist.programs.DIST_PROGRAMS` (the checkpointable
+        superstep dialect; coroutine programs cannot survive a restart).
+        Options are forwarded to :func:`repro.dist.supervisor.run_dist`
+        (``kwargs=``, ``faults=``, ``params=``, ``log_dir=``, ...).
+        """
+        return self._push(StackLayer("dist", p, tuple(sorted(options.items()))))
+
     # -- execution -----------------------------------------------------
 
     @property
@@ -239,6 +252,28 @@ def _run_bsp_on_logp_on_network(stack: Stack, opts: dict) -> Any:
     return report
 
 
+def _run_bsp_on_dist(stack: Stack, opts: dict) -> Any:
+    from repro.dist.supervisor import run_dist
+
+    (layer,) = stack.layers
+    if not isinstance(layer.spec, int) or isinstance(layer.spec, bool):
+        raise ProgramError("Stack(...).on_dist(p) needs an integer worker count")
+    if not isinstance(stack.program, str):
+        raise ProgramError(
+            "dist stacks take a registered program *name* "
+            "(see repro.dist.programs.DIST_PROGRAMS), not a coroutine: "
+            "real processes restart from checkpoints, which generator "
+            "programs cannot provide"
+        )
+    obs = opts.pop("obs", None)
+    plan = opts.pop("faults", None) or opts.pop("plan", None)
+    opts.pop("plan", None)
+    result = run_dist(stack.program, layer.spec, plan=plan, **opts)
+    if obs is not None:
+        obs.observe_dist(result)
+    return result
+
+
 _ADAPTERS: dict[tuple[str, ...], Callable[[Stack, dict], Any]] = {
     ("bsp", "bsp"): _run_bsp_native,
     ("logp", "logp"): _run_logp_native,
@@ -247,6 +282,7 @@ _ADAPTERS: dict[tuple[str, ...], Callable[[Stack, dict], Any]] = {
     ("bsp", "network"): _run_bsp_on_network,
     ("logp", "network"): _run_logp_on_network,
     ("bsp", "logp", "network"): _run_bsp_on_logp_on_network,
+    ("bsp", "dist"): _run_bsp_on_dist,
 }
 
 #: Public view of the chains the registry supports.

@@ -20,6 +20,7 @@ __all__ = [
     "SimulationLimitError",
     "InvariantViolationError",
     "ProtocolError",
+    "DistRunError",
 ]
 
 
@@ -162,5 +163,37 @@ class ProtocolError(ReproError, RuntimeError):
     Raised by the ack/retransmit layer when a message is still
     unacknowledged after the maximum number of retransmissions, and by
     the BSP checkpoint-retry machine when a superstep's communication
-    phase keeps losing messages past ``max_comm_retries``.
+    phase keeps losing messages past ``max_comm_retries``.  The
+    real-socket backend (:mod:`repro.dist`) also raises it for corrupt
+    wire frames.
     """
+
+
+class DistRunError(ReproError, RuntimeError):
+    """A real-process distributed run failed in a *diagnosed* way.
+
+    The supervisor of :mod:`repro.dist` never hangs and never returns a
+    silently corrupt result: every terminal failure — restart budget
+    exhausted, whole-run deadline expired, a worker that died with no
+    recovery path, a peer protocol violation — raises this error with a
+    ``reason`` label and a ``diagnosis`` dict snapshotting the run (the
+    round in progress, per-worker states, channel statistics, restart
+    counts), mirroring :class:`DeadlockError`'s philosophy for the
+    simulators.
+    """
+
+    def __init__(self, message: str, *, reason: str = "failed",
+                 diagnosis: dict | None = None) -> None:
+        self.reason = reason
+        self.diagnosis = diagnosis or {}
+        if self.diagnosis:
+            detail = ", ".join(
+                f"{k}={v!r}" for k, v in sorted(self.diagnosis.items())
+                if k not in ("workers",)
+            )
+            message = f"[{reason}] {message}\n  diagnosis: {detail}"
+            for w in self.diagnosis.get("workers", []):
+                message += "\n  " + ", ".join(f"{k}={v!r}" for k, v in w.items())
+        else:
+            message = f"[{reason}] {message}"
+        super().__init__(message)

@@ -614,6 +614,100 @@ def _campaign(args) -> int:
     return rc
 
 
+# -- dist: the real-process socket backend ------------------------------
+
+
+def _parse_faults(spec: str | None, kills: list[str] | None, seed: int):
+    """Build a FaultPlan from ``--faults k=v,...`` and ``--kill PID:S``."""
+    from repro.faults import FaultPlan
+
+    rates: dict = {}
+    for pair in (spec.split(",") if spec else ()):
+        key, eq, value = pair.partition("=")
+        if not eq:
+            raise ValueError(f"--faults expects k=v pairs, got {pair!r}")
+        aliases = {"drop": "drop_rate", "dup": "dup_rate",
+                   "delay": "delay_rate", "reorder": "reorder_rate",
+                   "max_extra_delay": "max_extra_delay"}
+        field = aliases.get(key, key)
+        rates[field] = int(value) if field == "max_extra_delay" else float(value)
+    crash = {}
+    for pair in kills or ():
+        pid, colon, s = pair.partition(":")
+        if not colon:
+            raise ValueError(f"--kill expects PID:SUPERSTEP, got {pair!r}")
+        crash[int(pid)] = int(s)
+    if not rates and not crash:
+        return None
+    if rates.get("delay_rate") and not rates.get("max_extra_delay"):
+        rates["max_extra_delay"] = 5
+    return FaultPlan(seed=seed, crash=crash or None, **rates)
+
+
+def _dist(args) -> int:
+    import tempfile
+
+    from repro.dist import DistParams, run_reference
+    from repro.engine import Stack
+    from repro.errors import DistRunError, ParameterError
+    from repro.obs import Observation
+
+    try:
+        plan = _parse_faults(args.faults, args.kill, args.seed)
+    except (ValueError, ParameterError) as exc:
+        print(f"dist: {exc}", file=sys.stderr)
+        return 2
+    kwargs = {"rounds": args.rounds}
+    log_dir = args.log_dir or tempfile.mkdtemp(prefix="repro-dist-")
+    params = DistParams(run_timeout_s=args.timeout)
+    obs = Observation(trace=bool(args.trace)) if (args.metrics or args.trace) else None
+    stack = Stack(args.program).on_dist(
+        args.p, kwargs=kwargs, params=params, log_dir=log_dir
+    )
+    try:
+        result = stack.run(faults=plan, obs=obs)
+    except DistRunError as exc:
+        print(f"dist run failed loudly (as designed): {exc}", file=sys.stderr)
+        return 1
+    expected = run_reference(args.program, args.p, kwargs)
+    correct = result.results == expected
+    print(f"program {args.program!r} on {args.p} real processes: "
+          f"{result.rounds} rounds in {result.wall_s:.3f}s "
+          f"({result.restarts} restart(s))")
+    print(f"final states: {result.results}")
+    print(f"matches in-process reference: {correct}")
+    if plan is not None:
+        print(f"wire faults injected: {result.wire_faults}  "
+              f"channel: retransmits={result.channel_stats['retransmits']} "
+              f"dup_received={result.channel_stats['dup_received']}")
+    report = result.analyze()
+    print(f"log audit ({report['events']} events across "
+          f"{len(report['files'])} files): "
+          f"{'clean' if report['clean'] else 'VIOLATIONS'}")
+    for v in report["protocol_violations"] + report["model_violations"]:
+        print(f"  - {v}")
+    print(f"event logs kept in {log_dir}")
+    doc = {
+        "result": result.summary(),
+        "states": result.results,
+        "reference_match": correct,
+        "audit": {k: report[k] for k in
+                  ("events", "clean", "protocol_violations",
+                   "model_violations", "torn")},
+        "log_dir": log_dir,
+    }
+    for block in _obs_blocks(
+        obs, doc, metrics=args.metrics, trace_path=args.trace,
+        title=f"dist {args.program}",
+    ):
+        print()
+        print(block)
+    if args.json:
+        print()
+        print(json.dumps(doc, default=str))
+    return 0 if (correct and report["clean"]) else 1
+
+
 def _add_obs_flags(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--json",
@@ -739,6 +833,46 @@ def main(argv: list[str] | None = None) -> int:
         "(default: 'hypercube (multi-port)')",
     )
     _add_obs_flags(inspect_p)
+    dist_p = sub.add_parser(
+        "dist",
+        help="run a program on real OS processes over TCP sockets, with "
+        "optional seeded fault injection (see docs/DIST.md)",
+    )
+    dist_p.add_argument(
+        "program",
+        nargs="?",
+        default="ring",
+        help="dist program name (ring, alltoall, pingpong, flood); "
+        "default ring",
+    )
+    dist_p.add_argument("--p", type=int, default=3, help="worker processes")
+    dist_p.add_argument("--rounds", type=int, default=4, help="supersteps")
+    dist_p.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-plan seed (same seed = same fault scenario, here and "
+        "in the simulators)",
+    )
+    dist_p.add_argument(
+        "--faults",
+        metavar="K=V,...",
+        help="wire-fault rates, e.g. drop=0.2,dup=0.1,delay=0.1 "
+        "(keys: drop, dup, delay, reorder, max_extra_delay)",
+    )
+    dist_p.add_argument(
+        "--kill",
+        action="append",
+        metavar="PID:S",
+        help="SIGKILL worker PID mid-superstep S (repeatable)",
+    )
+    dist_p.add_argument(
+        "--log-dir", metavar="DIR",
+        help="event-log directory (default: a fresh temp dir, kept)",
+    )
+    dist_p.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="whole-run deadline in seconds (default 60)",
+    )
+    _add_obs_flags(dist_p)
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -754,6 +888,8 @@ def main(argv: list[str] | None = None) -> int:
         return _inspect(args)
     if args.command == "campaign":
         return _campaign(args)
+    if args.command == "dist":
+        return _dist(args)
     return _run_experiments(args)
 
 

@@ -347,6 +347,35 @@ class Observation:
                 )
             clock += s.cost
 
+    def observe_dist(self, result, layer: str = "dist") -> None:
+        """Publish a :class:`~repro.dist.supervisor.DistResult`: rounds,
+        restarts, wall time, wire-fault and reliable-channel counters,
+        and (tracing) the merged Lamport-clock event log replayed as one
+        lane per process — a *real* faulty run rendered through the same
+        tracer as the simulators."""
+        if not self.enabled:
+            return
+        m = self.metrics
+        m.counter("dist.rounds", layer=layer).inc(result.rounds)
+        m.gauge("dist.wall_s", layer=layer).set(round(result.wall_s, 6))
+        m.gauge("dist.p", layer=layer).set(result.p)
+        if result.restarts:
+            m.counter("dist.restarts", layer=layer).inc(result.restarts)
+        for kind, count in result.wire_faults.items():
+            if count:
+                m.counter(f"dist.wire_{kind}", layer=layer).inc(count)
+        for name in ("sent", "received", "retransmits", "dup_received",
+                     "backpressure_waits"):
+            count = result.channel_stats.get(name, 0)
+            if count:
+                m.counter(f"dist.chan_{name}", layer=layer).inc(count)
+        if self.tracing:
+            from repro.dist.analyze import replay_to_tracer
+            from repro.dist.eventlog import merge_logs
+
+            events, _meta = merge_logs(result.log_dir)
+            replay_to_tracer(events, self.tracer)
+
     def observe_campaign(self, report, layer: str = "campaign") -> None:
         """Publish a :class:`~repro.campaign.runner.CampaignReport`:
         point totals, throughput, cache hit rate, and pool utilization.
@@ -380,7 +409,9 @@ class Observation:
         calls.  Mirrors ``CostModelCheck.check``'s shape tests."""
         if not self.enabled:
             return
-        if hasattr(result, "timings") and hasattr(result, "bsp_native"):
+        if hasattr(result, "restarts") and hasattr(result, "log_dir"):
+            self.observe_dist(result, layer=layer or "dist")
+        elif hasattr(result, "timings") and hasattr(result, "bsp_native"):
             self.observe_theorem2(result)
         elif hasattr(result, "window") and hasattr(result, "bsp"):
             self.observe_theorem1(result)

@@ -75,9 +75,13 @@ def test_truncated_store_line_resumes_cleanly(tmp_path):
     assert report.ok
     path = store_dir / "results.jsonl"
     lines = path.read_text().splitlines(keepends=True)
-    path.write_text("".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+    fragment = lines[-1][: len(lines[-1]) // 2]
+    path.write_text("".join(lines[:-1]) + fragment)
     resumed = run_campaign(SPEC, store_dir=store_dir, fingerprint=FP)
     assert resumed.ran == 1 and resumed.cached == 7
+    # The torn fragment was quarantined, not destroyed (S1 hardening).
+    quarantined = (store_dir / "results.quarantine").read_text()
+    assert quarantined == fragment + "\n"
     clean_dir = tmp_path / "clean"
     run_campaign(SPEC, store_dir=clean_dir, fingerprint=FP)
     assert canonical(store_dir) == canonical(clean_dir)

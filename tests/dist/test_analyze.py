@@ -1,0 +1,164 @@
+"""Merged-log analyzer: quiet on a lawful history, loud on fabricated sins."""
+
+import json
+
+import pytest
+
+from repro.dist.analyze import (
+    analyze_run,
+    check_merged,
+    replay_to_tracer,
+    to_logp_result,
+)
+from repro.errors import InvariantViolationError
+from repro.faults.invariants import check_execution
+
+
+def lawful_history() -> list[dict]:
+    """Two workers, two rounds, one message 0 -> 1, all promises kept."""
+    w0 = [
+        {"n": 0, "pid": 0, "inc": 0, "lc": 1, "ev": "step", "s": 0},
+        {"n": 1, "pid": 0, "inc": 0, "lc": 2, "ev": "send", "uid": "0:0:0",
+         "src": 0, "dest": 1, "s": 0},
+        {"n": 2, "pid": 0, "inc": 0, "lc": 3, "ev": "barrier", "s": 0,
+         "done": False},
+        {"n": 3, "pid": 0, "inc": 0, "lc": 6, "ev": "step", "s": 1},
+        {"n": 4, "pid": 0, "inc": 0, "lc": 7, "ev": "barrier", "s": 1,
+         "done": True},
+    ]
+    w1 = [
+        {"n": 0, "pid": 1, "inc": 0, "lc": 1, "ev": "step", "s": 0},
+        {"n": 1, "pid": 1, "inc": 0, "lc": 2, "ev": "barrier", "s": 0,
+         "done": False},
+        {"n": 2, "pid": 1, "inc": 0, "lc": 5, "ev": "deliver", "uid": "0:0:0",
+         "src": 0, "dest": 1, "s": 1},
+        {"n": 3, "pid": 1, "inc": 0, "lc": 6, "ev": "step", "s": 1},
+        {"n": 4, "pid": 1, "inc": 0, "lc": 7, "ev": "barrier", "s": 1,
+         "done": True},
+    ]
+    sup = [
+        {"n": 0, "pid": -1, "inc": 0, "lc": 4, "ev": "commit", "s": 0},
+        {"n": 1, "pid": -1, "inc": 0, "lc": 8, "ev": "commit", "s": 1},
+    ]
+    events = w0 + w1 + sup
+    events.sort(key=lambda e: (e["lc"], e["pid"], e["n"]))
+    return events
+
+
+class TestCheckMerged:
+    def test_lawful_history_is_clean(self):
+        assert check_merged(lawful_history()) == []
+
+    def test_double_delivery_within_one_incarnation(self):
+        events = lawful_history()
+        dup = dict(next(e for e in events if e["ev"] == "deliver"))
+        dup["n"], dup["lc"] = 9, 9
+        events.append(dup)
+        violations = check_merged(events)
+        assert any("delivered 2 times" in v for v in violations)
+
+    def test_replay_into_restarted_incarnation_is_not_duplication(self):
+        events = lawful_history()
+        replay = dict(next(e for e in events if e["ev"] == "deliver"))
+        replay["n"], replay["lc"], replay["inc"] = 0, 9, 1
+        events.append(replay)
+        assert check_merged(events) == []
+
+    def test_send_never_delivered(self):
+        events = [e for e in lawful_history() if e["ev"] != "deliver"]
+        violations = check_merged(events)
+        assert any("never delivered" in v for v in violations)
+
+    def test_delivery_never_sent(self):
+        events = [e for e in lawful_history() if e["ev"] != "send"]
+        violations = check_merged(events)
+        assert any("delivered but never sent" in v for v in violations)
+
+    def test_delivery_to_the_wrong_worker(self):
+        events = lawful_history()
+        for e in events:
+            if e["ev"] == "deliver":
+                e["pid"] = 0  # arrived at the sender instead
+        violations = check_merged(events)
+        assert any("addressed to 1" in v for v in violations)
+
+    def test_commit_without_a_barrier(self):
+        events = [e for e in lawful_history()
+                  if not (e["ev"] == "barrier" and e["pid"] == 1 and e["s"] == 1)]
+        violations = check_merged(events)
+        assert any("never logged its barrier" in v for v in violations)
+
+    def test_commit_not_causally_after_barrier(self):
+        events = lawful_history()
+        for e in events:
+            if e["ev"] == "commit" and e["s"] == 0:
+                e["lc"] = 2  # stamped before worker 0's barrier (lc 3)
+        violations = check_merged(events)
+        assert any("not causally after" in v for v in violations)
+
+    def test_non_consecutive_commits(self):
+        events = [e for e in lawful_history()
+                  if not (e["ev"] == "commit" and e["s"] == 0)]
+        violations = check_merged(events)
+        assert any("non-consecutive" in v for v in violations)
+
+    def test_non_monotone_clock(self):
+        events = lawful_history()
+        for e in events:
+            if e["pid"] == 0 and e["n"] == 4:
+                e["lc"] = 1
+        violations = check_merged(events)
+        assert any("monotone-clock" in v for v in violations)
+
+
+class TestProjection:
+    def test_logp_projection_passes_the_simulator_checker(self):
+        result = to_logp_result(lawful_history(), 2)
+        assert check_execution(result) == []
+        assert result.total_messages == 1
+        assert result.params.p == 2
+
+    def test_latency_bound_reflects_observed_stretch(self):
+        result = to_logp_result(lawful_history(), 2)
+        # send at lc 2, deliver at lc 5 => stretch (5-2) * G with G=2.
+        assert result.params.L == 6
+
+    def test_tracer_replay_renders_spans_and_instants(self):
+        tracer = replay_to_tracer(lawful_history())
+        assert len(tracer.spans) == 4  # 2 workers x 2 supersteps
+        assert len(tracer.instants) >= 4  # send, deliver, 2 commits
+        assert "dist" in tracer.layers
+
+    def test_crash_cut_superstep_still_rendered(self):
+        events = lawful_history()
+        events.append({"n": 5, "pid": 0, "inc": 0, "lc": 9, "ev": "step",
+                       "s": 2})  # died before its barrier
+        tracer = replay_to_tracer(events)
+        assert any(s.name == "superstep 2 (cut)" for s in tracer.spans)
+
+
+class TestAnalyzeRun:
+    def write_logs(self, tmp_path, events):
+        by_pid: dict[int, list] = {}
+        for e in events:
+            by_pid.setdefault(e["pid"], []).append(e)
+        for pid, evs in by_pid.items():
+            name = "supervisor.jsonl" if pid < 0 else f"worker-{pid}.jsonl"
+            (tmp_path / name).write_text(
+                "".join(json.dumps(e) + "\n" for e in evs))
+
+    def test_clean_run_report(self, tmp_path):
+        self.write_logs(tmp_path, lawful_history())
+        report = analyze_run(tmp_path, 2)
+        assert report["clean"] is True
+        assert report["protocol_violations"] == []
+        assert report["model_violations"] == []
+        assert report["messages"] == 1
+        assert set(report["files"]) == {
+            "supervisor.jsonl", "worker-0.jsonl", "worker-1.jsonl"}
+
+    def test_strict_mode_raises_on_violation(self, tmp_path):
+        events = [e for e in lawful_history() if e["ev"] != "deliver"]
+        self.write_logs(tmp_path, events)
+        with pytest.raises(InvariantViolationError, match="never delivered"):
+            analyze_run(tmp_path, 2, strict=True)

@@ -1,0 +1,221 @@
+"""ReliableChannel: seq/ack delivery, retransmission, dedup, reordering.
+
+Each test wires two channels over a ``socketpair`` and injects faults
+through the ``send_filter`` hook — the exact interface the supervisor's
+wire injector uses — so the recovery machinery is exercised without any
+subprocess in the loop.
+"""
+
+import queue
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.dist.channel import FAULTABLE_TYPES, ChannelClosed, ReliableChannel
+from repro.dist.clock import LamportClock
+from repro.faults.plan import MessageFate
+
+
+def make_pair(send_filter=None, **kwargs):
+    """Two connected channels; returns (a, b, frames_at_b, closes)."""
+    sa, sb = socket.socketpair()
+    inbox: queue.Queue = queue.Queue()
+    closes: list = []
+    a = ReliableChannel(
+        sa, name="a", clock=LamportClock(), on_frame=lambda f: None,
+        send_filter=send_filter, rto_initial_s=0.03, delay_unit_s=0.01,
+        **kwargs,
+    )
+    b = ReliableChannel(
+        sb, name="b", clock=LamportClock(), on_frame=inbox.put,
+        on_close=closes.append,
+    )
+    return a, b, inbox, closes
+
+
+def drain(inbox: queue.Queue, n: int, timeout: float = 5.0) -> list[dict]:
+    got = []
+    deadline = time.monotonic() + timeout
+    while len(got) < n and time.monotonic() < deadline:
+        try:
+            got.append(inbox.get(timeout=0.1))
+        except queue.Empty:
+            pass
+    return got
+
+
+def wait_acked(chan: ReliableChannel, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while chan.unacked_count and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert chan.unacked_count == 0
+
+
+def data_frame(k: int) -> dict:
+    return {"t": "data", "uid": f"0:0:{k}", "src": 0, "dest": 1, "k": k,
+            "s": 0, "payload": k}
+
+
+class TestCleanWire:
+    def test_frames_arrive_in_order_and_get_acked(self):
+        a, b, inbox, _ = make_pair()
+        try:
+            for k in range(8):
+                a.send(data_frame(k))
+            got = drain(inbox, 8)
+            assert [f["k"] for f in got] == list(range(8))
+            assert [f["q"] for f in got] == list(range(8))
+            wait_acked(a)
+            assert a.stats.retransmits == 0
+        finally:
+            a.close()
+            b.close()
+
+    def test_reliable_frames_carry_lamport_stamps(self):
+        a, b, inbox, _ = make_pair()
+        try:
+            a.send(data_frame(0))
+            a.send(data_frame(1))
+            got = drain(inbox, 2)
+            assert got[0]["lc"] < got[1]["lc"]
+            # The receiver's clock merged past the sender's stamps.
+            assert b.clock.value > got[1]["lc"] - 1
+        finally:
+            a.close()
+            b.close()
+
+    def test_heartbeats_bypass_seq_numbering(self):
+        a, b, inbox, _ = make_pair()
+        try:
+            a.try_send({"t": "hb", "pid": 0})
+            (frame,) = drain(inbox, 1)
+            assert frame["t"] == "hb" and "q" not in frame
+        finally:
+            a.close()
+            b.close()
+
+
+class TestFaultRecovery:
+    def test_dropped_transmission_is_retransmitted(self):
+        fates = iter([MessageFate(drop=True)])
+
+        def send_filter(frame):
+            return next(fates, MessageFate())
+
+        a, b, inbox, _ = make_pair(send_filter=send_filter)
+        try:
+            a.send(data_frame(0))
+            got = drain(inbox, 1)
+            assert [f["k"] for f in got] == [0]
+            wait_acked(a)
+            assert a.stats.wire_dropped == 1
+            assert a.stats.retransmits >= 1
+        finally:
+            a.close()
+            b.close()
+
+    def test_duplicate_transmission_is_deduped_at_receiver(self):
+        a, b, inbox, _ = make_pair(
+            send_filter=lambda f: MessageFate(duplicate=True))
+        try:
+            a.send(data_frame(0))
+            got = drain(inbox, 1)
+            assert [f["k"] for f in got] == [0]
+            wait_acked(a)
+            time.sleep(0.1)  # let the ghost copy arrive and be discarded
+            assert inbox.empty()
+            assert a.stats.wire_duplicated >= 1
+            assert b.stats.dup_received >= 1
+        finally:
+            a.close()
+            b.close()
+
+    def test_delayed_frame_is_held_for_in_order_delivery(self):
+        fates = iter([MessageFate(extra_delay=10)])  # 10 * 0.01s = 100ms
+
+        def send_filter(frame):
+            return next(fates, MessageFate())
+
+        a, b, inbox, _ = make_pair(send_filter=send_filter)
+        try:
+            a.send(data_frame(0))  # delayed at the wire
+            a.send(data_frame(1))  # overtakes it
+            got = drain(inbox, 2)
+            assert [f["k"] for f in got] == [0, 1]  # receiver re-ordered
+            assert b.stats.out_of_order >= 1 or a.stats.retransmits >= 1
+            assert a.stats.wire_delayed == 1
+        finally:
+            a.close()
+            b.close()
+
+    def test_only_app_frames_are_faultable(self):
+        seen: list[str] = []
+
+        def send_filter(frame):
+            seen.append(frame["t"])
+            return MessageFate()
+
+        a, b, inbox, _ = make_pair(send_filter=send_filter)
+        try:
+            a.send({"t": "barrier", "s": 0, "state": {}, "done": True})
+            a.send(data_frame(0))
+            drain(inbox, 2)
+            assert seen == ["data"]
+            assert FAULTABLE_TYPES == {"data", "deliver"}
+        finally:
+            a.close()
+            b.close()
+
+
+class TestLifecycle:
+    def test_send_on_closed_channel_raises(self):
+        a, b, _, _ = make_pair()
+        a.close()
+        with pytest.raises(ChannelClosed):
+            a.send(data_frame(0))
+        assert a.try_send({"t": "hb"}) is False
+        b.close()
+
+    def test_on_close_fires_exactly_once(self):
+        a, b, _, closes = make_pair()
+        a.close()
+        deadline = time.monotonic() + 2.0
+        while not closes and time.monotonic() < deadline:
+            time.sleep(0.01)
+        b.close()
+        b.close()  # idempotent
+        time.sleep(0.05)
+        assert len(closes) == 1
+
+    def test_peer_eof_reported_as_close(self):
+        a, b, _, closes = make_pair()
+        a.close()
+        deadline = time.monotonic() + 2.0
+        while not closes and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert len(closes) == 1
+        assert b.closed
+
+    def test_backpressured_send_times_out_loudly(self):
+        # Freeze the peer AND fill the kernel buffers: stop b's reader by
+        # closing it abruptly is EOF, so instead block a's pump with a
+        # send_filter that sleeps, forcing the bounded queue to fill.
+        gate = threading.Event()
+
+        def slow_filter(frame):
+            gate.wait(5.0)
+            return MessageFate()
+
+        a, b, inbox, _ = make_pair(send_filter=slow_filter, queue_max=1)
+        try:
+            a.send(data_frame(0))  # pump thread blocks in slow_filter
+            a.send(data_frame(1))  # fills the queue
+            with pytest.raises(ChannelClosed, match="blocked past"):
+                a.send(data_frame(2), timeout=0.3)
+            assert a.stats.backpressure_waits >= 1
+        finally:
+            gate.set()
+            a.close()
+            b.close()

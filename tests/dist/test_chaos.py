@@ -1,0 +1,107 @@
+"""Chaos suite: seeded kill/drop/dup/delay scenarios over real processes.
+
+The contract under test is the tentpole's "never hang, never silently
+corrupt": every scenario must either complete with final states exactly
+equal to the in-process reference AND a clean post-hoc log audit, or
+fail loudly with a labelled :class:`~repro.errors.DistRunError` carrying
+a diagnosis.  Anything else — wrong states, dirty audit, unlabelled
+exception, hang past the run deadline — fails the test.
+
+Scenarios are (program, p, rounds-ish kwargs, FaultPlan) tuples; the
+plan's seed fully determines the fault schedule, so a failing scenario
+reproduces by its id.
+"""
+
+import pytest
+
+from repro.dist import DistParams, run_dist, run_reference
+from repro.errors import DistRunError
+from repro.faults.plan import FaultPlan
+
+PARAMS = DistParams(run_timeout_s=45.0, hb_timeout_s=1.0, restart_budget=4)
+
+
+def scenario(name, program, p, kwargs, **plan_kw):
+    return pytest.param(program, p, kwargs,
+                        FaultPlan(**plan_kw) if plan_kw else None, id=name)
+
+
+SCENARIOS = [
+    # -- single kills, every program --------------------------------------
+    scenario("ring-kill-early", "ring", 3, {"rounds": 4}, seed=1, crash={0: 0}),
+    scenario("ring-kill-mid", "ring", 3, {"rounds": 4}, seed=2, crash={1: 2}),
+    scenario("ring-kill-last-round", "ring", 3, {"rounds": 4}, seed=3,
+             crash={2: 3}),
+    scenario("alltoall-kill", "alltoall", 3, {"rounds": 3}, seed=4,
+             crash={1: 1}),
+    scenario("pingpong-kill-server", "pingpong", 2, {"rounds": 6}, seed=5,
+             crash={1: 2}),
+    scenario("pingpong-kill-client", "pingpong", 2, {"rounds": 6}, seed=6,
+             crash={0: 3}),
+    scenario("flood-kill-sender", "flood", 2, {"rounds": 3, "burst": 8},
+             seed=7, crash={0: 1}),
+    scenario("flood-kill-receiver", "flood", 2, {"rounds": 3, "burst": 8},
+             seed=8, crash={1: 1}),
+    # -- multiple kills ---------------------------------------------------
+    scenario("ring-double-kill", "ring", 3, {"rounds": 4}, seed=9,
+             crash={0: 1, 2: 2}),
+    scenario("alltoall-triple-kill", "alltoall", 3, {"rounds": 4}, seed=10,
+             crash={0: 0, 1: 1, 2: 2}),
+    # -- wire faults only -------------------------------------------------
+    scenario("ring-drops", "ring", 3, {"rounds": 4}, seed=11, drop_rate=0.4),
+    scenario("ring-dups", "ring", 3, {"rounds": 4}, seed=12, dup_rate=0.5),
+    scenario("ring-delays", "ring", 3, {"rounds": 4}, seed=13,
+             delay_rate=0.5, max_extra_delay=8),
+    scenario("alltoall-drops", "alltoall", 3, {"rounds": 3}, seed=14,
+             drop_rate=0.35),
+    scenario("alltoall-everything", "alltoall", 3, {"rounds": 3}, seed=15,
+             drop_rate=0.25, dup_rate=0.25, delay_rate=0.25,
+             max_extra_delay=5),
+    scenario("flood-drops", "flood", 2, {"rounds": 3, "burst": 12}, seed=16,
+             drop_rate=0.3),
+    scenario("flood-dup-storm", "flood", 2, {"rounds": 3, "burst": 12},
+             seed=17, dup_rate=0.6),
+    scenario("pingpong-lossy", "pingpong", 2, {"rounds": 8}, seed=18,
+             drop_rate=0.4, dup_rate=0.2),
+    # -- kills plus wire faults -------------------------------------------
+    scenario("ring-kill-and-drops", "ring", 3, {"rounds": 4}, seed=19,
+             crash={1: 2}, drop_rate=0.3),
+    scenario("alltoall-kill-and-chaos", "alltoall", 3, {"rounds": 3},
+             seed=20, crash={2: 1}, drop_rate=0.2, dup_rate=0.2,
+             delay_rate=0.2, max_extra_delay=4),
+    scenario("flood-kill-and-drops", "flood", 2, {"rounds": 3, "burst": 8},
+             seed=21, crash={0: 2}, drop_rate=0.25),
+    scenario("pingpong-kill-and-dups", "pingpong", 2, {"rounds": 6}, seed=22,
+             crash={1: 1}, dup_rate=0.4),
+    # -- control: clean wire ----------------------------------------------
+    scenario("ring-clean", "ring", 3, {"rounds": 4}),
+    scenario("alltoall-clean", "alltoall", 4, {"rounds": 3}),
+]
+
+
+@pytest.mark.parametrize("program,p,kwargs,plan", SCENARIOS)
+def test_chaos_scenario_completes_correctly_or_fails_loudly(
+    tmp_path, program, p, kwargs, plan
+):
+    expected = run_reference(program, p, kwargs)
+    try:
+        result = run_dist(program, p, kwargs=kwargs, params=PARAMS,
+                          plan=plan, log_dir=tmp_path)
+    except DistRunError as exc:
+        # Loud failure is an acceptable outcome — but only a *diagnosed*
+        # one, and only under a plan that can exhaust the budget.
+        assert exc.reason, "DistRunError without a reason label"
+        assert exc.diagnosis.get("workers"), "DistRunError without diagnosis"
+        assert plan is not None and plan.crash, (
+            f"wire faults alone must never abort a run: {exc}")
+        return
+    assert result.results == expected, (
+        f"silent corruption: dist states {result.results} != reference "
+        f"{expected} (restarts={result.restarts}, "
+        f"wire={result.wire_faults})")
+    report = result.analyze()
+    assert report["clean"], (
+        "dirty audit on a completed run:\n" + "\n".join(
+            report["protocol_violations"] + report["model_violations"]))
+    if plan is not None and plan.crash:
+        assert result.restarts >= 1

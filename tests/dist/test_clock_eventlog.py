@@ -1,0 +1,121 @@
+"""Lamport clocks and the per-process JSONL event logs they stamp."""
+
+import json
+import threading
+
+import pytest
+
+from repro.dist.clock import LamportClock
+from repro.dist.eventlog import EventLogWriter, merge_logs, read_log, worker_log_path
+
+
+class TestLamportClock:
+    def test_tick_is_strictly_monotone(self):
+        clock = LamportClock()
+        stamps = [clock.tick() for _ in range(5)]
+        assert stamps == [1, 2, 3, 4, 5]
+
+    def test_observe_merges_ahead_of_peer(self):
+        clock = LamportClock()
+        clock.tick()
+        assert clock.observe(100) == 101
+        assert clock.observe(None) == 102  # unstamped frame: plain tick
+        assert clock.observe(50) == 103  # stale peer stamp never rewinds
+
+    def test_concurrent_ticks_never_collide(self):
+        clock = LamportClock()
+        stamps: list[int] = []
+        lock = threading.Lock()
+
+        def spin():
+            for _ in range(200):
+                s = clock.tick()
+                with lock:
+                    stamps.append(s)
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(stamps)) == len(stamps) == 800
+
+
+class TestEventLogWriter:
+    def test_lines_carry_the_merge_key(self, tmp_path):
+        clock = LamportClock()
+        writer = EventLogWriter(tmp_path / "w.jsonl", pid=2, clock=clock,
+                                incarnation=1)
+        writer.log("step", s=0)
+        writer.log("barrier", s=0, done=False)
+        writer.close()
+        events, torn = read_log(tmp_path / "w.jsonl")
+        assert torn is None
+        assert [e["n"] for e in events] == [0, 1]
+        assert all(e["pid"] == 2 and e["inc"] == 1 for e in events)
+        assert events[0]["lc"] < events[1]["lc"]
+        assert events[1]["ev"] == "barrier" and events[1]["done"] is False
+
+    def test_explicit_lc_is_recorded_verbatim(self, tmp_path):
+        clock = LamportClock()
+        writer = EventLogWriter(tmp_path / "w.jsonl", pid=0, clock=clock)
+        lc = clock.observe(41)
+        assert writer.log("deliver", lc=lc, uid="1:0:0") == 42
+        writer.close()
+        events, _ = read_log(tmp_path / "w.jsonl")
+        assert events[0]["lc"] == 42
+
+
+class TestReadLog:
+    def test_torn_tail_is_returned_not_raised(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        path.write_text('{"n":0,"pid":0,"inc":0,"lc":1,"ev":"step"}\n{"n":1,"pi')
+        events, torn = read_log(path)
+        assert len(events) == 1
+        assert torn == '{"n":1,"pi'
+
+    def test_final_line_without_newline_still_parses(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        path.write_text('{"n":0,"pid":0,"inc":0,"lc":1,"ev":"step"}')
+        events, torn = read_log(path)
+        assert len(events) == 1 and torn is None
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        path.write_text('garbage not json\n{"n":0,"pid":0,"inc":0,"lc":1,"ev":"x"}\n')
+        with pytest.raises(ValueError, match="corrupt event-log line"):
+            read_log(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        path.write_text("")
+        assert read_log(path) == ([], None)
+
+
+class TestMergeLogs:
+    def test_total_order_lc_then_pid_then_n(self, tmp_path):
+        sup = [{"n": 0, "pid": -1, "inc": 0, "lc": 1, "ev": "listen"},
+               {"n": 1, "pid": -1, "inc": 0, "lc": 5, "ev": "commit", "s": 0}]
+        w0 = [{"n": 0, "pid": 0, "inc": 0, "lc": 2, "ev": "step", "s": 0},
+              {"n": 1, "pid": 0, "inc": 0, "lc": 5, "ev": "barrier", "s": 0}]
+        (tmp_path / "supervisor.jsonl").write_text(
+            "".join(json.dumps(e) + "\n" for e in sup))
+        (tmp_path / "worker-0.jsonl").write_text(
+            "".join(json.dumps(e) + "\n" for e in w0))
+        events, meta = merge_logs(tmp_path)
+        assert [(e["lc"], e["pid"]) for e in events] == [
+            (1, -1), (2, 0), (5, -1), (5, 0)]
+        assert meta["files"] == ["supervisor.jsonl", "worker-0.jsonl"]
+        assert meta["torn"] == {}
+
+    def test_torn_tails_surface_in_meta(self, tmp_path):
+        (tmp_path / "worker-0.jsonl").write_text(
+            '{"n":0,"pid":0,"inc":0,"lc":1,"ev":"boot"}\n{"n":1,"tor')
+        events, meta = merge_logs(tmp_path)
+        assert len(events) == 1
+        assert meta["torn"] == {"worker-0.jsonl": '{"n":1,"tor'}
+
+
+def test_worker_log_path_naming(tmp_path):
+    assert worker_log_path(tmp_path, -1).name == "supervisor.jsonl"
+    assert worker_log_path(tmp_path, 3).name == "worker-3.jsonl"

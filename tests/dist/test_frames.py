@@ -1,0 +1,73 @@
+"""Wire framing: roundtrip, arbitrary segmentation, corruption is loud."""
+
+import pytest
+
+from repro.dist.frames import (
+    MAX_FRAME_BYTES,
+    RELIABLE_TYPES,
+    UNRELIABLE_TYPES,
+    FrameReader,
+    encode_frame,
+)
+from repro.errors import ProtocolError
+
+
+class TestEncode:
+    def test_roundtrip_single_frame(self):
+        frame = {"t": "data", "uid": "0:1:2", "src": 0, "dest": 1, "payload": 7}
+        out = FrameReader().feed(encode_frame(frame))
+        assert out == [frame]
+
+    def test_length_prefix_is_exact(self):
+        data = encode_frame({"t": "hb"})
+        length = int.from_bytes(data[:4], "big")
+        assert len(data) == 4 + length
+
+    def test_oversized_frame_refused_at_encode(self):
+        with pytest.raises(ProtocolError, match="MAX_FRAME_BYTES"):
+            encode_frame({"t": "data", "payload": "x" * (MAX_FRAME_BYTES + 1)})
+
+
+class TestFrameReader:
+    def test_byte_at_a_time_segmentation(self):
+        frames = [{"t": "data", "k": i} for i in range(3)]
+        blob = b"".join(encode_frame(f) for f in frames)
+        reader = FrameReader()
+        got = []
+        for i in range(len(blob)):
+            got.extend(reader.feed(blob[i : i + 1]))
+        assert got == frames
+        assert reader.pending_bytes() == 0
+
+    def test_many_frames_in_one_chunk(self):
+        frames = [{"t": "hb", "i": i} for i in range(10)]
+        blob = b"".join(encode_frame(f) for f in frames)
+        assert FrameReader().feed(blob) == frames
+
+    def test_partial_frame_is_buffered(self):
+        data = encode_frame({"t": "barrier", "s": 3})
+        reader = FrameReader()
+        assert reader.feed(data[:-2]) == []
+        assert reader.pending_bytes() == len(data) - 2
+        assert reader.feed(data[-2:]) == [{"t": "barrier", "s": 3}]
+
+    def test_impossible_length_raises(self):
+        bad = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(ProtocolError, match="announced frame length"):
+            FrameReader().feed(bad)
+
+    def test_undecodable_body_raises(self):
+        body = b"not json"
+        with pytest.raises(ProtocolError, match="undecodable"):
+            FrameReader().feed(len(body).to_bytes(4, "big") + body)
+
+    def test_untyped_object_raises(self):
+        body = b'{"x": 1}'
+        with pytest.raises(ProtocolError, match="not a typed object"):
+            FrameReader().feed(len(body).to_bytes(4, "big") + body)
+
+
+def test_reliable_and_unreliable_partition():
+    assert "data" in RELIABLE_TYPES and "deliver" in RELIABLE_TYPES
+    assert UNRELIABLE_TYPES == {"ack", "hb"}
+    assert not (RELIABLE_TYPES & UNRELIABLE_TYPES)

@@ -1,0 +1,40 @@
+"""LogP fitting from measured samples: pure grid math plus one cheap
+in-process measurement (no subprocesses — those live in bench_dist.py)."""
+
+from repro.dist.measure import fit_logp_params, measure_overhead
+
+
+class TestFitLogpParams:
+    def test_integer_grid_and_section_2_2_constraint(self):
+        fit = {"o_us": 3.4, "L_us": 41.7, "g_us": 7.2}
+        params = fit_logp_params(fit, p=4)
+        assert params.p == 4
+        assert isinstance(params.o, int)
+        assert isinstance(params.G, int)
+        assert isinstance(params.L, int)
+        assert params.o >= 1
+        assert max(2, params.o) <= params.G <= params.L
+
+    def test_sub_microsecond_overhead_clamps_to_one(self):
+        params = fit_logp_params({"o_us": 0.2, "L_us": 10.0, "g_us": 0.3})
+        assert params.o == 1
+        assert params.G >= 2
+
+    def test_gap_never_below_overhead(self):
+        # A fit where the flood looked *faster* than a single send (timer
+        # noise) must still respect g >= o on the grid.
+        params = fit_logp_params({"o_us": 9.0, "L_us": 50.0, "g_us": 4.0})
+        assert params.G >= params.o
+
+    def test_latency_lifted_to_gap_when_below(self):
+        params = fit_logp_params({"o_us": 2.0, "L_us": 1.0, "g_us": 6.0})
+        assert params.L == params.G == 6
+
+    def test_default_two_processors(self):
+        assert fit_logp_params({"o_us": 1, "L_us": 5, "g_us": 2}).p == 2
+
+
+def test_measure_overhead_returns_positive_samples():
+    samples = measure_overhead(n=64)
+    assert len(samples) == 64
+    assert all(s > 0 for s in samples)

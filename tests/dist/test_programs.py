@@ -1,0 +1,94 @@
+"""Checkpointable programs and the in-process reference oracle."""
+
+import pytest
+
+from repro.dist.programs import (
+    DIST_PROGRAMS,
+    DistContext,
+    make_program,
+    run_reference,
+)
+from repro.errors import ProgramError
+
+
+class TestReference:
+    def test_ring_is_a_rotating_window_sum(self):
+        # p=3, 4 rounds: each acc accumulates the neighbours' forwarded
+        # values; the exact numbers pin the oracle semantics.
+        assert run_reference("ring", 3, {"rounds": 4}) == [
+            {"acc": 12}, {"acc": 8}, {"acc": 10}]
+
+    def test_alltoall_checksum(self):
+        states = run_reference("alltoall", 3, {"rounds": 3})
+        # Rounds 0 and 1 send pid*1000 + s to both peers.
+        for pid, state in enumerate(states):
+            expected = sum(src * 1000 + s
+                           for src in range(3) if src != pid
+                           for s in range(2))
+            assert state == {"sum": expected}
+
+    def test_pingpong_counts_hops(self):
+        states = run_reference("pingpong", 2, {"rounds": 6})
+        assert states[0]["hops"] + states[1]["hops"] == 5
+
+    def test_flood_delivers_every_burst(self):
+        states = run_reference("flood", 2, {"rounds": 3, "burst": 7})
+        assert states[1] == {"got": 14}  # two sending rounds x burst
+
+    @pytest.mark.parametrize("name", sorted(DIST_PROGRAMS))
+    def test_single_worker_degenerates_cleanly(self, name):
+        states = run_reference(name, 1, {"rounds": 3})
+        assert len(states) == 1
+
+    @pytest.mark.parametrize("name", sorted(DIST_PROGRAMS))
+    def test_reference_is_deterministic(self, name):
+        a = run_reference(name, 3, {"rounds": 4})
+        b = run_reference(name, 3, {"rounds": 4})
+        assert a == b
+
+
+class TestDialect:
+    @pytest.mark.parametrize("name", sorted(DIST_PROGRAMS))
+    def test_final_round_never_sends(self, name):
+        # A message emitted in the last round would have no round to be
+        # delivered in; the supervisor's oracle would reject it.
+        rounds = 3
+        program = make_program(name, {"rounds": rounds})
+        p = 3
+        for pid in range(p):
+            ctx = DistContext(pid=pid, p=p)
+            state = program.init(ctx)
+            _state, outbox, done = program.superstep(ctx, rounds - 1, state, [])
+            assert done is True
+            assert outbox == []
+
+    @pytest.mark.parametrize("name", sorted(DIST_PROGRAMS))
+    def test_state_is_json_shaped(self, name):
+        import json
+
+        program = make_program(name, {"rounds": 2})
+        state = program.init(DistContext(pid=0, p=2))
+        assert json.loads(json.dumps(state)) == state
+
+    def test_unknown_program_is_loud(self):
+        with pytest.raises(ProgramError, match="unknown dist program"):
+            make_program("nope")
+        with pytest.raises(ProgramError, match="unknown dist program"):
+            run_reference("nope", 2)
+
+    def test_out_of_range_destination_is_loud(self):
+        class Bad:
+            def init(self, ctx):
+                return {}
+
+            def superstep(self, ctx, s, state, inbox):
+                return {}, [(99, 1)], True
+
+        import repro.dist.programs as programs
+
+        programs.DIST_PROGRAMS["_bad"] = lambda **kw: Bad()
+        try:
+            with pytest.raises(ProgramError, match="nonexistent worker"):
+                run_reference("_bad", 2)
+        finally:
+            del programs.DIST_PROGRAMS["_bad"]

@@ -1,0 +1,124 @@
+"""Crash recovery: SIGKILLed workers restart from checkpoints; every
+terminal failure path is a labelled DistRunError, never a hang."""
+
+import pytest
+
+from repro.dist import DistParams, run_dist, run_reference
+from repro.errors import DistRunError
+from repro.faults.plan import FaultPlan
+
+PARAMS = DistParams(run_timeout_s=45.0, hb_timeout_s=1.0)
+
+
+def test_sigkill_mid_superstep_recovers_exactly(tmp_path):
+    plan = FaultPlan(seed=7, crash={1: 2})
+    result = run_dist("ring", 3, kwargs={"rounds": 4}, params=PARAMS,
+                      plan=plan, log_dir=tmp_path)
+    assert result.results == run_reference("ring", 3, {"rounds": 4})
+    assert result.restarts >= 1
+    report = result.analyze(strict=True)
+    assert report["clean"] is True
+
+
+def test_kill_at_round_zero_replays_from_scratch(tmp_path):
+    plan = FaultPlan(seed=3, crash={0: 0})
+    result = run_dist("alltoall", 3, kwargs={"rounds": 3}, params=PARAMS,
+                      plan=plan, log_dir=tmp_path)
+    assert result.results == run_reference("alltoall", 3, {"rounds": 3})
+    assert result.restarts >= 1
+    assert result.analyze()["clean"] is True
+
+
+def test_two_workers_killed_in_one_run(tmp_path):
+    plan = FaultPlan(seed=5, crash={0: 1, 2: 2})
+    result = run_dist("ring", 3, kwargs={"rounds": 4}, params=PARAMS,
+                      plan=plan, log_dir=tmp_path)
+    assert result.results == run_reference("ring", 3, {"rounds": 4})
+    assert result.restarts >= 2
+    assert result.analyze()["clean"] is True
+
+
+def test_restart_logged_and_visible_in_the_merged_history(tmp_path):
+    plan = FaultPlan(seed=7, crash={1: 1})
+    result = run_dist("ring", 2, kwargs={"rounds": 3}, params=PARAMS,
+                      plan=plan, log_dir=tmp_path)
+    from repro.dist.eventlog import merge_logs
+
+    events, _ = merge_logs(result.log_dir)
+    kinds = {e["ev"] for e in events}
+    assert "kill_self" in kinds  # the doomed worker saw it coming
+    assert "worker_dead" in kinds  # the supervisor noticed
+    assert "restart" in kinds  # and respawned it
+    incs = {e["inc"] for e in events if e["pid"] == 1}
+    assert incs == {0, 1}
+
+
+def test_exhausted_restart_budget_fails_loudly(tmp_path):
+    plan = FaultPlan(seed=1, crash={0: 1})
+    params = DistParams(run_timeout_s=30.0, hb_timeout_s=1.0, restart_budget=0)
+    with pytest.raises(DistRunError) as info:
+        run_dist("ring", 2, kwargs={"rounds": 4}, params=params, plan=plan,
+                 log_dir=tmp_path)
+    err = info.value
+    assert err.reason == "restart-budget-exhausted"
+    diag = err.diagnosis
+    assert diag["restarts"] == 1
+    assert [w["pid"] for w in diag["workers"]] == [0, 1]
+
+
+def test_run_deadline_fails_loudly_not_hangs(tmp_path):
+    params = DistParams(run_timeout_s=0.05)
+    with pytest.raises(DistRunError) as info:
+        run_dist("ring", 2, kwargs={"rounds": 4}, params=params,
+                 log_dir=tmp_path)
+    assert info.value.reason == "run-timeout"
+    assert "elapsed_s" in info.value.diagnosis
+
+
+def test_wire_chaos_without_kills_recovers_exactly(tmp_path):
+    plan = FaultPlan(seed=11, drop_rate=0.3, dup_rate=0.2, delay_rate=0.2,
+                     max_extra_delay=5)
+    result = run_dist("alltoall", 3, kwargs={"rounds": 3}, params=PARAMS,
+                      plan=plan, log_dir=tmp_path)
+    assert result.results == run_reference("alltoall", 3, {"rounds": 3})
+    assert sum(result.wire_faults.values()) > 0  # faults really fired
+    assert result.channel_stats["retransmits"] >= result.wire_faults["drop"]
+    assert result.analyze(strict=True)["clean"] is True
+
+
+class TestSeedDeterminism:
+    """S3: one seed names one fault scenario across backends and reruns."""
+
+    def test_same_seed_same_dist_outcome(self, tmp_path):
+        plan = FaultPlan(seed=21, crash={1: 2})
+        first = run_dist("ring", 3, kwargs={"rounds": 4}, params=PARAMS,
+                         plan=plan, log_dir=tmp_path / "a")
+        second = run_dist("ring", 3, kwargs={"rounds": 4}, params=PARAMS,
+                          plan=plan, log_dir=tmp_path / "b")
+        assert first.results == second.results
+        assert first.restarts == second.restarts == 1
+
+    def test_dist_wire_stream_matches_simulator_stream(self, tmp_path):
+        # The supervisor's injected faults for link (src, dest) must be a
+        # prefix-faithful consumption of the same per-link RNG stream the
+        # simulator's FaultyMedium draws from.  Run the real sockets,
+        # then re-derive the stream with preview_fates and check that
+        # the logged wire_fault events agree draw-for-draw.
+        from repro.dist.eventlog import merge_logs
+        from repro.dist.injector import preview_fates
+
+        plan = FaultPlan(seed=13, drop_rate=0.4, dup_rate=0.3)
+        result = run_dist("flood", 2, kwargs={"rounds": 3, "burst": 4},
+                          params=PARAMS, plan=plan, log_dir=tmp_path)
+        assert result.results == run_reference(
+            "flood", 2, {"rounds": 3, "burst": 4})
+        events, _ = merge_logs(result.log_dir)
+        logged = [e for e in events
+                  if e["ev"] == "wire_fault" and e["src"] == 0 and e["dest"] == 1]
+        assert logged, "chaos scenario injected nothing"
+        preview = preview_fates(plan, 0, 1, 200)
+        dirty = iter(f for f in preview if not f.clean)
+        for e in logged:
+            fate = next(dirty)
+            assert (e["drop"], e["dup"], e["delay"]) == (
+                fate.drop, fate.duplicate, fate.extra_delay)

@@ -1,0 +1,119 @@
+"""End-to-end socket runs on a clean wire, plus the API wiring around them.
+
+These spawn real worker processes, so parameters stay small; the point
+is that every program's socket run reproduces the in-process oracle and
+survives the full post-hoc log audit.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import Observation, Stack
+from repro.dist import DistParams, run_dist, run_reference
+from repro.dist.eventlog import worker_log_path
+from repro.errors import ProgramError
+
+PARAMS = DistParams(run_timeout_s=45.0)
+
+
+@pytest.mark.parametrize("name,p,rounds", [
+    ("ring", 3, 4),
+    ("alltoall", 3, 3),
+    ("pingpong", 2, 6),
+    ("flood", 2, 3),
+])
+def test_clean_run_matches_reference_and_audits_clean(tmp_path, name, p, rounds):
+    result = run_dist(name, p, kwargs={"rounds": rounds}, params=PARAMS,
+                      log_dir=tmp_path)
+    assert result.results == run_reference(name, p, {"rounds": rounds})
+    assert result.restarts == 0
+    assert result.rounds == rounds
+    report = result.analyze(strict=True)
+    assert report["clean"] is True
+    assert report["torn"] == {}
+
+
+def test_run_leaves_a_complete_log_directory(tmp_path):
+    result = run_dist("ring", 2, kwargs={"rounds": 3}, params=PARAMS,
+                      log_dir=tmp_path)
+    assert Path(result.log_dir) == tmp_path
+    assert worker_log_path(tmp_path, -1).exists()
+    for pid in range(2):
+        assert worker_log_path(tmp_path, pid).exists()
+    summary = result.summary()
+    assert summary["program"] == "ring" and summary["p"] == 2
+    assert summary["wire_faults"] == {"drop": 0, "dup": 0, "delay": 0}
+    assert result.channel_stats["sent"] > 0
+
+
+def test_single_worker_run(tmp_path):
+    result = run_dist("ring", 1, kwargs={"rounds": 3}, params=PARAMS,
+                      log_dir=tmp_path)
+    assert result.results == run_reference("ring", 1, {"rounds": 3})
+    assert result.analyze()["clean"] is True
+
+
+def test_unknown_program_fails_before_any_socket(tmp_path):
+    with pytest.raises(ProgramError, match="unknown dist program"):
+        run_dist("nope", 2, log_dir=tmp_path)
+    assert not any(tmp_path.iterdir())
+
+
+class TestStackIntegration:
+    def test_on_dist_runs_and_observes(self, tmp_path):
+        obs = Observation(trace=True)
+        result = (
+            Stack("ring")
+            .on_dist(3, kwargs={"rounds": 4}, params=PARAMS, log_dir=tmp_path)
+            .run(obs=obs)
+        )
+        assert result.results == run_reference("ring", 3, {"rounds": 4})
+        assert obs.metrics.counter("dist.rounds", layer="dist").value == 4
+        assert obs.metrics.gauge("dist.p", layer="dist").value == 3
+        assert len(obs.tracer.spans) >= 3 * 4  # one span per superstep
+
+    def test_chain_shape_is_registered(self):
+        stack = Stack("ring").on_dist(2)
+        assert stack.chain == ("bsp", "dist")
+        assert stack.describe() == "bsp -> dist"
+
+    def test_coroutine_guest_is_rejected(self):
+        with pytest.raises(ProgramError, match="program \\*name\\*"):
+            Stack(lambda: None).on_dist(2).run()
+
+    def test_non_integer_p_is_rejected(self):
+        with pytest.raises(ProgramError, match="integer worker count"):
+            Stack("ring").on_dist("three").run()
+
+
+class TestCampaignTarget:
+    def test_dist_point_record_is_deterministic(self):
+        from repro.campaign.targets import run_point
+
+        point = {"program": "ring", "p": 2, "rounds": 3, "seed": 9}
+        first = run_point("dist", point)
+        second = run_point("dist", point)
+        assert first == second  # no wall-clock, no retry counts
+        assert first["reference_match"] is True
+        assert first["audit_clean"] is True
+
+
+def test_cli_dist_subcommand_round_trips(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "dist", "ring",
+         "--p", "2", "--rounds", "3", "--seed", "1",
+         "--log-dir", str(tmp_path), "--json"],
+        capture_output=True, text=True, timeout=90, env=env,
+        cwd=str(Path(__file__).resolve().parents[2]),
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    doc = json.loads(proc.stdout.strip().splitlines()[-1])
+    assert doc["reference_match"] is True
+    assert doc["audit"]["clean"] is True
