@@ -47,8 +47,14 @@ def load_json(
     *,
     kind: str | None = None,
     allow_legacy: bool = False,
+    max_version: int = SCHEMA_VERSION,
 ) -> dict:
-    """Read a schema-stamped document, validating ``kind`` when given."""
+    """Read a schema-stamped document, validating ``kind`` when given.
+
+    ``max_version`` is the newest schema version the caller understands;
+    kinds that migrated past the module-wide default pass their own
+    ceiling (e.g. the kernel benchmark's per-kernel v2 layout).
+    """
     path = Path(path)
     doc = json.loads(path.read_text())
     schema = doc.get("schema")
@@ -60,9 +66,9 @@ def load_json(
         raise ValueError(
             f"{path}: schema kind {schema.get('name')!r} != expected {kind!r}"
         )
-    if schema.get("version", 0) > SCHEMA_VERSION:
+    if schema.get("version", 0) > max_version:
         raise ValueError(
             f"{path}: schema version {schema.get('version')} is newer than "
-            f"this reader ({SCHEMA_VERSION})"
+            f"this reader ({max_version})"
         )
     return doc

@@ -161,6 +161,36 @@ class Stack:
 # Keyed by the full chain tuple.  Each adapter receives the stack and the
 # merged option dict and delegates to the engine-backed simulators, so a
 # stacked run and its legacy entry point are the same computation.
+#
+# ``kernel=`` is a first-class stack option: every adapter routes it to
+# the component that owns an event queue — the host machine's
+# ``kernel=`` argument (folded into ``machine_kwargs`` for the theorem
+# simulators) or the router's ``RoutingConfig.kernel`` — so
+# ``.on_logp(params, kernel="adaptive")`` selects the kernel no matter
+# how deep the simulator plumbing sits.
+
+
+def _fold_kernel_into_machine(opts: dict) -> None:
+    """Move a stack-level ``kernel=`` option into ``machine_kwargs``,
+    the argument the theorem simulators forward to their host machine."""
+    kernel = opts.pop("kernel", None)
+    if kernel is not None:
+        machine_kwargs = dict(opts.get("machine_kwargs") or {})
+        machine_kwargs.setdefault("kernel", kernel)
+        opts["machine_kwargs"] = machine_kwargs
+
+
+def _fold_kernel_into_config(opts: dict) -> None:
+    """Move a stack-level ``kernel=`` option into the router's
+    ``RoutingConfig`` (rebuilding it, since configs are frozen)."""
+    from dataclasses import replace
+
+    from repro.networks.routing_sim import RoutingConfig
+
+    kernel = opts.pop("kernel", None)
+    if kernel is not None:
+        config = opts.get("config") or RoutingConfig()
+        opts["config"] = replace(config, kernel=kernel)
 
 
 def _run_bsp_native(stack: Stack, opts: dict) -> Any:
@@ -192,6 +222,7 @@ def _run_logp_on_bsp(stack: Stack, opts: dict) -> Any:
     (layer,) = stack.layers
     if layer.spec is not None:
         opts.setdefault("bsp_params", layer.spec)
+    _fold_kernel_into_machine(opts)
     guest = stack._guest_logp_params()
     bsp_p = opts.pop("p", None)
     if bsp_p is not None:
@@ -207,6 +238,7 @@ def _run_bsp_on_logp(stack: Stack, opts: dict) -> Any:
     (layer,) = stack.layers
     if not isinstance(layer.spec, LogPParams):
         raise ProgramError("Stack(...).on_logp(params) needs host LogPParams")
+    _fold_kernel_into_machine(opts)
     return simulate_bsp_on_logp(layer.spec, stack.program, **opts)
 
 
@@ -214,6 +246,7 @@ def _run_bsp_on_network(stack: Stack, opts: dict) -> Any:
     from repro.networks.backed import run_on_network
 
     (layer,) = stack.layers
+    _fold_kernel_into_config(opts)
     return run_on_network(layer.spec, stack.program, **opts)
 
 
@@ -238,6 +271,7 @@ def _run_bsp_on_logp_on_network(stack: Stack, opts: dict) -> Any:
     logp_layer, net_layer = stack.layers
     if not isinstance(logp_layer.spec, LogPParams):
         raise ProgramError("Stack(...).on_logp(params) needs host LogPParams")
+    _fold_kernel_into_machine(opts)
     machine_kwargs = dict(opts.pop("machine_kwargs", None) or {})
     delivery = machine_kwargs.get("delivery")
     if delivery is None:

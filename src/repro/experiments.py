@@ -40,6 +40,7 @@ import sys
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.perf.event_queue import KERNELS
 from repro.util.tables import render_table
 
 __all__ = ["main", "EXPERIMENTS", "ExperimentTable"]
@@ -338,7 +339,9 @@ def _parse_chain(spec: str) -> tuple[str, list[str]]:
     return guest, hosts or [guest]
 
 
-def _build_inspect_stack(guest: str, hosts: list[str], p: int, topology: str):
+def _build_inspect_stack(
+    guest: str, hosts: list[str], p: int, topology: str, kernel: str | None = None
+):
     """A demo Stack for ``inspect``: canonical programs and parameters."""
     from repro.engine.stack import Stack
     from repro.models.params import BSPParams, LogPParams
@@ -354,13 +357,16 @@ def _build_inspect_stack(guest: str, hosts: list[str], p: int, topology: str):
         stack = Stack(bsp_prefix_program())
     else:
         stack = Stack(logp_sum_program(), model="logp", params=logp)
+    # The BSP machine's superstep kernel is barrier-driven, so a kernel
+    # choice only applies to layers that own an event queue.
+    kernel_opts = {"kernel": kernel} if kernel is not None else {}
     for kind in hosts:
         if kind == "bsp":
             stack = stack.on_bsp(BSPParams(p=p, g=2, l=16) if guest == "bsp" else None)
         elif kind == "logp":
-            stack = stack.on_logp(logp)
+            stack = stack.on_logp(logp, **kernel_opts)
         else:
-            stack = stack.on_network(topo)
+            stack = stack.on_network(topo, **kernel_opts)
     return stack
 
 
@@ -370,7 +376,9 @@ def _inspect(args) -> int:
 
     try:
         guest, hosts = _parse_chain(args.chain)
-        stack = _build_inspect_stack(guest, hosts, args.p, args.topology)
+        stack = _build_inspect_stack(
+            guest, hosts, args.p, args.topology, getattr(args, "kernel", None)
+        )
     except (ValueError, KeyError) as exc:
         print(f"inspect: {exc}", file=sys.stderr)
         return 2
@@ -831,6 +839,14 @@ def main(argv: list[str] | None = None) -> int:
         default="hypercube (multi-port)",
         help="Table 1 topology name for network layers "
         "(default: 'hypercube (multi-port)')",
+    )
+    inspect_p.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default=None,
+        help="event-queue kernel for the host machine / router: 'event' "
+        "(skip-ahead), 'tick' (reference scan), or 'adaptive' "
+        "(density-switched vectorized scanner); default: each layer's own",
     )
     _add_obs_flags(inspect_p)
     dist_p = sub.add_parser(

@@ -33,6 +33,7 @@ from repro.errors import RoutingError
 from repro.models.params import _bind_fields, resolve_aliases
 from repro.networks.topology import Topology
 from repro.perf.counters import KernelCounters
+from repro.perf.density import DensityEstimator
 from repro.perf.event_queue import KERNELS
 from repro.routing.workloads import balanced_h_relation
 from repro.util.rng import make_rng
@@ -57,9 +58,15 @@ class RoutingConfig:
     ``seed`` everywhere; see docs/ARCHITECTURE.md.)
     ``kernel``: ``"event"`` visits only edges/nodes with queued packets
     each step (active-set scheduling); ``"tick"`` is the reference scan
-    over every edge ever created.  Both execute bit-identically — same
-    transmission order, same fault-stream draws — the kernel only changes
-    how the next actionable work is *found*.
+    over every edge ever created; ``"adaptive"`` measures live link
+    occupancy per step and switches (with hysteresis) between the
+    event kernel's active-set scheduling and a numpy-vectorized dense
+    scanner that moves every transmitting packet in one array pass —
+    the multiport/FIFO hot path (under ``single_port`` or
+    ``priority="farthest"`` it falls back to the event path, relabelled).
+    All kernels execute bit-identically — same transmission order, same
+    fault-stream draws — the kernel only changes how the next actionable
+    work is *found and dispatched*.
     """
 
     single_port: bool = False
@@ -167,6 +174,8 @@ def route_packets(
         obs = None
     if config.kernel == "tick":
         outcome, occupancy, hops = _route_packets_tick(paths, config, obs)
+    elif config.kernel == "adaptive":
+        outcome, occupancy, hops = _route_packets_adaptive(paths, config, obs)
     else:
         outcome, occupancy, hops = _route_packets_event(paths, config, obs)
     if obs is not None:
@@ -438,6 +447,212 @@ def _route_packets_tick(
     outcome = RoutingOutcome(
         time=time,
         packets=len(paths),
+        total_hops=total_hops,
+        max_queue=max_queue,
+        retransmissions=retransmissions,
+        kernel=counters,
+    )
+    return outcome, occupancy, hops
+
+
+def _route_packets_adaptive(
+    paths: list[list[int]], config: RoutingConfig, obs=None
+):
+    """Adaptive kernel: density-switched active-set / vectorized scan.
+
+    Link state lives in numpy arrays: paths are flattened into
+    ``flat_nodes`` with per-packet ``(path_off, path_len, pos)``, and each
+    edge queue is an intrusive linked list over packets (``qhead[e]``,
+    ``qtail[e]``, ``qnext[pkt]``, ``qlen[e]``) — every packet sits in at
+    most one queue, so one ``qnext`` array suffices.  Each step measures
+    occupancy (``active edges / created edges``); a
+    :class:`~repro.perf.density.DensityEstimator` picks the mode with
+    hysteresis:
+
+    * **sparse** — a Python loop over the active edges (the event
+      kernel's schedule, on array state);
+    * **dense** — one array pass: batched fault draws, gathered FIFO
+      pops, vectorized arrival detection, and grouped stable-sort
+      appends.
+
+    Bit-identity with the scalar kernels holds because (a) the active
+    set is iterated in sorted edge-creation order in both modes — the
+    same sequence the reference scan produces, (b) a batched
+    ``rng.random(n)`` draws the exact scalar fault stream (numpy's
+    Generator fills arrays with sequential draws), (c) FIFO append order
+    is preserved by the stable sort, and (d) new edges are numbered in
+    first-use order within each batch.  Only the multiport/FIFO path is
+    vectorized: ``single_port`` or ``priority="farthest"`` delegates to
+    the event kernel (relabelled, so results still say "adaptive").
+    """
+    if config.single_port or config.priority != "fifo":
+        outcome, occupancy, hops = _route_packets_event(paths, config, obs)
+        outcome.kernel.kernel = "adaptive"
+        return outcome, occupancy, hops
+
+    n_pkts = len(paths)
+    counters = counters_for("adaptive")
+    occupancy: dict[tuple[int, int], int] | None = {} if obs is not None else None
+    hops: list[tuple[int, int, int, int]] | None = (
+        [] if (obs is not None and obs.tracing) else None
+    )
+
+    path_len = np.array([len(p) for p in paths], dtype=np.int64)
+    total_hops = int((path_len - 1).sum()) if n_pkts else 0
+    path_off = np.zeros(n_pkts, dtype=np.int64)
+    if n_pkts > 1:
+        np.cumsum(path_len[:-1], out=path_off[1:])
+    flat: list[int] = []
+    for p in paths:
+        flat.extend(p)
+    flat_nodes = np.array(flat, dtype=np.int64)
+
+    # Candidate edge space: every hop any path can take, as a packed key
+    # u*K + v.  Hop positions are all flat indices except each path's
+    # last node (which starts no hop).
+    K = int(flat_nodes.max()) + 1 if flat_nodes.size else 1
+    is_hop = np.ones(flat_nodes.size, dtype=bool)
+    last_idx = path_off + path_len - 1
+    is_hop[last_idx[path_len > 0]] = False
+    hop_keys = flat_nodes[:-1] * K + flat_nodes[1:] if flat_nodes.size else flat_nodes
+    # One unique pass yields both the key table and the per-hop compact
+    # index; flat_ckeys is only meaningful at hop positions.
+    cand_keys, inv = np.unique(hop_keys[is_hop[:-1]], return_inverse=True)
+    n_cand = int(cand_keys.size)
+    flat_ckeys = np.zeros(flat_nodes.size, dtype=np.int64)
+    flat_ckeys[np.flatnonzero(is_hop[:-1])] = inv
+
+    # Edge state, indexed by creation-order edge id (eid).
+    eid_of_ckey = np.full(n_cand, -1, dtype=np.int64)
+    key_of_eid = np.zeros(n_cand, dtype=np.int64)
+    qhead = np.zeros(n_cand, dtype=np.int64)
+    qtail = np.zeros(n_cand, dtype=np.int64)
+    qlen = np.zeros(n_cand, dtype=np.int64)
+    qnext = np.zeros(n_pkts, dtype=np.int64)
+    occ_counts = np.zeros(n_cand, dtype=np.int64) if occupancy is not None else None
+    pos = np.zeros(n_pkts, dtype=np.int64)
+    n_edges = 0
+    max_queue = 0
+
+    def append(movers: np.ndarray) -> None:
+        """FIFO-append ``movers`` (in order) onto their current-hop edges."""
+        nonlocal n_edges, max_queue
+        if not movers.size:
+            return
+        ckeys = flat_ckeys[path_off[movers] + pos[movers]]
+        eids = eid_of_ckey[ckeys]
+        new = eids < 0
+        if new.any():
+            # Number fresh edges in first-use order — the scalar kernels'
+            # creation-order numbering.
+            uck, first = np.unique(ckeys[new], return_index=True)
+            order = np.argsort(first, kind="stable")
+            ids = np.arange(n_edges, n_edges + uck.size, dtype=np.int64)
+            eid_of_ckey[uck[order]] = ids
+            key_of_eid[ids] = cand_keys[uck[order]]
+            n_edges += int(uck.size)
+            eids = eid_of_ckey[ckeys]
+        # Group by eid; the stable sort keeps mover order within groups.
+        srt = np.argsort(eids, kind="stable")
+        spkts = movers[srt]
+        seids = eids[srt]
+        same = seids[1:] == seids[:-1]
+        # Chain consecutive same-edge movers, then splice each group.
+        qnext[spkts[:-1][same]] = spkts[1:][same]
+        starts = np.flatnonzero(np.concatenate(([True], ~same)))
+        stops = np.flatnonzero(np.concatenate((~same, [True])))
+        ueids = seids[starts]
+        firsts = spkts[starts]
+        was_empty = qlen[ueids] == 0
+        qhead[ueids[was_empty]] = firsts[was_empty]
+        grew = ~was_empty
+        qnext[qtail[ueids[grew]]] = firsts[grew]
+        qtail[ueids] = spkts[stops]
+        qlen[ueids] += stops - starts + 1
+        peak = int(qlen[ueids].max())
+        if peak > max_queue:
+            max_queue = peak
+
+    live = 0
+    if n_pkts:
+        movers0 = np.flatnonzero(path_len >= 2)
+        live = int(movers0.size)
+        append(movers0)
+
+    fault_rate = config.link_fault_rate
+    fault_rng = make_rng(config.seed) if fault_rate > 0 else None
+    retransmissions = 0
+    est = DensityEstimator(enter=0.5, exit=0.25, alpha=0.5)
+
+    time = 0
+    while live:
+        time += 1
+        if time > config.max_steps:
+            raise RoutingError(f"routing exceeded max_steps={config.max_steps}")
+        counters.batches += 1
+        actives = np.flatnonzero(qlen[:n_edges] > 0)
+        n_active = int(actives.size)
+        counters.ticks_skipped += n_edges - n_active
+        dense = est.observe(n_active / n_edges) if n_edges else False
+        if not n_active:
+            raise RoutingError("routing deadlock: live packets but no moves")
+        counters.events += n_active
+        if dense:
+            counters.dense_batches += 1
+            if fault_rng is not None:
+                ok = fault_rng.random(n_active) >= fault_rate
+                retransmissions += n_active - int(ok.sum())
+                edges = actives[ok]
+            else:
+                edges = actives
+            pkts = qhead[edges]
+            qhead[edges] = qnext[pkts]
+            qlen[edges] -= 1
+            if occ_counts is not None:
+                occ_counts[edges] += 1
+                if hops is not None:
+                    us, vs = np.divmod(key_of_eid[edges], K)
+                    for pkt, u, v in zip(pkts.tolist(), us.tolist(), vs.tolist()):
+                        hops.append((time, pkt, u, v))
+            pos[pkts] += 1
+            arrived = pos[pkts] + 1 >= path_len[pkts]
+            live -= int(arrived.sum())
+            append(pkts[~arrived])
+        else:
+            moved: list[int] = []
+            for e in actives.tolist():
+                if fault_rng is not None and fault_rng.random() < fault_rate:
+                    retransmissions += 1
+                    continue
+                pkt = int(qhead[e])
+                qhead[e] = qnext[pkt]
+                qlen[e] -= 1
+                moved.append(pkt)
+                if occ_counts is not None:
+                    occ_counts[e] += 1
+                    if hops is not None:
+                        key = int(key_of_eid[e])
+                        hops.append((time, pkt, key // K, key % K))
+            movers: list[int] = []
+            for pkt in moved:
+                pos[pkt] += 1
+                if pos[pkt] + 1 >= path_len[pkt]:
+                    live -= 1
+                else:
+                    movers.append(pkt)
+            append(np.asarray(movers, dtype=np.int64))
+
+    counters.queue_highwater = max_queue
+    est.publish(counters)
+    if occupancy is not None:
+        for eid in range(n_edges):
+            c = int(occ_counts[eid])
+            if c:
+                key = int(key_of_eid[eid])
+                occupancy[(key // K, key % K)] = c
+    outcome = RoutingOutcome(
+        time=time,
+        packets=n_pkts,
         total_hops=total_hops,
         max_queue=max_queue,
         retransmissions=retransmissions,

@@ -1,0 +1,94 @@
+"""Live event-density estimation for the adaptive kernel.
+
+The adaptive kernel's whole job is a regime call: *sparse* executions
+(few events per clock tick) want the skip-ahead indexed queue, *dense*
+executions (nearly every tick carries events) want batched scanning —
+the per-tick scan the event kernel was built to avoid becomes optimal
+again once there is nothing to skip, and a vectorized scan beats both.
+:class:`DensityEstimator` makes that call online, from the stream of
+density samples the kernel already produces for free:
+
+* the **event queue** samples ``batch_size / gap`` — events delivered
+  per clock unit crossed reaching the batch's timestamp (a saturated
+  clock has gap 1 and density >= 1);
+* the **packet router** samples ``active / created`` — the occupancy of
+  the edge (lookahead) window, i.e. the fraction of known links holding
+  traffic this step.
+
+Samples feed an exponentially-weighted moving average, and the mode
+flips with **hysteresis**: the EWMA must rise above ``enter`` to go
+dense and fall below ``exit`` to go back, so a workload hovering at the
+threshold cannot thrash between kernels (each flip re-tunes the hot
+loop).  The estimator is pure bookkeeping — it never touches event
+order, so kernel equivalence is untouched by construction (the
+golden-trace and density-sweep suites pin this).
+"""
+
+from __future__ import annotations
+
+__all__ = ["DensityEstimator"]
+
+
+class DensityEstimator:
+    """EWMA density tracker with hysteresis over a dense/sparse mode bit.
+
+    Parameters
+    ----------
+    enter:
+        EWMA level at (or above) which the estimator switches to dense
+        mode.
+    exit:
+        EWMA level at (or below) which it switches back to sparse mode.
+        Must be strictly below ``enter`` (the hysteresis band).
+    alpha:
+        EWMA smoothing factor in ``(0, 1]``; higher reacts faster.  The
+        default 0.5 reaches a new regime's level in ~3 samples while
+        still ignoring single-batch spikes.
+    """
+
+    __slots__ = ("enter", "exit", "alpha", "dense", "value", "samples", "switches")
+
+    def __init__(
+        self, *, enter: float = 1.0, exit: float = 0.5, alpha: float = 0.5
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if exit >= enter:
+            raise ValueError(
+                f"hysteresis band requires exit < enter, got "
+                f"exit={exit} >= enter={enter}"
+            )
+        self.enter = enter
+        self.exit = exit
+        self.alpha = alpha
+        #: Current mode bit; every run starts sparse (skip-ahead).
+        self.dense = False
+        #: Current EWMA of the density samples.
+        self.value = 0.0
+        #: Number of samples observed.
+        self.samples = 0
+        #: Number of dense<->sparse transitions so far.
+        self.switches = 0
+
+    def observe(self, sample: float) -> bool:
+        """Fold one density sample in; returns the (possibly new) mode."""
+        self.samples += 1
+        if self.samples == 1:
+            self.value = float(sample)
+        else:
+            self.value += self.alpha * (float(sample) - self.value)
+        if self.dense:
+            if self.value <= self.exit:
+                self.dense = False
+                self.switches += 1
+        elif self.value >= self.enter:
+            self.dense = True
+            self.switches += 1
+        return self.dense
+
+    def publish(self, counters) -> None:
+        """Copy the estimator's totals onto a result's
+        :class:`~repro.perf.counters.KernelCounters`."""
+        counters.mode_switches = self.switches
+        counters.density_samples = self.samples
+        counters.density = self.value

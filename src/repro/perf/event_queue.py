@@ -17,6 +17,17 @@ how the next event is located:
   exists to avoid.  It is kept as the equivalence oracle for the golden
   trace suite and as the measured baseline of ``bench_kernel``.
 
+* :class:`AdaptiveEventQueue` — the density-aware kernel.  Same bucket
+  structure as :class:`IndexedEventQueue`, but a
+  :class:`~repro.perf.density.DensityEstimator` watches events-per-tick
+  and, in *dense* regimes (nearly every tick populated), probes the
+  ``t + 1`` bucket directly instead of going through the min-heap —
+  consecutive timestamps are located in O(1) and the heap entries are
+  reclaimed lazily.  In sparse regimes it behaves exactly like the
+  indexed queue.  Mode residency, switch counts, and density samples
+  are reported on its counters; event order is identical in both modes
+  by construction.
+
 Ordering contract (shared by both implementations):
 
 * pushes during the drain of time ``t``'s batch may target ``t`` itself
@@ -35,16 +46,20 @@ from bisect import insort
 from typing import Any
 
 from repro.perf.counters import KernelCounters
+from repro.perf.density import DensityEstimator
 
 __all__ = [
     "IndexedEventQueue",
     "TickScanQueue",
+    "AdaptiveEventQueue",
     "KERNELS",
     "make_event_queue",
 ]
 
-#: Known kernel names, in (new, reference) order.
-KERNELS = ("event", "tick")
+#: Known kernel names: the two PR-2 kernels in (new, reference) order,
+#: plus the density-aware adaptive kernel.  Suites parameterized over
+#: this tuple (golden traces, ordering contract) cover all three.
+KERNELS = ("event", "tick", "adaptive")
 
 
 class IndexedEventQueue:
@@ -112,6 +127,26 @@ class IndexedEventQueue:
         self._size -= 1
         self.counters.events += 1
         return (self._cur_time, kind, pid, data)  # type: ignore[return-value]
+
+    def pop_batch(self) -> list[tuple[int, int, int, Any]] | None:
+        """Pop the next event *and* the undrained remainder of its
+        timestamp batch, as ``[(time, kind, pid, data), ...]`` in pop
+        order — the engine's batch-delivery hook.  Events pushed at the
+        same timestamp *after* this call re-seed the queue and pop next,
+        exactly where one-at-a-time popping would have placed them."""
+        first = self.pop()
+        if first is None:
+            return None
+        time = first[0]
+        events = [first]
+        rest = len(self._cur) - self._cur_i
+        if rest:
+            for kind, _seq, pid, data in self._cur[self._cur_i :]:
+                events.append((time, kind, pid, data))
+            self._cur_i = len(self._cur)
+            self._size -= rest
+            self.counters.events += rest
+        return events
 
     def front_snapshot(self, n: int = 8) -> list[dict]:
         """The next (up to) ``n`` pending events, in processing order —
@@ -207,6 +242,10 @@ class TickScanQueue:
         self.counters.events += 1
         return (self._now, kind, pid, data)
 
+    # Same contract as IndexedEventQueue.pop_batch: pop one event plus
+    # the undrained remainder of its tick.
+    pop_batch = IndexedEventQueue.pop_batch
+
     def front_snapshot(self, n: int = 8) -> list[dict]:
         out: list[dict] = []
         for kind, _seq, pid, _data in self._cur[self._cur_i :]:
@@ -221,10 +260,104 @@ class TickScanQueue:
         return out[:n]
 
 
+class AdaptiveEventQueue(IndexedEventQueue):
+    """Density-aware queue: skip-ahead when sparse, O(1) next-tick
+    probing when dense.
+
+    Shares :class:`IndexedEventQueue`'s bucket-per-timestamp layout and
+    therefore its exact event ordering; only *how the next populated
+    timestamp is located* adapts.  Each drained batch contributes one
+    density sample — ``batch_size / clock_gap``, events per clock unit
+    crossed — to a :class:`~repro.perf.density.DensityEstimator`.  Once
+    the EWMA crosses the dense threshold, the queue first probes the
+    ``prev_time + 1`` bucket directly: in a saturated execution that hit
+    rate approaches 100% and the min-heap sits idle (its entries are
+    discarded lazily when the heap is next consulted).  When density
+    falls back through the exit threshold, popping reverts to pure
+    skip-ahead.
+
+    The one ordering hazard is the quiescence rewind: a push at or
+    before an already-drained time may create a bucket *behind*
+    ``prev_time + 1``, so the probe is suspended until the next
+    heap-sourced pop re-establishes the global minimum.
+    """
+
+    def __init__(self, p: int = 0) -> None:
+        super().__init__(p)
+        self.counters = KernelCounters(kernel="adaptive")
+        self._est = DensityEstimator(enter=1.0, exit=0.5, alpha=0.5)
+        self._probe_ok = True
+
+    @property
+    def estimator(self) -> DensityEstimator:
+        """The live density estimator (read-only introspection)."""
+        return self._est
+
+    def push(self, time: int, kind: int, pid: int, data: Any = None) -> None:
+        if (
+            self._cur_time is not None
+            and time <= self._cur_time
+            and self._cur_i >= len(self._cur)
+        ):
+            # Quiescence rewind: the new bucket may predate prev+1, so
+            # the dense probe is unsafe until the heap re-establishes
+            # the true minimum time.
+            self._probe_ok = False
+        super().push(time, kind, pid, data)
+
+    def _next_time(self) -> int | None:
+        """The earliest populated timestamp, or ``None`` when empty."""
+        if not self._buckets:
+            return None
+        if self._est.dense and self._probe_ok and self._prev_time is not None:
+            t = self._prev_time + 1
+            if t in self._buckets:
+                # Dense fast path: consecutive timestamp found without
+                # touching the heap; its heap entry goes stale and is
+                # reclaimed lazily below.
+                return t
+        while True:
+            t = heapq.heappop(self._times)
+            if t in self._buckets:
+                self._probe_ok = True
+                return t
+            # Stale entry for a bucket the dense probe already drained.
+
+    def pop(self) -> tuple[int, int, int, Any] | None:
+        if self._cur_i >= len(self._cur):
+            t = self._next_time()
+            if t is None:
+                return None
+            batch = self._buckets.pop(t)
+            batch.sort()
+            self._cur = batch
+            self._cur_i = 0
+            self._cur_time = t
+            c = self.counters
+            c.batches += 1
+            prev = self._prev_time if self._prev_time is not None else -1
+            gap = t - prev
+            c.ticks_skipped += max(0, gap - 1)
+            self._prev_time = t
+            est = self._est
+            if est.observe(len(batch) / max(1, gap)):
+                c.dense_batches += 1
+            c.mode_switches = est.switches
+            c.density_samples = est.samples
+            c.density = est.value
+        kind, _seq, pid, data = self._cur[self._cur_i]
+        self._cur_i += 1
+        self._size -= 1
+        self.counters.events += 1
+        return (self._cur_time, kind, pid, data)  # type: ignore[return-value]
+
+
 def make_event_queue(kernel: str, p: int):
     """Instantiate the named kernel's queue for a ``p``-processor machine."""
     if kernel == "event":
         return IndexedEventQueue(p)
     if kernel == "tick":
         return TickScanQueue(p)
+    if kernel == "adaptive":
+        return AdaptiveEventQueue(p)
     raise ValueError(f"unknown kernel {kernel!r}; choose from {KERNELS}")

@@ -153,11 +153,41 @@ def case_routing(kernel: str) -> dict:
     return out
 
 
+def case_routing_multiport_dense(kernel: str) -> dict:
+    """Dense multiport routing — the adaptive kernel's vectorized hot
+    path — pinned down to the individual transmission: the projection
+    keeps the full hop trace ``[time, packet, link]`` in pop order, so a
+    vectorized step that reorders pops, renumbers edges, or drifts off
+    the shared fault-stream draw order fails against the committed file
+    even when the aggregate outcome happens to survive."""
+    from repro.obs import Observation
+
+    out: dict = {}
+    for name, fault_rate in (("dense", 0.0), ("dense_faulty", 0.25)):
+        obs = Observation(trace=True)
+        cfg = RoutingConfig(link_fault_rate=fault_rate, seed=11, kernel=kernel)
+        o = route_h_relation(Hypercube(32), 16, seed=3, config=cfg, obs=obs)
+        out[name] = {
+            "time": o.time,
+            "packets": o.packets,
+            "total_hops": o.total_hops,
+            "max_queue": o.max_queue,
+            "retransmissions": o.retransmissions,
+            "hops": [
+                [s.end, s.args["packet"], s.args["link"]]
+                for s in obs.tracer.spans
+                if s.name == "hop"
+            ],
+        }
+    return out
+
+
 CASES = {
     "bsp_on_logp_det": case_bsp_on_logp_det,
     "logp_on_bsp": case_logp_on_bsp,
     "logp_faulty": case_logp_faulty,
     "routing": case_routing,
+    "routing_multiport_dense": case_routing_multiport_dense,
 }
 
 

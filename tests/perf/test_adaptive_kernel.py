@@ -1,0 +1,157 @@
+"""Unit tests for the adaptive kernel substrate: the density estimator,
+the density-switched queue, and the batch-delivery contract.
+
+The ordering-contract suite in ``test_event_queue.py`` already runs the
+adaptive queue against the heap reference (it is in ``KERNELS``); here
+the adaptive-specific machinery is pinned directly — EWMA math,
+hysteresis, the dense ``t+1`` probe with its lazy heap reclamation, the
+quiescence-rewind suspension, and ``pop_batch``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import AdaptiveEventQueue, DensityEstimator, KERNELS, make_event_queue
+
+
+def drain(queue):
+    out = []
+    while True:
+        ev = queue.pop()
+        if ev is None:
+            return out
+        out.append(ev)
+
+
+class TestDensityEstimator:
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError, match="alpha"):
+            DensityEstimator(alpha=0.0)
+        with pytest.raises(ValueError, match="alpha"):
+            DensityEstimator(alpha=1.5)
+
+    def test_hysteresis_band_validated(self):
+        with pytest.raises(ValueError, match="exit < enter"):
+            DensityEstimator(enter=0.5, exit=0.5)
+
+    def test_first_sample_seeds_the_ewma(self):
+        est = DensityEstimator()
+        est.observe(4.0)
+        assert est.value == 4.0  # no decay from the initial 0.0
+
+    def test_ewma_update(self):
+        est = DensityEstimator(alpha=0.5)
+        est.observe(4.0)
+        est.observe(0.0)
+        assert est.value == 2.0
+        est.observe(0.0)
+        assert est.value == 1.0
+
+    def test_enter_threshold_is_inclusive(self):
+        est = DensityEstimator(enter=1.0, exit=0.5)
+        assert est.observe(1.0) is True
+        assert est.switches == 1
+
+    def test_hysteresis_band_holds_the_mode(self):
+        """Values between exit and enter never flip the mode, in either
+        direction — the anti-thrash guarantee."""
+        est = DensityEstimator(enter=1.0, exit=0.5, alpha=1.0)
+        assert est.observe(0.75) is False  # below enter: stays sparse
+        est.observe(2.0)  # -> dense
+        assert est.observe(0.75) is True  # above exit: stays dense
+        assert est.observe(0.2) is False  # through exit: back to sparse
+        assert est.switches == 2
+
+    def test_publish_copies_totals(self):
+        from repro.perf import KernelCounters
+
+        est = DensityEstimator(alpha=1.0)
+        est.observe(2.0)
+        est.observe(0.1)
+        c = KernelCounters(kernel="adaptive")
+        est.publish(c)
+        assert c.mode_switches == est.switches
+        assert c.density_samples == 2
+        assert c.density == pytest.approx(0.1)
+
+
+class TestAdaptiveQueue:
+    def _saturate(self, queue, start, ticks, per_tick=2):
+        for dt in range(ticks):
+            for i in range(per_tick):
+                queue.push(start + dt, 0, i, (start + dt, i))
+
+    def test_saturated_schedule_goes_dense(self):
+        q = AdaptiveEventQueue(4)
+        self._saturate(q, 0, 10)
+        events = drain(q)
+        assert [e[0] for e in events] == sorted(e[0] for e in events)
+        assert q.estimator.dense
+        assert q.counters.dense_batches >= 1
+        assert q.counters.mode_switches == 1
+        assert q.counters.sparse_batches == q.counters.batches - q.counters.dense_batches
+
+    def test_dense_probe_survives_gap_in_schedule(self):
+        """A hole in an otherwise saturated schedule: the probe misses,
+        the heap (with stale entries for probe-drained buckets) takes
+        over, and nothing is lost or reordered."""
+        q = AdaptiveEventQueue(4)
+        self._saturate(q, 0, 8)  # t = 0..7, goes dense
+        q.push(50, 0, 0, "far")  # hole: probe at t=8 misses
+        self._saturate(q, 51, 3)
+        events = drain(q)
+        times = [e[0] for e in events]
+        assert times == sorted(times)
+        assert len(events) == 8 * 2 + 1 + 3 * 2
+
+    def test_rewind_suspends_probe(self):
+        """Quiescence re-seed behind the drained time: the probe must
+        not fire at prev+1 while an older bucket exists."""
+        q = AdaptiveEventQueue(4)
+        self._saturate(q, 10, 6)  # dense by the end of the drain
+        assert drain(q) and q.estimator.dense
+        q.push(3, 0, 0, "rewound")  # at-or-before prev: probe unsafe
+        q.push(16, 0, 1, "ahead")  # prev+1: the probe's tempting target
+        assert [e[3] for e in drain(q)] == ["rewound", "ahead"]
+
+    def test_counters_dict_includes_adaptive_fields(self):
+        q = AdaptiveEventQueue(2)
+        self._saturate(q, 0, 4)
+        drain(q)
+        d = q.counters.as_dict()
+        for key in ("mode_switches", "dense_batches", "density_samples", "density"):
+            assert key in d
+        # Non-adaptive kernels keep the compact dict.
+        assert "mode_switches" not in make_event_queue("event", 2).counters.as_dict()
+
+
+class TestPopBatch:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_batch_is_the_full_timestamp_in_pop_order(self, kernel):
+        q = make_event_queue(kernel, 4)
+        q.push(5, 1, 0, "b")
+        q.push(5, 0, 1, "a")
+        q.push(9, 0, 2, "c")
+        assert q.pop_batch() == [(5, 0, 1, "a"), (5, 1, 0, "b")]
+        assert q.pop_batch() == [(9, 0, 2, "c")]
+        assert q.pop_batch() is None
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_batch_counts_every_event(self, kernel):
+        q = make_event_queue(kernel, 4)
+        for pid in range(3):
+            q.push(2, 0, pid)
+        q.pop_batch()
+        assert q.counters.events == 3
+        assert len(q) == 0
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_same_time_push_after_batch_reseeds(self, kernel):
+        """An event pushed at time t *after* t's batch was delivered pops
+        next — exactly where one-at-a-time popping would place it."""
+        q = make_event_queue(kernel, 2)
+        q.push(5, 1, 0, "first")
+        assert q.pop_batch() == [(5, 1, 0, "first")]
+        q.push(5, 0, 1, "again")
+        assert q.pop_batch() == [(5, 0, 1, "again")]

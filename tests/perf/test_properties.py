@@ -11,8 +11,13 @@ checked against the paper's §2.2 rules reconstructed *from the trace*:
   stalling really had a free slot at its acceptance instant;
 * **gap rule** — a processor's consecutive submissions (and
   acquisitions) are at least ``G`` apart;
-* **kernel equivalence** — the event-driven and per-tick kernels drive
-  bit-identical executions on every generated program.
+* **kernel equivalence** — all three kernels (``event``, ``tick``,
+  ``adaptive``) drive bit-identical executions on every generated
+  program;
+* **density sweep** — programs parameterized by event density, from
+  skip-ahead-friendly sparse phases to a saturated clock, stay
+  kernel-equivalent, and the adaptive kernel's counters record the
+  mode switch when the density EWMA crosses its threshold.
 
 The CI profile (``HYPOTHESIS_PROFILE=ci``, registered in
 ``tests/conftest.py``) is derandomized so failures reproduce exactly.
@@ -26,10 +31,11 @@ hypothesis = pytest.importorskip("hypothesis")
 
 from hypothesis import given, settings, strategies as st  # noqa: E402
 
-from repro.logp.instructions import Compute, Send, WaitUntil  # noqa: E402
+from repro.logp.instructions import Compute, Send, TryRecv, WaitUntil  # noqa: E402
 from repro.logp.machine import LogPMachine  # noqa: E402
 from repro.logp.trace import accept_times_from_result  # noqa: E402
 from repro.models.params import LogPParams  # noqa: E402
+from repro.perf.event_queue import KERNELS, make_event_queue  # noqa: E402
 
 
 @st.composite
@@ -183,25 +189,214 @@ def test_gap_rule_on_submissions_and_acquisitions(params, steps):
                 )
 
 
+def uid_free_projection(res) -> dict:
+    """Everything observable about a run except process-global uids and
+    kernel counters — the projection the kernels must agree on."""
+    return {
+        "results": res.results,
+        "makespan": res.makespan,
+        "total_messages": res.total_messages,
+        "buffer_highwater": res.buffer_highwater,
+        "stalls": [
+            (s.sender, s.dest, s.submit_time, s.accept_time) for s in res.stalls
+        ],
+        "submissions": [(t, ep) for t, ep, _uid in res.trace.submissions],
+        "deliveries": [(t, ep) for t, ep, _uid in res.trace.deliveries],
+        "acquisitions": [
+            (a, b, pid) for a, b, pid, _uid in res.trace.acquisitions
+        ],
+    }
+
+
 @given(params=logp_params(), steps=program_steps)
 @settings(max_examples=25)
 def test_kernels_bit_identical(params, steps):
-    """The tentpole guarantee, as a property: both queue kernels drive
+    """The tentpole guarantee, as a property: every queue kernel drives
     the same execution on arbitrary programs (uid-free projections)."""
     programs = build_programs(steps, params.p)
-    a = run_traced(params, programs, kernel="event")
-    b = run_traced(params, programs, kernel="tick")
-    assert a.results == b.results
-    assert a.makespan == b.makespan
-    assert a.total_messages == b.total_messages
-    assert a.buffer_highwater == b.buffer_highwater
-    assert [(s.sender, s.dest, s.submit_time, s.accept_time) for s in a.stalls] == [
-        (s.sender, s.dest, s.submit_time, s.accept_time) for s in b.stalls
-    ]
-    for field in ("submissions", "deliveries"):
-        assert [
-            (t, ep) for t, ep, _uid in getattr(a.trace, field)
-        ] == [(t, ep) for t, ep, _uid in getattr(b.trace, field)]
-    assert [(x, y, pid) for x, y, pid, _ in a.trace.acquisitions] == [
-        (x, y, pid) for x, y, pid, _ in b.trace.acquisitions
-    ]
+    base = uid_free_projection(run_traced(params, programs, kernel="event"))
+    for kernel in KERNELS[1:]:
+        other = uid_free_projection(run_traced(params, programs, kernel=kernel))
+        assert other == base, f"kernel {kernel!r} diverged from 'event'"
+
+
+# --------------------------------------------------------------------------
+# Density sweep: sparse -> saturated programs under the adaptive kernel.
+#
+# Compute/WaitUntil resolve *inline* (they only move the local clock, no
+# queue traffic), so event density is driven with network instructions.
+# A density program has two phases, clock-aligned across processors by
+# symmetry (every pid runs the same ring program): a *sparse* phase of
+# ``sparse_len`` wakes spaced ``gap`` ticks apart, each submitting one
+# message — a wave of events every ``gap`` ticks — and a *dense* tail of
+# ``dense_len`` TryRecv steps: once the buffer is drained each poll
+# costs exactly one queue event per processor per tick, a saturated
+# clock with density ~ p >= 2.
+# --------------------------------------------------------------------------
+
+
+def build_density_programs(p: int, sparse_len: int, dense_len: int, gap: int):
+    def make(pid: int):
+        dest = (pid + 1) % p
+
+        def prog(ctx):
+            for _ in range(sparse_len):
+                yield WaitUntil(ctx.clock + gap)
+                yield Send(dest, 0)
+            for _ in range(dense_len):
+                yield TryRecv()
+            return 0
+
+        return prog
+
+    return [make(pid) for pid in range(p)]
+
+
+@st.composite
+def density_profiles(draw):
+    """(sparse_len, dense_len, gap_extra) spanning sparse-only,
+    dense-only, and sparse-then-saturated programs."""
+    sparse_len = draw(st.integers(0, 8))
+    dense_len = draw(st.integers(0, 12))
+    gap_extra = draw(st.integers(0, 5))
+    return sparse_len, dense_len, gap_extra
+
+
+@given(params=logp_params(), profile=density_profiles())
+@settings(max_examples=25)
+def test_density_sweep_kernels_equivalent(params, profile):
+    """Across the whole density range, the three kernels stay
+    bit-identical and the adaptive counters stay self-consistent."""
+    sparse_len, dense_len, gap_extra = profile
+    gap = 4 * params.p + gap_extra
+    programs = build_density_programs(params.p, sparse_len, dense_len, gap)
+    runs = {k: run_traced(params, programs, kernel=k) for k in KERNELS}
+    base = uid_free_projection(runs["event"])
+    for kernel in KERNELS[1:]:
+        assert uid_free_projection(runs[kernel]) == base, kernel
+    ada = runs["adaptive"].kernel
+    assert ada.kernel == "adaptive"
+    assert ada.density_samples == ada.batches
+    assert 0 <= ada.dense_batches <= ada.batches
+    assert ada.sparse_batches == ada.batches - ada.dense_batches
+
+
+@given(
+    params=logp_params(),
+    dense_len=st.integers(10, 16),
+    gap_extra=st.integers(0, 5),
+)
+@settings(max_examples=25)
+def test_density_crossing_records_mode_switch(params, dense_len, gap_extra):
+    """A poll tail saturates the clock: the EWMA crosses the enter
+    threshold, the switch is recorded, and the run ends dense."""
+    gap = 4 * params.p + gap_extra
+    programs = build_density_programs(params.p, 2, dense_len, gap)
+    k = run_traced(params, programs, kernel="adaptive").kernel
+    assert k.mode_switches >= 1
+    assert k.dense_batches >= 1
+    assert k.density >= 1.0  # the tail saturates the clock for good
+
+
+@given(
+    gap=st.integers(3, 12),
+    dense_b=st.integers(2, 5),
+    n_sparse=st.integers(6, 12),
+    n_dense=st.integers(6, 12),
+)
+@settings(max_examples=50)
+def test_queue_density_sweep_estimator_modes(gap, dense_b, n_sparse, n_dense):
+    """The full sweep at the queue layer, where the schedule is exact:
+    singleton events ``gap`` ticks apart keep the estimator sparse, a
+    plateau of ``dense_b``-event batches on consecutive ticks flips it
+    dense (one recorded switch), and returning to the sparse schedule
+    decays the EWMA back through the exit threshold.  All three queues
+    must agree on every pop along the way."""
+    queues = {k: make_event_queue(k, 4) for k in KERNELS}
+    ada = queues["adaptive"]
+
+    def push_all(t: int, n: int) -> None:
+        for i in range(n):
+            for q in queues.values():
+                q.push(t, 0, i % 4, None)
+
+    def drain_and_compare() -> None:
+        while True:
+            popped = {k: q.pop() for k, q in queues.items()}
+            assert len(set(popped.values())) == 1, popped
+            if popped["event"] is None:
+                return
+
+    # Sparse ramp: singletons ``gap`` apart.  First event at t=gap so
+    # even the first sample (gap measured from t=-1) is sub-threshold.
+    t = 0
+    for _ in range(n_sparse):
+        t += gap
+        push_all(t, 1)
+    drain_and_compare()
+    assert not ada.estimator.dense
+    assert ada.counters.mode_switches == 0
+    assert ada.counters.dense_batches == 0
+    assert ada.counters.ticks_skipped > 0
+    # Saturated plateau: dense_b events on every consecutive tick.
+    for _ in range(n_dense):
+        t += 1
+        push_all(t, dense_b)
+    drain_and_compare()
+    assert ada.estimator.dense
+    assert ada.counters.mode_switches == 1
+    assert ada.counters.dense_batches >= 1
+    assert ada.estimator.value >= 1.0
+    # Back to sparse: the EWMA decays through the exit threshold.
+    for _ in range(n_sparse):
+        t += gap
+        push_all(t, 1)
+    drain_and_compare()
+    assert not ada.estimator.dense
+    assert ada.counters.mode_switches == 2
+
+
+#: Interleaved queue operations: ("push", dt, kind, pid) pushes at
+#: ``last_popped_time + dt`` (dt=0 after a drained batch is the
+#: quiescence-rewind hazard the adaptive probe must suspend on);
+#: ("pop",) pops one event from every queue and compares.
+queue_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("push"),
+            st.integers(0, 6),
+            st.integers(0, 3),
+            st.integers(0, 7),
+        ),
+        st.tuples(st.just("pop")),
+    ),
+    max_size=60,
+)
+
+
+@given(ops=queue_ops)
+@settings(max_examples=50)
+def test_event_queues_agree_under_interleaved_ops(ops):
+    """The raw ordering contract: identical push/pop interleavings give
+    identical pop sequences on all three queues, including same-time
+    mid-batch pushes and at-current-time re-seeds after a drain."""
+    queues = {k: make_event_queue(k, 8) for k in KERNELS}
+    now = 0
+    seq = 0
+    for op in ops:
+        if op[0] == "push":
+            _, dt, kind, pid = op
+            for q in queues.values():
+                q.push(now + dt, kind, pid, seq)
+            seq += 1
+        else:
+            popped = {k: q.pop() for k, q in queues.items()}
+            assert len(set(popped.values())) == 1, popped
+            if popped["event"] is not None:
+                now = popped["event"][0]
+    while True:
+        popped = {k: q.pop() for k, q in queues.items()}
+        assert len(set(popped.values())) == 1, popped
+        if popped["event"] is None:
+            break
+    assert all(len(q) == 0 for q in queues.values())
