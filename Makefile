@@ -1,6 +1,6 @@
 # Convenience targets; everything also works as plain pytest invocations.
 
-.PHONY: install test lint bench bench-only bench-kernel campaign-smoke dist-smoke trace-demo faults experiments examples clean
+.PHONY: install test lint bench bench-only bench-kernel bench-service campaign-smoke dist-smoke serve-smoke trace-demo faults experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -48,6 +48,20 @@ dist-smoke:
 		assert doc['reference_match'] and doc['audit']['clean'], doc['audit']; \
 		assert doc['result']['restarts'] >= 1, 'kill never fired'; \
 		print('dist-smoke ok:', doc['result'])"
+
+# Simulation service end to end (see docs/SERVICE.md): start a real
+# TCP server on an ephemeral port, drive 15 requests through real
+# sockets (3 unique points x 4 concurrent copies, then 3 repeats), and
+# self-check the counters: 3 misses, 9 in-flight dedups, 3 cache hits,
+# pool saw exactly the 3 unique points, stats reconcile.
+serve-smoke:
+	PYTHONPATH=src python -m repro.experiments serve --smoke \
+		--store campaigns/service-smoke
+
+# Served-requests/sec at 0/50/95% cache hit rate; asserts the counters
+# reconcile and the hit path never reaches the pool (docs/SERVICE.md).
+bench-service:
+	PYTHONPATH=src python benchmarks/bench_service.py --quick
 
 # Three-layer run with metrics + a Perfetto-loadable trace (trace.json).
 trace-demo:

@@ -8,9 +8,9 @@ the processor-time product p' * T_BSP falling toward the sequential work
 as p' shrinks, while per-host slowdown follows (p/p') * O(1 + g/G + l/L).
 """
 
-from repro.core.logp_on_bsp import (
-    simulate_logp_on_bsp_workpreserving,
-)
+import pytest
+
+from repro import Stack
 from repro.models.params import LogPParams
 from repro.programs import logp_alltoall_program, logp_sum_program
 from repro.util.tables import render_table
@@ -24,7 +24,7 @@ def sweep():
     out = {}
     for kernel_name, kernel in (("sum", logp_sum_program), ("alltoall", logp_alltoall_program)):
         for bsp_p in HOSTS:
-            rep = simulate_logp_on_bsp_workpreserving(PARAMS, kernel(), bsp_p)
+            rep = Stack(kernel(), model="logp", params=PARAMS).on_bsp(p=bsp_p).run()
             assert rep.outputs_match
             out[(kernel_name, bsp_p)] = rep
     return out
@@ -32,7 +32,9 @@ def sweep():
 
 def test_workpreserving_report(sweep, publish, benchmark):
     benchmark.pedantic(
-        lambda: simulate_logp_on_bsp_workpreserving(PARAMS, logp_sum_program(), 4),
+        lambda: Stack(logp_sum_program(), model="logp", params=PARAMS)
+        .on_bsp(p=4)
+        .run(),
         rounds=1,
         iterations=1,
     )

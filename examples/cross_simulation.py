@@ -9,12 +9,14 @@
    via barrier (CB) + the deterministic Section 4.2 routing protocol,
    and via the Theorem 3 randomized protocol.
 
+Both directions are expressed through the public Stack API — the same
+chains the CLI's ``inspect``, campaign targets, and the service build
+from a :class:`~repro.engine.request.RunRequest`.
+
 Run:  python examples/cross_simulation.py
 """
 
-from repro import BSPParams, LogPParams
-from repro.core.bsp_on_logp import simulate_bsp_on_logp
-from repro.core.logp_on_bsp import simulate_logp_on_bsp
+from repro import BSPParams, LogPParams, Stack
 from repro.programs import bsp_radix_sort_program, logp_alltoall_program
 from repro.util.tables import render_table
 
@@ -24,7 +26,11 @@ def theorem1_demo() -> None:
     rows = []
     for g_scale, l_scale in [(1, 1), (4, 1), (1, 4), (4, 4)]:
         bsp = BSPParams(p=8, g=logp.G * g_scale, l=logp.L * l_scale)
-        rep = simulate_logp_on_bsp(logp, logp_alltoall_program(), bsp_params=bsp)
+        rep = (
+            Stack(logp_alltoall_program(), model="logp", params=logp)
+            .on_bsp(bsp)
+            .run()
+        )
         assert rep.outputs_match
         rows.append(
             (
@@ -50,7 +56,7 @@ def theorem2_demo() -> None:
     prog = bsp_radix_sort_program(keys_per_proc=8, key_bits=8, seed=42)
     rows = []
     for mode in ["deterministic", "randomized", "offline"]:
-        rep = simulate_bsp_on_logp(logp, prog, routing=mode, seed=3)
+        rep = Stack(prog).on_logp(logp, routing=mode, seed=3).run()
         flat = [k for slice_ in rep.results for k in slice_]
         assert flat == sorted(flat), "radix sort output must be globally sorted"
         rows.append(

@@ -39,8 +39,13 @@ The package layout underneath:
 * :mod:`repro.obs` — the observability layer (metrics, tracer, cost
   checks);
 * :mod:`repro.campaign` — parallel, resumable, cache-backed experiment
-  sweeps (:class:`CampaignSpec` + :func:`run_campaign`); see
-  ``docs/CAMPAIGN.md``;
+  sweeps (:class:`CampaignSpec` + :func:`run_campaign`), plus the public
+  target registry (:func:`register_target`); see ``docs/CAMPAIGN.md``;
+* :mod:`repro.service` — simulation-as-a-service: an asyncio front-end
+  (:class:`SimulationService`) that resolves :class:`RunRequest`
+  documents against the sharded campaign cache — hits served from disk,
+  identical in-flight requests deduped, misses batched into the
+  work-stealing pool; see ``docs/SERVICE.md``;
 * :mod:`repro.dist` — a fault-tolerant *real-process* backend: each
   LogP processor is an OS process over TCP, supervised with heartbeats,
   checkpointed restarts, seq/ack retransmission, and Lamport-stamped
@@ -49,13 +54,15 @@ The package layout underneath:
 See ``examples/quickstart.py`` for a guided tour.
 """
 
-from repro.campaign import CampaignReport, CampaignSpec, run_campaign
+from repro.campaign import CampaignReport, CampaignSpec, register_target, run_campaign
 from repro.dist import DistParams, DistResult, run_dist
 from repro.models.message import Message
 from repro.models.params import BSPParams, LogPParams
 from repro.bsp.machine import BSPMachine, BSPResult
 from repro.logp.machine import LogPMachine, LogPResult
 from repro.engine import MachineResult, Stack, TraceEvent
+from repro.engine.request import RunRequest
+from repro.service import ServiceConfig, SimulationService
 from repro.faults import FaultPlan, FaultLog, CRASHED
 from repro.networks.routing_sim import RoutingConfig
 from repro.networks.topology import Topology
@@ -93,6 +100,11 @@ __all__ = [
     "CampaignSpec",
     "CampaignReport",
     "run_campaign",
+    "register_target",
+    # simulation-as-a-service
+    "RunRequest",
+    "SimulationService",
+    "ServiceConfig",
     # real-process distributed backend
     "DistParams",
     "DistResult",

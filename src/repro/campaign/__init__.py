@@ -15,12 +15,14 @@ The pieces:
 * :func:`run_campaign` / :class:`CampaignReport` — orchestration over
   the worker pool and store (:mod:`~repro.campaign.runner`,
   :mod:`~repro.campaign.pool`);
-* :class:`ResultStore` — JSONL + index persistence with resume and
-  invalidation semantics (:mod:`~repro.campaign.store`);
+* :class:`ResultStore` / :class:`ShardedStore` — JSONL + index
+  persistence with resume and invalidation semantics, single-directory
+  or sharded by key prefix for multi-server sharing
+  (:mod:`~repro.campaign.store`);
 * :class:`RegressionGate` / :func:`fit_bounds` — the bound-fit gate
   over the sweep's cost-check residuals (:mod:`~repro.campaign.gate`);
-* :data:`TARGETS` — what a grid point runs
-  (:mod:`~repro.campaign.targets`);
+* :data:`TARGETS` / :func:`register_target` — what a grid point runs,
+  and the public way to add your own (:mod:`~repro.campaign.targets`);
 * :data:`CAMPAIGNS` — the built-in sweeps the CLI and benchmarks share
   (:mod:`~repro.campaign.builtin`);
 * :func:`dump_json` / :func:`load_json` — the schema-versioned JSON
@@ -33,14 +35,21 @@ from repro.campaign.gate import GateResult, RegressionGate, fit_bounds
 from repro.campaign.io import dump_json, load_json
 from repro.campaign.runner import CampaignReport, run_campaign
 from repro.campaign.spec import CampaignSpec, point_key
-from repro.campaign.store import ResultStore
-from repro.campaign.targets import TARGETS, resolve_target, run_point
+from repro.campaign.store import ResultStore, ShardedStore
+from repro.campaign.targets import (
+    TARGETS,
+    register_target,
+    resolve_target,
+    run_point,
+)
 
 __all__ = [
     "CampaignSpec",
     "CampaignReport",
     "run_campaign",
     "ResultStore",
+    "ShardedStore",
+    "register_target",
     "RegressionGate",
     "GateResult",
     "fit_bounds",

@@ -29,11 +29,13 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from pathlib import Path
 
 from repro.campaign.spec import CampaignSpec
+from repro.errors import ParameterError
 
-__all__ = ["ResultStore", "STORE_SCHEMA"]
+__all__ = ["ResultStore", "ShardedStore", "STORE_SCHEMA"]
 
 #: Schema stamp written into campaign.json / index.json.
 STORE_SCHEMA = {"name": "repro.campaign.store", "version": 1}
@@ -55,6 +57,9 @@ class ResultStore:
         self.quarantined = 0  # torn tail fragments moved aside on load
         self._entries: dict[str, dict] = {}
         self._fh = None
+        # Guards _entries and the append file handle: the service's
+        # asyncio loop reads (get) while pool-callback threads append.
+        self._lock = threading.RLock()
 
     # -- lifecycle -----------------------------------------------------
 
@@ -146,17 +151,53 @@ class ResultStore:
 
     def entries(self) -> dict[str, dict]:
         """Latest entry per key (all statuses)."""
-        return dict(self._entries)
+        with self._lock:
+            return dict(self._entries)
+
+    def get(self, key: str) -> dict | None:
+        """Thread-safe point lookup: the latest entry for ``key`` (any
+        status), or ``None`` — the service's cache-hit read path."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def reload(self) -> int:
+        """Re-read the JSONL, merging entries appended by *other*
+        processes sharing this directory.  Read-only — unlike
+        :meth:`_load` it never heals the tail (another server may be
+        mid-append), it just skips unparseable fragments.  Returns the
+        number of new-or-updated keys."""
+        if not self.results_path.exists():
+            return 0
+        raw = self.results_path.read_bytes()
+        fresh: dict[str, dict] = {}
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            key = entry.get("key")
+            if key:
+                fresh[key] = entry
+        with self._lock:
+            updated = sum(
+                1 for k, e in fresh.items() if self._entries.get(k) != e
+            )
+            self._entries.update(fresh)
+        return updated
 
     def completed(self) -> dict[str, dict]:
         """Keys that finished successfully — the resume skip set.
         Failed/timeout/crashed points are *not* in it: a resumed
         campaign retries them."""
-        return {
-            key: entry
-            for key, entry in self._entries.items()
-            if entry.get("status") == "ok"
-        }
+        with self._lock:
+            return {
+                key: entry
+                for key, entry in self._entries.items()
+                if entry.get("status") == "ok"
+            }
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -167,12 +208,13 @@ class ResultStore:
         """Persist one point outcome immediately (crash durability:
         flushed *and* fsynced, so a power cut after ``append`` returns
         cannot lose the entry, only ever tear a line mid-write)."""
-        if self._fh is None:
-            raise RuntimeError("ResultStore.append before open()")
-        self._entries[entry["key"]] = entry
-        self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        with self._lock:
+            if self._fh is None:
+                raise RuntimeError("ResultStore.append before open()")
+            self._entries[entry["key"]] = entry
+            self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
 
     def compact(self, valid_keys) -> int:
         """Rewrite the JSONL keeping only the latest entry per key in
@@ -236,3 +278,106 @@ class ResultStore:
             for entry in entries
         ]
         return json.dumps(cleaned, sort_keys=True, indent=1) + "\n"
+
+
+class ShardedStore:
+    """A family of :class:`ResultStore` shards under one root directory,
+    routed by content-addressed key prefix.
+
+    ``shard_for(key)`` is a pure function of the key's leading hex
+    digits, so *every* server opening the same root routes every key to
+    the same shard — that is what lets multiple service processes share
+    one cache directory: each append is a single fsynced ``O_APPEND``
+    line in the key's shard file, and :meth:`reload` folds in lines
+    other processes appended since open.  The shard count is pinned in
+    ``shards.json`` at first open; reopening with a different count is
+    an error (it would silently re-route every key).
+
+    The read path (:meth:`get`) and write path (:meth:`append`) are
+    thread-safe via the per-shard store locks.
+    """
+
+    META_NAME = "shards.json"
+
+    def __init__(self, root: str | Path, *, shards: int = 16) -> None:
+        if not 1 <= int(shards) <= 256:
+            raise ParameterError(
+                f"ShardedStore needs 1 <= shards <= 256, got {shards}"
+            )
+        self.root = Path(root)
+        self.shards = int(shards)
+        self._stores = [
+            ResultStore(self.root / f"shard-{i:02x}") for i in range(self.shards)
+        ]
+
+    # -- routing -------------------------------------------------------
+
+    def shard_for(self, key: str) -> int:
+        """Deterministic shard index for a point key (hex prefix mod)."""
+        return int(str(key)[:8], 16) % self.shards
+
+    def store_for(self, key: str) -> ResultStore:
+        return self._stores[self.shard_for(key)]
+
+    # -- lifecycle -----------------------------------------------------
+
+    def open(self, spec, fingerprint: str, *, force: bool = False) -> "ShardedStore":
+        self.root.mkdir(parents=True, exist_ok=True)
+        meta_path = self.root / self.META_NAME
+        if meta_path.exists():
+            meta = json.loads(meta_path.read_text())
+            if meta.get("shards") != self.shards:
+                raise ParameterError(
+                    f"{self.root} was sharded {meta.get('shards')} ways; "
+                    f"reopening with shards={self.shards} would re-route "
+                    f"every key (use the original count)"
+                )
+        else:
+            meta_path.write_text(
+                json.dumps({"schema": STORE_SCHEMA, "shards": self.shards}) + "\n"
+            )
+        for store in self._stores:
+            store.open(spec, fingerprint, force=force)
+        return self
+
+    def close(self) -> None:
+        for store in self._stores:
+            store.close()
+
+    def __enter__(self) -> "ShardedStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reading / writing ---------------------------------------------
+
+    def get(self, key: str) -> dict | None:
+        return self.store_for(key).get(key)
+
+    def append(self, entry: dict) -> None:
+        self.store_for(entry["key"]).append(entry)
+
+    def reload(self) -> int:
+        """Fold in entries appended by other processes since open."""
+        return sum(store.reload() for store in self._stores)
+
+    def entries(self) -> dict[str, dict]:
+        out: dict[str, dict] = {}
+        for store in self._stores:
+            out.update(store.entries())
+        return out
+
+    def completed(self) -> dict[str, dict]:
+        out: dict[str, dict] = {}
+        for store in self._stores:
+            out.update(store.completed())
+        return out
+
+    @property
+    def quarantined(self) -> int:
+        """Torn tail fragments healed across every shard at open."""
+        return sum(store.quarantined for store in self._stores)
+
+    def __len__(self) -> int:
+        return sum(len(store) for store in self._stores)

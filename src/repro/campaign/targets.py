@@ -11,11 +11,20 @@ residuals without re-running anything.
 Three addressing forms resolve through :func:`resolve_target`:
 
 * a bare id from :data:`TARGETS` (``"theorem1"``, ``"theorem2"``,
-  ``"cb"``, ``"demo"``);
+  ``"cb"``, ``"demo"``, ``"dist"``, ``"request"``) — the builtins plus
+  anything registered through :func:`register_target`;
 * ``"experiment:TH1"`` — run that CLI experiment's whole table per
   point (the point's parameters are ignored beyond the seed);
 * ``"chain:bsp-on-logp-on-network"`` — run the named Stack chain on the
   demo programs, ``p``/``topology`` drawn from the point.
+
+:func:`register_target` is the public extension point: register a
+callable under a bare id and any :class:`~repro.campaign.spec.
+CampaignSpec` (or the service) can address it by name.  One caveat for
+user-registered targets: campaign *worker processes* import this module
+fresh, so a target registered only in the parent is visible to the
+serial path (``workers<=1``) and the service, not to process workers —
+put registrations in an importable module if you need the pool.
 
 Targets run inside worker processes, so they import lazily, take only
 JSON-serializable input, and must be deterministic in the point (that is
@@ -28,7 +37,61 @@ from typing import Callable
 
 from repro.errors import ParameterError
 
-__all__ = ["TARGETS", "resolve_target", "run_point"]
+__all__ = ["TARGETS", "register_target", "resolve_target", "run_point"]
+
+#: Bare target ids -> runner callables.  Builtins self-register below
+#: via :func:`register_target`; ``experiment:<ID>`` and ``chain:<spec>``
+#: are resolved dynamically by :func:`resolve_target`.
+TARGETS: dict[str, Callable[[dict], dict]] = {}
+
+
+def register_target(
+    name: str,
+    fn: Callable[..., dict] | None = None,
+    *,
+    replace: bool = False,
+) -> Callable:
+    """Register ``fn`` as the campaign target addressed by ``name``.
+
+    The target callable takes one grid **point** (a plain dict) plus an
+    optional ``obs=`` keyword and returns one JSON-serializable record::
+
+        from repro.campaign import register_target
+
+        @register_target("square")
+        def square(point, obs=None):
+            x = int(point.get("x", 0))
+            return {"x": x, "y": x * x}
+
+    Usable directly (``register_target("square", square)``) or as a
+    decorator, returning ``fn`` unchanged either way.  Names must be
+    non-empty and must not contain ``":"`` — the colon namespace is
+    reserved for the dynamic ``experiment:<ID>`` / ``chain:<spec>``
+    forms.  Registering an already-taken name raises
+    :class:`~repro.errors.ParameterError` unless ``replace=True``.
+    """
+    if fn is None:
+        return lambda f: register_target(name, f, replace=replace)
+    if not isinstance(name, str) or not name.strip():
+        raise ParameterError(
+            f"target name must be a non-empty string, got {name!r}"
+        )
+    if ":" in name:
+        raise ParameterError(
+            f"target name {name!r} may not contain ':' (reserved for the "
+            f"experiment:<ID> and chain:<spec> forms)"
+        )
+    if not callable(fn):
+        raise ParameterError(
+            f"target {name!r} must be callable, got {type(fn).__name__}"
+        )
+    if name in TARGETS and not replace:
+        raise ParameterError(
+            f"target {name!r} is already registered "
+            f"(pass replace=True to override)"
+        )
+    TARGETS[name] = fn
+    return fn
 
 
 def _logp_params(point: dict):
@@ -232,18 +295,54 @@ def _target_experiment(exp_id: str) -> Callable[[dict], dict]:
     return run
 
 
+def _target_request(point: dict, obs=None) -> dict:
+    """One :class:`~repro.engine.request.RunRequest` point: parse the
+    request document, build its Stack through the one shared assembly
+    path, run it, and record the shared ``as_row`` projection plus the
+    cost-check block.  This is the compute path behind
+    :class:`~repro.service.SimulationService` misses, and works as a
+    plain campaign target too (grid points *are* request documents).
+
+    When the request sets ``metrics``, the run carries its own
+    :class:`~repro.obs.Observation` and the registry snapshot is
+    embedded in the record — that flag is part of the request's cache
+    key, so metrics-bearing records never alias bare ones.
+    """
+    from repro.engine.request import RunRequest, build_stack
+    from repro.obs import CostModelCheck
+
+    req = RunRequest.coerce(point)
+    if req.metrics and obs is None:
+        from repro.obs import Observation
+
+        obs = Observation()
+    stack = build_stack(req)
+    result = stack.run(obs=obs)
+    row = result.as_row() if hasattr(result, "as_row") else {}
+    record = {"request": req.to_dict(), "chain": stack.describe(), **row}
+    try:
+        record["cost_check"] = CostModelCheck.check(result).as_dict()
+    except TypeError:
+        pass
+    if req.metrics and obs is not None:
+        record["metrics"] = obs.metrics.as_dict()
+    return record
+
+
 def _target_chain(chain: str) -> Callable[[dict], dict]:
     def run(point: dict, obs=None) -> dict:
-        from repro.experiments import _build_inspect_stack, _parse_chain
+        from repro.engine.request import DEFAULT_TOPOLOGY, RunRequest
         from repro.obs import CostModelCheck
 
-        guest, hosts = _parse_chain(chain)
-        stack = _build_inspect_stack(
-            guest,
-            hosts,
-            int(point.get("p", 8)),
-            str(point.get("topology", "hypercube (multi-port)")),
+        req = RunRequest(
+            chain=chain,
+            p=int(point.get("p", 8)),
+            topology=str(point.get("topology", DEFAULT_TOPOLOGY)),
+            seed=int(point.get("seed", 0)),
         )
+        from repro.engine.stack import Stack
+
+        stack = Stack.from_request(req)
         result = stack.run(obs=obs)
         record = {"chain": stack.describe(), **result.as_row()}
         try:
@@ -255,15 +354,12 @@ def _target_chain(chain: str) -> Callable[[dict], dict]:
     return run
 
 
-#: Bare target ids.  ``experiment:<ID>`` and ``chain:<spec>`` are
-#: resolved dynamically by :func:`resolve_target`.
-TARGETS: dict[str, Callable[[dict], dict]] = {
-    "theorem1": _target_theorem1,
-    "theorem2": _target_theorem2,
-    "cb": _target_cb,
-    "demo": _target_demo,
-    "dist": _target_dist,
-}
+register_target("theorem1", _target_theorem1)
+register_target("theorem2", _target_theorem2)
+register_target("cb", _target_cb)
+register_target("demo", _target_demo)
+register_target("dist", _target_dist)
+register_target("request", _target_request)
 
 
 def resolve_target(name: str) -> Callable[[dict], dict]:
@@ -277,7 +373,8 @@ def resolve_target(name: str) -> Callable[[dict], dict]:
         known = ", ".join(sorted(TARGETS))
         raise ParameterError(
             f"unknown campaign target {name!r} (known: {known}, "
-            f"experiment:<ID>, chain:<spec>)"
+            f"experiment:<ID>, chain:<spec>; register your own with "
+            f"repro.campaign.register_target)"
         )
     return fn
 

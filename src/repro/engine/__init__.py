@@ -7,6 +7,9 @@ and first-class layer composition for every simulator in the repo.
   the cross-layer result projection and trace vocabulary.
 * :mod:`repro.engine.stack` — :class:`Stack`, the declarative
   composition API (``Stack(prog).on_logp(params).on_network(topo)``).
+* :mod:`repro.engine.request` — :class:`RunRequest`, the versioned
+  JSON-serializable request schema naming any supported chain
+  (``Stack.from_request`` / ``Stack.to_request``).
 """
 
 from repro.engine.core import (
@@ -18,6 +21,7 @@ from repro.engine.core import (
 )
 from repro.engine.result import MachineResult, TraceEvent
 from repro.engine.stack import SUPPORTED_CHAINS, Stack, StackLayer
+from repro.engine.request import REQUEST_VERSION, RunRequest, build_stack, parse_chain
 
 __all__ = [
     "Engine",
@@ -30,4 +34,8 @@ __all__ = [
     "Stack",
     "StackLayer",
     "SUPPORTED_CHAINS",
+    "RunRequest",
+    "REQUEST_VERSION",
+    "build_stack",
+    "parse_chain",
 ]

@@ -69,6 +69,36 @@ class Stack:
     model: str = "bsp"
     params: Any = None
     layers: tuple[StackLayer, ...] = field(default=())
+    #: The RunRequest this stack was built from (None for hand-built
+    #: stacks); carried for ``to_request`` round-trips, excluded from
+    #: equality so a request-built stack equals its hand-built twin.
+    request: Any = field(default=None, compare=False, repr=False)
+
+    # -- the request schema --------------------------------------------
+
+    @classmethod
+    def from_request(cls, request) -> "Stack":
+        """Build the stack a :class:`~repro.engine.request.RunRequest`
+        (or its dict form) names — the one schema-driven construction
+        path the CLI, campaign targets, and service share."""
+        from repro.engine.request import build_stack
+
+        return build_stack(request)
+
+    def to_request(self):
+        """The request this stack was built from.
+
+        ``Stack.from_request(req).to_request() == req`` round-trips; a
+        hand-built stack has no serializable request form (its programs
+        are live callables), so this raises with the construction hint.
+        """
+        if self.request is None:
+            raise ProgramError(
+                "this stack was not built from a RunRequest; construct it "
+                "with Stack.from_request(RunRequest(chain=..., ...)) to get "
+                "a serializable round-trip"
+            )
+        return self.request
 
     # -- composition ---------------------------------------------------
 

@@ -324,60 +324,40 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentTable]]] = {
 
 
 def _parse_chain(spec: str) -> tuple[str, list[str]]:
-    """``"bsp-on-logp-on-network"`` -> ``("bsp", ["logp", "network"])``.
+    """Back-compat alias for :func:`repro.engine.request.parse_chain`."""
+    from repro.engine.request import parse_chain
 
-    A bare model name (``"bsp"``, ``"logp"``) means a native run on that
-    model's own machine.
-    """
-    tokens = spec.strip().lower().replace("_", "-").split("-on-")
-    guest, hosts = tokens[0], tokens[1:]
-    if guest not in ("bsp", "logp"):
-        raise ValueError(f"unknown guest model {guest!r} (use 'bsp' or 'logp')")
-    bad = [t for t in hosts if t not in ("bsp", "logp", "network")]
-    if bad:
-        raise ValueError(f"unknown host layer(s) {bad} (use bsp/logp/network)")
-    return guest, hosts or [guest]
+    return parse_chain(spec)
 
 
 def _build_inspect_stack(
     guest: str, hosts: list[str], p: int, topology: str, kernel: str | None = None
 ):
-    """A demo Stack for ``inspect``: canonical programs and parameters."""
-    from repro.engine.stack import Stack
-    from repro.models.params import BSPParams, LogPParams
-    from repro.networks.params import make_topology
-    from repro.programs import bsp_prefix_program, logp_sum_program
+    """Back-compat shim: the demo Stack for ``inspect``, now assembled
+    through the one shared :class:`~repro.engine.request.RunRequest`
+    path (same programs and parameters as before)."""
+    from repro.engine.request import RunRequest, build_stack
 
-    topo = None
-    if "network" in hosts:
-        topo, _config = make_topology(topology, p)
-        p = topo.p  # arrays &c. round to their natural grid
-    logp = LogPParams(p=p, L=8, o=1, G=2)
-    if guest == "bsp":
-        stack = Stack(bsp_prefix_program())
-    else:
-        stack = Stack(logp_sum_program(), model="logp", params=logp)
-    # The BSP machine's superstep kernel is barrier-driven, so a kernel
-    # choice only applies to layers that own an event queue.
-    kernel_opts = {"kernel": kernel} if kernel is not None else {}
-    for kind in hosts:
-        if kind == "bsp":
-            stack = stack.on_bsp(BSPParams(p=p, g=2, l=16) if guest == "bsp" else None)
-        elif kind == "logp":
-            stack = stack.on_logp(logp, **kernel_opts)
-        else:
-            stack = stack.on_network(topo, **kernel_opts)
-    return stack
+    chain = guest if hosts == [guest] else "-on-".join([guest, *hosts])
+    return build_stack(
+        RunRequest(chain=chain, p=p, topology=topology, kernel=kernel)
+    )
 
 
 def _inspect(args) -> int:
+    from repro.engine.request import RunRequest
+    from repro.engine.stack import Stack
     from repro.errors import ProgramError
     from repro.obs import CostModelCheck, Observation
 
     try:
-        guest, hosts = _parse_chain(args.chain)
-        stack = _build_inspect_stack(
-            guest, hosts, args.p, args.topology, getattr(args, "kernel", None)
+        stack = Stack.from_request(
+            RunRequest(
+                chain=args.chain,
+                p=args.p,
+                topology=args.topology,
+                kernel=getattr(args, "kernel", None),
+            )
         )
     except (ValueError, KeyError) as exc:
         print(f"inspect: {exc}", file=sys.stderr)
@@ -716,6 +696,201 @@ def _dist(args) -> int:
     return 0 if (correct and report["clean"]) else 1
 
 
+# -- serve / request: simulation-as-a-service ---------------------------
+
+
+def _parse_request_params(pairs: list[str] | None) -> dict:
+    out = {}
+    for pair in pairs or ():
+        key, eq, value = pair.partition("=")
+        if not eq:
+            raise ValueError(f"--param expects K=V (K in L,o,G,g,l), got {pair!r}")
+        out[key] = int(value)
+    return out
+
+
+def _print_service_stats(stats: dict) -> None:
+    from repro.util.tables import render_table
+
+    rows = [
+        (k, stats[k])
+        for k in ("requests", "served", "hit", "dedup", "miss", "failed",
+                  "pool_jobs", "pool_points", "hit_rate", "reconciled")
+    ]
+    print(render_table(["counter", "value"], rows, title="service stats"))
+
+
+def _serve(args) -> int:
+    import asyncio
+
+    from repro.service import ServiceConfig, SimulationService
+    from repro.service import serve as serve_tcp
+
+    cfg = ServiceConfig(
+        store_dir=args.store,
+        shards=args.shards,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        batch_window_s=args.batch_window,
+    )
+    if args.smoke:
+        return _serve_smoke(cfg, args)
+
+    async def _main() -> None:
+        async with SimulationService(cfg) as svc:
+            server = await serve_tcp(svc, args.host, args.port)
+            sock = server.sockets[0].getsockname()
+            print(
+                f"serving on {sock[0]}:{sock[1]}  "
+                f"(store {cfg.store_dir}, {cfg.shards} shards, "
+                f"workers={cfg.workers}; ops: run/stats/reload/ping)",
+                flush=True,
+            )
+            try:
+                async with server:
+                    await server.serve_forever()
+            finally:
+                _print_service_stats(svc.stats.as_dict())
+                if args.metrics:
+                    from repro.obs import Observation
+
+                    obs = Observation()
+                    obs.observe_service(svc.stats)
+                    print()
+                    print(obs.render_metrics(title="metrics — service"))
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _serve_smoke(cfg, args) -> int:
+    """Self-contained end-to-end smoke: real server, real socket client,
+    mixed hit/miss/dedup traffic, counters asserted to reconcile.  Backs
+    ``make serve-smoke`` and the service-smoke CI job."""
+    import asyncio
+    import dataclasses
+
+    from repro.service import ServiceClient, SimulationService
+    from repro.service import serve as serve_tcp
+
+    cfg = dataclasses.replace(cfg, batch_window_s=max(cfg.batch_window_s, 0.05))
+    docs = [{"chain": "bsp", "p": 4, "seed": s} for s in range(3)]
+    copies = 4
+
+    async def _main() -> tuple[dict, list]:
+        async with SimulationService(cfg) as svc:
+            server = await serve_tcp(svc, args.host, 0)
+            port = server.sockets[0].getsockname()[1]
+            client = await ServiceClient.connect(args.host, port)
+            assert await client.ping()
+            # Wave 1: `copies` concurrent copies of each unique request
+            # — one miss per unique key, the rest dedup against it.
+            wave1 = await asyncio.gather(
+                *(client.run(d) for d in docs for _ in range(copies))
+            )
+            # Wave 2: the same requests again — all cache hits.
+            wave2 = await asyncio.gather(*(client.run(d) for d in docs))
+            stats = await client.stats()
+            await client.close()
+            server.close()
+            await server.wait_closed()
+            return stats, wave1 + wave2
+
+    stats, responses = asyncio.run(_main())
+    n = len(docs)
+    checks = [
+        ("every response ok", all(r.get("ok") for r in responses)),
+        ("requests == issued", stats["requests"] == n * copies + n),
+        ("counters reconcile", stats["reconciled"]),
+        (f"miss == {n} unique", stats["miss"] == n),
+        (f"dedup == {n * (copies - 1)}", stats["dedup"] == n * (copies - 1)),
+        (f"hit == {n} repeats", stats["hit"] == n),
+        ("pool saw only unique points", stats["pool_points"] == n),
+        ("no failures", stats["failed"] == 0),
+    ]
+    _print_service_stats(stats)
+    ok = True
+    for label, passed in checks:
+        print(f"  {'PASS' if passed else 'FAIL'}  {label}")
+        ok = ok and passed
+    print(f"serve smoke: {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+def _request(args) -> int:
+    from repro.engine.request import RunRequest
+    from repro.errors import ParameterError
+
+    try:
+        req = RunRequest(
+            chain=args.chain,
+            program=args.program,
+            p=args.p,
+            topology=args.topology,
+            params=_parse_request_params(args.param),
+            seed=args.seed,
+            kernel=args.kernel,
+            metrics=args.with_metrics,
+        )
+    except (ValueError, ParameterError) as exc:
+        print(f"request: {exc}", file=sys.stderr)
+        return 2
+    if args.dry_run:
+        from repro.campaign import code_fingerprint
+
+        print(json.dumps(
+            {"request": req.to_dict(), "key": req.key(code_fingerprint())},
+            indent=2,
+        ))
+        return 0
+    docs = [req.to_dict()] * max(1, args.count)
+    if args.local:
+        import asyncio
+        import tempfile
+
+        from repro.service import ServiceConfig, SimulationService
+
+        store = args.store or tempfile.mkdtemp(prefix="repro-service-")
+
+        async def _go():
+            cfg = ServiceConfig(store_dir=store, shards=args.shards, workers=0)
+            async with SimulationService(cfg) as svc:
+                rs = await asyncio.gather(*(svc.submit(d) for d in docs))
+                return rs, svc.stats.as_dict()
+
+        responses, stats = asyncio.run(_go())
+    else:
+        from repro.service import request_sync
+
+        try:
+            responses = request_sync(args.host, args.port, docs)
+        except ConnectionError as exc:
+            print(
+                f"request: cannot reach {args.host}:{args.port} ({exc}); "
+                f"start one with 'serve' or use --local",
+                file=sys.stderr,
+            )
+            return 2
+        stats = None
+    for resp in responses:
+        outcome = resp.get("outcome", "?")
+        status = resp.get("status", "?")
+        print(f"{req.describe()}  ->  {outcome}/{status}  key={resp.get('key')}")
+        if resp.get("error"):
+            print(f"  error: {resp['error']}")
+    if stats is not None:
+        print()
+        _print_service_stats(stats)
+    if args.json:
+        print()
+        print(json.dumps(responses if len(responses) > 1 else responses[0],
+                         default=str))
+    return 0 if all(r.get("ok") for r in responses) else 1
+
+
 def _add_obs_flags(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--json",
@@ -889,6 +1064,102 @@ def main(argv: list[str] | None = None) -> int:
         help="whole-run deadline in seconds (default 60)",
     )
     _add_obs_flags(dist_p)
+    serve_p = sub.add_parser(
+        "serve",
+        help="serve RunRequest documents over TCP: cache hits from the "
+        "sharded store, in-flight dedup, misses batched to the pool "
+        "(see docs/SERVICE.md)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_p.add_argument(
+        "--port", type=int, default=7997,
+        help="bind port (0 = ephemeral; default 7997)",
+    )
+    serve_p.add_argument(
+        "--store", metavar="DIR", default="campaigns/service",
+        help="sharded result-store root, shareable between servers "
+        "(default campaigns/service)",
+    )
+    serve_p.add_argument(
+        "--shards", type=int, default=16,
+        help="key-prefix shard count, pinned at first open (default 16)",
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=0,
+        help="pool processes for miss batches; 0 computes in-process "
+        "(default 0)",
+    )
+    serve_p.add_argument(
+        "--timeout", type=float, default=60.0, help="per-point timeout",
+    )
+    serve_p.add_argument(
+        "--batch-window", type=float, default=0.01, metavar="SECONDS",
+        help="miss-coalescing window before a pool dispatch (default 0.01)",
+    )
+    serve_p.add_argument(
+        "--smoke", action="store_true",
+        help="self-contained end-to-end smoke: ephemeral port, mixed "
+        "hit/miss/dedup traffic over a real socket, counters asserted",
+    )
+    _add_obs_flags(serve_p)
+    req_p = sub.add_parser(
+        "request",
+        help="build one RunRequest and resolve it — against a running "
+        "'serve' instance, or --local in-process",
+    )
+    req_p.add_argument(
+        "chain",
+        help="layer chain, guest first (bsp, bsp-on-logp, "
+        "bsp-on-logp-on-network, bsp-on-dist, ...)",
+    )
+    req_p.add_argument(
+        "--program", default="default",
+        help="named guest program (default: the chain's demo program)",
+    )
+    req_p.add_argument("--p", type=int, default=8, help="processor count")
+    req_p.add_argument(
+        "--topology", default="hypercube (multi-port)",
+        help="Table 1 topology for network layers",
+    )
+    req_p.add_argument(
+        "--param", action="append", metavar="K=V",
+        help="model-parameter override (K in L,o,G,g,l; repeatable)",
+    )
+    req_p.add_argument("--seed", type=int, default=0, help="request seed")
+    req_p.add_argument(
+        "--kernel", choices=KERNELS, default=None,
+        help="event-queue kernel for layers that own a queue",
+    )
+    req_p.add_argument(
+        "--with-metrics", action="store_true",
+        help="set the request's metrics flag: the computed record embeds "
+        "its Observation registry (separate cache entry)",
+    )
+    req_p.add_argument("--host", default="127.0.0.1", help="server address")
+    req_p.add_argument("--port", type=int, default=7997, help="server port")
+    req_p.add_argument(
+        "--local", action="store_true",
+        help="no server: run an in-process service against --store",
+    )
+    req_p.add_argument(
+        "--store", metavar="DIR",
+        help="store root for --local (default: a fresh temp dir)",
+    )
+    req_p.add_argument(
+        "--shards", type=int, default=16, help="shard count for --local",
+    )
+    req_p.add_argument(
+        "--count", type=int, default=1, metavar="N",
+        help="submit N concurrent copies (exercises in-flight dedup)",
+    )
+    req_p.add_argument(
+        "--dry-run", action="store_true",
+        help="print the request document and its cache key; run nothing",
+    )
+    req_p.add_argument(
+        "--json", action="store_true",
+        help="also print the raw response document(s)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -906,6 +1177,10 @@ def main(argv: list[str] | None = None) -> int:
         return _campaign(args)
     if args.command == "dist":
         return _dist(args)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "request":
+        return _request(args)
     return _run_experiments(args)
 
 

@@ -393,6 +393,35 @@ class Observation:
             events, _meta = merge_logs(result.log_dir)
             replay_to_tracer(events, self.tracer)
 
+    def observe_service(self, stats, layer: str = "service") -> None:
+        """Publish a :class:`~repro.service.ServiceStats` snapshot: the
+        reconciling served/deduped/missed counters, the hit-rate gauge,
+        and the per-outcome request-latency histograms (merged field-
+        wise, since the service keeps real :class:`Histogram` objects).
+        Called from the CLI's ``serve`` shutdown path and the service
+        benchmark — never per-request."""
+        if not self.enabled:
+            return
+        m = self.metrics
+        m.counter("service.requests", layer=layer).inc(stats.requests)
+        m.counter("service.served", layer=layer).inc(stats.served)
+        m.counter("service.hits", layer=layer).inc(stats.counts["hit"])
+        m.counter("service.deduped", layer=layer).inc(stats.counts["dedup"])
+        m.counter("service.missed", layer=layer).inc(stats.counts["miss"])
+        if stats.failed:
+            m.counter("service.failed", layer=layer).inc(stats.failed)
+        m.counter("service.pool_jobs", layer=layer).inc(stats.pool_jobs)
+        m.counter("service.pool_points", layer=layer).inc(stats.pool_points)
+        m.gauge("service.hit_rate", layer=layer).set(round(stats.hit_rate(), 6))
+        for outcome, src in stats.latency.items():
+            if not src.count:
+                continue
+            dst = m.histogram("service.latency_s", layer=layer, outcome=outcome)
+            dst.count += src.count
+            dst.total += src.total
+            dst.min = min(dst.min, src.min)
+            dst.max = max(dst.max, src.max)
+
     def observe_campaign(self, report, layer: str = "campaign") -> None:
         """Publish a :class:`~repro.campaign.runner.CampaignReport`:
         point totals, throughput, cache hit rate, and pool utilization.

@@ -1,0 +1,29 @@
+"""repro.service — simulation-as-a-service over the campaign cache.
+
+The serving tier the ROADMAP's "production-scale" north star asks for:
+an asyncio front-end that resolves :class:`~repro.engine.request.
+RunRequest` documents through cache → in-flight dedup → batched pool
+dispatch, over a key-prefix-sharded result store several servers can
+share.  See ``docs/SERVICE.md``.
+
+* :class:`SimulationService` / :class:`ServiceConfig` — the in-process
+  core (:mod:`~repro.service.service`);
+* :class:`ServiceStats` — reconciling served/deduped/missed counters
+  plus per-outcome latency histograms, published into an
+  :class:`~repro.obs.Observation` via ``observe_service``;
+* :func:`serve` / :class:`ServiceClient` / :func:`request_sync` — the
+  JSON-lines TCP protocol (:mod:`~repro.service.protocol`), behind the
+  CLI's ``serve`` and ``request`` subcommands.
+"""
+
+from repro.service.protocol import ServiceClient, request_sync, serve
+from repro.service.service import ServiceConfig, ServiceStats, SimulationService
+
+__all__ = [
+    "SimulationService",
+    "ServiceConfig",
+    "ServiceStats",
+    "serve",
+    "ServiceClient",
+    "request_sync",
+]

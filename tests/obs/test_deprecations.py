@@ -52,6 +52,25 @@ class TestLegacyWrappers:
         assert rep.bsp.total_cost == via_stack.bsp.total_cost
         assert rep.results == via_stack.results
 
+    def test_importing_a_wrapper_name_warns(self):
+        """Merely *accessing* the legacy name off ``repro.core`` warns —
+        before any call — via the module-level ``__getattr__``."""
+        with pytest.warns(DeprecationWarning, match=r"simulate_bsp_on_logp"):
+            getattr(core, "simulate_bsp_on_logp")
+
+        # `from repro.core import <name>` goes through the same hook
+        with pytest.warns(DeprecationWarning, match=r"simulate_logp_on_bsp"):
+            exec("from repro.core import simulate_logp_on_bsp", {})
+
+    def test_wrappers_still_listed_in_dir(self):
+        names = dir(core)
+        assert "simulate_bsp_on_logp" in names
+        assert "simulate_logp_on_bsp_workpreserving" in names
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError, match="no_such_thing"):
+            core.no_such_thing
+
     def test_submodule_drivers_do_not_warn(self):
         """The Stack adapters' own entry points stay undeprecated."""
         from repro.core.bsp_on_logp import simulate_bsp_on_logp

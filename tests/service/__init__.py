@@ -1,0 +1,1 @@
+"""Tests for repro.service: request schema, serving core, sharding, protocol."""
