@@ -1,6 +1,6 @@
 # Convenience targets; everything also works as plain pytest invocations.
 
-.PHONY: install test lint bench bench-only bench-kernel bench-service campaign-smoke dist-smoke serve-smoke trace-demo faults experiments examples clean
+.PHONY: install test lint bench bench-only bench-kernel bench-service campaign-smoke dist-smoke serve-smoke workloads-smoke trace-demo faults experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -58,6 +58,15 @@ serve-smoke:
 	PYTHONPATH=src python -m repro.experiments serve --smoke \
 		--store campaigns/service-smoke
 
+# Workload library end to end (see docs/WORKLOADS.md): every registered
+# entry, every supported quick-grid point, run through the RunRequest
+# path with its analytic cost model folded into the ledger check and
+# its reference output validated.  Exits nonzero on any out-of-bound
+# residual; writes the per-point JSON artifact.
+workloads-smoke:
+	PYTHONPATH=src python -m repro.experiments workloads run --all --quick \
+		--out workloads-smoke.json
+
 # Served-requests/sec at 0/50/95% cache hit rate; asserts the counters
 # reconcile and the hit path never reaches the pool (docs/SERVICE.md).
 bench-service:
@@ -79,5 +88,5 @@ examples:
 	for ex in examples/*.py; do echo "== $$ex =="; python $$ex || exit 1; done
 
 clean:
-	rm -rf .pytest_cache .hypothesis benchmarks/results campaigns build *.egg-info dist-smoke.out
+	rm -rf .pytest_cache .hypothesis benchmarks/results campaigns build *.egg-info dist-smoke.out workloads-smoke.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

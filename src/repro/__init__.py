@@ -49,7 +49,12 @@ The package layout underneath:
 * :mod:`repro.dist` — a fault-tolerant *real-process* backend: each
   LogP processor is an OS process over TCP, supervised with heartbeats,
   checkpointed restarts, seq/ack retransmission, and Lamport-stamped
-  event logs (``Stack(name).on_dist(p)``); see ``docs/DIST.md``.
+  event logs (``Stack(name).on_dist(p)``); see ``docs/DIST.md``;
+* :mod:`repro.workloads` — the first-class workload library: a
+  declarative registry (:class:`Workload`) bundling program factory,
+  parameter space, analytic cost model, and reference validation, with
+  :func:`run_workload` driving points end-to-end through the request
+  path; see ``docs/WORKLOADS.md``.
 
 See ``examples/quickstart.py`` for a guided tour.
 """
@@ -73,6 +78,7 @@ from repro.obs import (
     Observation,
     Tracer,
 )
+from repro.workloads import Workload, WorkloadRun, iter_workloads, run_workload
 
 __version__ = "1.1.0"
 
@@ -109,6 +115,11 @@ __all__ = [
     "DistParams",
     "DistResult",
     "run_dist",
+    # workload library
+    "Workload",
+    "WorkloadRun",
+    "run_workload",
+    "iter_workloads",
     # observability
     "Observation",
     "MetricsRegistry",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.campaign.spec import CampaignSpec
 
-__all__ = ["CAMPAIGNS"]
+__all__ = ["CAMPAIGNS", "SAMPLE_SORT_GRID", "SORTING_REGIMES"]
 
 #: Theorem 1 across BSP machines: 3 kernels x 4 gap scalings x 2 latency
 #: scalings = 24 points on the LogP(p=16, L=8, o=1, G=2) guest.
@@ -66,6 +66,42 @@ TH1_SMOKE = CampaignSpec(
     description="Theorem 1 smoke grid for CI (8 points)",
 )
 
+#: The (previously orphaned) direct BSP sample sort as a campaign:
+#: reachable from ``experiments campaign sample-sort-grid`` via the
+#: ``workload`` target, sweeping machine size against keys per processor.
+SAMPLE_SORT_GRID = CampaignSpec(
+    name="sample-sort-grid",
+    target="workload",
+    grid=(
+        ("workload", ("sample-sort",)),
+        ("p", (2, 4, 8)),
+        ("keys_per_proc", (16, 32, 64)),
+    ),
+    description="Direct BSP sample sort: cost ledger across p x n/p (9 points)",
+)
+
+#: The sorting-regime study grid: all three word-accurate sorters across
+#: n/p at p=8 (invalid points — columnsort below 2(p-1)², non-power-of-
+#: two bitonic — are recorded as skipped, not failed).
+SORTING_REGIMES = CampaignSpec(
+    name="sorting-regimes",
+    target="workload",
+    grid=(
+        ("workload", ("sample-sort-unit", "bitonic-sort", "columnsort")),
+        ("p", (8,)),
+        ("keys_per_proc", (8, 16, 32, 64, 128)),
+    ),
+    description="Sorting regimes: sample vs bitonic vs Columnsort over n/p (15 points)",
+)
+
 CAMPAIGNS: dict[str, CampaignSpec] = {
-    spec.name: spec for spec in (TH1_GRID, TH2_GRID, CB_GRID, TH1_SMOKE)
+    spec.name: spec
+    for spec in (
+        TH1_GRID,
+        TH2_GRID,
+        CB_GRID,
+        TH1_SMOKE,
+        SAMPLE_SORT_GRID,
+        SORTING_REGIMES,
+    )
 }

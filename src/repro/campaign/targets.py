@@ -329,6 +329,44 @@ def _target_request(point: dict, obs=None) -> dict:
     return record
 
 
+def _target_workload(point: dict, obs=None) -> dict:
+    """One :mod:`repro.workloads` registry point: resolve the entry,
+    run it end-to-end through the request path, fold its analytic cost
+    model into the ledger check, and validate reference output.
+
+    Point keys: ``workload`` (registry name, required), ``p``, ``seed``,
+    optional ``chain`` (defaults to the entry's native model) and
+    ``kernel``, plus the entry's own parameter axes (``n``,
+    ``keys_per_proc``, ...).  Grid points the entry does not support
+    (wrong divisibility, non-power-of-two ``p``, ...) come back as
+    ``{"skipped": ...}`` records instead of failures, so dense cartesian
+    grids can sweep sparse valid regions."""
+    from repro.workloads import get, run_workload
+
+    name = str(point.get("workload", ""))
+    w = get(name)  # raises with the known names on a miss
+    p = int(point.get("p", w.defaults["p"]))
+    seed = int(point.get("seed", 0))
+    reserved = ("workload", "p", "seed", "chain", "kernel")
+    params = {k: v for k, v in point.items() if k not in reserved}
+    merged = {k: v for k, v in w.merged(params).items() if k != "seed"}
+    base = {"workload": name, "p": p, "seed": seed, **merged}
+    if w.supports is not None and not w.supports(p, merged):
+        return {**base, "skipped": "unsupported grid point"}
+    run = run_workload(
+        name,
+        p=p,
+        seed=seed,
+        params=params,
+        chain=point.get("chain"),
+        kernel=point.get("kernel"),
+        obs=obs,
+    )
+    record = run.as_record()
+    record.pop("request", None)  # the point already names the coordinates
+    return {**base, **record}
+
+
 def _target_chain(chain: str) -> Callable[[dict], dict]:
     def run(point: dict, obs=None) -> dict:
         from repro.engine.request import DEFAULT_TOPOLOGY, RunRequest
@@ -360,6 +398,7 @@ register_target("cb", _target_cb)
 register_target("demo", _target_demo)
 register_target("dist", _target_dist)
 register_target("request", _target_request)
+register_target("workload", _target_workload)
 
 
 def resolve_target(name: str) -> Callable[[dict], dict]:

@@ -199,6 +199,7 @@ class Engine:
             if on_quiescence is None or not on_quiescence(time):
                 break
         self.last_time = time
+        queue.sync_counters()
         if self.obs is not None:
             self.obs.publish_kernel(self.layer, counters)
         return counters

@@ -14,9 +14,14 @@ content-addressed key, and always name the exact same computation::
     req == Stack.from_request(req).to_request()          # round-trips
     RunRequest.from_dict(req.to_dict()) == req           # and as JSON
 
-The schema is versioned (``version=1``); a request stamped with a newer
-version than this reader understands is rejected loudly instead of being
-misinterpreted.  ``RunRequest.key(fingerprint)`` is the request's
+The schema is versioned; a request stamped with a newer version than
+this reader understands is rejected loudly instead of being
+misinterpreted.  Version 2 adds the ``workload``/``args`` fields: a
+request may name a :mod:`repro.workloads` registry entry (with its
+program parameters in ``args``) instead of a fixed demo program, so any
+registered workload is resolvable by the service, the campaign
+``request`` target, and the CLI through the same path.  Version-1
+documents remain readable (they simply have no workload).  ``RunRequest.key(fingerprint)`` is the request's
 content-addressed cache identity — the same
 :func:`~repro.campaign.spec.point_key` machinery campaign points use, so
 the campaign cache and the service cache (:mod:`repro.service`) are one
@@ -42,7 +47,7 @@ __all__ = [
 ]
 
 #: Newest request schema version this reader understands.
-REQUEST_VERSION = 1
+REQUEST_VERSION = 2
 
 #: Parameter-override keys a request may carry (guest/host model knobs).
 PARAM_KEYS = ("L", "o", "G", "g", "l")
@@ -131,6 +136,23 @@ def _freeze_params(params) -> tuple[tuple[str, int], ...]:
     return tuple(sorted(out))
 
 
+def _freeze_args(args) -> tuple[tuple[str, int], ...]:
+    """Workload arguments: any keyword names, integer values (every
+    builtin workload parameter is an integer size/count)."""
+    if isinstance(args, dict):
+        args = args.items()
+    out = []
+    for name, value in args or ():
+        name = str(name)
+        if not name or name in ("p", "seed"):
+            raise ParameterError(
+                f"RunRequest args key {name!r} not allowed (p and seed are "
+                f"top-level request fields)"
+            )
+        out.append((name, int(value)))
+    return tuple(sorted(out))
+
+
 @dataclass(frozen=True)
 class RunRequest:
     """One serializable "run this Stack chain" request (schema v1).
@@ -144,7 +166,16 @@ class RunRequest:
         A named guest program from :func:`request_programs` — or, for
         ``dist`` chains, a name from
         :data:`repro.dist.programs.DIST_PROGRAMS`.  ``"default"``
-        resolves per guest model.
+        resolves per guest model.  Mutually exclusive with ``workload``.
+    workload:
+        A :mod:`repro.workloads` registry entry to run instead of a
+        fixed demo program; the entry's model must match the chain's
+        guest.  ``args`` carries its program parameters (defaults
+        overlaid by the registry).  Schema v2; ``None`` on v1 requests.
+    args:
+        Integer keyword parameters for ``workload`` (e.g.
+        ``{"n": 48, "iters": 4}``).  Rejected unless ``workload`` is
+        set.
     p:
         Processor count (network layers round it to the topology's
         natural grid, exactly like the CLI).
@@ -171,6 +202,8 @@ class RunRequest:
 
     chain: str = "bsp"
     program: str = "default"
+    workload: str | None = None
+    args: tuple[tuple[str, int], ...] = ()
     p: int = 8
     topology: str = DEFAULT_TOPOLOGY
     params: tuple[tuple[str, int], ...] = ()
@@ -185,6 +218,9 @@ class RunRequest:
         )
         object.__setattr__(self, "chain", chain)
         object.__setattr__(self, "params", _freeze_params(self.params))
+        object.__setattr__(self, "args", _freeze_args(self.args))
+        if self.workload is not None:
+            object.__setattr__(self, "workload", str(self.workload))
         object.__setattr__(self, "p", int(self.p))
         object.__setattr__(self, "seed", int(self.seed))
         object.__setattr__(self, "metrics", bool(self.metrics))
@@ -205,7 +241,37 @@ class RunRequest:
                     f"RunRequest kernel {self.kernel!r} unknown "
                     f"(known: {', '.join(sorted(KNOWN_KERNELS))})"
                 )
-        if "dist" not in hosts:
+        if self.args and self.workload is None:
+            raise ParameterError(
+                "RunRequest args require a workload (args are workload "
+                "parameters)"
+            )
+        if self.workload is not None:
+            if self.version < 2:
+                raise ParameterError(
+                    "RunRequest workload entries need schema version >= 2 "
+                    f"(got version={self.version})"
+                )
+            if self.program != "default":
+                raise ParameterError(
+                    "RunRequest workload and program are mutually exclusive "
+                    f"(got workload={self.workload!r}, program={self.program!r})"
+                )
+            if "dist" in hosts:
+                raise ParameterError(
+                    "RunRequest workload entries are not runnable on dist "
+                    "chains (dist hosts its own checkpointable programs)"
+                )
+            import repro.workloads as workloads
+
+            w = workloads.get(self.workload)  # raises with known names
+            if w.model != guest:
+                raise ParameterError(
+                    f"RunRequest workload {self.workload!r} is a {w.model} "
+                    f"program but chain {self.chain!r} has guest {guest!r}"
+                )
+            w.merged(dict(self.args))  # rejects unknown parameter names
+        elif "dist" not in hosts:
             known = request_programs(guest)
             name = self.program
             if name != "default" and name not in known:
@@ -219,7 +285,7 @@ class RunRequest:
     def to_dict(self) -> dict:
         """The canonical JSON-serializable form (and the campaign point
         shape: :meth:`from_dict` accepts exactly these keys)."""
-        return {
+        doc = {
             "version": self.version,
             "chain": self.chain,
             "program": self.program,
@@ -230,6 +296,10 @@ class RunRequest:
             "kernel": self.kernel,
             "metrics": self.metrics,
         }
+        if self.workload is not None:
+            doc["workload"] = self.workload
+            doc["args"] = dict(self.args)
+        return doc
 
     @classmethod
     def from_dict(cls, doc: dict) -> "RunRequest":
@@ -239,8 +309,8 @@ class RunRequest:
                 f"RunRequest document must be an object, got {type(doc).__name__}"
             )
         known = {
-            "version", "chain", "program", "p", "topology", "params",
-            "seed", "kernel", "metrics",
+            "version", "chain", "program", "workload", "args", "p",
+            "topology", "params", "seed", "kernel", "metrics",
         }
         unknown = sorted(set(doc) - known)
         if unknown:
@@ -268,7 +338,12 @@ class RunRequest:
         return point_key("request", self.to_dict(), fingerprint)
 
     def describe(self) -> str:
-        bits = [self.chain, f"program={self.program}", f"p={self.p}"]
+        if self.workload is not None:
+            bits = [self.chain, f"workload={self.workload}", f"p={self.p}"]
+            if self.args:
+                bits.append("args=" + ",".join(f"{k}={v}" for k, v in self.args))
+        else:
+            bits = [self.chain, f"program={self.program}", f"p={self.p}"]
         if self.params:
             bits.append("params=" + ",".join(f"{k}={v}" for k, v in self.params))
         if self.kernel:
@@ -314,9 +389,16 @@ def build_stack(request: RunRequest | dict):
         p = topo.p  # arrays &c. round to their natural grid
 
     logp = LogPParams(p=p, L=params["L"], o=params["o"], G=params["G"])
-    programs = request_programs(guest)
-    name = DEFAULT_PROGRAM[guest] if req.program == "default" else req.program
-    program = programs[name](p, req.seed)
+    if req.workload is not None:
+        import repro.workloads as workloads
+
+        # The registry entry builds the program (defaults overlaid by
+        # args) at the topology-rounded p — same path as run_workload.
+        program = workloads.get(req.workload).program(p, req.seed, **dict(req.args))
+    else:
+        programs = request_programs(guest)
+        name = DEFAULT_PROGRAM[guest] if req.program == "default" else req.program
+        program = programs[name](p, req.seed)
 
     if guest == "bsp":
         stack = Stack(program)

@@ -828,6 +828,8 @@ def _request(args) -> int:
         req = RunRequest(
             chain=args.chain,
             program=args.program,
+            workload=args.workload,
+            args=_parse_workload_params(args.arg),
             p=args.p,
             topology=args.topology,
             params=_parse_request_params(args.param),
@@ -889,6 +891,165 @@ def _request(args) -> int:
         print(json.dumps(responses if len(responses) > 1 else responses[0],
                          default=str))
     return 0 if all(r.get("ok") for r in responses) else 1
+
+
+def _parse_workload_params(pairs: list[str] | None) -> dict:
+    out: dict = {}
+    for pair in pairs or []:
+        key, _, value = pair.partition("=")
+        if not key or not value:
+            raise SystemExit(f"workloads: bad --param {pair!r} (want K=V)")
+        out[key] = _parse_value(value)
+    return out
+
+
+def _workload_run_line(run) -> str:
+    result = run.result
+    cost = getattr(result, "total_cost", None)
+    if cost is None:
+        cost = getattr(result, "makespan", "?")
+    steps = getattr(result, "num_supersteps", "-")
+    status = "ok" if run.ok else "FAIL"
+    status += "+val" if run.validated else ""
+    return (
+        f"{run.workload.name:20s} p={run.request.p:<3d} "
+        f"cost={cost:<8} supersteps={steps:<4} {status}"
+    )
+
+
+def _workloads_list(args) -> int:
+    from repro.workloads import iter_workloads
+
+    for w in iter_workloads(family=getattr(args, "family", None)):
+        space = "  ".join(f"{k}={list(v)}" for k, v in sorted(w.space.items()))
+        print(f"{w.name:20s} [{w.family}/{w.model}]  {space}")
+    return 0
+
+
+def _workloads_describe(args) -> int:
+    from repro.errors import ParameterError
+    from repro.workloads import get
+
+    try:
+        w = get(args.name)
+    except ParameterError as exc:
+        print(f"workloads: {exc}", file=sys.stderr)
+        return 2
+    print(w.describe())
+    print(f"  campaign: {w.spec(quick=True).name} (target=workload)")
+    return 0
+
+
+def _workloads_run(args) -> int:
+    from repro.workloads import get, iter_workloads, run_workload
+
+    if args.all:
+        targets = list(iter_workloads(family=args.family))
+    else:
+        if not args.name:
+            print("workloads: give a workload name or --all", file=sys.stderr)
+            return 2
+        targets = [get(args.name)]
+    records = []
+    all_ok = True
+    for w in targets:
+        points = (
+            list(w.points(quick=True, seeds=(args.seed,)))
+            if args.quick
+            else [{"p": args.p or int(w.defaults["p"]), "seed": args.seed,
+                   **_parse_workload_params(args.param)}]
+        )
+        runs = []
+        for point in points:
+            point = dict(point)
+            p, seed = point.pop("p"), point.pop("seed")
+            run = run_workload(
+                w.name, p=p, seed=seed, params=point, chain=args.chain,
+                kernel=args.kernel, validate=not args.no_validate,
+            )
+            runs.append(run)
+            all_ok = all_ok and run.ok
+            print(_workload_run_line(run))
+            if args.verbose or not run.ok:
+                print(run.report.render())
+        records.append({
+            "workload": w.name,
+            "family": w.family,
+            "points": [r.as_record() for r in runs],
+            "ok": all(r.ok for r in runs),
+        })
+    if args.out:
+        doc = {
+            "tool": "experiments workloads run",
+            "quick": bool(args.quick),
+            "seed": args.seed,
+            "ok": all_ok,
+            "workloads": records,
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, default=str)
+        print(f"wrote {args.out}")
+    return 0 if all_ok else 1
+
+
+def _workloads_sweep(args) -> int:
+    from repro.workloads import (
+        scalability_study,
+        sorting_regime_study,
+        streaming_bound_study,
+    )
+
+    studies = {
+        "sorting-regimes": lambda: sorting_regime_study(
+            seed=args.seed, quick=args.quick
+        ),
+        "streaming-bound": lambda: streaming_bound_study(
+            seed=args.seed, quick=args.quick
+        ),
+        "numeric-scalability": lambda: scalability_study(
+            seed=args.seed, quick=args.quick
+        ),
+    }
+    doc = studies[args.study]()
+    if args.study == "sorting-regimes":
+        cx = doc["crossover"]
+        for row in doc["rows"]:
+            print(f"keys/proc={row['keys_per_proc']:<5d} winner={row['winner']}")
+        print(
+            f"crossover: measured keys/proc={cx['measured_keys_per_proc']} "
+            f"predicted={cx['predicted_keys_per_proc']}"
+        )
+    elif args.study == "streaming-bound":
+        for row in doc["rows"]:
+            print(
+                f"{row['streamed']:20s} chunk={row['chunk']:<3d} "
+                f"supersteps={row['streamed_supersteps']} "
+                f"(predicted {row['predicted_supersteps']}) "
+                f"max-h={row['max_h_send']} "
+                f"bound={'holds' if row['bound_holds'] else 'VIOLATED'}"
+            )
+    else:
+        for name, k in doc["kernels"].items():
+            print(
+                f"{name:10s} peak p: measured={k['peak_measured_p']} "
+                f"predicted={k['peak_predicted_p']} "
+                f"continuous={k['peak_continuous']} "
+                f"{'agree' if k['peaks_agree'] else 'DISAGREE'}"
+            )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, default=str)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _workloads(args) -> int:
+    return {
+        "list": _workloads_list,
+        "describe": _workloads_describe,
+        "run": _workloads_run,
+        "sweep": _workloads_sweep,
+    }[args.wcommand](args)
 
 
 def _add_obs_flags(sub: argparse.ArgumentParser) -> None:
@@ -1116,6 +1277,15 @@ def main(argv: list[str] | None = None) -> int:
         "--program", default="default",
         help="named guest program (default: the chain's demo program)",
     )
+    req_p.add_argument(
+        "--workload", default=None,
+        help="registered workload name (see 'workloads list'); mutually "
+        "exclusive with --program",
+    )
+    req_p.add_argument(
+        "--arg", action="append", metavar="K=V",
+        help="workload parameter (with --workload; repeatable)",
+    )
     req_p.add_argument("--p", type=int, default=8, help="processor count")
     req_p.add_argument(
         "--topology", default="hypercube (multi-port)",
@@ -1160,16 +1330,87 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true",
         help="also print the raw response document(s)",
     )
+    wl_p = sub.add_parser(
+        "workloads",
+        help="the workload library: list/describe/run registered "
+        "workloads and drive the family studies (see docs/WORKLOADS.md)",
+    )
+    wsub = wl_p.add_subparsers(dest="wcommand", required=True)
+    wl_list = wsub.add_parser(
+        "list", help="one line per registered workload with its sweep space"
+    )
+    wl_list.add_argument("--family", help="only this family")
+    wl_desc = wsub.add_parser(
+        "describe", help="full space/quick/defaults/model card for one workload"
+    )
+    wl_desc.add_argument("name", help="registered workload name")
+    wl_run = wsub.add_parser(
+        "run",
+        help="run workload points end-to-end via RunRequest, fold the "
+        "analytic cost model into the ledger check, validate output",
+    )
+    wl_run.add_argument("name", nargs="?", help="workload name (or --all)")
+    wl_run.add_argument(
+        "--all", action="store_true", help="run every registered workload"
+    )
+    wl_run.add_argument("--family", help="with --all: only this family")
+    wl_run.add_argument(
+        "--quick", action="store_true",
+        help="sweep the quick grid instead of one defaults point",
+    )
+    wl_run.add_argument("--p", type=int, help="processor count override")
+    wl_run.add_argument("--seed", type=int, default=0, help="run seed")
+    wl_run.add_argument(
+        "--param", action="append", metavar="K=V",
+        help="workload parameter override (repeatable)",
+    )
+    wl_run.add_argument(
+        "--chain", help="layer chain override (default: the workload's model)"
+    )
+    wl_run.add_argument(
+        "--kernel", choices=KERNELS, default=None,
+        help="event-queue kernel for layers that own a queue",
+    )
+    wl_run.add_argument(
+        "--no-validate", action="store_true",
+        help="skip reference-output validation",
+    )
+    wl_run.add_argument(
+        "--verbose", action="store_true",
+        help="print the full residual table for every point",
+    )
+    wl_run.add_argument(
+        "--out", metavar="OUT.json", help="write a JSON artifact of all runs"
+    )
+    wl_sweep = wsub.add_parser(
+        "sweep", help="drive one of the three family studies"
+    )
+    wl_sweep.add_argument(
+        "study",
+        choices=["sorting-regimes", "streaming-bound", "numeric-scalability"],
+    )
+    wl_sweep.add_argument("--quick", action="store_true", help="trimmed grid")
+    wl_sweep.add_argument("--seed", type=int, default=0, help="study seed")
+    wl_sweep.add_argument(
+        "--out", metavar="OUT.json", help="write the study document as JSON"
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
         from repro.campaign import CAMPAIGNS
+        from repro.workloads import iter_workloads
 
         for key, (desc, _fn) in EXPERIMENTS.items():
             print(f"{key:5s} {desc}")
         print()
         for name, spec in CAMPAIGNS.items():
             print(f"{name:10s} {spec.description} [campaign]")
+        print()
+        for w in iter_workloads():
+            space = "  ".join(
+                f"{k}={list(v)}" for k, v in sorted(w.space.items())
+            )
+            print(f"{w.name:20s} {space} [workload/{w.family}]")
         return 0
     if args.command == "inspect":
         return _inspect(args)
@@ -1181,6 +1422,8 @@ def main(argv: list[str] | None = None) -> int:
         return _serve(args)
     if args.command == "request":
         return _request(args)
+    if args.command == "workloads":
+        return _workloads(args)
     return _run_experiments(args)
 
 

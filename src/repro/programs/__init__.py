@@ -18,6 +18,18 @@ from repro.programs.bsp_examples import (
     bsp_sample_sort_program,
 )
 from repro.programs.bsp_numeric import bsp_fft_program, bsp_matmul_program
+from repro.programs.bsp_sorting import (
+    bsp_bitonic_sort_program,
+    bsp_columnsort_program,
+    bsp_sample_sort_unit_program,
+    sorted_input_keys,
+)
+from repro.programs.bsp_iterative import (
+    bsp_gradient_program,
+    bsp_jacobi_program,
+    gradient_reference,
+    jacobi_reference,
+)
 
 __all__ = [
     "logp_ring_program",
@@ -30,4 +42,12 @@ __all__ = [
     "bsp_matvec_program",
     "bsp_fft_program",
     "bsp_matmul_program",
+    "bsp_bitonic_sort_program",
+    "bsp_columnsort_program",
+    "bsp_sample_sort_unit_program",
+    "sorted_input_keys",
+    "bsp_jacobi_program",
+    "bsp_gradient_program",
+    "jacobi_reference",
+    "gradient_reference",
 ]

@@ -1,0 +1,213 @@
+"""Iterative numeric BSP kernels with closed-form cost ledgers.
+
+The scalability literature around BSP-style master-worker models
+(Sokolinsky's BSF model, arXiv:1710.10490; Ezhova & Sokolinsky,
+arXiv:1710.10835) studies kernels whose per-iteration cost is exactly
+``w(n)/p + communication(p)`` — so the total cost as a function of ``p``
+has an analytic *scalability peak* ``p* = sqrt(w / comm')`` where adding
+processors starts to hurt.  These two kernels are written so every
+superstep's ``(w, h)`` is a closed form of ``(n, p, iters)``:
+:mod:`repro.workloads.numeric` predicts their full cost ledgers exactly
+and checks the measured peak against the analytic one.
+
+* :func:`bsp_jacobi_program` — 1-D Jacobi smoothing with halo exchange
+  (``h = 2`` per iteration) and a final flat residual all-reduce.
+* :func:`bsp_gradient_program` — steepest descent on a diagonal
+  quadratic in master-worker (BSF) shape: every iteration is one fan-in
+  of partial dot products and one fan-out of the step size
+  (``h = p - 1`` both ways).
+
+Both are deterministic in ``(n, p, seed)`` — reduction order is pinned
+to pid order — so the workload registry validates their outputs against
+an exact local re-computation.
+"""
+
+from __future__ import annotations
+
+from repro.bsp.program import BSPContext, Compute, Send, Sync
+from repro.util.rng import make_rng
+
+__all__ = [
+    "bsp_jacobi_program",
+    "bsp_gradient_program",
+    "jacobi_reference",
+    "gradient_reference",
+]
+
+
+def _jacobi_slices(n: int, p: int, seed: int):
+    """Per-processor (x, b) slices, drawn exactly as the program draws."""
+    xs, bs = [], []
+    rows = n // p
+    for pid in range(p):
+        rng = make_rng(seed * 52361 + pid)
+        xs.append([float(v) for v in rng.random(rows)])
+        bs.append([float(v) for v in rng.random(rows)])
+    return xs, bs
+
+
+def bsp_jacobi_program(n: int, iters: int, seed: int = 0):
+    """1-D Jacobi relaxation ``x_i <- (x_{i-1} + x_{i+1} + b_i) / 3`` on
+    ``n`` unknowns (zero boundaries), block rows, ``iters`` sweeps.
+
+    Every iteration is one superstep: exchange the two boundary words
+    with the neighbours (``h = 2``), then update the local block
+    (``w = n/p``).  A final flat all-reduce of the squared residual adds
+    two ``h = p - 1`` supersteps.  Returns ``{"x": slice, "residual":
+    total}`` per processor.
+    """
+
+    def prog(ctx: BSPContext):
+        p = ctx.p
+        rows = n // p
+        if rows * p != n:
+            raise ValueError(f"n={n} must be divisible by p={p}")
+        rng = make_rng(seed * 52361 + ctx.pid)
+        x = [float(v) for v in rng.random(rows)]
+        b = [float(v) for v in rng.random(rows)]
+        for _it in range(iters):
+            if ctx.pid > 0:
+                yield Send(ctx.pid - 1, ("R", x[0]), tag=60)
+            if ctx.pid < p - 1:
+                yield Send(ctx.pid + 1, ("L", x[-1]), tag=60)
+            yield Sync()
+            left = right = 0.0
+            for m in ctx.recv_all(60):
+                side, v = m.payload
+                if side == "L":
+                    left = v
+                else:
+                    right = v
+            x = [
+                ((x[i - 1] if i else left) + (x[i + 1] if i < rows - 1 else right) + b[i])
+                / 3.0
+                for i in range(rows)
+            ]
+            yield Compute(rows)
+        local = sum((xi - bi) ** 2 for xi, bi in zip(x, b))
+        yield Compute(rows)
+        if ctx.pid != 0:
+            yield Send(0, local, tag=61)
+            yield Sync()
+            yield Sync()
+            total = ctx.recv_all(62)[0].payload
+        else:
+            yield Sync()
+            total = local + sum(ctx.recv_payloads(61))
+            yield Compute(p)
+            for dest in range(1, p):
+                yield Send(dest, total, tag=62)
+            yield Sync()
+        return {"x": x, "residual": total}
+
+    return prog
+
+
+def jacobi_reference(n: int, p: int, iters: int, seed: int = 0) -> list[dict]:
+    """Exact expected per-processor outputs of :func:`bsp_jacobi_program`
+    (same draws, same float-operation order, pid-ordered reduction)."""
+    rows = n // p
+    xs, bs = _jacobi_slices(n, p, seed)
+    for _it in range(iters):
+        new = []
+        for pid in range(p):
+            x, b = xs[pid], bs[pid]
+            left = xs[pid - 1][-1] if pid else 0.0
+            right = xs[pid + 1][0] if pid < p - 1 else 0.0
+            new.append(
+                [
+                    ((x[i - 1] if i else left) + (x[i + 1] if i < rows - 1 else right) + b[i])
+                    / 3.0
+                    for i in range(rows)
+                ]
+            )
+        xs = new
+    locals_ = [
+        sum((xi - bi) ** 2 for xi, bi in zip(xs[pid], bs[pid])) for pid in range(p)
+    ]
+    total = locals_[0] + sum(locals_[1:])
+    return [{"x": xs[pid], "residual": total} for pid in range(p)]
+
+
+def _gradient_slices(n: int, p: int, seed: int):
+    rows = n // p
+    ds, cs = [], []
+    for pid in range(p):
+        rng = make_rng(seed * 71993 + pid)
+        ds.append([1.0 + float(v) for v in rng.random(rows)])
+        cs.append([float(v) for v in rng.random(rows)])
+    return ds, cs
+
+
+def bsp_gradient_program(n: int, iters: int, seed: int = 0):
+    """Steepest descent on ``f(x) = 1/2 x'Dx - c'x`` (D diagonal, SPD) in
+    master-worker shape: per iteration, workers compute local gradients
+    and the two partial dot products for the exact line search
+    (``w = 3 n/p``), fan them in to processor 0 (``h = p - 1``), the
+    master combines and fans the step size back out (``h = p - 1``),
+    everyone applies the step (``w = n/p``).  Returns each processor's
+    final ``x`` slice.
+    """
+
+    def prog(ctx: BSPContext):
+        p = ctx.p
+        rows = n // p
+        if rows * p != n:
+            raise ValueError(f"n={n} must be divisible by p={p}")
+        rng = make_rng(seed * 71993 + ctx.pid)
+        d = [1.0 + float(v) for v in rng.random(rows)]
+        c = [float(v) for v in rng.random(rows)]
+        x = [0.0] * rows
+        for _it in range(iters):
+            grad = [di * xi - ci for di, xi, ci in zip(d, x, c)]
+            gg = sum(gi * gi for gi in grad)
+            gdg = sum(gi * gi * di for gi, di in zip(grad, d))
+            yield Compute(3 * rows)
+            if ctx.pid != 0:
+                yield Send(0, (gg, gdg), tag=63)
+                yield Sync()
+                yield Sync()
+                alpha = ctx.recv_all(64)[0].payload
+            else:
+                yield Sync()
+                for pg, pd in ctx.recv_payloads(63):
+                    gg += pg
+                    gdg += pd
+                alpha = gg / gdg if gdg else 0.0
+                yield Compute(p)
+                for dest in range(1, p):
+                    yield Send(dest, alpha, tag=64)
+                yield Sync()
+            x = [xi - alpha * gi for xi, gi in zip(x, grad)]
+            yield Compute(rows)
+        return x
+
+    return prog
+
+
+def gradient_reference(n: int, p: int, iters: int, seed: int = 0) -> list[list[float]]:
+    """Exact expected per-processor outputs of :func:`bsp_gradient_program`."""
+    ds, cs = _gradient_slices(n, p, seed)
+    rows = n // p
+    xs = [[0.0] * rows for _ in range(p)]
+    for _it in range(iters):
+        grads = [
+            [di * xi - ci for di, xi, ci in zip(ds[pid], xs[pid], cs[pid])]
+            for pid in range(p)
+        ]
+        partials = [
+            (
+                sum(gi * gi for gi in grads[pid]),
+                sum(gi * gi * di for gi, di in zip(grads[pid], ds[pid])),
+            )
+            for pid in range(p)
+        ]
+        gg, gdg = partials[0]
+        for pg, pd in partials[1:]:
+            gg += pg
+            gdg += pd
+        alpha = gg / gdg if gdg else 0.0
+        xs = [
+            [xi - alpha * gi for xi, gi in zip(xs[pid], grads[pid])] for pid in range(p)
+        ]
+    return xs

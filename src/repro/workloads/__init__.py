@@ -1,0 +1,69 @@
+"""``repro.workloads`` — the first-class workload library.
+
+A declarative registry of runnable scenarios: each
+:class:`~repro.workloads.registry.Workload` bundles a program factory,
+its parameter space (full + quick sweep grids), an analytic cost model
+folded into :class:`~repro.obs.check.CostModelCheck`, and
+reference-output validation.  See ``docs/WORKLOADS.md``.
+
+Entry points::
+
+    from repro.workloads import get, iter_workloads, run_workload
+
+    run = run_workload("jacobi", p=8)      # end-to-end via RunRequest
+    run.report.assert_ok()                 # ledger + analytic residuals
+
+    for w in iter_workloads():             # >= 17 builtin entries
+        print(w.name, w.family, dict(w.space))
+
+Builtin families register at import: the ten ported core programs
+(``logp-core`` / ``bsp-core``), the sorting-regime trio (``sorting``),
+the pseudo-streaming transformer pair (``streaming``), and the
+iterative-numeric pair (``numeric``).  The studies —
+:func:`~repro.workloads.sorting.sorting_regime_study`,
+:func:`~repro.workloads.streaming.streaming_bound_study`,
+:func:`~repro.workloads.numeric.scalability_study` — drive whole
+families and report the paper-level findings (regime crossover,
+fast-memory superstep bound, scalability peaks).
+"""
+
+from repro.workloads.registry import (
+    Workload,
+    WorkloadRun,
+    check_workload,
+    get,
+    iter_workloads,
+    names,
+    register,
+    run_workload,
+)
+from repro.workloads.library import register_builtin_library
+from repro.workloads.numeric import register_builtin_numeric, scalability_study
+from repro.workloads.sorting import register_builtin_sorting, sorting_regime_study
+from repro.workloads.streaming import (
+    pseudo_stream,
+    register_builtin_streaming,
+    streamed_supersteps,
+    streaming_bound_study,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadRun",
+    "register",
+    "get",
+    "names",
+    "iter_workloads",
+    "check_workload",
+    "run_workload",
+    "pseudo_stream",
+    "streamed_supersteps",
+    "sorting_regime_study",
+    "streaming_bound_study",
+    "scalability_study",
+]
+
+register_builtin_library()
+register_builtin_sorting()
+register_builtin_streaming()
+register_builtin_numeric()

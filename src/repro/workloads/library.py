@@ -1,0 +1,476 @@
+"""The ported core library: every ``repro.programs`` entry as a
+registered :class:`~repro.workloads.registry.Workload`.
+
+Cost models here are written against *native* runs and pin the counts
+the machines actually report: BSP ``num_supersteps`` / ``total_messages``
+are per-superstep maxima over processors (the ledger convention), LogP
+``total_messages`` is a true message count and ``makespan`` is checked
+against the dependency-chain lower bound (as a negated ``upper`` row)
+plus a constant-factor band.  Validators recompute reference outputs
+exactly — same draws, same float-operation order — so any wrong answer
+fails loudly, not statistically.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import Workload, clog2, clog3, register
+
+__all__ = ["register_builtin_library"]
+
+
+def _p2(p: int, params: dict) -> bool:
+    return p >= 2
+
+
+def _pow2(p: int, params: dict) -> bool:
+    return p >= 2 and (p & (p - 1)) == 0
+
+
+# -- LogP core ---------------------------------------------------------
+
+
+def _ring_factory(p, seed, rounds=1):
+    from repro.programs import logp_ring_program
+
+    return logp_ring_program(rounds=rounds)
+
+
+def _ring_cost(result, p, params):
+    lp = result.params
+    rounds = int(params["rounds"])
+    lower = rounds * p * (lp.L + 2 * lp.o)
+    return [
+        ("total messages == rounds·p²", result.total_messages, rounds * p * p, "exact"),
+        ("makespan >= rounds·p·(L+2o)", -result.makespan, -lower, "upper"),
+        ("makespan vs rounds·p·(L+2o)", result.makespan, lower, "factor"),
+    ]
+
+
+def _ring_validate(result, p, params):
+    for pid in range(p):
+        assert result.results[pid] == pid, (pid, result.results[pid])
+
+
+def _broadcast_factory(p, seed):
+    from repro.programs import logp_broadcast_program
+
+    return logp_broadcast_program()
+
+
+def _broadcast_cost(result, p, params):
+    lp = result.params
+    lower = clog2(p) * (lp.L + 2 * lp.o)
+    return [
+        ("total messages == p-1", result.total_messages, p - 1, "exact"),
+        ("makespan >= log2(p)·(L+2o)", -result.makespan, -lower, "upper"),
+        ("makespan vs log2(p)·(L+2o)", result.makespan, lower, "factor"),
+    ]
+
+
+def _broadcast_validate(result, p, params):
+    for pid in range(p):
+        assert result.results[pid] == "tok", (pid, result.results[pid])
+
+
+def _sum_factory(p, seed):
+    from repro.programs import logp_sum_program
+
+    return logp_sum_program()
+
+
+def _sum_cost(result, p, params):
+    lp = result.params
+    lower = 2 * clog2(p) * (lp.L + 2 * lp.o)
+    return [
+        ("total messages == 2(p-1)", result.total_messages, 2 * (p - 1), "exact"),
+        ("makespan >= 2·log2(p)·(L+2o)", -result.makespan, -lower, "upper"),
+        ("makespan vs 2·log2(p)·(L+2o)", result.makespan, lower, "factor"),
+    ]
+
+
+def _sum_validate(result, p, params):
+    total = p * (p - 1) // 2
+    for pid in range(p):
+        assert result.results[pid] == total, (pid, result.results[pid])
+
+
+def _alltoall_factory(p, seed):
+    from repro.programs import logp_alltoall_program
+
+    return logp_alltoall_program()
+
+
+def _alltoall_cost(result, p, params):
+    lp = result.params
+    # One processor must accept p-1 messages paced at G plus the last
+    # message's flight: the 2o + G(h-1) + L routing floor with h = p-1.
+    lower = 2 * lp.o + lp.G * (p - 2) + lp.L
+    return [
+        ("total messages == p(p-1)", result.total_messages, p * (p - 1), "exact"),
+        ("makespan >= 2o+G(p-2)+L", -result.makespan, -lower, "upper"),
+        ("makespan vs 2o+G(p-2)+L", result.makespan, lower, "factor"),
+    ]
+
+
+def _alltoall_validate(result, p, params):
+    for pid in range(p):
+        expected = [(j, pid) if j != pid else None for j in range(p)]
+        assert result.results[pid] == expected, (pid, result.results[pid])
+
+
+# -- BSP core ----------------------------------------------------------
+
+
+def _prefix_factory(p, seed):
+    from repro.programs import bsp_prefix_program
+
+    return bsp_prefix_program()
+
+
+def _prefix_cost(result, p, params):
+    R = clog2(p)
+    max_h = max((rec.h for rec in result.ledger), default=0)
+    return [
+        ("supersteps == log2(p)+1", result.num_supersteps, R + 1, "exact"),
+        ("max-h messages == log2(p)", result.total_messages, R, "exact"),
+        ("max h-relation <= 1", max_h, 1, "upper"),
+    ]
+
+
+def _prefix_validate(result, p, params):
+    for pid in range(p):
+        expected = (pid + 1) * (pid + 2) // 2
+        assert result.results[pid] == expected, (pid, result.results[pid])
+
+
+def _radix_factory(p, seed, keys_per_proc=8, key_bits=8):
+    from repro.programs import bsp_radix_sort_program
+
+    return bsp_radix_sort_program(keys_per_proc, key_bits, seed=seed)
+
+
+def _radix_cost(result, p, params):
+    passes = -(-int(params["key_bits"]) // 4)  # RADIX_BITS = 4
+    per_pass = 2 * clog2(p) + clog3(p) + 1
+    msg_upper = passes * (2 * clog2(p) + 2 * clog3(p) + int(params["keys_per_proc"]))
+    return [
+        ("supersteps == passes·(2·log2 p + log3 p + 1)",
+         result.num_supersteps, passes * per_pass, "exact"),
+        ("max-h messages <= collectives + scatter", result.total_messages,
+         msg_upper, "upper"),
+    ]
+
+
+def _radix_validate(result, p, params):
+    from repro.util.rng import make_rng
+
+    kpp, kb = int(params["keys_per_proc"]), int(params["key_bits"])
+    seed = int(params["seed"])
+    drawn = []
+    for pid in range(p):
+        rng = make_rng(seed * 1_000_003 + pid)
+        drawn.extend(int(k) for k in rng.integers(0, 1 << kb, size=kpp))
+    got = [k for pid in range(p) for k in result.results[pid]]
+    assert got == sorted(drawn), "radix-sort output is not the sorted input"
+
+
+def _sample_sort_factory(p, seed, keys_per_proc=16, key_range=1 << 16):
+    from repro.programs import bsp_sample_sort_program
+
+    return bsp_sample_sort_program(keys_per_proc, key_range=key_range, seed=seed)
+
+
+def _sample_sort_cost(result, p, params):
+    return [
+        ("supersteps == 4", result.num_supersteps, 4, "exact"),
+        ("max-h messages == 2p-1", result.total_messages, 2 * p - 1, "exact"),
+        ("sample gather h_recv == p", result.ledger[0].h_recv, p, "exact"),
+        ("splitter scatter h_send == p-1", result.ledger[1].h_send, p - 1, "exact"),
+    ]
+
+
+def _sample_sort_validate(result, p, params):
+    from repro.programs import sorted_input_keys
+
+    expected = sorted_input_keys(
+        p, int(params["keys_per_proc"]), int(params["key_range"]), int(params["seed"])
+    )
+    got = [k for pid in range(p) for k in result.results[pid]]
+    assert got == expected, "sample-sort output is not the sorted input"
+
+
+def _matvec_factory(p, seed, n=16):
+    from repro.programs import bsp_matvec_program
+
+    return bsp_matvec_program(n, seed=seed)
+
+
+def _matvec_cost(result, p, params):
+    n = int(params["n"])
+    return [
+        ("supersteps == 2", result.num_supersteps, 2, "exact"),
+        ("max-h messages == p-1", result.total_messages, p - 1, "exact"),
+        ("product w == (n/p)·n", result.ledger[-1].w, (n // p) * n, "exact"),
+    ]
+
+
+def _matvec_validate(result, p, params):
+    import numpy as np
+
+    from repro.util.rng import make_rng
+
+    n, seed = int(params["n"]), int(params["seed"])
+    rows = n // p
+    blocks, slices = [], []
+    for pid in range(p):
+        rng = make_rng(seed * 7919 + pid)
+        blocks.append(rng.random((rows, n)))
+        slices.append(rng.random(rows))
+    x = np.concatenate(slices)
+    for pid in range(p):
+        expected = [float(v) for v in blocks[pid] @ x]
+        assert result.results[pid] == expected, f"matvec slice mismatch at {pid}"
+
+
+def _fft_factory(p, seed, points_per_proc=8):
+    from repro.programs import bsp_fft_program
+
+    return bsp_fft_program(points_per_proc, seed=seed)
+
+
+def _fft_cost(result, p, params):
+    from repro.util.intmath import ilog2
+
+    n2 = int(params["points_per_proc"])
+    w0 = n2 * max(1, ilog2(n2)) + n2  # row FFT + twiddles
+    w1 = n2 * max(1, ilog2(p))  # column FFTs ((n2/p) columns of length p)
+    return [
+        ("supersteps == 2", result.num_supersteps, 2, "exact"),
+        ("max-h messages == p-1", result.total_messages, p - 1, "exact"),
+        ("row-FFT w == n2·log n2 + n2", result.ledger[0].w, w0, "exact"),
+        ("col-FFT w == n2·log p", result.ledger[-1].w, w1, "exact"),
+    ]
+
+
+def _fft_validate(result, p, params):
+    import numpy as np
+
+    from repro.programs.bsp_numeric import fft_reference_order
+    from repro.util.rng import make_rng
+
+    n2, seed = int(params["points_per_proc"]), int(params["seed"])
+    # Cyclic input distribution: processor i's local j-th draw is
+    # global point x[j * p + i].
+    signal = [0j] * (p * n2)
+    for pid in range(p):
+        rng = make_rng(seed * 31337 + pid)
+        re = rng.random(n2)
+        im = rng.random(n2)
+        for j, (a, b) in enumerate(zip(re, im)):
+            signal[j * p + pid] = complex(a, b)
+    got = fft_reference_order([result.results[pid] for pid in range(p)], p, n2)
+    expected = np.fft.fft(np.array(signal))
+    assert np.allclose(np.array(got), expected, rtol=1e-9, atol=1e-9), (
+        "fft output does not match the reference DFT"
+    )
+
+
+def _fft_supports(p: int, params: dict) -> bool:
+    n2 = int(params["points_per_proc"])
+    return (
+        p >= 2
+        and (p & (p - 1)) == 0
+        and (n2 & (n2 - 1)) == 0
+        and n2 % p == 0
+    )
+
+
+def _matmul_factory(p, seed, n=8):
+    from repro.programs import bsp_matmul_program
+
+    return bsp_matmul_program(n, seed=seed)
+
+
+def _matmul_supports(p: int, params: dict) -> bool:
+    import math
+
+    q = math.isqrt(p)
+    return p >= 4 and q * q == p and int(params["n"]) % q == 0
+
+
+def _matmul_cost(result, p, params):
+    import math
+
+    n = int(params["n"])
+    q = math.isqrt(p)
+    nb = n // q
+    total_w = sum(rec.w for rec in result.ledger)
+    return [
+        ("supersteps == q+1", result.num_supersteps, q + 1, "exact"),
+        ("max-h messages == 2q(q-1)", result.total_messages, 2 * q * (q - 1), "exact"),
+        ("total compute == q·(n/q)³", total_w, q * nb**3, "exact"),
+    ]
+
+
+def _matmul_validate(result, p, params):
+    import math
+
+    import numpy as np
+
+    from repro.util.rng import make_rng
+
+    n, seed = int(params["n"]), int(params["seed"])
+    q = math.isqrt(p)
+    nb = n // q
+    A = np.zeros((n, n))
+    B = np.zeros((n, n))
+    for pid in range(p):
+        r, c = divmod(pid, q)
+        rng = make_rng(seed * 613 + pid)
+        A[r * nb : (r + 1) * nb, c * nb : (c + 1) * nb] = rng.random((nb, nb))
+        B[r * nb : (r + 1) * nb, c * nb : (c + 1) * nb] = rng.random((nb, nb))
+    C = A @ B
+    for pid in range(p):
+        r, c = divmod(pid, q)
+        expected = C[r * nb : (r + 1) * nb, c * nb : (c + 1) * nb]
+        assert np.allclose(
+            np.array(result.results[pid]), expected, rtol=1e-9, atol=1e-9
+        ), f"matmul block mismatch at {pid}"
+
+
+def register_builtin_library() -> None:
+    """Register the ten ported core workloads (idempotent via replace)."""
+    entries = [
+        Workload(
+            name="ring",
+            family="logp-core",
+            model="logp",
+            description="Token rotation around the ring; rounds·p² paced messages.",
+            factory=_ring_factory,
+            space={"p": (2, 4, 8, 16), "rounds": (1, 2, 4)},
+            quick={"p": (2, 4), "rounds": (1,)},
+            defaults={"p": 8, "rounds": 2},
+            cost_model=_ring_cost,
+            validate=_ring_validate,
+            supports=_p2,
+        ),
+        Workload(
+            name="broadcast",
+            family="logp-core",
+            model="logp",
+            description="Binomial-tree broadcast from processor 0.",
+            factory=_broadcast_factory,
+            space={"p": (2, 4, 8, 16, 32)},
+            quick={"p": (2, 8)},
+            defaults={"p": 8},
+            cost_model=_broadcast_cost,
+            validate=_broadcast_validate,
+            supports=_p2,
+        ),
+        Workload(
+            name="sum",
+            family="logp-core",
+            model="logp",
+            description="Binary-tree reduction to 0 plus binomial re-broadcast.",
+            factory=_sum_factory,
+            space={"p": (2, 4, 8, 16, 32)},
+            quick={"p": (2, 8)},
+            defaults={"p": 8},
+            cost_model=_sum_cost,
+            validate=_sum_validate,
+            supports=_p2,
+        ),
+        Workload(
+            name="alltoall",
+            family="logp-core",
+            model="logp",
+            description="Staggered stall-free total exchange (h = p-1).",
+            factory=_alltoall_factory,
+            space={"p": (2, 4, 8, 16)},
+            quick={"p": (2, 4)},
+            defaults={"p": 8},
+            cost_model=_alltoall_cost,
+            validate=_alltoall_validate,
+            supports=_p2,
+        ),
+        Workload(
+            name="prefix",
+            family="bsp-core",
+            model="bsp",
+            description="Inclusive prefix sums by recursive doubling.",
+            factory=_prefix_factory,
+            space={"p": (2, 4, 8, 16, 32)},
+            quick={"p": (2, 8)},
+            defaults={"p": 8},
+            cost_model=_prefix_cost,
+            validate=_prefix_validate,
+            supports=_p2,
+        ),
+        Workload(
+            name="radix-sort",
+            family="bsp-core",
+            model="bsp",
+            description="LSD radix sort; the paper's irregular-h cautionary kernel.",
+            factory=_radix_factory,
+            space={"p": (2, 4, 8), "keys_per_proc": (8, 16), "key_bits": (8,)},
+            quick={"p": (2, 4), "keys_per_proc": (8,)},
+            defaults={"p": 4, "keys_per_proc": 8, "key_bits": 8},
+            cost_model=_radix_cost,
+            validate=_radix_validate,
+            supports=_p2,
+        ),
+        Workload(
+            name="sample-sort",
+            family="bsp-core",
+            model="bsp",
+            description="Direct BSP sample sort (bucket messages), 4 supersteps.",
+            factory=_sample_sort_factory,
+            space={"p": (2, 4, 8), "keys_per_proc": (16, 32, 64), "key_range": (1 << 16,)},
+            quick={"p": (2, 4), "keys_per_proc": (16,)},
+            defaults={"p": 4, "keys_per_proc": 16, "key_range": 1 << 16},
+            cost_model=_sample_sort_cost,
+            validate=_sample_sort_validate,
+            supports=_p2,
+        ),
+        Workload(
+            name="matvec",
+            family="bsp-core",
+            model="bsp",
+            description="Row-block dense matrix-vector product; one all-gather.",
+            factory=_matvec_factory,
+            space={"p": (2, 4, 8), "n": (16, 32)},
+            quick={"p": (2, 4), "n": (16,)},
+            defaults={"p": 4, "n": 16},
+            cost_model=_matvec_cost,
+            validate=_matvec_validate,
+            supports=lambda p, params: p >= 2 and int(params["n"]) % p == 0,
+        ),
+        Workload(
+            name="fft",
+            family="bsp-core",
+            model="bsp",
+            description="Two-superstep transpose FFT (row FFTs, twiddle, all-to-all, column FFTs).",
+            factory=_fft_factory,
+            space={"p": (2, 4, 8), "points_per_proc": (8, 16)},
+            quick={"p": (2, 4), "points_per_proc": (8,)},
+            defaults={"p": 4, "points_per_proc": 8},
+            cost_model=_fft_cost,
+            validate=_fft_validate,
+            supports=_fft_supports,
+        ),
+        Workload(
+            name="matmul",
+            family="bsp-core",
+            model="bsp",
+            description="SUMMA blocked matrix multiply on a q×q grid.",
+            factory=_matmul_factory,
+            space={"p": (4, 9, 16), "n": (6, 12)},
+            quick={"p": (4,), "n": (6, 12)},
+            defaults={"p": 4, "n": 8},
+            cost_model=_matmul_cost,
+            validate=_matmul_validate,
+            supports=_matmul_supports,
+        ),
+    ]
+    for w in entries:
+        register(w, replace=True)

@@ -1,0 +1,369 @@
+"""The workload registry: declarative, discoverable scenario entries.
+
+A :class:`Workload` bundles everything a scenario needs to run through
+the existing infrastructure instead of landing as a one-off script:
+
+* a **program factory** ``factory(p, seed, **params)`` returning the
+  program in its model's coroutine dialect;
+* a **parameter space** — the full sweep grid (including ``p``), a
+  2-ish-point ``quick`` grid for smoke runs, and single-run defaults;
+* an **analytic cost model** ``cost_model(result, p, params)`` emitting
+  predicted-vs-observed rows (superstep counts, h-relation word counts,
+  total-cost bounds) folded into the base
+  :class:`~repro.obs.check.CostModelCheck` ledger verification by
+  :func:`check_workload`;
+* **reference-output validation** ``validate(result, p, params)``
+  raising on any wrong answer.
+
+Entries are discoverable via :func:`register` / :func:`get` /
+:func:`iter_workloads`, runnable via :func:`run_workload` (which routes
+through :class:`~repro.engine.request.RunRequest` and
+:func:`~repro.engine.request.build_stack` — the exact path the service
+and the campaign ``request`` target use, so "runs locally" and "runs
+through the service" are the same property), and sweepable via
+:meth:`Workload.spec`, which emits a :class:`~repro.campaign.spec.
+CampaignSpec` over the ``workload`` campaign target.
+
+The builtin library registers on package import (see
+:mod:`repro.workloads.library`, :mod:`~repro.workloads.sorting`,
+:mod:`~repro.workloads.streaming`, :mod:`~repro.workloads.numeric`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "Workload",
+    "WorkloadRun",
+    "register",
+    "get",
+    "names",
+    "iter_workloads",
+    "check_workload",
+    "run_workload",
+    "clog2",
+    "clog3",
+]
+
+
+def clog2(p: int) -> int:
+    """Smallest ``t`` with ``2**t >= p`` (0 for ``p <= 1``)."""
+    return max(0, (int(p) - 1).bit_length())
+
+
+def clog3(p: int) -> int:
+    """Smallest ``t`` with ``3**t >= p`` (0 for ``p <= 1``)."""
+    t, cover = 0, 1
+    while cover < p:
+        cover *= 3
+        t += 1
+    return t
+
+
+#: Residual rows a cost model emits: ``(name, observed, predicted, kind)``
+#: with ``kind`` one of the :class:`~repro.obs.check.CostResidual` kinds.
+CostRows = "list[tuple[str, float, float, str]]"
+
+
+@dataclass
+class Workload:
+    """One registered scenario.
+
+    Fields
+    ------
+    name:
+        Registry key (also the ``RunRequest.workload`` spelling).
+    family:
+        Grouping label (``"logp-core"``, ``"bsp-core"``, ``"sorting"``,
+        ``"streaming"``, ``"numeric"``, ...).
+    model:
+        Guest model dialect of the factory's programs: ``"bsp"`` or
+        ``"logp"``.  Also the default chain :func:`run_workload` uses.
+    description:
+        One paragraph for ``experiments workloads list/describe``.
+    factory:
+        ``factory(p, seed, **params) -> program``.
+    space:
+        Full sweep grid: axis name -> tuple of values.  Must include
+        ``"p"``.  Axes beyond ``p`` are the factory's keyword params.
+    quick:
+        The 2-ish-point smoke grid in the same shape (every axis
+        optional; missing axes fall back to ``defaults``).
+    defaults:
+        Single-run parameter values (must include ``"p"``).
+    cost_model:
+        Optional ``(result, p, params) -> [(name, obs, pred, kind)]``
+        emitting analytic residual rows for a *native* run of ``model``.
+    validate:
+        Optional ``(result, p, params) -> None``, raising
+        ``AssertionError`` on reference-output mismatch.
+    supports:
+        Optional ``(p, params) -> bool`` predicate marking valid grid
+        points (divisibility, power-of-two ``p``, Columnsort's
+        ``r >= 2(p-1)^2``, ...).  Unsupported points are *skipped*, not
+        failed, by sweeps.
+    """
+
+    name: str
+    family: str
+    model: str
+    description: str
+    factory: Callable[..., Any]
+    space: Mapping[str, tuple]
+    quick: Mapping[str, tuple]
+    defaults: Mapping[str, Any]
+    cost_model: Callable[..., Any] | None = None
+    validate: Callable[..., Any] | None = None
+    supports: Callable[[int, dict], bool] | None = None
+    tags: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.model not in ("bsp", "logp"):
+            raise ParameterError(
+                f"workload {self.name!r}: model must be 'bsp' or 'logp', "
+                f"got {self.model!r}"
+            )
+        if "p" not in self.space:
+            raise ParameterError(f"workload {self.name!r}: space must include 'p'")
+        if "p" not in self.defaults:
+            raise ParameterError(f"workload {self.name!r}: defaults must include 'p'")
+        self.space = {k: tuple(v) for k, v in dict(self.space).items()}
+        self.quick = {k: tuple(v) for k, v in dict(self.quick).items()}
+        self.defaults = dict(self.defaults)
+        unknown = set(self.quick) - set(self.space)
+        if unknown:
+            raise ParameterError(
+                f"workload {self.name!r}: quick axes {sorted(unknown)} not in space"
+            )
+
+    # -- parameter space ----------------------------------------------
+
+    def merged(self, params: Mapping[str, Any] | None = None) -> dict:
+        """Program parameters (defaults minus ``p``, overlaid).  ``seed``
+        passes through untouched — cost models and validators need it,
+        though it is not a grid axis."""
+        out = {k: v for k, v in self.defaults.items() if k != "p"}
+        for k, v in (params or {}).items():
+            if k == "p":
+                continue
+            if k == "seed":
+                out[k] = int(v)
+                continue
+            if k not in self.space and k not in self.defaults:
+                raise ParameterError(
+                    f"workload {self.name!r} has no parameter {k!r} "
+                    f"(axes: {', '.join(sorted(set(self.space) | set(self.defaults)))})"
+                )
+            out[k] = v
+        return out
+
+    def grid(self, quick: bool = False) -> dict[str, tuple]:
+        """The sweep grid: ``space`` or the quick subset padded from
+        defaults so every space axis is present."""
+        if not quick:
+            return dict(self.space)
+        return {
+            axis: self.quick.get(axis, (self.defaults[axis],))
+            for axis in self.space
+        }
+
+    def points(self, quick: bool = False, seeds=(0,)) -> Iterator[dict]:
+        """Supported grid points as plain dicts ``{p, seed, **params}``."""
+        import itertools
+
+        grid = self.grid(quick)
+        axes = sorted(grid)
+        for combo in itertools.product(*(grid[a] for a in axes)):
+            point = dict(zip(axes, combo))
+            p = int(point["p"])
+            params = {k: v for k, v in point.items() if k != "p"}
+            if self.supports is not None and not self.supports(p, params):
+                continue
+            for seed in seeds:
+                yield {"p": p, "seed": int(seed), **params}
+
+    def program(self, p: int, seed: int = 0, **params):
+        """Build the program for one point (defaults overlaid)."""
+        args = {k: v for k, v in self.merged(params).items() if k != "seed"}
+        return self.factory(p, seed, **args)
+
+    def spec(self, quick: bool = False, seeds=(0,), **overrides):
+        """A :class:`~repro.campaign.spec.CampaignSpec` sweeping this
+        workload through the ``workload`` campaign target."""
+        from repro.campaign.spec import CampaignSpec
+
+        suffix = "-quick" if quick else ""
+        kwargs = {
+            "name": f"workload-{self.name}{suffix}",
+            "target": "workload",
+            "grid": {"workload": (self.name,), **self.grid(quick)},
+            "seeds": tuple(int(s) for s in seeds),
+            "description": f"{self.family}/{self.name}: {self.description.splitlines()[0]}",
+        }
+        kwargs.update(overrides)
+        return CampaignSpec(**kwargs)
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.name}  [{self.family}, model={self.model}]",
+            f"  {self.description.strip()}",
+            "  space: "
+            + "  ".join(f"{k}={list(v)}" for k, v in sorted(self.space.items())),
+            "  quick: "
+            + "  ".join(
+                f"{k}={list(v)}" for k, v in sorted(self.grid(quick=True).items())
+            ),
+            "  defaults: "
+            + "  ".join(f"{k}={v}" for k, v in sorted(self.defaults.items())),
+            f"  cost model: {'yes' if self.cost_model else 'no'}"
+            f"   validator: {'yes' if self.validate else 'no'}",
+        ]
+        return "\n".join(lines)
+
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def register(workload: Workload, *, replace: bool = False) -> Workload:
+    """Add ``workload`` to the registry (``replace=True`` to overwrite)."""
+    if not isinstance(workload, Workload):
+        raise ParameterError(
+            f"register() takes a Workload, got {type(workload).__name__}"
+        )
+    if workload.name in _REGISTRY and not replace:
+        raise ParameterError(
+            f"workload {workload.name!r} is already registered "
+            f"(pass replace=True to override)"
+        )
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get(name: str) -> Workload:
+    """Look up a workload by name, raising with the known names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown workload {name!r} (known: {', '.join(sorted(_REGISTRY))})"
+        ) from None
+
+
+def names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def iter_workloads(family: str | None = None) -> Iterator[Workload]:
+    """Registered workloads in registration order (library order:
+    logp-core, bsp-core, sorting, streaming, numeric, then user
+    entries), optionally filtered by family."""
+    for w in _REGISTRY.values():
+        if family is None or w.family == family:
+            yield w
+
+
+def _native_result(workload: Workload, result) -> bool:
+    """Is ``result`` the shape the workload's cost model was written
+    against (a native run of its own model)?  Cross-simulated runs
+    (``bsp-on-logp`` etc.) get only the base ledger checks."""
+    if workload.model == "bsp":
+        return hasattr(result, "ledger")
+    return hasattr(result, "makespan") and not hasattr(result, "ledger")
+
+
+def check_workload(workload: Workload | str, result, p: int, params=None):
+    """Base :class:`~repro.obs.check.CostModelCheck` verification plus
+    the workload's analytic rows, as one report."""
+    from repro.obs.check import CostCheckReport, CostModelCheck
+
+    w = get(workload) if isinstance(workload, str) else workload
+    merged = w.merged(params)
+    label = " ".join([f"p={p}"] + [f"{k}={v}" for k, v in sorted(merged.items())])
+    report = CostCheckReport(model=f"workload {w.name} ({label})")
+    try:
+        base = CostModelCheck.check(result)
+    except TypeError:
+        base = None
+    if base is not None:
+        for r in base.residuals:
+            report.add(r.name, r.observed, r.predicted, r.kind)
+    if w.cost_model is not None and _native_result(w, result):
+        for name, observed, predicted, kind in w.cost_model(result, p, merged):
+            report.add(name, float(observed), float(predicted), kind)
+    return report
+
+
+@dataclass
+class WorkloadRun:
+    """One :func:`run_workload` outcome."""
+
+    workload: Workload
+    request: Any  # the RunRequest that named the run
+    result: Any  # the machine result (BSPResult / LogPResult / ...)
+    report: Any  # the folded CostCheckReport
+    validated: bool  # reference-output validator ran (and passed)
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok()
+
+    def as_record(self) -> dict:
+        row = self.result.as_row() if hasattr(self.result, "as_row") else {}
+        return {
+            "workload": self.workload.name,
+            "family": self.workload.family,
+            "request": self.request.to_dict(),
+            **row,
+            "validated": self.validated,
+            "cost_check": self.report.as_dict(),
+        }
+
+
+def run_workload(
+    name: str,
+    *,
+    p: int | None = None,
+    seed: int = 0,
+    params: Mapping[str, Any] | None = None,
+    chain: str | None = None,
+    kernel: str | None = None,
+    obs=None,
+    validate: bool = True,
+) -> WorkloadRun:
+    """Run one workload point end-to-end through the request path.
+
+    Builds the :class:`~repro.engine.request.RunRequest` naming the
+    point, assembles its Stack via the one shared
+    :func:`~repro.engine.request.build_stack` path (identical to the
+    service's miss-compute), runs it, folds the workload's cost model
+    into the base check, and validates reference output on native runs.
+    """
+    from repro.engine.request import RunRequest, build_stack
+
+    w = get(name)
+    if p is None:
+        p = int(w.defaults["p"])
+    merged = w.merged(params)
+    args = {k: v for k, v in merged.items() if k != "seed"}
+    req = RunRequest(
+        chain=chain or w.model,
+        workload=w.name,
+        args=args,
+        p=p,
+        seed=seed,
+        kernel=kernel,
+    )
+    result = build_stack(req).run(obs=obs)
+    full = {**merged, "seed": int(seed)}
+    report = check_workload(w, result, p, full)
+    validated = False
+    if validate and w.validate is not None and _native_result(w, result):
+        w.validate(result, p, full)
+        validated = True
+    return WorkloadRun(
+        workload=w, request=req, result=result, report=report, validated=validated
+    )

@@ -276,7 +276,10 @@ def test_density_sweep_kernels_equivalent(params, profile):
         assert uid_free_projection(runs[kernel]) == base, kernel
     ada = runs["adaptive"].kernel
     assert ada.kernel == "adaptive"
-    assert ada.density_samples == ada.batches
+    # Sampling hibernation may skip provably mode-preserving batches
+    # (deep-sparse singletons), so sampled <= total; the first batch of
+    # a run is always sampled.
+    assert 0 < ada.density_samples <= ada.batches
     assert 0 <= ada.dense_batches <= ada.batches
     assert ada.sparse_batches == ada.batches - ada.dense_batches
 

@@ -1,0 +1,1 @@
+"""Tests for the repro.workloads registry and builtin families."""

@@ -1,0 +1,71 @@
+"""Every registry entry, end-to-end, on its quick grid.
+
+The ISSUE acceptance sweep: each workload runs through the RunRequest
+path, its analytic cost model folds into the base
+:class:`~repro.obs.check.CostModelCheck` ledger verification, every
+residual lands in bound, and the reference-output validator passes.
+"""
+
+import pytest
+
+from repro.workloads import get, names, run_workload
+
+ALL_WORKLOADS = names()
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_quick_grid_runs_with_in_bound_residuals(name):
+    w = get(name)
+    points = list(w.points(quick=True))
+    assert points, f"{name} quick grid has no supported points"
+    for point in points:
+        point = dict(point)
+        p, seed = point.pop("p"), point.pop("seed")
+        run = run_workload(name, p=p, seed=seed, params=point)
+        run.report.assert_ok()  # raises naming the first out-of-bound row
+        assert run.ok
+        assert run.validated, f"{name} p={p} did not validate"
+        # The analytic rows really folded in: every name the workload's
+        # own cost model emits appears in the combined report.
+        merged = w.merged({**point, "seed": seed})
+        expected = {row[0] for row in w.cost_model(run.result, p, merged)}
+        got = {r.name for r in run.report.residuals}
+        assert expected <= got, expected - got
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_as_record_is_json_shaped(name):
+    w = get(name)
+    point = dict(next(iter(w.points(quick=True))))
+    p, seed = point.pop("p"), point.pop("seed")
+    run = run_workload(name, p=p, seed=seed, params=point)
+    record = run.as_record()
+    assert record["workload"] == name
+    assert record["family"] == w.family
+    assert record["validated"] is True
+    assert record["cost_check"]["model"].startswith(f"workload {name}")
+    assert record["cost_check"]["residuals"]
+    assert record["request"]["workload"] == name
+
+
+def test_cross_simulated_run_gets_only_base_checks():
+    """A bsp-on-logp run is not the native shape the cost model was
+    written against: the analytic rows and the validator are skipped,
+    the run itself still succeeds."""
+    run = run_workload("prefix", p=4, chain="bsp-on-logp")
+    assert run.validated is False
+    got = {r.name for r in run.report.residuals}
+    assert "supersteps == log2(p)+1" not in got
+    run.report.assert_ok()
+
+
+def test_cost_model_failures_are_loud():
+    """An out-of-bound analytic row must fail assert_ok, not vanish."""
+    from repro.workloads import check_workload
+
+    run = run_workload("matvec", p=4)
+    report = check_workload("prefix", run.result, 4, {"seed": 0})
+    # matvec's 2-superstep ledger cannot satisfy prefix's log2(p)+1 row.
+    assert not report.ok()
+    with pytest.raises(AssertionError):
+        report.assert_ok()

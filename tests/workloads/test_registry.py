@@ -1,0 +1,146 @@
+"""Unit tests for the workload registry (:mod:`repro.workloads.registry`)."""
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec
+from repro.errors import ParameterError
+from repro.workloads import Workload, get, iter_workloads, names, register
+from repro.workloads.registry import _REGISTRY, clog2, clog3
+
+
+def toy(**overrides) -> Workload:
+    fields = dict(
+        name="toy",
+        family="test",
+        model="bsp",
+        description="toy entry for registry unit tests",
+        factory=lambda p, seed, n=4: None,
+        space={"p": (2, 4), "n": (4, 8)},
+        quick={"p": (2,)},
+        defaults={"p": 2, "n": 4},
+    )
+    fields.update(overrides)
+    return Workload(**fields)
+
+
+@pytest.fixture
+def scratch_registry():
+    """Let a test register throwaway entries without leaking them into
+    the process-global registry other tests (and the CLI) read."""
+    before = set(_REGISTRY)
+    yield
+    for name in set(_REGISTRY) - before:
+        del _REGISTRY[name]
+
+
+class TestWorkloadConstruction:
+    def test_rejects_unknown_model(self):
+        with pytest.raises(ParameterError, match="model"):
+            toy(model="pram")
+
+    def test_space_must_include_p(self):
+        with pytest.raises(ParameterError, match="space must include 'p'"):
+            toy(space={"n": (4,)})
+
+    def test_defaults_must_include_p(self):
+        with pytest.raises(ParameterError, match="defaults must include 'p'"):
+            toy(defaults={"n": 4})
+
+    def test_quick_axes_must_be_space_axes(self):
+        with pytest.raises(ParameterError, match="quick axes"):
+            toy(quick={"bogus": (1,)})
+
+
+class TestParameterSpace:
+    def test_merged_overlays_defaults(self):
+        w = toy()
+        assert w.merged() == {"n": 4}
+        assert w.merged({"n": 8}) == {"n": 8}
+
+    def test_merged_ignores_p_and_passes_seed_through(self):
+        merged = toy().merged({"p": 16, "seed": 3})
+        assert "p" not in merged
+        assert merged["seed"] == 3
+
+    def test_merged_rejects_unknown_parameter(self):
+        with pytest.raises(ParameterError, match="no parameter 'bogus'"):
+            toy().merged({"bogus": 1})
+
+    def test_grid_full_is_the_space(self):
+        assert toy().grid() == {"p": (2, 4), "n": (4, 8)}
+
+    def test_grid_quick_pads_missing_axes_from_defaults(self):
+        assert toy().grid(quick=True) == {"p": (2,), "n": (4,)}
+
+    def test_points_skip_unsupported(self):
+        w = toy(supports=lambda p, params: p == 2)
+        points = list(w.points())
+        assert points and all(pt["p"] == 2 for pt in points)
+
+    def test_points_fan_out_over_seeds(self):
+        seeds = [pt["seed"] for pt in toy().points(quick=True, seeds=(0, 1))]
+        assert sorted(set(seeds)) == [0, 1]
+
+    def test_spec_targets_the_workload_campaign_target(self):
+        spec = toy().spec(quick=True)
+        assert isinstance(spec, CampaignSpec)
+        assert spec.target == "workload"
+        assert spec.name == "workload-toy-quick"
+        grid = dict(spec.grid)
+        assert grid["workload"] == ("toy",)
+        assert grid["p"] == (2,)
+
+    def test_describe_names_the_space(self):
+        text = toy().describe()
+        assert "toy" in text and "space:" in text and "defaults:" in text
+
+
+class TestRegistry:
+    def test_register_rejects_duplicates(self, scratch_registry):
+        register(toy(name="toy-dup"))
+        with pytest.raises(ParameterError, match="already registered"):
+            register(toy(name="toy-dup"))
+        register(toy(name="toy-dup", description="v2"), replace=True)
+        assert get("toy-dup").description == "v2"
+
+    def test_register_rejects_non_workloads(self):
+        with pytest.raises(ParameterError, match="takes a Workload"):
+            register({"name": "nope"})
+
+    def test_get_unknown_lists_known_names(self):
+        with pytest.raises(ParameterError, match="jacobi"):
+            get("no-such-workload")
+
+    def test_names_sorted(self):
+        assert names() == sorted(names())
+
+    def test_iter_workloads_family_filter(self):
+        numeric = [w.name for w in iter_workloads(family="numeric")]
+        assert numeric == ["jacobi", "gradient"]
+
+    def test_builtin_families_register_in_library_order(self):
+        families = []
+        for w in iter_workloads():
+            if w.family not in families:
+                families.append(w.family)
+        assert families == [
+            "logp-core", "bsp-core", "sorting", "streaming", "numeric",
+        ]
+
+    def test_builtin_registry_is_complete(self):
+        """The acceptance floor: >= 13 entries, every one carrying a
+        cost model and a reference-output validator."""
+        entries = list(iter_workloads())
+        assert len(entries) >= 13
+        for w in entries:
+            assert w.cost_model is not None, w.name
+            assert w.validate is not None, w.name
+            assert list(w.points(quick=True)), f"{w.name} quick grid is empty"
+
+
+class TestIntLogHelpers:
+    def test_clog2(self):
+        assert [clog2(p) for p in (1, 2, 3, 4, 8, 9)] == [0, 1, 2, 2, 3, 4]
+
+    def test_clog3(self):
+        assert [clog3(p) for p in (1, 3, 4, 9, 10, 27)] == [0, 1, 2, 2, 3, 3]
